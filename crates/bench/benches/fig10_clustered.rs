@@ -1,0 +1,31 @@
+//! Figure 10 workload benchmark: budget-limited trials on the paper-exact
+//! clustered graph (cliques 10/30/50). Low conductance makes these the
+//! longest traces per unique query — the stress case for the walk driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use osn_datasets::clustered_graph;
+use osn_experiments::runner::TrialPlan;
+use osn_experiments::Algorithm;
+
+fn fig10_trial(c: &mut Criterion) {
+    let network = Arc::new(clustered_graph().network);
+    let mut group = c.benchmark_group("fig10_trial");
+    for alg in Algorithm::srw_family_set() {
+        for budget in [40u64, 80] {
+            let plan = TrialPlan::budgeted(network.clone(), budget);
+            group.bench_with_input(BenchmarkId::new(alg.label(), budget), &plan, |b, plan| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    plan.run(&alg, seed).len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10_trial);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 11 / Theorem 3 workload benchmark: barbell escape trials across
+//! graph sizes for SRW and CNRW.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use osn_datasets::barbell_graph_sized;
+use osn_graph::NodeId;
+use osn_walks::{Cnrw, RandomWalk, Srw};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn escape_steps(
+    network: &Arc<osn_graph::attributes::AttributedGraph>,
+    mut walker: Box<dyn RandomWalk>,
+    bell: usize,
+    seed: u64,
+) -> usize {
+    let mut client = osn_client::SimulatedOsn::new_shared(network.clone());
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    for s in 1..=100_000usize {
+        let v = walker.step(&mut client, &mut rng).expect("no budget");
+        if v.index() >= bell {
+            return s;
+        }
+    }
+    100_000
+}
+
+fn fig11_escape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_escape");
+    for bell in [10usize, 20] {
+        let network = Arc::new(barbell_graph_sized(bell, bell).network);
+        group.bench_with_input(BenchmarkId::new("SRW", bell), &network, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                escape_steps(net, Box::new(Srw::new(NodeId(0))), bell, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("CNRW", bell), &network, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                escape_steps(net, Box::new(Cnrw::new(NodeId(0))), bell, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11_escape);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6 workload benchmark: one budget-limited estimation trial per
+//! algorithm on the Google Plus stand-in.
+//!
+//! `repro fig6` regenerates the statistical figure; this bench tracks the
+//! *cost* of producing one of its trials, which is what bounds how many
+//! replications the harness can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use osn_datasets::{gplus_like, Scale};
+use osn_experiments::runner::TrialPlan;
+use osn_experiments::Algorithm;
+
+fn fig6_trial(c: &mut Criterion) {
+    let network = Arc::new(gplus_like(Scale::Test, 1).network);
+    let mut group = c.benchmark_group("fig6_trial");
+    for alg in Algorithm::figure6_set() {
+        for budget in [100u64, 300] {
+            let plan = TrialPlan::budgeted(network.clone(), budget);
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), budget),
+                &plan,
+                |b, plan| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        plan.run(&alg, seed).stats.unique
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_trial);
+criterion_main!(benches);

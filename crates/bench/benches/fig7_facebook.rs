@@ -1,0 +1,49 @@
+//! Figure 7 workload benchmark: the per-trial cost of the Facebook bias
+//! sweep (trace + empirical distribution + estimator), and the metric
+//! computations themselves (symmetric KL, ℓ2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use osn_datasets::{facebook_like, Scale};
+use osn_estimate::metrics::{l2_distance, symmetric_kl, EmpiricalDistribution};
+use osn_experiments::runner::TrialPlan;
+use osn_experiments::Algorithm;
+
+fn fig7_components(c: &mut Criterion) {
+    let network = Arc::new(facebook_like(Scale::Default, 1).network);
+    let n = network.graph.node_count();
+    let target = network.graph.degree_stationary_distribution();
+
+    let mut group = c.benchmark_group("fig7");
+    group.bench_function("trial/CNRW_budget100", |b| {
+        let plan = TrialPlan::budgeted(network.clone(), 100);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let trace = plan.run(&Algorithm::Cnrw, seed);
+            let mut d = EmpiricalDistribution::new(n);
+            d.record_all(trace.nodes());
+            d.total()
+        });
+    });
+
+    // Metric kernels on realistic distribution vectors.
+    let mut d = EmpiricalDistribution::new(n);
+    let plan = TrialPlan::budgeted(network.clone(), 140);
+    for t in 0..20 {
+        d.record_all(plan.run(&Algorithm::Srw, t).nodes());
+    }
+    let smoothed = d.probabilities_smoothed(0.5);
+    let raw = d.probabilities();
+    group.bench_function("metric/symmetric_kl", |b| {
+        b.iter(|| symmetric_kl(&target, &smoothed))
+    });
+    group.bench_function("metric/l2_distance", |b| {
+        b.iter(|| l2_distance(&target, &raw))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig7_components);
+criterion_main!(benches);

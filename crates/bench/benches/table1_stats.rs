@@ -1,0 +1,36 @@
+//! Benchmark for the Table 1 pipeline: dataset generation and the fused
+//! clustering-coefficient + triangle-count analysis pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use osn_datasets::{barbell_graph, clustered_graph, facebook_like, yelp_like, Scale};
+use osn_graph::analysis::summarize;
+
+fn table1_stats(c: &mut Criterion) {
+    let datasets = vec![
+        ("facebook", facebook_like(Scale::Test, 1)),
+        ("yelp", yelp_like(Scale::Test, 2)),
+        ("clustered", clustered_graph()),
+        ("barbell", barbell_graph()),
+    ];
+
+    let mut group = c.benchmark_group("table1");
+    for (name, dataset) in &datasets {
+        group.bench_with_input(
+            BenchmarkId::new("summarize", name),
+            &dataset.network.graph,
+            |b, g| b.iter(|| summarize(g)),
+        );
+    }
+    group.bench_function("generate/facebook_like", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            facebook_like(Scale::Test, seed).node_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1_stats);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] [table1|fig6|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]
+//! ```
+//!
+//! Each experiment prints its markdown table to stdout and, with `--out`,
+//! also writes `<id>.md`, `<id>.csv` and `<id>.json` artifacts — the files
+//! EXPERIMENTS.md references.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use osn_datasets::Scale;
+use osn_experiments::{ablation, fig10, fig11, fig6, fig7, fig8, fig9, table1, theorem3, ExperimentResult};
+
+struct Options {
+    quick: bool,
+    out: Option<PathBuf>,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut quick = false;
+    let mut out = None;
+    let mut targets = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.next().expect("--out requires a directory"),
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--quick] [--out DIR] \
+                     [table1|fig6|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]..."
+                );
+                std::process::exit(0);
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem3", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    Options { quick, out, targets }
+}
+
+fn emit(result: &ExperimentResult, out: &Option<PathBuf>) {
+    println!("{}", result.to_markdown());
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let write = |ext: &str, content: String| {
+            let path = dir.join(format!("{}.{ext}", result.id));
+            let mut f = std::fs::File::create(&path).expect("create artifact");
+            f.write_all(content.as_bytes()).expect("write artifact");
+        };
+        write("md", result.to_markdown());
+        write("csv", result.to_csv());
+        write("json", result.to_json());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let started = std::time::Instant::now();
+    for target in &opts.targets {
+        let t0 = std::time::Instant::now();
+        eprintln!("== running {target} ({}) ==", if opts.quick { "quick" } else { "default" });
+        match target.as_str() {
+            "table1" => {
+                let scale = if opts.quick { Scale::Test } else { Scale::Default };
+                emit(&table1::run(scale, 1), &opts.out);
+            }
+            "fig6" => {
+                let config = if opts.quick { fig6::Fig6Config::quick() } else { Default::default() };
+                emit(&fig6::run(&config), &opts.out);
+            }
+            "fig7" => {
+                let config = if opts.quick { fig7::Fig7Config::quick() } else { Default::default() };
+                let r = fig7::run(&config);
+                for panel in [&r.facebook_kl, &r.facebook_l2, &r.facebook_error, &r.youtube_error] {
+                    emit(panel, &opts.out);
+                }
+            }
+            "fig8" => {
+                let config = if opts.quick { fig8::Fig8Config::quick() } else { Default::default() };
+                for panel in fig8::run(&config) {
+                    // Figure 8 has one row per node; print a summary to
+                    // stdout and write the full series only to --out.
+                    let mut summary = panel.clone();
+                    summary.series.clear();
+                    for s in &panel.series {
+                        let head: Vec<f64> = s.y.iter().rev().take(5).rev().copied().collect();
+                        summary
+                            .notes
+                            .push(format!("{}: top-5 degree-rank probs {head:?}", s.label));
+                    }
+                    println!("{}", summary.to_markdown());
+                    if let Some(dir) = &opts.out {
+                        std::fs::create_dir_all(dir).expect("create output dir");
+                        std::fs::write(dir.join(format!("{}.csv", panel.id)), panel.to_csv())
+                            .expect("write artifact");
+                        std::fs::write(dir.join(format!("{}.json", panel.id)), panel.to_json())
+                            .expect("write artifact");
+                    }
+                }
+            }
+            "fig9" => {
+                let config = if opts.quick { fig9::Fig9Config::quick() } else { Default::default() };
+                let r = fig9::run(&config);
+                emit(&r.average_degree, &opts.out);
+                emit(&r.average_reviews, &opts.out);
+            }
+            "fig10" => {
+                let config = if opts.quick { fig10::Fig10Config::quick() } else { Default::default() };
+                let r = fig10::run(&config);
+                for panel in [&r.kl, &r.l2, &r.error] {
+                    emit(panel, &opts.out);
+                }
+            }
+            "fig11" => {
+                let config = if opts.quick { fig11::Fig11Config::quick() } else { Default::default() };
+                let r = fig11::run(&config);
+                for panel in [&r.kl, &r.l2, &r.error] {
+                    emit(panel, &opts.out);
+                }
+            }
+            "ablation" => {
+                let config = if opts.quick {
+                    ablation::AblationConfig::quick()
+                } else {
+                    Default::default()
+                };
+                emit(&ablation::run(&config), &opts.out);
+                emit(&ablation::run_budget(&config), &opts.out);
+            }
+            "theorem3" => {
+                let config = if opts.quick {
+                    theorem3::Theorem3Config::quick()
+                } else {
+                    Default::default()
+                };
+                emit(&theorem3::run(&config), &opts.out);
+            }
+            other => {
+                eprintln!("unknown target `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("== {target} done in {:.1?} ==\n", t0.elapsed());
+    }
+    eprintln!("all targets done in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,5 @@
+//! # osn-bench
+//!
+//! Criterion benchmarks and reproduction binaries for every table and figure
+//! of the paper's evaluation. See `benches/` for the per-figure benchmark
+//! targets and `src/bin/repro.rs` for the full reproduction CLI.

@@ -1,0 +1,172 @@
+//! Unique-query budget enforcement.
+
+use std::fmt;
+
+use osn_graph::NodeId;
+
+use crate::client::OsnClient;
+use crate::stats::QueryStats;
+
+/// The error returned when a walk tries to exceed its unique-query budget.
+///
+/// The paper's experiments run every sampler "with a query budget ranging
+/// from 20 to 1000" — this type is how that cutoff surfaces to the walk
+/// driver, which then stops and hands the collected samples to the
+/// estimators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The budget that was in force.
+    pub budget: u64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unique-query budget of {} exhausted", self.budget)
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// Decorator enforcing a hard unique-query budget on any [`OsnClient`].
+///
+/// Cached repeats stay free (they don't consume the budget), matching the
+/// paper's cost model. Once the budget is spent, any query for a *new* node
+/// fails with [`BudgetExhausted`]; cached nodes remain queryable so the
+/// driver can finish bookkeeping deterministically.
+pub struct BudgetedClient<C> {
+    inner: C,
+    seen: Vec<bool>,
+    budget: u64,
+    used: u64,
+}
+
+impl<C: OsnClient> BudgetedClient<C> {
+    /// Wrap `inner`, allowing at most `budget` unique queries.
+    /// `node_capacity` sizes the seen-set (use the graph's node count).
+    pub fn new(inner: C, budget: u64, node_capacity: usize) -> Self {
+        BudgetedClient {
+            inner,
+            seen: vec![false; node_capacity],
+            budget,
+            used: 0,
+        }
+    }
+
+    /// Unique queries consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Unwrap, returning the inner client.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Access the inner client.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: OsnClient> OsnClient for BudgetedClient<C> {
+    fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
+        let idx = u.index();
+        if idx >= self.seen.len() {
+            self.seen.resize(idx + 1, false);
+        }
+        if !self.seen[idx] {
+            if self.used >= self.budget {
+                return Err(BudgetExhausted { budget: self.budget });
+            }
+            self.seen[idx] = true;
+            self.used += 1;
+        }
+        self.inner.neighbors(u)
+    }
+
+    fn peek_degree(&self, u: NodeId) -> usize {
+        self.inner.peek_degree(u)
+    }
+
+    fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
+        self.inner.peek_attribute(u, name)
+    }
+
+    fn stats(&self) -> QueryStats {
+        self.inner.stats()
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        Some(self.budget - self.used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SimulatedOsn;
+    use osn_graph::GraphBuilder;
+
+    fn path_client() -> SimulatedOsn {
+        // 0 - 1 - 2 - 3 - 4
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.push_edge(i, i + 1);
+        }
+        SimulatedOsn::from_graph(b.build().unwrap())
+    }
+
+    #[test]
+    fn budget_cuts_off_new_nodes() {
+        let mut c = BudgetedClient::new(path_client(), 2, 5);
+        assert!(c.neighbors(NodeId(0)).is_ok());
+        assert!(c.neighbors(NodeId(1)).is_ok());
+        let err = c.neighbors(NodeId(2)).unwrap_err();
+        assert_eq!(err, BudgetExhausted { budget: 2 });
+        assert_eq!(c.used(), 2);
+    }
+
+    #[test]
+    fn cached_nodes_stay_free_after_exhaustion() {
+        let mut c = BudgetedClient::new(path_client(), 1, 5);
+        c.neighbors(NodeId(3)).unwrap();
+        assert!(c.neighbors(NodeId(3)).is_ok());
+        assert!(c.neighbors(NodeId(0)).is_err());
+        assert_eq!(c.remaining_budget(), Some(0));
+    }
+
+    #[test]
+    fn remaining_budget_counts_down() {
+        let mut c = BudgetedClient::new(path_client(), 3, 5);
+        assert_eq!(c.remaining_budget(), Some(3));
+        c.neighbors(NodeId(0)).unwrap();
+        assert_eq!(c.remaining_budget(), Some(2));
+        c.neighbors(NodeId(0)).unwrap(); // cached, no change
+        assert_eq!(c.remaining_budget(), Some(2));
+    }
+
+    #[test]
+    fn peeks_do_not_consume_budget() {
+        let c = BudgetedClient::new(path_client(), 1, 5);
+        assert_eq!(c.peek_degree(NodeId(2)), 2);
+        assert_eq!(c.remaining_budget(), Some(1));
+    }
+
+    #[test]
+    fn seen_set_grows_on_demand() {
+        let mut c = BudgetedClient::new(path_client(), 10, 1);
+        assert!(c.neighbors(NodeId(4)).is_ok());
+        assert_eq!(c.used(), 1);
+    }
+
+    #[test]
+    fn display_message() {
+        let e = BudgetExhausted { budget: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,224 @@
+//! The `OsnClient` trait and its in-memory simulation.
+
+use std::sync::Arc;
+
+use osn_graph::attributes::AttributedGraph;
+use osn_graph::{CsrGraph, NodeId};
+
+use crate::budget::BudgetExhausted;
+use crate::stats::QueryStats;
+
+/// The restricted access interface of an online social network (paper §2.1).
+///
+/// A query takes a user id and returns the user's neighbor list; the paper's
+/// experiments charge **one unit per unique node queried** (repeats are free,
+/// served from the sampler's local cache).
+///
+/// ### Metadata visibility
+///
+/// `peek_degree` / `peek_attribute` model the profile metadata a neighbor
+/// listing exposes *without* a dedicated query (follower counts, displayed
+/// attributes). The paper's cost accounting implies this visibility: GNRW
+/// groups the neighbors of the current node by degree or by an attribute and
+/// MHRW needs the proposed neighbor's degree for its acceptance test, yet
+/// neither is charged extra queries in the evaluation. We make that rule
+/// explicit and uniform across all algorithms.
+pub trait OsnClient {
+    /// Neighbor-list query for `u`.
+    ///
+    /// # Errors
+    /// [`BudgetExhausted`] when a wrapper enforces a unique-query budget and
+    /// the call would exceed it; the bare simulator never fails.
+    fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted>;
+
+    /// Degree of `u` as listing metadata (free of query cost).
+    fn peek_degree(&self, u: NodeId) -> usize;
+
+    /// Attribute value of `u` as listing metadata (free of query cost);
+    /// `None` when the attribute does not exist.
+    fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64>;
+
+    /// Snapshot of the query accounting so far.
+    fn stats(&self) -> QueryStats;
+
+    /// Remaining charged queries before a budget wrapper cuts the walk off;
+    /// `None` means unlimited.
+    fn remaining_budget(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// In-memory simulation of an OSN's restricted interface over an
+/// [`AttributedGraph`] snapshot, with unique-query accounting.
+///
+/// This mirrors the paper's setup exactly: *"we simulated a restricted-access
+/// web interface precisely according to the definition in Section 2.1, and
+/// ran our algorithms over the simulated interface."*
+/// The snapshot is held behind an `Arc`, so cloning a `SimulatedOsn` (or
+/// building many from [`SimulatedOsn::new_shared`]) shares the graph memory:
+/// experiment harnesses run thousands of independent trials against one
+/// loaded snapshot without duplication.
+#[derive(Clone, Debug)]
+pub struct SimulatedOsn {
+    network: Arc<AttributedGraph>,
+    queried: Vec<bool>,
+    stats: QueryStats,
+}
+
+impl SimulatedOsn {
+    /// Wrap an attributed graph snapshot.
+    pub fn new(network: AttributedGraph) -> Self {
+        Self::new_shared(Arc::new(network))
+    }
+
+    /// Wrap an already-shared snapshot (no copy).
+    pub fn new_shared(network: Arc<AttributedGraph>) -> Self {
+        let n = network.graph.node_count();
+        SimulatedOsn {
+            network,
+            queried: vec![false; n],
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Wrap a bare graph (no attributes).
+    pub fn from_graph(graph: CsrGraph) -> Self {
+        Self::new(AttributedGraph::bare(graph))
+    }
+
+    /// The underlying topology (ground-truth side of experiments; a real
+    /// third party would not have this).
+    pub fn graph(&self) -> &CsrGraph {
+        &self.network.graph
+    }
+
+    /// The underlying attributes (ground-truth side of experiments).
+    pub fn network(&self) -> &AttributedGraph {
+        &self.network
+    }
+
+    /// Reset all accounting, keeping the snapshot. Lets one loaded graph
+    /// serve many independent trials without rebuilding.
+    pub fn reset(&mut self) {
+        self.queried.iter_mut().for_each(|q| *q = false);
+        self.stats = QueryStats::default();
+    }
+
+    /// Number of distinct nodes queried so far.
+    pub fn unique_queries(&self) -> u64 {
+        self.stats.unique
+    }
+}
+
+impl OsnClient for SimulatedOsn {
+    fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
+        let seen = &mut self.queried[u.index()];
+        self.stats.record(!*seen);
+        *seen = true;
+        Ok(self.network.graph.neighbors(u))
+    }
+
+    fn peek_degree(&self, u: NodeId) -> usize {
+        self.network.graph.degree(u)
+    }
+
+    fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
+        self.network.attributes.value_f64(name, u).ok()
+    }
+
+    fn stats(&self) -> QueryStats {
+        self.stats
+    }
+}
+
+// Allow `&mut C` to be used wherever an `OsnClient` is expected, so drivers
+// can hand walkers a reborrowed client.
+impl<C: OsnClient + ?Sized> OsnClient for &mut C {
+    fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
+        (**self).neighbors(u)
+    }
+    fn peek_degree(&self, u: NodeId) -> usize {
+        (**self).peek_degree(u)
+    }
+    fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
+        (**self).peek_attribute(u, name)
+    }
+    fn stats(&self) -> QueryStats {
+        (**self).stats()
+    }
+    fn remaining_budget(&self) -> Option<u64> {
+        (**self).remaining_budget()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::attributes::NodeAttributes;
+    use osn_graph::GraphBuilder;
+
+    fn triangle_client() -> SimulatedOsn {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .build()
+            .unwrap();
+        SimulatedOsn::from_graph(g)
+    }
+
+    #[test]
+    fn unique_accounting() {
+        let mut c = triangle_client();
+        c.neighbors(NodeId(0)).unwrap();
+        c.neighbors(NodeId(1)).unwrap();
+        c.neighbors(NodeId(0)).unwrap(); // cached
+        let s = c.stats();
+        assert_eq!(s.issued, 3);
+        assert_eq!(s.unique, 2);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn neighbors_match_graph() {
+        let mut c = triangle_client();
+        let ns = c.neighbors(NodeId(1)).unwrap().to_vec();
+        assert_eq!(ns, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn peeks_are_free() {
+        let c = triangle_client();
+        assert_eq!(c.peek_degree(NodeId(0)), 2);
+        assert_eq!(c.stats().issued, 0);
+        assert_eq!(c.peek_attribute(NodeId(0), "nope"), None);
+    }
+
+    #[test]
+    fn peek_attribute_reads_columns() {
+        let g = GraphBuilder::new().add_edge(0, 1).build().unwrap();
+        let mut attrs = NodeAttributes::for_graph(&g);
+        attrs.insert_uint("reviews", vec![3, 9]).unwrap();
+        let c = SimulatedOsn::new(AttributedGraph::new(g, attrs).unwrap());
+        assert_eq!(c.peek_attribute(NodeId(1), "reviews"), Some(9.0));
+    }
+
+    #[test]
+    fn reset_clears_accounting() {
+        let mut c = triangle_client();
+        c.neighbors(NodeId(0)).unwrap();
+        c.reset();
+        assert_eq!(c.stats(), QueryStats::default());
+        c.neighbors(NodeId(0)).unwrap();
+        assert_eq!(c.stats().unique, 1);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = triangle_client();
+        let r = &mut c;
+        r.neighbors(NodeId(0)).unwrap();
+        assert_eq!(r.stats().unique, 1);
+        assert_eq!(r.remaining_budget(), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # osn-client
+//!
+//! A faithful simulation of the **restricted access model** of online social
+//! networks (paper §2.1): the only operations available to a third party are
+//!
+//! * `neighbors(u)` — the full neighbor list of a user, and
+//! * `attribute(u, name)` — the user's profile attributes,
+//!
+//! plus the two cost rules the paper's evaluation depends on (§2.3):
+//!
+//! * **query cost counts unique queries only** — a repeated query for the
+//!   same node is served from a local cache and costs nothing;
+//! * real platforms impose **query-rate limits** (e.g. Twitter's 15 calls per
+//!   15 minutes), simulated here over a virtual clock so experiments can
+//!   report wall-clock-equivalent sampling times without waiting.
+//!
+//! The central trait is [`OsnClient`]; [`SimulatedOsn`] implements it over an
+//! in-memory [`osn_graph::attributes::AttributedGraph`]. [`BudgetedClient`]
+//! decorates any client with a hard unique-query budget, and
+//! [`RateLimitedOsn`] adds the rate-limit simulation. The paper runs its
+//! algorithms "over the simulated interface" of downloaded snapshots —
+//! exactly what this crate provides.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+mod client;
+pub mod rate;
+pub mod shared;
+mod stats;
+
+pub use budget::{BudgetExhausted, BudgetedClient};
+pub use client::{OsnClient, SimulatedOsn};
+pub use rate::{RateLimitConfig, RateLimitedOsn, VirtualClock};
+pub use shared::SharedOsn;
+pub use stats::QueryStats;

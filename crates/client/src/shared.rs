@@ -1,0 +1,149 @@
+//! Thread-safe shared client for parallel random walks.
+//!
+//! The paper's related-work section cites Alon et al., *"Many random walks
+//! are faster than one"* — running several walkers against one interface and
+//! pooling their queries through a **shared cache**. [`SharedOsn`] makes that
+//! pattern expressible: clone a handle per walker thread; all handles share
+//! one [`SimulatedOsn`], so a node queried by any walker is cached (free) for
+//! every other walker, and the unique-query count is global.
+
+use std::sync::Arc;
+
+use osn_graph::NodeId;
+use parking_lot::Mutex;
+
+use crate::budget::BudgetExhausted;
+use crate::client::{OsnClient, SimulatedOsn};
+use crate::stats::QueryStats;
+
+/// A cloneable, thread-safe handle to a shared [`SimulatedOsn`].
+///
+/// `neighbors` returns an owned `Vec` (the lock cannot be held across the
+/// trait's borrowed return), exposed via [`SharedOsn::neighbors_owned`];
+/// the `OsnClient` impl keeps a per-handle scratch buffer so walkers can use
+/// the trait interface unchanged.
+#[derive(Clone)]
+pub struct SharedOsn {
+    inner: Arc<Mutex<SimulatedOsn>>,
+    scratch: Vec<NodeId>,
+}
+
+impl SharedOsn {
+    /// Share `osn` between any number of cloned handles.
+    pub fn new(osn: SimulatedOsn) -> Self {
+        SharedOsn {
+            inner: Arc::new(Mutex::new(osn)),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Query neighbors, returning an owned copy.
+    ///
+    /// # Errors
+    /// Never fails for the bare simulator; kept fallible for interface
+    /// symmetry with budget wrappers.
+    pub fn neighbors_owned(&self, u: NodeId) -> Result<Vec<NodeId>, BudgetExhausted> {
+        let mut guard = self.inner.lock();
+        guard.neighbors(u).map(|s| s.to_vec())
+    }
+
+    /// Global query statistics across all handles.
+    pub fn global_stats(&self) -> QueryStats {
+        self.inner.lock().stats()
+    }
+
+    /// Try to unwrap the inner simulator (succeeds when this is the last
+    /// handle).
+    pub fn try_into_inner(self) -> Option<SimulatedOsn> {
+        Arc::try_unwrap(self.inner).ok().map(Mutex::into_inner)
+    }
+}
+
+impl OsnClient for SharedOsn {
+    fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
+        let mut guard = self.inner.lock();
+        let slice = guard.neighbors(u)?;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(slice);
+        drop(guard);
+        Ok(&self.scratch)
+    }
+
+    fn peek_degree(&self, u: NodeId) -> usize {
+        self.inner.lock().peek_degree(u)
+    }
+
+    fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
+        self.inner.lock().peek_attribute(u, name)
+    }
+
+    fn stats(&self) -> QueryStats {
+        self.global_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    fn shared_path() -> SharedOsn {
+        let mut b = GraphBuilder::new();
+        for i in 0..9 {
+            b.push_edge(i, i + 1);
+        }
+        SharedOsn::new(SimulatedOsn::from_graph(b.build().unwrap()))
+    }
+
+    #[test]
+    fn handles_share_cache() {
+        let a = shared_path();
+        let mut b = a.clone();
+        let mut a = a;
+        a.neighbors(NodeId(0)).unwrap();
+        b.neighbors(NodeId(0)).unwrap(); // cached globally
+        let s = a.global_stats();
+        assert_eq!(s.unique, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_walkers_account_globally() {
+        let shared = shared_path();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let mut h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10u32 {
+                    h.neighbors(NodeId((t * 2 + i) % 10)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = shared.global_stats();
+        assert_eq!(s.issued, 40);
+        // 4 threads cover at most 10 distinct nodes.
+        assert!(s.unique <= 10);
+        assert_eq!(s.unique + s.cache_hits, 40);
+    }
+
+    #[test]
+    fn owned_neighbors_match_trait() {
+        let mut shared = shared_path();
+        let owned = shared.neighbors_owned(NodeId(5)).unwrap();
+        let borrowed = shared.neighbors(NodeId(5)).unwrap().to_vec();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn try_into_inner_when_sole_handle() {
+        let shared = shared_path();
+        assert!(shared.try_into_inner().is_some());
+        let shared = shared_path();
+        let clone = shared.clone();
+        assert!(shared.try_into_inner().is_none());
+        drop(clone);
+    }
+}

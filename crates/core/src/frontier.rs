@@ -1,0 +1,195 @@
+//! Frontier sampling (Ribeiro & Towsley, SIGCOMM 2010 — the paper's \[17\]).
+//!
+//! An `m`-dimensional random walk: keep `m` walker positions; at each step
+//! choose one position with probability proportional to its degree, move it
+//! to a uniform neighbor, and emit the traversed edge. The emitted edge
+//! sequence converges to uniform-over-edges, so emitted *endpoints* are
+//! degree-proportional — the same target distribution as SRW — while the
+//! multiple dimensions make the sampler far less sensitive to where it
+//! started (the property the paper's related work credits it for).
+//!
+//! Included as a baseline rounding out the related-work comparison set; it
+//! composes with the same clients, budgets and estimators as everything
+//! else in this crate.
+
+use osn_client::{BudgetExhausted, OsnClient, QueryStats};
+use osn_graph::NodeId;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Frontier sampler state: `m` walker positions.
+#[derive(Clone, Debug)]
+pub struct FrontierSampler {
+    positions: Vec<NodeId>,
+}
+
+impl FrontierSampler {
+    /// Start with the given positions (their number is the sampler's
+    /// dimension `m`; Ribeiro & Towsley recommend tens).
+    ///
+    /// # Panics
+    /// Panics if `positions` is empty.
+    pub fn new(positions: Vec<NodeId>) -> Self {
+        assert!(!positions.is_empty(), "frontier needs at least one walker");
+        FrontierSampler { positions }
+    }
+
+    /// Spread `m` walkers over the first `n` node ids deterministically
+    /// (stand-in for the uniform seed nodes the original paper assumes).
+    pub fn spread(m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0);
+        let positions = (0..m)
+            .map(|i| NodeId(((i * n) / m) as u32))
+            .collect();
+        FrontierSampler { positions }
+    }
+
+    /// Current walker positions.
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// One frontier step: pick a position degree-proportionally, move it to
+    /// a uniform neighbor, return the node arrived at.
+    ///
+    /// # Errors
+    /// [`BudgetExhausted`] if the neighbor query is refused; positions are
+    /// unchanged in that case.
+    pub fn step(
+        &mut self,
+        client: &mut dyn OsnClient,
+        rng: &mut dyn RngCore,
+    ) -> Result<NodeId, BudgetExhausted> {
+        // Degree-proportional choice of which walker advances (degrees are
+        // listing metadata — free, see osn-client's access model).
+        let total: usize = self
+            .positions
+            .iter()
+            .map(|&p| client.peek_degree(p).max(1))
+            .sum();
+        let mut pick = (&mut *rng).gen_range(0..total);
+        let mut chosen = 0usize;
+        for (i, &p) in self.positions.iter().enumerate() {
+            let w = client.peek_degree(p).max(1);
+            if pick < w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        let at = self.positions[chosen];
+        let neighbors = client.neighbors(at)?;
+        if neighbors.is_empty() {
+            return Ok(at);
+        }
+        let next = neighbors[(&mut *rng).gen_range(0..neighbors.len())];
+        self.positions[chosen] = next;
+        Ok(next)
+    }
+
+    /// Run for up to `max_steps`, collecting emitted nodes; stops early on
+    /// budget exhaustion. Deterministic per seed.
+    pub fn run<C: OsnClient>(
+        &mut self,
+        client: &mut C,
+        max_steps: usize,
+        seed: u64,
+    ) -> (Vec<NodeId>, QueryStats) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(max_steps.min(1 << 20));
+        for _ in 0..max_steps {
+            match self.step(&mut *client, &mut rng) {
+                Ok(v) => out.push(v),
+                Err(_) => break,
+            }
+        }
+        (out, client.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_client::{BudgetedClient, SimulatedOsn};
+    use osn_graph::generators::{barbell, erdos_renyi};
+
+    #[test]
+    fn emitted_nodes_are_degree_proportional() {
+        let g = erdos_renyi(60, 0.15, 1).unwrap();
+        let pi = g.degree_stationary_distribution();
+        let mut client = SimulatedOsn::from_graph(g);
+        let mut fs = FrontierSampler::spread(10, 60);
+        let (nodes, _) = fs.run(&mut client, 300_000, 2);
+        let mut counts = vec![0usize; 60];
+        for v in &nodes {
+            counts[v.index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / nodes.len() as f64;
+            assert!(
+                (freq - pi[i]).abs() < 0.01,
+                "node {i}: freq {freq} vs pi {}",
+                pi[i]
+            );
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let g = barbell(10, 10).unwrap();
+        let n = g.node_count();
+        let client = SimulatedOsn::from_graph(g);
+        let mut client = BudgetedClient::new(client, 8, n);
+        let mut fs = FrontierSampler::spread(4, n);
+        let (nodes, stats) = fs.run(&mut client, 100_000, 3);
+        assert!(stats.unique <= 8);
+        assert!(!nodes.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = barbell(8, 8).unwrap();
+        let run = |seed| {
+            let mut client = SimulatedOsn::from_graph(g.clone());
+            let mut fs = FrontierSampler::spread(3, 16);
+            fs.run(&mut client, 500, seed).0
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn multiple_dimensions_reduce_start_sensitivity() {
+        // All walkers start in the left bell vs spread across both bells:
+        // the spread frontier covers the right bell sooner.
+        let g = barbell(25, 25).unwrap();
+        let first_right_visit = |positions: Vec<NodeId>| {
+            let mut client = SimulatedOsn::from_graph(g.clone());
+            let mut fs = FrontierSampler::new(positions);
+            let (nodes, _) = fs.run(&mut client, 50_000, 5);
+            nodes
+                .iter()
+                .position(|v| v.index() >= 25)
+                .unwrap_or(50_000)
+        };
+        let clumped = first_right_visit(vec![NodeId(0); 8]);
+        let spread = first_right_visit((0..8).map(|i| NodeId(i * 6)).collect());
+        assert!(
+            spread <= clumped,
+            "spread {spread} should reach the right bell no later than clumped {clumped}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walker")]
+    fn empty_frontier_panics() {
+        let _ = FrontierSampler::new(vec![]);
+    }
+
+    #[test]
+    fn spread_positions_cover_range() {
+        let fs = FrontierSampler::spread(4, 100);
+        let ids: Vec<u32> = fs.positions().iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 25, 50, 75]);
+    }
+}

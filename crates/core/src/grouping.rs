@@ -1,0 +1,412 @@
+//! Grouping strategies for GNRW.
+//!
+//! GNRW stratifies the neighbors of the current node into groups and
+//! circulates among groups before circulating within them. *Which* grouping
+//! to use is a modelling decision the paper studies directly (§4.1, Figure
+//! 9): group by the attribute you intend to aggregate and the walk
+//! propagates across attribute values faster, improving exactly the estimate
+//! you care about. The evaluated strategies:
+//!
+//! * [`ByDegree`] — `GNRW_By_Degree`: similar-degree neighbors together;
+//! * [`ByAttribute`] — `GNRW_By_ReviewsCount` etc.: group by a profile
+//!   attribute (visible as listing metadata, see `osn-client`);
+//! * [`ByHash`] — `GNRW_By_MD5`: pseudorandom attribute-independent groups
+//!   (our stand-in hashes ids with FNV-1a instead of MD5; only uniformity
+//!   matters).
+//!
+//! ## Balanced strata and the singleton-group transient
+//!
+//! The paper leaves the bucketing of numeric values unspecified. This
+//! matters more than it looks: value-based buckets (e.g. `log2(degree)`) on
+//! heavy-tailed attributes put hub nodes in **singleton groups**, and the
+//! group circulation visits every group once before repeating any — so in
+//! walks short enough that super-cycles rarely complete, members of tiny
+//! groups are sampled earlier (and thus more often) than uniform. The
+//! stationary distribution is untouched (circulations cover every neighbor
+//! exactly once), but the *transient* over-samples hubs, which is exactly
+//! the regime budget-limited sampling lives in.
+//!
+//! The default here is therefore **rank-quantile grouping**: neighbors are
+//! sorted by value and dealt into `k` equal-size strata per neighborhood.
+//! This honors "group similar values together" while keeping strata
+//! balanced, making the early-cycle marginal essentially uniform. The
+//! value-bucketed variants remain available ([`ByDegree::log2`],
+//! [`ByAttribute::with_bucketing`]) — the ablation bench compares them.
+
+use osn_client::OsnClient;
+use osn_graph::NodeId;
+
+use crate::fnv::hash_node_id;
+
+/// How to quantize a numeric value into a group key (value-based modes).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueBucketing {
+    /// Every distinct value is its own group.
+    Exact,
+    /// Fixed-width buckets: `floor(value / width)`.
+    Linear(f64),
+    /// Logarithmic buckets: `floor(log2(1 + value))` — natural for
+    /// heavy-tailed attributes like degree or review counts.
+    Log2,
+}
+
+impl ValueBucketing {
+    /// Map a non-negative value to its bucket id.
+    pub fn bucket(&self, value: f64) -> u64 {
+        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        match self {
+            ValueBucketing::Exact => v.to_bits(),
+            ValueBucketing::Linear(width) => {
+                debug_assert!(*width > 0.0, "bucket width must be positive");
+                (v / width).floor() as u64
+            }
+            ValueBucketing::Log2 => (1.0 + v).log2().floor() as u64,
+        }
+    }
+}
+
+/// Grouping mode shared by the value-driven strategies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// Group by bucketed value (group key independent of the neighborhood).
+    Bucketed(ValueBucketing),
+    /// Sort the neighborhood by value and deal into `k` equal strata.
+    Quantile(usize),
+}
+
+/// Assign group keys for a whole neighbor list under a mode, reading each
+/// node's value through `value`.
+fn assign_by_value<F: FnMut(NodeId) -> f64>(
+    mode: Mode,
+    nodes: &[NodeId],
+    out: &mut Vec<u64>,
+    mut value: F,
+) {
+    out.clear();
+    match mode {
+        Mode::Bucketed(bucketing) => {
+            out.extend(nodes.iter().map(|&n| bucketing.bucket(value(n))));
+        }
+        Mode::Quantile(k) => {
+            let k = k.max(1);
+            // Sort indices by (value, id) for deterministic tie-breaking.
+            let mut idx: Vec<usize> = (0..nodes.len()).collect();
+            let values: Vec<f64> = nodes.iter().map(|&n| value(n)).collect();
+            idx.sort_by(|&a, &b| {
+                values[a]
+                    .partial_cmp(&values[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(nodes[a].cmp(&nodes[b]))
+            });
+            out.resize(nodes.len(), 0);
+            for (rank, &i) in idx.iter().enumerate() {
+                out[i] = (rank * k / nodes.len().max(1)) as u64;
+            }
+        }
+    }
+}
+
+/// A deterministic assignment of nodes to groups, computable by the sampler
+/// from interface-visible metadata only.
+///
+/// Strategies assign keys for a whole neighbor list at once
+/// ([`assign`](Self::assign)) because balanced (quantile) strategies need
+/// the neighborhood context; the group key of a node may therefore differ
+/// between neighborhoods, which is fine — GNRW's history is keyed per
+/// directed edge, where the neighborhood is fixed.
+pub trait GroupingStrategy {
+    /// Human-readable name for reports (e.g. `"GNRW_By_Degree"`).
+    fn label(&self) -> String;
+
+    /// Fill `out` with one group key per node in `nodes`. Must be
+    /// deterministic for a fixed `nodes` slice (static snapshot).
+    fn assign(&self, client: &dyn OsnClient, nodes: &[NodeId], out: &mut Vec<u64>);
+}
+
+/// Group neighbors by degree — the paper's `GNRW_By_Degree`.
+#[derive(Clone, Debug)]
+pub struct ByDegree {
+    mode: Mode,
+}
+
+impl ByDegree {
+    /// Default: rank-quantile grouping into 4 equal strata per
+    /// neighborhood (see the module discussion of balanced strata).
+    pub fn new() -> Self {
+        ByDegree {
+            mode: Mode::Quantile(4),
+        }
+    }
+
+    /// Rank-quantile grouping into `k` strata.
+    pub fn quantile(k: usize) -> Self {
+        ByDegree {
+            mode: Mode::Quantile(k),
+        }
+    }
+
+    /// Value-bucketed grouping: `floor(log2(1 + degree))`.
+    pub fn log2() -> Self {
+        ByDegree {
+            mode: Mode::Bucketed(ValueBucketing::Log2),
+        }
+    }
+
+    /// Value-bucketed grouping with custom bucketing.
+    pub fn with_bucketing(bucketing: ValueBucketing) -> Self {
+        ByDegree {
+            mode: Mode::Bucketed(bucketing),
+        }
+    }
+}
+
+impl Default for ByDegree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GroupingStrategy for ByDegree {
+    fn label(&self) -> String {
+        "GNRW_By_Degree".to_string()
+    }
+
+    fn assign(&self, client: &dyn OsnClient, nodes: &[NodeId], out: &mut Vec<u64>) {
+        assign_by_value(self.mode, nodes, out, |n| client.peek_degree(n) as f64);
+    }
+}
+
+/// Group neighbors by a profile attribute — e.g. the paper's
+/// `GNRW_By_ReviewsCount` on Yelp.
+///
+/// Nodes missing the attribute read as value 0 under quantile mode and fall
+/// into a sentinel group under bucketed modes.
+#[derive(Clone, Debug)]
+pub struct ByAttribute {
+    name: String,
+    mode: Mode,
+}
+
+impl ByAttribute {
+    /// Group by `name` with the default rank-quantile (4 strata) mode.
+    pub fn new(name: impl Into<String>) -> Self {
+        ByAttribute {
+            name: name.into(),
+            mode: Mode::Quantile(4),
+        }
+    }
+
+    /// Rank-quantile grouping into `k` strata.
+    pub fn quantile(name: impl Into<String>, k: usize) -> Self {
+        ByAttribute {
+            name: name.into(),
+            mode: Mode::Quantile(k),
+        }
+    }
+
+    /// Value-bucketed grouping.
+    pub fn with_bucketing(name: impl Into<String>, bucketing: ValueBucketing) -> Self {
+        ByAttribute {
+            name: name.into(),
+            mode: Mode::Bucketed(bucketing),
+        }
+    }
+
+    /// The attribute name.
+    pub fn attribute(&self) -> &str {
+        &self.name
+    }
+}
+
+impl GroupingStrategy for ByAttribute {
+    fn label(&self) -> String {
+        format!("GNRW_By_{}", self.name)
+    }
+
+    fn assign(&self, client: &dyn OsnClient, nodes: &[NodeId], out: &mut Vec<u64>) {
+        match self.mode {
+            Mode::Bucketed(_) => {
+                out.clear();
+                out.extend(nodes.iter().map(|&n| {
+                    match client.peek_attribute(n, &self.name) {
+                        Some(v) => match self.mode {
+                            Mode::Bucketed(b) => b.bucket(v),
+                            Mode::Quantile(_) => unreachable!(),
+                        },
+                        None => u64::MAX, // sentinel "missing" group
+                    }
+                }));
+            }
+            Mode::Quantile(_) => {
+                assign_by_value(self.mode, nodes, out, |n| {
+                    client.peek_attribute(n, &self.name).unwrap_or(0.0)
+                });
+            }
+        }
+    }
+}
+
+/// Pseudorandom attribute-independent grouping — the paper's `GNRW_By_MD5`
+/// (we hash ids with FNV-1a; only the uniform, attribute-independent
+/// property of the hash is exercised).
+///
+/// With enough groups that most neighbors land alone, GNRW degenerates to
+/// CNRW — the paper's "one extreme" of the grouping design space (§4.1).
+#[derive(Clone, Copy, Debug)]
+pub struct ByHash {
+    groups: u64,
+}
+
+impl ByHash {
+    /// Hash into `groups` pseudorandom groups.
+    ///
+    /// # Panics
+    /// Panics if `groups == 0`.
+    pub fn new(groups: u64) -> Self {
+        assert!(groups > 0, "need at least one group");
+        ByHash { groups }
+    }
+}
+
+impl GroupingStrategy for ByHash {
+    fn label(&self) -> String {
+        "GNRW_By_MD5".to_string()
+    }
+
+    fn assign(&self, _client: &dyn OsnClient, nodes: &[NodeId], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(nodes.iter().map(|&n| hash_node_id(n.0) % self.groups));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_client::SimulatedOsn;
+    use osn_graph::attributes::{AttributedGraph, NodeAttributes};
+    use osn_graph::GraphBuilder;
+
+    fn client_with_reviews() -> SimulatedOsn {
+        // Star: hub 0, spokes 1..=4 with reviews 0, 1, 10, 100.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .add_edge(0, 4)
+            .build()
+            .unwrap();
+        let mut attrs = NodeAttributes::for_graph(&g);
+        attrs.insert_uint("reviews", vec![5, 0, 1, 10, 100]).unwrap();
+        SimulatedOsn::new(AttributedGraph::new(g, attrs).unwrap())
+    }
+
+    fn groups_of(strategy: &dyn GroupingStrategy, client: &SimulatedOsn, ids: &[u32]) -> Vec<u64> {
+        let nodes: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+        let mut out = Vec::new();
+        strategy.assign(client, &nodes, &mut out);
+        out
+    }
+
+    #[test]
+    fn bucketing_modes() {
+        assert_eq!(ValueBucketing::Log2.bucket(0.0), 0);
+        assert_eq!(ValueBucketing::Log2.bucket(1.0), 1);
+        assert_eq!(ValueBucketing::Log2.bucket(7.0), 3);
+        assert_eq!(ValueBucketing::Linear(10.0).bucket(35.0), 3);
+        assert_eq!(ValueBucketing::Linear(10.0).bucket(9.99), 0);
+        let e = ValueBucketing::Exact;
+        assert_eq!(e.bucket(2.5), e.bucket(2.5));
+        assert_ne!(e.bucket(2.5), e.bucket(2.6));
+        assert_eq!(ValueBucketing::Log2.bucket(-3.0), 0);
+        assert_eq!(ValueBucketing::Linear(1.0).bucket(f64::NAN), 0);
+    }
+
+    #[test]
+    fn by_degree_log2_groups_hub_apart_from_spokes() {
+        let c = client_with_reviews();
+        let s = ByDegree::log2();
+        let g = groups_of(&s, &c, &[0, 1, 2]);
+        assert_ne!(g[0], g[1], "hub and spoke share a log2 bucket");
+        assert_eq!(g[1], g[2]);
+        assert_eq!(s.label(), "GNRW_By_Degree");
+    }
+
+    #[test]
+    fn quantile_groups_are_balanced() {
+        let c = client_with_reviews();
+        let s = ByDegree::quantile(2);
+        // Neighborhood of 4 spokes (all degree 1) + conceptually the hub:
+        // with equal values the split is still into equal halves.
+        let g = groups_of(&s, &c, &[1, 2, 3, 4]);
+        let zeros = g.iter().filter(|&&x| x == 0).count();
+        let ones = g.iter().filter(|&&x| x == 1).count();
+        assert_eq!(zeros, 2);
+        assert_eq!(ones, 2);
+    }
+
+    #[test]
+    fn quantile_orders_by_value() {
+        let c = client_with_reviews();
+        let s = ByAttribute::quantile("reviews", 2);
+        // Reviews: node1=0, node2=1, node3=10, node4=100.
+        let g = groups_of(&s, &c, &[1, 2, 3, 4]);
+        assert_eq!(g[0], g[1], "low-review nodes together");
+        assert_eq!(g[2], g[3], "high-review nodes together");
+        assert_ne!(g[0], g[2]);
+    }
+
+    #[test]
+    fn by_attribute_bucketed_reads_reviews() {
+        let c = client_with_reviews();
+        let s = ByAttribute::with_bucketing("reviews", ValueBucketing::Log2);
+        assert_eq!(s.label(), "GNRW_By_reviews");
+        assert_eq!(s.attribute(), "reviews");
+        // reviews 0 -> bucket 0; 1 -> 1; 10 -> 3; 100 -> 6
+        assert_eq!(groups_of(&s, &c, &[1, 2, 3, 4]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn missing_attribute_sentinel_or_zero() {
+        let c = client_with_reviews();
+        let bucketed = ByAttribute::with_bucketing("nope", ValueBucketing::Log2);
+        assert_eq!(groups_of(&bucketed, &c, &[1]), vec![u64::MAX]);
+        let quantile = ByAttribute::new("nope");
+        // All values read 0 -> still dealt into quantile strata.
+        let g = groups_of(&quantile, &c, &[1, 2, 3, 4]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn by_hash_spreads_and_is_deterministic() {
+        let c = client_with_reviews();
+        let s = ByHash::new(3);
+        let a = groups_of(&s, &c, &[1, 2, 3, 4]);
+        let b = groups_of(&s, &c, &[1, 2, 3, 4]);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&g| g < 3));
+        assert_eq!(s.label(), "GNRW_By_MD5");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn by_hash_zero_groups_panics() {
+        let _ = ByHash::new(0);
+    }
+
+    #[test]
+    fn quantile_deterministic_under_ties() {
+        let c = client_with_reviews();
+        let s = ByDegree::quantile(2);
+        // All spokes have degree 1: ties broken by node id, stable.
+        let a = groups_of(&s, &c, &[4, 3, 2, 1]);
+        let b = groups_of(&s, &c, &[4, 3, 2, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linear_bucketing_of_attribute() {
+        let c = client_with_reviews();
+        let s = ByAttribute::with_bucketing("reviews", ValueBucketing::Linear(50.0));
+        assert_eq!(groups_of(&s, &c, &[1, 3, 4]), vec![0, 0, 2]);
+    }
+}

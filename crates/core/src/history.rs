@@ -1,0 +1,298 @@
+//! History state for circulated (without-replacement) transitions.
+//!
+//! CNRW's entire memory is the map `b(u, v)` (paper Algorithm 1): for every
+//! directed edge `(u, v)` the walk has traversed, the set of neighbors of `v`
+//! already chosen as outgoing transitions since the last reset. GNRW extends
+//! this with a per-edge set of *groups* already attempted, `S(u, v)`, and a
+//! per-edge-per-group node set `b_Si(u, v)` (Algorithm 2).
+//!
+//! Space grows by at most one entry per walk step, giving the `O(K)` space
+//! bound of §3.3; amortized per-step cost is `O(1)` expected.
+
+use osn_graph::NodeId;
+use rand::Rng;
+
+use crate::fnv::{FnvHashMap, FnvHashSet};
+
+/// A without-replacement "circulation" over a fixed candidate population.
+///
+/// Holds the set of already-used items; [`CirculationSet::draw`] picks
+/// uniformly among the unused ones and records the pick, resetting
+/// automatically once the whole population has been used. The population is
+/// supplied at each draw (it is the neighbor list, owned by the graph) and
+/// must be stable between resets — true for static snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct CirculationSet {
+    used: FnvHashSet<NodeId>,
+}
+
+impl CirculationSet {
+    /// Number of items used since the last reset.
+    pub fn used_len(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Whether `w` has been used since the last reset.
+    pub fn contains(&self, w: NodeId) -> bool {
+        self.used.contains(&w)
+    }
+
+    /// Draw uniformly at random from `population \ used`, record the draw,
+    /// and reset once the population is exhausted (the draw completing the
+    /// circulation triggers the reset, so the *next* draw sees a full
+    /// population again).
+    ///
+    /// Returns `None` only for an empty population.
+    pub fn draw<R: Rng + ?Sized>(&mut self, population: &[NodeId], rng: &mut R) -> Option<NodeId> {
+        if population.is_empty() {
+            return None;
+        }
+        debug_assert!(
+            self.used.len() < population.len(),
+            "invariant: used set resets before filling the population"
+        );
+        let remaining = population.len() - self.used.len();
+        let pick = if self.used.len() * 2 < population.len() {
+            // Mostly-unused population: rejection sampling, O(1) expected.
+            loop {
+                let cand = population[rng.gen_range(0..population.len())];
+                if !self.used.contains(&cand) {
+                    break cand;
+                }
+            }
+        } else {
+            // Mostly-used population: rank scan, exact O(len) worst case.
+            let mut rank = rng.gen_range(0..remaining);
+            let mut found = None;
+            for &cand in population {
+                if self.used.contains(&cand) {
+                    continue;
+                }
+                if rank == 0 {
+                    found = Some(cand);
+                    break;
+                }
+                rank -= 1;
+            }
+            found.expect("rank < remaining unused items")
+        };
+        if self.used.len() + 1 == population.len() {
+            self.used.clear(); // circulation complete -> reset (paper step 2)
+        } else {
+            self.used.insert(pick);
+        }
+        Some(pick)
+    }
+}
+
+/// CNRW's full history: `(u, v) -> b(u, v)`.
+///
+/// Implemented, as the paper suggests, "as a HashMap with initial value ∅";
+/// keys are directed edges packed into a `u64`.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeHistory {
+    map: FnvHashMap<u64, CirculationSet>,
+}
+
+#[inline]
+fn edge_key(u: NodeId, v: NodeId) -> u64 {
+    (u64::from(u.0) << 32) | u64::from(v.0)
+}
+
+impl EdgeHistory {
+    /// New empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The circulation state of directed edge `(u, v)`, created on demand.
+    pub fn entry(&mut self, u: NodeId, v: NodeId) -> &mut CirculationSet {
+        self.map.entry(edge_key(u, v)).or_default()
+    }
+
+    /// The circulation state of `(u, v)` if it exists.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<&CirculationSet> {
+        self.map.get(&edge_key(u, v))
+    }
+
+    /// Number of directed edges with live history.
+    pub fn tracked_edges(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of recorded used-entries across all edges (the `O(K)`
+    /// quantity of §3.3).
+    pub fn total_entries(&self) -> usize {
+        self.map.values().map(CirculationSet::used_len).sum()
+    }
+
+    /// Drop all history (the walker becomes memoryless again).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Per-edge GNRW state (paper Algorithm 2 / §4.1 steps 1–4).
+///
+/// * `used_nodes` is the **global** `b(u, v)`: every neighbor chosen in the
+///   current super-cycle; it resets when it reaches `N(v)`. This global
+///   circulation is what guarantees every neighbor is chosen exactly once
+///   per super-cycle and hence preserves the stationary distribution
+///   (Theorem 4) for *any* group sizes.
+/// * `used_groups` is `S(u, v)`: the groups attempted in the current group
+///   sub-cycle; it resets whenever no un-attempted group still has unvisited
+///   members (and along with `used_nodes` at super-cycle end). The group
+///   circulation only shapes the *order* in which the super-cycle covers
+///   `N(v)` — the stratified alternation of Figure 5.
+#[derive(Clone, Debug, Default)]
+pub struct GnrwEdgeState {
+    /// Global without-replacement set `b(u, v)` over `N(v)`.
+    pub used_nodes: FnvHashSet<NodeId>,
+    /// Groups attempted in the current sub-cycle, `S(u, v)`.
+    pub used_groups: FnvHashSet<u64>,
+}
+
+/// GNRW's full history: `(u, v) -> GnrwEdgeState`.
+#[derive(Clone, Debug, Default)]
+pub struct GroupHistory {
+    map: FnvHashMap<u64, GnrwEdgeState>,
+}
+
+impl GroupHistory {
+    /// New empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The state of directed edge `(u, v)`, created on demand.
+    pub fn state(&mut self, u: NodeId, v: NodeId) -> &mut GnrwEdgeState {
+        self.map.entry(edge_key(u, v)).or_default()
+    }
+
+    /// Number of directed edges with live state.
+    pub fn tracked_edges(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total recorded node entries across all edges (the `O(K)` quantity).
+    pub fn total_entries(&self) -> usize {
+        self.map.values().map(|s| s.used_nodes.len()).sum()
+    }
+
+    /// Drop all history.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn pop(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn draw_covers_population_each_cycle() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let population = pop(7);
+        let mut c = CirculationSet::default();
+        for cycle in 0..5 {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..population.len() {
+                let d = c.draw(&population, &mut rng).unwrap();
+                assert!(seen.insert(d), "duplicate within cycle {cycle}");
+            }
+            assert_eq!(seen.len(), 7);
+        }
+    }
+
+    #[test]
+    fn reset_happens_on_completion() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let population = pop(3);
+        let mut c = CirculationSet::default();
+        for _ in 0..3 {
+            c.draw(&population, &mut rng).unwrap();
+        }
+        // After a full cycle the set must be reset, not full.
+        assert_eq!(c.used_len(), 0);
+    }
+
+    #[test]
+    fn empty_population_returns_none() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut c = CirculationSet::default();
+        assert_eq!(c.draw(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn singleton_population_always_draws_it() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let population = pop(1);
+        let mut c = CirculationSet::default();
+        for _ in 0..10 {
+            assert_eq!(c.draw(&population, &mut rng), Some(NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn draws_are_uniform_over_first_pick() {
+        // The first draw of each cycle must be uniform over the population.
+        let population = pop(4);
+        let mut counts = [0usize; 4];
+        for seed in 0..4000u64 {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut c = CirculationSet::default();
+            let d = c.draw(&population, &mut rng).unwrap();
+            counts[d.index()] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 850 && c < 1150, "count {c} deviates from uniform");
+        }
+    }
+
+    #[test]
+    fn edge_history_separates_directed_edges() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut h = EdgeHistory::new();
+        let population = pop(5);
+        let a = h.entry(NodeId(0), NodeId(1)).draw(&population, &mut rng);
+        assert!(a.is_some());
+        // The reverse edge has independent, empty history.
+        assert!(h.get(NodeId(1), NodeId(0)).is_none());
+        assert_eq!(h.tracked_edges(), 1);
+        assert_eq!(h.total_entries(), 1);
+        h.clear();
+        assert_eq!(h.tracked_edges(), 0);
+    }
+
+    #[test]
+    fn group_history_separates_directed_edges() {
+        let mut h = GroupHistory::new();
+        h.state(NodeId(0), NodeId(1)).used_groups.insert(42);
+        h.state(NodeId(0), NodeId(1)).used_nodes.insert(NodeId(5));
+        assert!(h.state(NodeId(0), NodeId(1)).used_groups.contains(&42));
+        assert!(!h.state(NodeId(1), NodeId(0)).used_groups.contains(&42));
+        assert_eq!(h.tracked_edges(), 2); // reverse edge created on probe
+        assert_eq!(h.total_entries(), 1);
+        h.clear();
+        assert_eq!(h.tracked_edges(), 0);
+    }
+
+    #[test]
+    fn rank_scan_path_exercised() {
+        // Force the used set above half to hit the rank-scan branch.
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let population = pop(10);
+        let mut c = CirculationSet::default();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            seen.insert(c.draw(&population, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 10);
+    }
+}

@@ -1,0 +1,67 @@
+//! # osn-walks
+//!
+//! History-aware random walks over online social networks — a Rust
+//! implementation of *"Leveraging History for Faster Sampling of Online
+//! Social Networks"* (Zhou, Zhang, Das; VLDB 2015).
+//!
+//! ## The algorithms
+//!
+//! All walkers implement one object-safe trait, [`RandomWalk`], and can be
+//! swapped freely — the paper's "drop-in replacement" property:
+//!
+//! | Walker | Order | Stationary dist. | Source |
+//! |---|---|---|---|
+//! | [`Srw`] — simple random walk | 1 | `k_v / 2\|E\|` | baseline |
+//! | [`Mhrw`] — Metropolis–Hastings RW | 1 | uniform | baseline \[8\] |
+//! | [`NbSrw`] — non-backtracking SRW | 2 | `k_v / 2\|E\|` | baseline \[11\] |
+//! | [`Cnrw`] — circulated neighbors RW | high | `k_v / 2\|E\|` | **paper §3** |
+//! | [`Gnrw`] — groupby neighbors RW | high | `k_v / 2\|E\|` | **paper §4** |
+//! | [`NbCnrw`] — circulated NB walk | high | `k_v / 2\|E\|` | **paper §5** |
+//!
+//! CNRW replaces the memoryless uniform choice of the next neighbor by
+//! sampling **without replacement**, keyed by the incoming directed edge
+//! `(u, v)`: the walk circulates through `N(v)` before re-attempting any
+//! neighbor. GNRW stratifies `N(v)` into groups (by degree, an attribute, or
+//! a hash — see [`grouping`]) and circulates among groups, then within the
+//! chosen group. Both provably preserve SRW's stationary distribution while
+//! never increasing — and usually decreasing — asymptotic variance.
+//!
+//! ## Running a walk
+//!
+//! ```
+//! use osn_graph::generators::barbell;
+//! use osn_client::SimulatedOsn;
+//! use osn_walks::{Cnrw, WalkConfig, WalkSession};
+//! use osn_graph::NodeId;
+//!
+//! let graph = barbell(10, 10).unwrap();
+//! let mut client = SimulatedOsn::from_graph(graph);
+//! let mut walker = Cnrw::new(NodeId(0));
+//! let trace = WalkSession::new(WalkConfig::steps(500).with_seed(7))
+//!     .run(&mut walker, &mut client);
+//! assert_eq!(trace.len(), 500);
+//! ```
+//!
+//! The [`markov`] module provides exact chain analysis on small graphs
+//! (stationary distributions, asymptotic variance via the fundamental
+//! matrix) used to validate the walkers against theory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fnv;
+pub mod frontier;
+pub mod grouping;
+pub mod history;
+pub mod markov;
+pub mod multiwalk;
+mod session;
+mod walker;
+pub mod walkers;
+
+pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
+pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
+pub use frontier::FrontierSampler;
+pub use multiwalk::{MultiWalkSession, MultiWalkTrace};
+pub use walker::RandomWalk;
+pub use walkers::{Cnrw, Gnrw, Mhrw, NbCnrw, NbSrw, NodeCnrw, Srw};

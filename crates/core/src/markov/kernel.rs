@@ -1,0 +1,225 @@
+//! Dense transition kernels.
+
+use osn_graph::CsrGraph;
+
+/// A dense row-stochastic transition matrix over graph nodes.
+///
+/// Only intended for small graphs (the paper's synthetic topologies and the
+/// test suite); memory is `O(n^2)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransitionKernel {
+    n: usize,
+    /// Row-major `n x n` matrix; `p[i*n + j] = P(i -> j)`.
+    p: Vec<f64>,
+}
+
+impl TransitionKernel {
+    /// Build from a row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != n*n` or any row fails to sum to 1 within 1e-9.
+    pub fn from_rows(n: usize, p: Vec<f64>) -> Self {
+        assert_eq!(p.len(), n * n, "matrix shape mismatch");
+        let k = TransitionKernel { n, p };
+        for i in 0..n {
+            let s: f64 = k.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+        k
+    }
+
+    /// The SRW kernel of a graph: `P(i -> j) = 1/k_i` for neighbors
+    /// (Definition 2). Isolated nodes self-loop.
+    pub fn srw(graph: &CsrGraph) -> Self {
+        let n = graph.node_count();
+        let mut p = vec![0.0; n * n];
+        for v in graph.nodes() {
+            let k = graph.degree(v);
+            if k == 0 {
+                p[v.index() * n + v.index()] = 1.0;
+                continue;
+            }
+            let w = 1.0 / k as f64;
+            for &u in graph.neighbors(v) {
+                p[v.index() * n + u.index()] = w;
+            }
+        }
+        TransitionKernel { n, p }
+    }
+
+    /// The MHRW kernel of a graph targeting the uniform distribution:
+    /// propose a uniform neighbor, accept with `min(1, k_v / k_w)`, stay on
+    /// rejection.
+    pub fn mhrw(graph: &CsrGraph) -> Self {
+        let n = graph.node_count();
+        let mut p = vec![0.0; n * n];
+        for v in graph.nodes() {
+            let kv = graph.degree(v);
+            if kv == 0 {
+                p[v.index() * n + v.index()] = 1.0;
+                continue;
+            }
+            let mut stay = 0.0;
+            for &u in graph.neighbors(v) {
+                let ku = graph.degree(u).max(1);
+                let accept = (kv as f64 / ku as f64).min(1.0);
+                let prob = accept / kv as f64;
+                p[v.index() * n + u.index()] = prob;
+                stay += (1.0 - accept) / kv as f64;
+            }
+            p[v.index() * n + v.index()] += stay;
+        }
+        TransitionKernel { n, p }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the kernel has no states.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Row `i` (the outgoing distribution of state `i`).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.p[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Entry `P(i -> j)`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.p[i * self.n + j]
+    }
+
+    /// One step of distribution evolution: returns `d P`.
+    pub fn evolve(&self, d: &[f64]) -> Vec<f64> {
+        assert_eq!(d.len(), self.n);
+        let mut out = vec![0.0; self.n];
+        for (i, &di) in d.iter().enumerate() {
+            if di == 0.0 {
+                continue;
+            }
+            let row = &self.p[i * self.n..(i + 1) * self.n];
+            for (o, &pij) in out.iter_mut().zip(row) {
+                *o += di * pij;
+            }
+        }
+        out
+    }
+
+    /// Stationary distribution by power iteration (converges for irreducible
+    /// aperiodic chains; a tiny lazy damping makes periodic chains converge
+    /// to the same stationary vector).
+    pub fn stationary(&self, tol: f64, max_iters: usize) -> Vec<f64> {
+        let n = self.n;
+        let mut d = vec![1.0 / n as f64; n];
+        for _ in 0..max_iters {
+            let evolved = self.evolve(&d);
+            // Lazy step: (d + dP)/2 — same fixed point, kills periodicity.
+            let next: Vec<f64> = d
+                .iter()
+                .zip(&evolved)
+                .map(|(&a, &b)| 0.5 * (a + b))
+                .collect();
+            let diff: f64 = next.iter().zip(&d).map(|(&a, &b)| (a - b).abs()).sum();
+            d = next;
+            if diff < tol {
+                break;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::barbell;
+    use osn_graph::GraphBuilder;
+
+    fn path4() -> CsrGraph {
+        GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn srw_kernel_rows_stochastic() {
+        let k = TransitionKernel::srw(&path4());
+        for i in 0..4 {
+            let s: f64 = k.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(k.prob(0, 1), 1.0);
+        assert_eq!(k.prob(1, 0), 0.5);
+        assert_eq!(k.len(), 4);
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn srw_stationary_is_degree_proportional() {
+        let g = barbell(4, 4).unwrap();
+        let k = TransitionKernel::srw(&g);
+        let pi = k.stationary(1e-12, 100_000);
+        let expect = g.degree_stationary_distribution();
+        for (a, b) in pi.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mhrw_stationary_is_uniform() {
+        let g = barbell(4, 5).unwrap();
+        let k = TransitionKernel::mhrw(&g);
+        let pi = k.stationary(1e-12, 100_000);
+        let u = 1.0 / g.node_count() as f64;
+        for &x in &pi {
+            assert!((x - u).abs() < 1e-6, "{x} vs uniform {u}");
+        }
+    }
+
+    #[test]
+    fn mhrw_kernel_rows_stochastic() {
+        let g = barbell(3, 4).unwrap();
+        let k = TransitionKernel::mhrw(&g);
+        for i in 0..g.node_count() {
+            let s: f64 = k.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums {s}");
+        }
+    }
+
+    #[test]
+    fn evolve_preserves_mass() {
+        let k = TransitionKernel::srw(&path4());
+        let d = vec![1.0, 0.0, 0.0, 0.0];
+        let d1 = k.evolve(&d);
+        assert!((d1.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d1[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 sums")]
+    fn from_rows_validates() {
+        let _ = TransitionKernel::from_rows(2, vec![0.5, 0.4, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn from_rows_accepts_valid() {
+        let k = TransitionKernel::from_rows(2, vec![0.5, 0.5, 1.0, 0.0]);
+        assert_eq!(k.prob(1, 0), 1.0);
+    }
+
+    #[test]
+    fn stationary_of_periodic_chain_converges() {
+        // 2-cycle (bipartite, period 2): lazy damping must still converge
+        // to [0.5, 0.5].
+        let g = GraphBuilder::new().add_edge(0, 1).build().unwrap();
+        let k = TransitionKernel::srw(&g);
+        let pi = k.stationary(1e-12, 100_000);
+        assert!((pi[0] - 0.5).abs() < 1e-6);
+    }
+}

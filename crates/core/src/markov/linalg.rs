@@ -1,0 +1,116 @@
+//! Minimal dense linear algebra: LU solve with partial pivoting.
+//!
+//! Used by the fundamental-matrix asymptotic-variance computation. `O(n^3)`,
+//! intended for the paper's small synthetic graphs (n in the hundreds).
+
+/// Solve the dense system `A x = b` in place, returning `x`.
+///
+/// `a` is row-major `n x n` and is consumed (factored in place).
+///
+/// # Panics
+/// Panics on shape mismatch or a numerically singular matrix.
+pub fn solve_dense(mut a: Vec<f64>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+
+    for col in 0..n {
+        // Partial pivot: largest |entry| in this column at or below row=col.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * n + col].abs())
+                    .expect("non-NaN matrix")
+            })
+            .expect("non-empty column range");
+        let pivot = a[pivot_row * n + col];
+        assert!(
+            pivot.abs() > 1e-12,
+            "matrix is singular at column {col} (pivot {pivot:.3e})"
+        );
+        if pivot_row != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot_row * n + j);
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / a[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..n {
+            acc -= a[row * n + j] * x[j];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve_dense(a, vec![3.0, -2.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let x = solve_dense(vec![2.0, 1.0, 1.0, 3.0], vec![5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Leading zero forces a row swap.
+        let x = solve_dense(vec![0.0, 1.0, 1.0, 0.0], vec![7.0, 9.0]);
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_system_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let n = 20;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Diagonal dominance guarantees solvability.
+        let mut a2 = a.clone();
+        for i in 0..n {
+            a2[i * n + i] += n as f64;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) / 3.0 - 2.0).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a2[i * n + j] * x_true[j]).sum())
+            .collect();
+        let x = solve_dense(a2, b);
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-8, "{xs} vs {xt}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        let _ = solve_dense(vec![1.0, 2.0, 2.0, 4.0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Multiple cooperating walkers over one shared interface.
+//!
+//! The paper's related work cites Alon et al., *"Many random walks are
+//! faster than one"* \[3\]. In the restricted-access setting the idea has a
+//! twist that makes it even more attractive: walkers sharing one crawler
+//! share its **cache**, so a node queried by any walker is free for all
+//! others — `k` walkers cover ground faster *without* multiplying the
+//! unique-query bill.
+//!
+//! [`MultiWalkSession`] steps `k` walkers round-robin against one client
+//! until the shared budget runs out, interleaving their traces. Because the
+//! walkers are independent chains with the same stationary distribution,
+//! the pooled samples feed the usual estimators unchanged, and multi-chain
+//! diagnostics (`osn_estimate::diagnostics::split_rhat`) become applicable.
+
+use osn_client::OsnClient;
+use osn_graph::NodeId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::walker::RandomWalk;
+
+/// Outcome of a multi-walker run.
+#[derive(Clone, Debug)]
+pub struct MultiWalkTrace {
+    /// Per-walker visit sequences (one entry per performed step).
+    pub per_walker: Vec<Vec<NodeId>>,
+    /// Final client statistics (shared across walkers).
+    pub stats: osn_client::QueryStats,
+}
+
+impl MultiWalkTrace {
+    /// Total steps across all walkers.
+    pub fn total_steps(&self) -> usize {
+        self.per_walker.iter().map(Vec::len).sum()
+    }
+
+    /// Iterator over all samples, pooled across walkers.
+    pub fn pooled(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.per_walker.iter().flatten().copied()
+    }
+
+    /// Per-walker traces as `f64` sequences of `f(node)` — the shape the
+    /// multi-chain diagnostics expect.
+    pub fn chains<F: Fn(NodeId) -> f64>(&self, f: F) -> Vec<Vec<f64>> {
+        self.per_walker
+            .iter()
+            .map(|c| c.iter().map(|&v| f(v)).collect())
+            .collect()
+    }
+}
+
+/// Drives several walkers round-robin against one shared client.
+pub struct MultiWalkSession {
+    max_steps_per_walker: usize,
+    seed: u64,
+}
+
+impl MultiWalkSession {
+    /// Each walker performs at most `max_steps_per_walker` transitions.
+    pub fn new(max_steps_per_walker: usize, seed: u64) -> Self {
+        MultiWalkSession {
+            max_steps_per_walker,
+            seed,
+        }
+    }
+
+    /// Run all walkers until each hits its step cap or the shared budget
+    /// refuses further queries. Round-robin interleaving keeps the cache
+    /// shared fairly; a walker that hits the budget stops while others may
+    /// continue on cached territory.
+    pub fn run<C: OsnClient>(
+        &self,
+        walkers: &mut [Box<dyn RandomWalk + Send>],
+        client: &mut C,
+    ) -> MultiWalkTrace {
+        let mut rngs: Vec<ChaCha12Rng> = (0..walkers.len())
+            .map(|i| ChaCha12Rng::seed_from_u64(self.seed.wrapping_add(i as u64 * 0x9e37)))
+            .collect();
+        let mut traces: Vec<Vec<NodeId>> = vec![Vec::new(); walkers.len()];
+        let mut live: Vec<bool> = vec![true; walkers.len()];
+        for _ in 0..self.max_steps_per_walker {
+            let mut any = false;
+            for (i, walker) in walkers.iter_mut().enumerate() {
+                if !live[i] {
+                    continue;
+                }
+                match walker.step(&mut *client, &mut rngs[i]) {
+                    Ok(v) => {
+                        traces[i].push(v);
+                        any = true;
+                    }
+                    Err(_) => live[i] = false,
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        MultiWalkTrace {
+            per_walker: traces,
+            stats: client.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walkers::{Cnrw, Srw};
+    use osn_client::{BudgetedClient, SimulatedOsn};
+    use osn_graph::generators::barbell;
+
+    fn walkers(k: usize) -> Vec<Box<dyn RandomWalk + Send>> {
+        (0..k)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Box::new(Srw::new(NodeId(i as u32))) as Box<dyn RandomWalk + Send>
+                } else {
+                    Box::new(Cnrw::new(NodeId(i as u32))) as Box<dyn RandomWalk + Send>
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn walkers_share_cache_and_budget() {
+        let g = barbell(8, 8).unwrap();
+        let n = g.node_count();
+        let client = SimulatedOsn::from_graph(g);
+        let mut client = BudgetedClient::new(client, 10, n);
+        let mut ws = walkers(4);
+        let trace = MultiWalkSession::new(500, 1).run(&mut ws, &mut client);
+        assert!(trace.stats.unique <= 10);
+        assert_eq!(trace.per_walker.len(), 4);
+        // Pooling works.
+        assert_eq!(trace.pooled().count(), trace.total_steps());
+    }
+
+    #[test]
+    fn chains_feed_diagnostics_shape() {
+        let g = barbell(6, 6).unwrap();
+        let mut client = SimulatedOsn::from_graph(g);
+        let mut ws = walkers(3);
+        let trace = MultiWalkSession::new(200, 2).run(&mut ws, &mut client);
+        let chains = trace.chains(|v| v.index() as f64);
+        assert_eq!(chains.len(), 3);
+        assert!(chains.iter().all(|c| c.len() == 200));
+    }
+
+    #[test]
+    fn more_walkers_cover_more_nodes_per_budget() {
+        let g = barbell(30, 30).unwrap();
+        let n = g.node_count();
+        let coverage = |k: usize| {
+            let client = SimulatedOsn::from_graph(g.clone());
+            let mut client = BudgetedClient::new(client, 25, n);
+            let mut ws: Vec<Box<dyn RandomWalk + Send>> = (0..k)
+                .map(|i| {
+                    // Spread starts across both bells.
+                    let start = NodeId(((i * 17) % n) as u32);
+                    Box::new(Cnrw::new(start)) as Box<dyn RandomWalk + Send>
+                })
+                .collect();
+            let trace = MultiWalkSession::new(5_000, 3).run(&mut ws, &mut client);
+            let mut seen: std::collections::HashSet<NodeId> = trace.pooled().collect();
+            for w in &trace.per_walker {
+                seen.extend(w.iter().copied());
+            }
+            seen.len()
+        };
+        // With starts in both bells, several walkers reach nodes a single
+        // trapped walker cannot within the same unique-query budget.
+        assert!(coverage(4) >= coverage(1));
+    }
+}

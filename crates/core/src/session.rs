@@ -1,0 +1,232 @@
+//! The walk driver: runs any walker against any client, recording the trace.
+
+use osn_client::{OsnClient, QueryStats};
+use osn_graph::NodeId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::walker::RandomWalk;
+
+/// Configuration of a single walk run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkConfig {
+    /// Maximum number of transitions to perform. A hard cap: budget-limited
+    /// walks also stop early when the client refuses further queries.
+    pub max_steps: usize,
+    /// RNG seed; every run is fully deterministic given the seed.
+    pub seed: u64,
+    /// Steps discarded from the front when extracting samples (the classical
+    /// burn-in; the paper's estimators use `h`-step warm starts, §2.3).
+    pub burn_in: usize,
+    /// Keep every `thinning`-th step of the post-burn-in trace (1 = all).
+    pub thinning: usize,
+}
+
+impl WalkConfig {
+    /// Run for exactly `max_steps` transitions (unless the budget stops the
+    /// walk sooner), no burn-in, no thinning, seed 0.
+    pub fn steps(max_steps: usize) -> Self {
+        WalkConfig {
+            max_steps,
+            seed: 0,
+            burn_in: 0,
+            thinning: 1,
+        }
+    }
+
+    /// Set the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the burn-in length.
+    #[must_use]
+    pub fn with_burn_in(mut self, burn_in: usize) -> Self {
+        self.burn_in = burn_in;
+        self
+    }
+
+    /// Set the thinning interval (values below 1 are clamped to 1).
+    #[must_use]
+    pub fn with_thinning(mut self, thinning: usize) -> Self {
+        self.thinning = thinning.max(1);
+        self
+    }
+}
+
+/// Why a walk ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkStop {
+    /// The configured step cap was reached.
+    MaxSteps,
+    /// The client's unique-query budget ran out (the normal ending for the
+    /// paper's budget-sweep experiments).
+    BudgetExhausted,
+}
+
+/// The recorded outcome of one walk.
+#[derive(Clone, Debug)]
+pub struct WalkTrace {
+    /// The start node (not included in [`nodes`](Self::nodes)).
+    pub start: NodeId,
+    /// One entry per performed transition: the node arrived at.
+    nodes: Vec<NodeId>,
+    /// Why the walk stopped.
+    pub stop: WalkStop,
+    /// Client accounting at the end of the walk.
+    pub stats: QueryStats,
+    burn_in: usize,
+    thinning: usize,
+}
+
+impl WalkTrace {
+    /// Number of transitions performed.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the walk performed no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The full step sequence (no burn-in/thinning applied).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The sample sequence after burn-in and thinning.
+    pub fn samples(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .skip(self.burn_in)
+            .step_by(self.thinning)
+            .copied()
+    }
+
+    /// Number of samples [`samples`](Self::samples) will yield.
+    pub fn sample_count(&self) -> usize {
+        self.nodes.len().saturating_sub(self.burn_in).div_ceil(self.thinning)
+    }
+}
+
+/// Runs walks according to a [`WalkConfig`].
+///
+/// The session owns the RNG construction so that *identical configurations
+/// replay identical walks* — the reproducibility contract every experiment
+/// in `osn-experiments` relies on.
+#[derive(Clone, Debug)]
+pub struct WalkSession {
+    config: WalkConfig,
+}
+
+impl WalkSession {
+    /// New session with the given configuration.
+    pub fn new(config: WalkConfig) -> Self {
+        WalkSession { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WalkConfig {
+        &self.config
+    }
+
+    /// Run `walker` against `client` until the step cap or the query budget
+    /// is hit, whichever comes first.
+    pub fn run<C: OsnClient>(&self, walker: &mut dyn RandomWalk, client: &mut C) -> WalkTrace {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.config.seed);
+        let start = walker.current();
+        let mut nodes = Vec::with_capacity(self.config.max_steps.min(1 << 20));
+        let mut stop = WalkStop::MaxSteps;
+        for _ in 0..self.config.max_steps {
+            match walker.step(&mut *client, &mut rng) {
+                Ok(v) => nodes.push(v),
+                Err(_) => {
+                    stop = WalkStop::BudgetExhausted;
+                    break;
+                }
+            }
+        }
+        WalkTrace {
+            start,
+            nodes,
+            stop,
+            stats: client.stats(),
+            burn_in: self.config.burn_in,
+            thinning: self.config.thinning.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walkers::Srw;
+    use osn_client::{BudgetedClient, SimulatedOsn};
+    use osn_graph::generators::barbell;
+
+    fn client() -> SimulatedOsn {
+        SimulatedOsn::from_graph(barbell(6, 6).unwrap())
+    }
+
+    #[test]
+    fn runs_exact_step_count() {
+        let mut c = client();
+        let mut w = Srw::new(NodeId(0));
+        let trace = WalkSession::new(WalkConfig::steps(100)).run(&mut w, &mut c);
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.stop, WalkStop::MaxSteps);
+        assert_eq!(trace.start, NodeId(0));
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn budget_stops_walk() {
+        let inner = client();
+        let n = inner.graph().node_count();
+        let mut c = BudgetedClient::new(inner, 5, n);
+        let mut w = Srw::new(NodeId(0));
+        let trace =
+            WalkSession::new(WalkConfig::steps(10_000).with_seed(1)).run(&mut w, &mut c);
+        assert_eq!(trace.stop, WalkStop::BudgetExhausted);
+        // With budget 5, at most a handful of distinct nodes were visited,
+        // but revisits are free so the trace can be longer than 5.
+        assert!(trace.len() < 10_000);
+        assert!(trace.stats.unique <= 5);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_walks() {
+        let run = |seed| {
+            let mut c = client();
+            let mut w = Srw::new(NodeId(3));
+            WalkSession::new(WalkConfig::steps(200).with_seed(seed))
+                .run(&mut w, &mut c)
+                .nodes()
+                .to_vec()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn burn_in_and_thinning_shape_samples() {
+        let mut c = client();
+        let mut w = Srw::new(NodeId(0));
+        let cfg = WalkConfig::steps(20).with_burn_in(10).with_thinning(5);
+        let trace = WalkSession::new(cfg).run(&mut w, &mut c);
+        let samples: Vec<_> = trace.samples().collect();
+        assert_eq!(samples.len(), 2); // steps 10 and 15 (0-indexed post-burn)
+        assert_eq!(trace.sample_count(), 2);
+        assert_eq!(samples[0], trace.nodes()[10]);
+        assert_eq!(samples[1], trace.nodes()[15]);
+    }
+
+    #[test]
+    fn thinning_clamped_to_one() {
+        let cfg = WalkConfig::steps(5).with_thinning(0);
+        assert_eq!(cfg.thinning, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! The object-safe walker trait.
+
+use osn_client::{BudgetExhausted, OsnClient};
+use osn_graph::NodeId;
+use rand::RngCore;
+
+/// A random walk over an online social network accessed through the
+/// restricted interface.
+///
+/// The trait is object-safe on purpose: experiment harnesses hold a
+/// `Vec<Box<dyn RandomWalk>>` and treat every algorithm identically — the
+/// concrete embodiment of the paper's claim that CNRW/GNRW are *drop-in
+/// replacements* for SRW.
+///
+/// A step may issue any number of interface queries (one for all walkers in
+/// this crate; MHRW additionally peeks the proposal's metadata). When a
+/// budget wrapper cuts the walk off, [`step`](Self::step) returns
+/// [`BudgetExhausted`] and the walker is left at its pre-step position, so
+/// the collected trace stays valid.
+pub trait RandomWalk {
+    /// Short algorithm name for reports and plots (e.g. `"CNRW"`).
+    fn name(&self) -> &str;
+
+    /// The node the walk currently occupies.
+    fn current(&self) -> NodeId;
+
+    /// Perform one transition, returning the node arrived at.
+    ///
+    /// # Errors
+    /// [`BudgetExhausted`] if the underlying client refuses the neighbor
+    /// query; the walker state is unchanged in that case.
+    fn step(
+        &mut self,
+        client: &mut dyn OsnClient,
+        rng: &mut dyn RngCore,
+    ) -> Result<NodeId, BudgetExhausted>;
+
+    /// Restart the walk at `start`, clearing **all** history (for CNRW/GNRW
+    /// this resets every `b(u,v)` / `S(u,v)` map — a fresh walk).
+    fn restart(&mut self, start: NodeId);
+}
+
+/// Shared helper: uniform choice from a non-empty slice.
+#[inline]
+pub(crate) fn uniform_pick<R: rand::Rng + ?Sized>(items: &[NodeId], rng: &mut R) -> NodeId {
+    debug_assert!(!items.is_empty());
+    items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_pick_is_uniform() {
+        let items: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(0);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[uniform_pick(&items, &mut rng).index()] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800 && c < 1200, "count {c}");
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! GroupBy Neighbors Random Walk (GNRW) — paper §4.
+
+use osn_client::{BudgetExhausted, OsnClient};
+use osn_graph::NodeId;
+use rand::{Rng, RngCore};
+
+use crate::fnv::FnvHashMap;
+use crate::grouping::GroupingStrategy;
+use crate::history::GroupHistory;
+use crate::walker::{uniform_pick, RandomWalk};
+
+/// GroupBy Neighbors Random Walk (paper §4, Algorithm 2).
+///
+/// Given the incoming transition `u → v`, the neighbors of `v` are first
+/// partitioned into groups by a [`GroupingStrategy`] `g(·)`; the walk then
+///
+/// 1. maintains a **global** without-replacement set `b(u, v)` over `N(v)`
+///    (reset once it reaches `N(v)`, as in CNRW — Algorithm 2's step 4):
+///    every super-cycle of `deg(v)` transits through `(u, v)` covers each
+///    neighbor exactly once, which is what preserves the stationary
+///    distribution for arbitrary group sizes (Theorem 4);
+/// 2. within the super-cycle, circulates **among groups**: the set
+///    `S(u, v)` of groups attempted in the current sub-cycle is excluded
+///    (resetting when no un-attempted group still has unvisited members),
+///    and each candidate group is chosen with probability proportional to
+///    its number of not-yet-attempted transitions (Figure 4's weighting);
+/// 3. chooses uniformly among the chosen group's unvisited members.
+///
+/// The group circulation therefore only shapes the *order* in which the
+/// super-cycle covers `N(v)`: the walk alternates between strata as fast as
+/// possible — the stratified-sampling effect of Figure 5 — without touching
+/// the per-neighbor marginal.
+///
+/// Theorem 4: same stationary distribution as SRW (`k_v / 2|E|`) for *any*
+/// grouping strategy, and asymptotic variance never above SRW's. When the
+/// grouping is aligned with the aggregate of interest (group by the measure
+/// attribute), GNRW beats CNRW because it alternates between attribute
+/// strata faster.
+///
+/// With per-node groups or a single group GNRW degenerates to CNRW. The
+/// interesting regime is a handful of value-homogeneous groups.
+pub struct Gnrw {
+    prev: Option<NodeId>,
+    current: NodeId,
+    strategy: Box<dyn GroupingStrategy + Send>,
+    history: GroupHistory,
+    label: String,
+    // Reused scratch state (one allocation amortized over the walk).
+    scratch_neighbors: Vec<NodeId>,
+    scratch_assignments: Vec<u64>,
+    scratch_groups: FnvHashMap<u64, Vec<NodeId>>,
+    scratch_keys: Vec<u64>,
+}
+
+impl Gnrw {
+    /// Start a walk at `start` with the given grouping strategy.
+    pub fn new(start: NodeId, strategy: Box<dyn GroupingStrategy + Send>) -> Self {
+        let label = format!("GNRW[{}]", strategy.label());
+        Gnrw {
+            prev: None,
+            current: start,
+            strategy,
+            history: GroupHistory::new(),
+            label,
+            scratch_neighbors: Vec::new(),
+            scratch_assignments: Vec::new(),
+            scratch_groups: FnvHashMap::default(),
+            scratch_keys: Vec::new(),
+        }
+    }
+
+    /// The strategy's own label (e.g. `GNRW_By_Degree`), used by the
+    /// Figure 9 experiment to distinguish variants.
+    pub fn strategy_label(&self) -> String {
+        self.strategy.label()
+    }
+
+    /// Number of directed edges with live circulation state.
+    pub fn tracked_edges(&self) -> usize {
+        self.history.tracked_edges()
+    }
+
+    /// Total recorded history entries (memory-profile metric).
+    pub fn history_entries(&self) -> usize {
+        self.history.total_entries()
+    }
+}
+
+impl RandomWalk for Gnrw {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn current(&self) -> NodeId {
+        self.current
+    }
+
+    fn step(
+        &mut self,
+        client: &mut dyn OsnClient,
+        rng: &mut dyn RngCore,
+    ) -> Result<NodeId, BudgetExhausted> {
+        let v = self.current;
+        {
+            let neighbors = client.neighbors(v)?;
+            if neighbors.is_empty() {
+                return Ok(v);
+            }
+            self.scratch_neighbors.clear();
+            self.scratch_neighbors.extend_from_slice(neighbors);
+        }
+
+        let next = match self.prev {
+            // No incoming edge yet: plain SRW step.
+            None => uniform_pick(&self.scratch_neighbors, rng),
+            Some(u) => {
+                // Partition N(v) into groups (metadata peeks are free).
+                self.strategy.assign(
+                    &*client,
+                    &self.scratch_neighbors,
+                    &mut self.scratch_assignments,
+                );
+                // The scratch map is reused across steps; under `Exact`
+                // bucketing distinct value keys could otherwise accumulate
+                // without bound, so shed stale capacity when it balloons.
+                if self.scratch_groups.len() > 64 {
+                    self.scratch_groups.clear();
+                } else {
+                    self.scratch_groups.values_mut().for_each(Vec::clear);
+                }
+                for (&w, &key) in self.scratch_neighbors.iter().zip(&self.scratch_assignments) {
+                    self.scratch_groups.entry(key).or_default().push(w);
+                }
+                // Deterministic group ordering (sorted keys) so RNG
+                // consumption does not depend on hash-map iteration order.
+                self.scratch_keys.clear();
+                self.scratch_keys.extend(
+                    self.scratch_groups
+                        .iter()
+                        .filter(|(_, m)| !m.is_empty())
+                        .map(|(&k, _)| k),
+                );
+                self.scratch_keys.sort_unstable();
+
+                let state = self.history.state(u, v);
+                // Groups that still have unvisited members in the current
+                // super-cycle, with their remaining counts.
+                let remaining = |groups: &FnvHashMap<u64, Vec<NodeId>>,
+                                 state: &crate::history::GnrwEdgeState,
+                                 k: u64| {
+                    groups[&k]
+                        .iter()
+                        .filter(|w| !state.used_nodes.contains(w))
+                        .count()
+                };
+                // Candidate groups: un-attempted (not in S(u,v)) with
+                // unvisited members; if none, reset the group sub-cycle.
+                let mut candidates: Vec<(u64, usize)> = self
+                    .scratch_keys
+                    .iter()
+                    .filter(|k| !state.used_groups.contains(k))
+                    .map(|&k| (k, remaining(&self.scratch_groups, state, k)))
+                    .filter(|&(_, r)| r > 0)
+                    .collect();
+                if candidates.is_empty() {
+                    state.used_groups.clear();
+                    candidates = self
+                        .scratch_keys
+                        .iter()
+                        .map(|&k| (k, remaining(&self.scratch_groups, state, k)))
+                        .filter(|&(_, r)| r > 0)
+                        .collect();
+                }
+                debug_assert!(
+                    !candidates.is_empty(),
+                    "global b(u,v) resets before covering N(v)"
+                );
+
+                // Group chosen with probability proportional to its
+                // not-yet-attempted transitions (Figure 4).
+                let total: usize = candidates.iter().map(|&(_, r)| r).sum();
+                let mut pick = (*rng).gen_range(0..total);
+                let mut chosen = candidates[0].0;
+                let mut chosen_remaining = candidates[0].1;
+                for &(k, r) in &candidates {
+                    if pick < r {
+                        chosen = k;
+                        chosen_remaining = r;
+                        break;
+                    }
+                    pick -= r;
+                }
+
+                // Uniform among the chosen group's unvisited members.
+                let rank = (*rng).gen_range(0..chosen_remaining);
+                let node = self.scratch_groups[&chosen]
+                    .iter()
+                    .filter(|w| !state.used_nodes.contains(w))
+                    .nth(rank)
+                    .copied()
+                    .expect("rank < remaining");
+
+                // Record; reset the super-cycle when N(v) is covered.
+                state.used_groups.insert(chosen);
+                state.used_nodes.insert(node);
+                if state.used_nodes.len() == self.scratch_neighbors.len() {
+                    state.used_nodes.clear();
+                    state.used_groups.clear();
+                }
+                node
+            }
+        };
+
+        self.prev = Some(v);
+        self.current = next;
+        Ok(next)
+    }
+
+    fn restart(&mut self, start: NodeId) {
+        self.prev = None;
+        self.current = start;
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{ByAttribute, ByDegree, ByHash};
+    use osn_client::SimulatedOsn;
+    use osn_graph::attributes::{AttributedGraph, NodeAttributes};
+    use osn_graph::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn two_community_client() -> SimulatedOsn {
+        // Two K4 cliques bridged; attribute = community id.
+        let mut b = GraphBuilder::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.push_edge(i, j);
+                b.push_edge(i + 4, j + 4);
+            }
+        }
+        b.push_edge(3, 4);
+        let g = b.build().unwrap();
+        let mut attrs = NodeAttributes::for_graph(&g);
+        attrs
+            .insert_uint("community", vec![0, 0, 0, 0, 1, 1, 1, 1])
+            .unwrap();
+        SimulatedOsn::new(AttributedGraph::new(g, attrs).unwrap())
+    }
+
+    #[test]
+    fn stationary_matches_srw_target() {
+        let mut client = two_community_client();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut w = Gnrw::new(NodeId(0), Box::new(ByAttribute::new("community")));
+        let steps = 150_000;
+        let mut visits = vec![0usize; client.graph().node_count()];
+        for _ in 0..steps {
+            visits[w.step(&mut client, &mut rng).unwrap().index()] += 1;
+        }
+        let pi = client.graph().degree_stationary_distribution();
+        for (i, &c) in visits.iter().enumerate() {
+            let freq = c as f64 / steps as f64;
+            assert!(
+                (freq - pi[i]).abs() < 0.015,
+                "node {i}: freq {freq} vs pi {}",
+                pi[i]
+            );
+        }
+    }
+
+    #[test]
+    fn by_hash_stationary_also_unbiased() {
+        let mut client = two_community_client();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut w = Gnrw::new(NodeId(0), Box::new(ByHash::new(3)));
+        let steps = 150_000;
+        let mut visits = vec![0usize; client.graph().node_count()];
+        for _ in 0..steps {
+            visits[w.step(&mut client, &mut rng).unwrap().index()] += 1;
+        }
+        let pi = client.graph().degree_stationary_distribution();
+        for (i, &c) in visits.iter().enumerate() {
+            let freq = c as f64 / steps as f64;
+            assert!((freq - pi[i]).abs() < 0.015, "node {i}");
+        }
+    }
+
+    #[test]
+    fn group_circulation_alternates_groups() {
+        // Node 1's neighbors from node 0 split into two degree groups; the
+        // walk from 0->1 must alternate between groups rather than repeat.
+        // Graph: 0-1; 1-{2,3} (low degree), 1-4 where 4 is a hub.
+        let mut b = GraphBuilder::new();
+        b.push_edge(0, 1);
+        b.push_edge(1, 2);
+        b.push_edge(1, 3);
+        b.push_edge(1, 4);
+        // make 4 a hub
+        for i in 5..12 {
+            b.push_edge(4, i);
+        }
+        // return edges so walk can come back
+        b.push_edge(2, 0);
+        b.push_edge(3, 0);
+        b.push_edge(4, 0);
+        let g = b.build().unwrap();
+        let mut client = SimulatedOsn::from_graph(g);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        // Log2 value buckets give the specific partition this test pins
+        // down: {0} (deg 4), {2,3} (deg 2), {4} (deg 9).
+        let mut w = Gnrw::new(NodeId(0), Box::new(ByDegree::log2()));
+
+        // Gather the first node after each 0->1 transit.
+        let mut after = Vec::new();
+        let mut prev = w.current();
+        for _ in 0..6000 {
+            let curr = w.step(&mut client, &mut rng).unwrap();
+            if prev == NodeId(0) && curr == NodeId(1) {
+                let nxt = w.step(&mut client, &mut rng).unwrap();
+                after.push(nxt);
+                prev = nxt;
+                continue;
+            }
+            prev = curr;
+        }
+        assert!(after.len() > 20);
+        // N(1) = {0, 2, 3, 4}: log2 degree buckets give groups {0}, {2,3},
+        // {4} (deg 4 -> 2, deg 2 -> 1, deg 9 -> 3). Each super-cycle of 4
+        // choices covers N(1) exactly once, and its first 3 choices touch 3
+        // distinct groups (the stratified alternation).
+        let group = |n: NodeId| match n.0 {
+            0 => 0,
+            2 | 3 => 1,
+            4 => 2,
+            _ => unreachable!(),
+        };
+        for win in after.chunks_exact(4) {
+            let mut ids: Vec<u32> = win.iter().map(|n| n.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 2, 3, 4], "super-cycle {win:?} not a cover");
+            let mut gs: Vec<u32> = win[..3].iter().map(|&n| group(n)).collect();
+            gs.sort_unstable();
+            gs.dedup();
+            assert_eq!(gs.len(), 3, "first 3 of {win:?} repeat a group");
+        }
+    }
+
+    #[test]
+    fn restart_clears_group_history() {
+        let mut client = two_community_client();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut w = Gnrw::new(NodeId(0), Box::new(ByDegree::new()));
+        for _ in 0..100 {
+            w.step(&mut client, &mut rng).unwrap();
+        }
+        assert!(w.tracked_edges() > 0);
+        w.restart(NodeId(1));
+        assert_eq!(w.tracked_edges(), 0);
+        assert_eq!(w.history_entries(), 0);
+        assert_eq!(w.current(), NodeId(1));
+    }
+
+    #[test]
+    fn labels() {
+        let w = Gnrw::new(NodeId(0), Box::new(ByDegree::new()));
+        assert_eq!(w.name(), "GNRW[GNRW_By_Degree]");
+        assert_eq!(w.strategy_label(), "GNRW_By_Degree");
+    }
+
+    #[test]
+    fn single_group_behaves_like_cnrw() {
+        // ByHash with 1 group: all neighbors in one group -> pure CNRW
+        // circulation. Windows of |N| after-transit choices must be
+        // permutations, as in the CNRW test.
+        let mut b = GraphBuilder::new();
+        b.push_edge(0, 1);
+        b.push_edge(1, 2);
+        b.push_edge(1, 3);
+        b.push_edge(2, 0);
+        b.push_edge(3, 0);
+        let g = b.build().unwrap();
+        let mut client = SimulatedOsn::from_graph(g);
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut w = Gnrw::new(NodeId(0), Box::new(ByHash::new(1)));
+        let mut after = Vec::new();
+        let mut prev = w.current();
+        for _ in 0..4000 {
+            let curr = w.step(&mut client, &mut rng).unwrap();
+            if prev == NodeId(0) && curr == NodeId(1) {
+                let nxt = w.step(&mut client, &mut rng).unwrap();
+                after.push(nxt);
+                prev = nxt;
+                continue;
+            }
+            prev = curr;
+        }
+        // N(1) = {0, 2, 3}; windows of 3 must be permutations.
+        for win in after.chunks_exact(3) {
+            let mut ids: Vec<u32> = win.iter().map(|n| n.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 2, 3], "window {win:?}");
+        }
+    }
+}

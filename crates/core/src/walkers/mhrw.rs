@@ -1,0 +1,133 @@
+//! Metropolis–Hastings random walk (MHRW).
+
+use osn_client::{BudgetExhausted, OsnClient};
+use osn_graph::NodeId;
+use rand::{Rng, RngCore};
+
+use crate::walker::{uniform_pick, RandomWalk};
+
+/// Metropolis–Hastings random walk targeting the **uniform** stationary
+/// distribution.
+///
+/// Proposal: uniform neighbor `w` of the current node `v`; acceptance
+/// probability `min(1, k_v / k_w)`. On rejection the walk stays at `v`
+/// (the self-loop is part of the chain and *is* recorded in the trace).
+///
+/// Included as the classical baseline the paper evaluates (and, confirming
+/// \[7\] and \[11\], finds much less efficient than the SRW family — Figure 6
+/// shows MHRW never reaching the others' accuracy within 1000 queries).
+/// Because its stationary distribution differs, estimators must treat MHRW
+/// samples as unweighted.
+#[derive(Clone, Debug)]
+pub struct Mhrw {
+    current: NodeId,
+}
+
+impl Mhrw {
+    /// Start a walk at `start`.
+    pub fn new(start: NodeId) -> Self {
+        Mhrw { current: start }
+    }
+}
+
+impl RandomWalk for Mhrw {
+    fn name(&self) -> &str {
+        "MHRW"
+    }
+
+    fn current(&self) -> NodeId {
+        self.current
+    }
+
+    fn step(
+        &mut self,
+        client: &mut dyn OsnClient,
+        rng: &mut dyn RngCore,
+    ) -> Result<NodeId, BudgetExhausted> {
+        let v = self.current;
+        let neighbors = client.neighbors(v)?;
+        if neighbors.is_empty() {
+            return Ok(v);
+        }
+        let proposal = uniform_pick(neighbors, rng);
+        let k_v = neighbors.len() as f64;
+        let k_w = client.peek_degree(proposal).max(1) as f64;
+        let accept = (k_v / k_w).min(1.0);
+        if (*rng).gen::<f64>() < accept {
+            self.current = proposal;
+        }
+        Ok(self.current)
+    }
+
+    fn restart(&mut self, start: NodeId) {
+        self.current = start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_client::SimulatedOsn;
+    use osn_graph::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    /// Star graph: hub 0 with 8 spokes. MHRW must reject most hub->spoke...
+    /// actually accept all (k_hub/k_spoke >= 1), but reject spoke->hub moves
+    /// with prob 1 - 1/8, keeping the sampling uniform.
+    fn star() -> SimulatedOsn {
+        let mut b = GraphBuilder::new();
+        for i in 1..=8 {
+            b.push_edge(0, i);
+        }
+        SimulatedOsn::from_graph(b.build().unwrap())
+    }
+
+    #[test]
+    fn uniformity_on_star() {
+        let mut client = star();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut w = Mhrw::new(NodeId(0));
+        let mut visits = [0usize; 9];
+        let steps = 90_000;
+        for _ in 0..steps {
+            let v = w.step(&mut client, &mut rng).unwrap();
+            visits[v.index()] += 1;
+        }
+        // Uniform target: each node ~ steps/9.
+        let expected = steps as f64 / 9.0;
+        for (i, &c) in visits.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.15, "node {i} visited {c}, expected ~{expected}");
+        }
+    }
+
+    #[test]
+    fn rejection_keeps_position() {
+        // On a path end, moving inward has k_v/k_w = 1/2; rejections happen.
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.push_edge(i, i + 1);
+        }
+        let mut client = SimulatedOsn::from_graph(b.build().unwrap());
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut w = Mhrw::new(NodeId(0));
+        let mut stayed = 0;
+        for _ in 0..200 {
+            let before = w.current();
+            let after = w.step(&mut client, &mut rng).unwrap();
+            if before == after {
+                stayed += 1;
+            }
+        }
+        assert!(stayed > 20, "expected rejections, got {stayed}");
+    }
+
+    #[test]
+    fn name_and_restart() {
+        let mut w = Mhrw::new(NodeId(1));
+        assert_eq!(w.name(), "MHRW");
+        w.restart(NodeId(4));
+        assert_eq!(w.current(), NodeId(4));
+    }
+}

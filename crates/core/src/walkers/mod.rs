@@ -1,0 +1,20 @@
+//! The walker implementations.
+//!
+//! Baselines: [`Srw`], [`Mhrw`], [`NbSrw`]. Paper contributions: [`Cnrw`]
+//! (§3), [`Gnrw`] (§4), and the §5 extension [`NbCnrw`].
+
+mod cnrw;
+mod gnrw;
+mod mhrw;
+mod nbcnrw;
+mod nbsrw;
+mod node_cnrw;
+mod srw;
+
+pub use cnrw::Cnrw;
+pub use gnrw::Gnrw;
+pub use mhrw::Mhrw;
+pub use nbcnrw::NbCnrw;
+pub use nbsrw::NbSrw;
+pub use node_cnrw::NodeCnrw;
+pub use srw::Srw;

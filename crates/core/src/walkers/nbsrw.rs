@@ -1,0 +1,166 @@
+//! Non-backtracking simple random walk (NB-SRW).
+
+use osn_client::{BudgetExhausted, OsnClient};
+use osn_graph::NodeId;
+use rand::{Rng, RngCore};
+
+use crate::walker::{uniform_pick, RandomWalk};
+
+/// Non-backtracking simple random walk (Lee, Xu, Eun \[11\]): an order-2
+/// Markov chain that never returns to the immediately previous node unless
+/// it has no other choice (degree-1 dead ends).
+///
+/// Achieves the same stationary distribution as SRW (`k_v / 2|E|`) with
+/// provably no larger asymptotic variance; the paper uses it as the
+/// state-of-the-art baseline its higher-order walks must beat.
+#[derive(Clone, Debug)]
+pub struct NbSrw {
+    prev: Option<NodeId>,
+    current: NodeId,
+}
+
+impl NbSrw {
+    /// Start a walk at `start`.
+    pub fn new(start: NodeId) -> Self {
+        NbSrw {
+            prev: None,
+            current: start,
+        }
+    }
+}
+
+impl RandomWalk for NbSrw {
+    fn name(&self) -> &str {
+        "NB-SRW"
+    }
+
+    fn current(&self) -> NodeId {
+        self.current
+    }
+
+    fn step(
+        &mut self,
+        client: &mut dyn OsnClient,
+        rng: &mut dyn RngCore,
+    ) -> Result<NodeId, BudgetExhausted> {
+        let v = self.current;
+        let neighbors = client.neighbors(v)?;
+        if neighbors.is_empty() {
+            return Ok(v);
+        }
+        let next = match self.prev {
+            // First step, or a dead end: plain SRW choice.
+            None => uniform_pick(neighbors, rng),
+            Some(p) => {
+                if neighbors.len() == 1 {
+                    neighbors[0] // forced backtrack at a dead end
+                } else {
+                    // Uniform over N(v) \ {prev}: draw an index among the
+                    // k-1 allowed slots, skipping prev's position.
+                    let k = neighbors.len();
+                    let pos_prev = neighbors.iter().position(|&x| x == p);
+                    match pos_prev {
+                        None => uniform_pick(neighbors, rng),
+                        Some(pp) => {
+                            let idx = (*rng).gen_range(0..k - 1);
+                            let idx = if idx >= pp { idx + 1 } else { idx };
+                            neighbors[idx]
+                        }
+                    }
+                }
+            }
+        };
+        self.prev = Some(v);
+        self.current = next;
+        Ok(next)
+    }
+
+    fn restart(&mut self, start: NodeId) {
+        self.prev = None;
+        self.current = start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_client::SimulatedOsn;
+    use osn_graph::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn cycle_with_chord() -> SimulatedOsn {
+        // 6-cycle plus chord 0-3: every node degree >= 2.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(5, 0)
+            .add_edge(0, 3)
+            .build()
+            .unwrap();
+        SimulatedOsn::from_graph(g)
+    }
+
+    #[test]
+    fn never_backtracks_when_degree_allows() {
+        let mut client = cycle_with_chord();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut w = NbSrw::new(NodeId(0));
+        let mut prev = w.current();
+        let mut curr = w.step(&mut client, &mut rng).unwrap();
+        for _ in 0..500 {
+            let next = w.step(&mut client, &mut rng).unwrap();
+            assert_ne!(next, prev, "backtracked through {curr}");
+            prev = curr;
+            curr = next;
+        }
+    }
+
+    #[test]
+    fn dead_end_forces_backtrack() {
+        // Path 0-1-2: at node 0 or 2 the only move is back.
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let mut client = SimulatedOsn::from_graph(g);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut w = NbSrw::new(NodeId(1));
+        // Move to an end, then it must come back to 1.
+        let end = w.step(&mut client, &mut rng).unwrap();
+        assert!(end == NodeId(0) || end == NodeId(2));
+        let back = w.step(&mut client, &mut rng).unwrap();
+        assert_eq!(back, NodeId(1));
+    }
+
+    #[test]
+    fn stationary_is_degree_proportional() {
+        let mut client = cycle_with_chord();
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut w = NbSrw::new(NodeId(0));
+        let mut visits = [0usize; 6];
+        let steps = 60_000;
+        for _ in 0..steps {
+            visits[w.step(&mut client, &mut rng).unwrap().index()] += 1;
+        }
+        // Nodes 0 and 3 have degree 3, others 2; 2|E| = 14.
+        let pi = client.graph().degree_stationary_distribution();
+        for (i, &c) in visits.iter().enumerate() {
+            let freq = c as f64 / steps as f64;
+            assert!(
+                (freq - pi[i]).abs() < 0.02,
+                "node {i}: freq {freq}, pi {}",
+                pi[i]
+            );
+        }
+    }
+
+    #[test]
+    fn restart_clears_prev() {
+        let mut w = NbSrw::new(NodeId(0));
+        w.prev = Some(NodeId(9));
+        w.restart(NodeId(3));
+        assert_eq!(w.prev, None);
+        assert_eq!(w.current(), NodeId(3));
+    }
+}

@@ -1,0 +1,107 @@
+//! Simple random walk (SRW).
+
+use osn_client::{BudgetExhausted, OsnClient};
+use osn_graph::NodeId;
+use rand::RngCore;
+
+use crate::walker::{uniform_pick, RandomWalk};
+
+/// Simple random walk: an order-1 Markov chain whose next node is uniform
+/// over the neighbors of the current node (paper Definition 2).
+///
+/// Stationary distribution: `pi(v) = k_v / 2|E|` (Eq. 3). This is the
+/// baseline every history-aware walker is measured against, and the walker
+/// most prior sampling systems build on.
+#[derive(Clone, Debug)]
+pub struct Srw {
+    current: NodeId,
+}
+
+impl Srw {
+    /// Start a walk at `start`.
+    pub fn new(start: NodeId) -> Self {
+        Srw { current: start }
+    }
+}
+
+impl RandomWalk for Srw {
+    fn name(&self) -> &str {
+        "SRW"
+    }
+
+    fn current(&self) -> NodeId {
+        self.current
+    }
+
+    fn step(
+        &mut self,
+        client: &mut dyn OsnClient,
+        rng: &mut dyn RngCore,
+    ) -> Result<NodeId, BudgetExhausted> {
+        let neighbors = client.neighbors(self.current)?;
+        if neighbors.is_empty() {
+            // Isolated node: the walk is stuck; stay put (degenerate input).
+            return Ok(self.current);
+        }
+        let next = uniform_pick(neighbors, rng);
+        self.current = next;
+        Ok(next)
+    }
+
+    fn restart(&mut self, start: NodeId) {
+        self.current = start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_client::SimulatedOsn;
+    use osn_graph::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn path_graph() -> SimulatedOsn {
+        let mut b = GraphBuilder::new();
+        for i in 0..9 {
+            b.push_edge(i, i + 1);
+        }
+        SimulatedOsn::from_graph(b.build().unwrap())
+    }
+
+    #[test]
+    fn steps_move_to_neighbors() {
+        let mut client = path_graph();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut w = Srw::new(NodeId(5));
+        for _ in 0..50 {
+            let before = w.current();
+            let after = w.step(&mut client, &mut rng).unwrap();
+            assert!(client.graph().has_edge(before, after));
+            assert_eq!(w.current(), after);
+        }
+    }
+
+    #[test]
+    fn isolated_node_stays_put() {
+        let g = GraphBuilder::new().with_nodes(2).add_edge(0, 1).build().unwrap();
+        // Build a graph with an isolated node 2.
+        let g = GraphBuilder::new()
+            .with_nodes(3)
+            .extend_edges(g.edges().map(|(a, b)| (a.0, b.0)))
+            .build()
+            .unwrap();
+        let mut client = SimulatedOsn::from_graph(g);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut w = Srw::new(NodeId(2));
+        assert_eq!(w.step(&mut client, &mut rng).unwrap(), NodeId(2));
+    }
+
+    #[test]
+    fn restart_moves_walker() {
+        let mut w = Srw::new(NodeId(0));
+        w.restart(NodeId(7));
+        assert_eq!(w.current(), NodeId(7));
+        assert_eq!(w.name(), "SRW");
+    }
+}

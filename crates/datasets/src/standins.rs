@@ -1,0 +1,305 @@
+//! The six dataset builders.
+
+use osn_graph::attributes::{AttributedGraph, NodeAttributes};
+use osn_graph::generators::{
+    barbell, clustered_cliques, homophily_communities, powerlaw_configuration,
+    ClusteredCliquesConfig, HomophilyConfig,
+};
+
+use crate::attributes::degree_scaled_counts;
+use crate::{Dataset, Scale};
+
+fn build_homophilous(
+    name: &'static str,
+    config: HomophilyConfig,
+    attribute: &str,
+    attribute_median: f64,
+    seed: u64,
+) -> Dataset {
+    let (graph, communities) =
+        homophily_communities(&config, seed).expect("validated generator config");
+    let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    let mut attrs = NodeAttributes::for_graph(&graph);
+    let values = degree_scaled_counts(
+        &communities,
+        &degrees,
+        attribute_median,
+        1.6, // activity scales up across communities (6 cycled levels)
+        0.9, // activity tracks the node's own connectivity
+        0.6, // idiosyncratic noise
+        seed.wrapping_add(0x9e37_79b9),
+    );
+    attrs
+        .insert_uint(attribute, values)
+        .expect("attribute sized for graph");
+    let network = AttributedGraph::new(graph, attrs).expect("matching sizes");
+    Dataset {
+        name,
+        network,
+        communities: Some(communities),
+    }
+}
+
+/// Facebook ego-net stand-in: 775 nodes, average degree ≈ 36, clustering
+/// pushed high by triadic closure (paper snapshot: 0.47).
+///
+/// At [`Scale::Test`] a 200-node miniature with the same shape is built.
+pub fn facebook_like(scale: Scale, seed: u64) -> Dataset {
+    let (nodes, mean_degree) = match scale {
+        Scale::Test => (200, 10.0),
+        Scale::Default | Scale::Full => (775, 22.0),
+    };
+    build_homophilous(
+        "facebook",
+        HomophilyConfig {
+            nodes,
+            communities: 24,
+            mean_degree,
+            degree_exponent: 2.8,
+            homophily: 0.96,
+            closure_rounds: 6.0,
+            community_degree_ratio: 1.6,
+        },
+        "age",
+        30.0,
+        seed,
+    )
+}
+
+/// Google Plus crawl stand-in: dense, high-clustering powerlaw community
+/// graph. The paper's crawl has 240k nodes and average degree 256; we scale
+/// nodes and degree down (Default: 20k nodes / degree ≈ 50) — the relative
+/// ordering of samplers is insensitive to graph size (paper §5).
+pub fn gplus_like(scale: Scale, seed: u64) -> Dataset {
+    let (nodes, mean_degree, communities) = match scale {
+        Scale::Test => (500, 12.0, 16),
+        Scale::Default => (20_000, 16.0, 600),
+        Scale::Full => (60_000, 20.0, 1500),
+    };
+    build_homophilous(
+        "gplus",
+        HomophilyConfig {
+            nodes,
+            communities,
+            mean_degree,
+            degree_exponent: 2.3,
+            homophily: 0.975,
+            closure_rounds: 5.0,
+            community_degree_ratio: 1.8,
+        },
+        "followers",
+        100.0,
+        seed,
+    )
+}
+
+/// Yelp LCC stand-in: sparse (average degree ≈ 16), modest clustering, and
+/// the `reviews_count` attribute — heavy-tailed and community-correlated —
+/// that Figure 9's grouping strategies aggregate.
+pub fn yelp_like(scale: Scale, seed: u64) -> Dataset {
+    let (nodes, communities) = match scale {
+        Scale::Test => (600, 10),
+        Scale::Default => (30_000, 250),
+        Scale::Full => (119_839, 1000),
+    };
+    build_homophilous(
+        "yelp",
+        HomophilyConfig {
+            nodes,
+            communities,
+            mean_degree: 16.0,
+            degree_exponent: 2.4,
+            homophily: 0.93,
+            closure_rounds: 1.2,
+            community_degree_ratio: 1.7,
+        },
+        "reviews_count",
+        8.0,
+        seed,
+    )
+}
+
+/// Youtube stand-in: very sparse powerlaw graph (average degree ≈ 5, low
+/// clustering). Built with the configuration model — Youtube's social graph
+/// has weak community clustering, which matches the paper's 0.08.
+pub fn youtube_like(scale: Scale, seed: u64) -> Dataset {
+    let nodes = match scale {
+        Scale::Test => 800,
+        Scale::Default => 50_000,
+        Scale::Full => 200_000,
+    };
+    let graph = powerlaw_configuration(nodes, 2.2, 2, nodes / 20, seed)
+        .expect("validated generator config");
+    let mut attrs = NodeAttributes::for_graph(&graph);
+    // Uploads count: heavy-tailed, but *uncorrelated* with topology (no
+    // planted communities) — a useful contrast case for grouping studies.
+    let fake_communities = vec![0u32; graph.node_count()];
+    let values = crate::attributes::zipf_like_counts(
+        &fake_communities,
+        3.0,
+        1.0,
+        1.3,
+        seed.wrapping_add(17),
+    );
+    attrs
+        .insert_uint("uploads", values)
+        .expect("attribute sized for graph");
+    let network = AttributedGraph::new(graph, attrs).expect("matching sizes");
+    Dataset {
+        name: "youtube",
+        network,
+        communities: None,
+    }
+}
+
+/// The paper's clustering graph, exactly: cliques of 10, 30 and 50 chained
+/// by single bridges (90 nodes, 1707 edges, 23,780 triangles).
+pub fn clustered_graph() -> Dataset {
+    let graph =
+        clustered_cliques(&ClusteredCliquesConfig::default()).expect("static config is valid");
+    // Community = clique id; "value" attribute separates cliques, the
+    // configuration Figure 10 walks are stratified on.
+    let communities: Vec<u32> = (0..90u32)
+        .map(|i| match i {
+            0..=9 => 0,
+            10..=39 => 1,
+            _ => 2,
+        })
+        .collect();
+    let mut attrs = NodeAttributes::new(graph.node_count());
+    attrs
+        .insert_uint(
+            "value",
+            communities.iter().map(|&c| (c as u64 + 1) * 10).collect(),
+        )
+        .expect("sized correctly");
+    let network = AttributedGraph::new(graph, attrs).expect("matching sizes");
+    Dataset {
+        name: "clustered",
+        network,
+        communities: Some(communities),
+    }
+}
+
+/// The paper's barbell graph, exactly: two 50-cliques and one bridge
+/// (100 nodes, 2451 edges, 39,200 triangles).
+pub fn barbell_graph() -> Dataset {
+    barbell_graph_sized(50, 50)
+}
+
+/// A barbell with chosen bell sizes (Figure 11 sweeps total sizes 20–56).
+pub fn barbell_graph_sized(left: usize, right: usize) -> Dataset {
+    let graph = barbell(left, right).expect("validated sizes");
+    let communities: Vec<u32> = (0..(left + right) as u32)
+        .map(|i| if (i as usize) < left { 0 } else { 1 })
+        .collect();
+    let mut attrs = NodeAttributes::new(graph.node_count());
+    attrs
+        .insert_uint(
+            "side",
+            communities.iter().map(|&c| c as u64).collect(),
+        )
+        .expect("sized correctly");
+    let network = AttributedGraph::new(graph, attrs).expect("matching sizes");
+    Dataset {
+        name: "barbell",
+        network,
+        communities: Some(communities),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::analysis::{average_clustering_coefficient, components::is_connected};
+
+    #[test]
+    fn facebook_default_matches_paper_shape() {
+        let d = facebook_like(Scale::Default, 1);
+        let g = &d.network.graph;
+        assert_eq!(g.node_count(), 775);
+        assert!(is_connected(g));
+        let deg = g.average_degree();
+        assert!((12.0..45.0).contains(&deg), "avg degree {deg}");
+        let cc = average_clustering_coefficient(g);
+        assert!(cc > 0.25, "clustering {cc} too low for a Facebook stand-in");
+        assert!(d.network.attributes.contains("age"));
+    }
+
+    #[test]
+    fn yelp_attribute_is_community_correlated() {
+        let d = yelp_like(Scale::Test, 2);
+        let reviews = d.network.attributes.uint("reviews_count").unwrap();
+        let communities = d.communities.as_ref().unwrap();
+        // Mean reviews of the highest community should exceed the lowest.
+        let mean_of = |c: u32| {
+            let vals: Vec<u64> = reviews
+                .iter()
+                .zip(communities)
+                .filter(|(_, &cm)| cm == c)
+                .map(|(&r, _)| r)
+                .collect();
+            vals.iter().sum::<u64>() as f64 / vals.len() as f64
+        };
+        let max_c = *communities.iter().max().unwrap();
+        assert!(mean_of(max_c) > mean_of(0) * 2.0);
+    }
+
+    #[test]
+    fn youtube_is_sparse_low_clustering() {
+        let d = youtube_like(Scale::Test, 3);
+        let g = &d.network.graph;
+        assert!(is_connected(g));
+        assert!(g.average_degree() < 10.0);
+        let cc = average_clustering_coefficient(g);
+        assert!(cc < 0.2, "youtube stand-in clustering {cc} too high");
+        assert!(d.network.attributes.contains("uploads"));
+    }
+
+    #[test]
+    fn barbell_rows_match_table1_exactly() {
+        let d = barbell_graph();
+        let s = d.summary();
+        assert_eq!((s.nodes, s.edges, s.triangles), (100, 2451, 39_200));
+        assert!(s.average_clustering_coefficient > 0.95);
+    }
+
+    #[test]
+    fn clustered_rows_match_table1_exactly() {
+        let d = clustered_graph();
+        let s = d.summary();
+        assert_eq!((s.nodes, s.edges, s.triangles), (90, 1707, 23_780));
+        assert!(s.average_clustering_coefficient > 0.95);
+        assert_eq!(d.communities.as_ref().unwrap()[9], 0);
+        assert_eq!(d.communities.as_ref().unwrap()[10], 1);
+        assert_eq!(d.communities.as_ref().unwrap()[89], 2);
+    }
+
+    #[test]
+    fn barbell_sized_sweep() {
+        for n in [20usize, 36, 56] {
+            let d = barbell_graph_sized(n / 2, n - n / 2);
+            assert_eq!(d.node_count(), n);
+            assert!(is_connected(&d.network.graph));
+            assert_eq!(d.network.attributes.uint("side").unwrap()[0], 0);
+        }
+    }
+
+    #[test]
+    fn gplus_test_scale_is_dense() {
+        let d = gplus_like(Scale::Test, 4);
+        assert!(d.network.graph.average_degree() > 10.0);
+        assert!(is_connected(&d.network.graph));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = facebook_like(Scale::Test, 9);
+        let b = facebook_like(Scale::Test, 9);
+        assert_eq!(a.network.graph, b.network.graph);
+        assert_eq!(
+            a.network.attributes.uint("age").unwrap(),
+            b.network.attributes.uint("age").unwrap()
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Automatic burn-in selection.
+//!
+//! The paper's motivation is that burn-in dominates query cost, yet
+//! practitioners usually pick it by folklore. This module turns the Geweke
+//! diagnostic into a procedure: scan candidate burn-in lengths and return
+//! the smallest prefix whose removal makes the rest of the trace look
+//! stationary.
+
+use crate::diagnostics::geweke_z;
+
+/// Result of a burn-in scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BurnInAdvice {
+    /// Suggested number of leading samples to discard.
+    pub burn_in: usize,
+    /// Geweke z-score of the trace after discarding that prefix.
+    pub z_after: f64,
+    /// Whether any candidate satisfied the threshold (if `false`, the
+    /// returned burn-in is the largest candidate and the trace should be
+    /// considered unconverged — collect more samples instead of trusting
+    /// the estimate).
+    pub converged: bool,
+}
+
+/// Scan burn-in candidates (0%, 5%, …, 50% of the trace) and return the
+/// smallest one whose post-burn-in Geweke |z| falls below `z_threshold`
+/// (2.0 is the conventional choice).
+///
+/// Returns `None` for traces too short to diagnose (< 200 samples).
+///
+/// ```
+/// use osn_estimate::burnin::suggest_burn_in;
+/// // A trace with a decaying transient followed by stationary noise.
+/// let xs: Vec<f64> = (0..5000)
+///     .map(|i| (-(i as f64) / 200.0).exp() * 8.0 + ((i * 37) % 100) as f64 / 100.0)
+///     .collect();
+/// let advice = suggest_burn_in(&xs, 2.0).expect("long enough");
+/// assert!(advice.converged);
+/// assert!(advice.burn_in > 0);
+/// ```
+pub fn suggest_burn_in(xs: &[f64], z_threshold: f64) -> Option<BurnInAdvice> {
+    if xs.len() < 200 {
+        return None;
+    }
+    let candidates: Vec<usize> = (0..=10).map(|i| xs.len() * i / 20).collect();
+    let mut last = None;
+    for &b in &candidates {
+        let rest = &xs[b..];
+        let Some(z) = geweke_z(rest, 0.1, 0.5) else {
+            continue;
+        };
+        last = Some((b, z));
+        if z.abs() < z_threshold {
+            return Some(BurnInAdvice {
+                burn_in: b,
+                z_after: z,
+                converged: true,
+            });
+        }
+    }
+    last.map(|(b, z)| BurnInAdvice {
+        burn_in: b,
+        z_after: z,
+        converged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn stationary_trace_needs_no_burn_in() {
+        let xs = noise(10_000, 1);
+        let advice = suggest_burn_in(&xs, 2.0).unwrap();
+        assert!(advice.converged);
+        assert_eq!(advice.burn_in, 0);
+        assert!(advice.z_after.abs() < 2.0);
+    }
+
+    #[test]
+    fn transient_prefix_is_detected() {
+        // First 20% of the trace drifts from 5.0 to 0.0, then stationary.
+        let n = 10_000;
+        let mut xs = noise(n, 2);
+        for (i, x) in xs.iter_mut().take(n / 5).enumerate() {
+            *x += 5.0 * (1.0 - i as f64 / (n as f64 / 5.0));
+        }
+        let advice = suggest_burn_in(&xs, 2.0).unwrap();
+        assert!(advice.converged, "z_after = {}", advice.z_after);
+        assert!(
+            advice.burn_in >= n / 10,
+            "burn-in {} too small for a 20% transient",
+            advice.burn_in
+        );
+    }
+
+    #[test]
+    fn unconverged_trace_reports_honestly() {
+        // Monotone trend throughout: no prefix removal fixes it.
+        let xs: Vec<f64> = (0..5_000).map(|i| i as f64).collect();
+        let advice = suggest_burn_in(&xs, 2.0).unwrap();
+        assert!(!advice.converged);
+        assert!(advice.z_after.abs() >= 2.0);
+    }
+
+    #[test]
+    fn short_traces_rejected() {
+        assert_eq!(suggest_burn_in(&[1.0; 50], 2.0), None);
+    }
+
+    #[test]
+    fn walk_trace_integration() {
+        // A real walk on a barbell starting deep in one bell: the indicator
+        // "in right bell" has a transient prefix of zeros.
+        use osn_graph::generators::barbell;
+        let g = barbell(15, 15).unwrap();
+        // Build the f-sequence from a deterministic pseudo-walk: emulate by
+        // concatenating 1500 zeros (trapped) then alternating-bell noise.
+        let _ = g; // topology informs the scenario; sequence suffices here
+        let mut xs = vec![0.0; 1500];
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        xs.extend((0..6000).map(|_| if rng.gen::<bool>() { 1.0 } else { 0.0 }));
+        let advice = suggest_burn_in(&xs, 2.0).unwrap();
+        assert!(advice.burn_in >= 1125, "burn-in {}", advice.burn_in);
+    }
+}

@@ -1,0 +1,150 @@
+//! Convergence diagnostics for choosing burn-in.
+//!
+//! The paper's whole premise is that the burn-in period dominates query
+//! cost. These diagnostics quantify, from traces alone, whether a walk has
+//! burned in — the practical tool a user of this library needs to decide how
+//! much prefix to discard.
+
+/// Geweke z-score: compares the mean of the first `first_frac` of a trace
+/// against the mean of the last `last_frac`, normalized by their (batch-mean
+/// estimated) standard errors. |z| ≲ 2 is consistent with convergence.
+///
+/// Returns `None` for traces too short to split meaningfully.
+pub fn geweke_z(xs: &[f64], first_frac: f64, last_frac: f64) -> Option<f64> {
+    let n = xs.len();
+    if n < 100 || !(0.0..=1.0).contains(&first_frac) || !(0.0..=1.0).contains(&last_frac) {
+        return None;
+    }
+    let n_first = ((n as f64) * first_frac) as usize;
+    let n_last = ((n as f64) * last_frac) as usize;
+    if n_first < 20 || n_last < 20 || n_first + n_last > n {
+        return None;
+    }
+    let first = &xs[..n_first];
+    let last = &xs[n - n_last..];
+    let se = |seg: &[f64]| -> Option<f64> {
+        let batches = (seg.len() as f64).sqrt() as usize;
+        let v = crate::variance::batch_means_variance(seg, batches.clamp(2, 50))?;
+        Some((v / seg.len() as f64).sqrt())
+    };
+    let m1 = first.iter().sum::<f64>() / n_first as f64;
+    let m2 = last.iter().sum::<f64>() / n_last as f64;
+    let se1 = se(first)?;
+    let se2 = se(last)?;
+    let denom = (se1 * se1 + se2 * se2).sqrt();
+    if denom == 0.0 {
+        return Some(0.0);
+    }
+    Some((m1 - m2) / denom)
+}
+
+/// Split-chain potential scale reduction factor (R-hat, Gelman–Rubin).
+///
+/// Each chain is split in half (catching within-chain drift); R-hat near 1
+/// indicates the chains agree. Values above ~1.05 mean more burn-in is
+/// needed.
+///
+/// Returns `None` with fewer than 2 chains or chains shorter than 8.
+pub fn split_rhat(chains: &[Vec<f64>]) -> Option<f64> {
+    if chains.len() < 2 || chains.iter().any(|c| c.len() < 8) {
+        return None;
+    }
+    // Truncate to the shortest even length and split each chain in two.
+    let min_len = chains.iter().map(Vec::len).min().unwrap() & !1;
+    let halves: Vec<&[f64]> = chains
+        .iter()
+        .flat_map(|c| {
+            let c = &c[..min_len];
+            [&c[..min_len / 2], &c[min_len / 2..]]
+        })
+        .collect();
+    let m = halves.len() as f64;
+    let n = (min_len / 2) as f64;
+
+    let means: Vec<f64> = halves
+        .iter()
+        .map(|h| h.iter().sum::<f64>() / n)
+        .collect();
+    let grand = means.iter().sum::<f64>() / m;
+    let b = n / (m - 1.0)
+        * means
+            .iter()
+            .map(|&x| (x - grand) * (x - grand))
+            .sum::<f64>();
+    let w = halves
+        .iter()
+        .zip(&means)
+        .map(|(h, &mu)| {
+            h.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n - 1.0)
+        })
+        .sum::<f64>()
+        / m;
+    if w == 0.0 {
+        // All halves constant: identical chains -> perfectly converged.
+        return Some(1.0);
+    }
+    let var_plus = (n - 1.0) / n * w + b / n;
+    Some((var_plus / w).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    fn noise(n: usize, seed: u64, offset: f64) -> Vec<f64> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() + offset).collect()
+    }
+
+    #[test]
+    fn geweke_small_for_stationary_trace() {
+        let xs = noise(10_000, 1, 0.0);
+        let z = geweke_z(&xs, 0.1, 0.5).unwrap();
+        assert!(z.abs() < 3.0, "z = {z}");
+    }
+
+    #[test]
+    fn geweke_flags_drift() {
+        // Strong upward trend: early mean far below late mean.
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let z = geweke_z(&xs, 0.1, 0.5).unwrap();
+        assert!(z.abs() > 5.0, "z = {z} should flag the trend");
+    }
+
+    #[test]
+    fn geweke_rejects_bad_inputs() {
+        assert_eq!(geweke_z(&[1.0; 50], 0.1, 0.5), None);
+        let xs = noise(1000, 2, 0.0);
+        assert_eq!(geweke_z(&xs, 0.9, 0.9), None);
+        assert_eq!(geweke_z(&xs, -0.1, 0.5), None);
+    }
+
+    #[test]
+    fn rhat_near_one_for_agreeing_chains() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| noise(5000, s, 0.0)).collect();
+        let r = split_rhat(&chains).unwrap();
+        assert!((r - 1.0).abs() < 0.02, "R-hat {r}");
+    }
+
+    #[test]
+    fn rhat_large_for_disagreeing_chains() {
+        let mut chains: Vec<Vec<f64>> = (0..3).map(|s| noise(5000, s, 0.0)).collect();
+        chains.push(noise(5000, 9, 5.0)); // one chain stuck elsewhere
+        let r = split_rhat(&chains).unwrap();
+        assert!(r > 1.5, "R-hat {r} should flag disagreement");
+    }
+
+    #[test]
+    fn rhat_rejects_degenerate_input() {
+        assert_eq!(split_rhat(&[vec![1.0; 100]]), None);
+        assert_eq!(split_rhat(&[vec![1.0; 4], vec![1.0; 4]]), None);
+    }
+
+    #[test]
+    fn rhat_constant_chains_is_one() {
+        let chains = vec![vec![2.0; 100], vec![2.0; 100]];
+        assert_eq!(split_rhat(&chains), Some(1.0));
+    }
+}

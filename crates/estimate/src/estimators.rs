@@ -1,0 +1,232 @@
+//! Aggregate estimators over random-walk samples.
+//!
+//! The population target is a mean/sum/count of `f(v)` over **all nodes**.
+//! SRW-family samples arrive with probability `pi(v) = k_v / 2|E|`; the
+//! standard correction is the self-normalizing importance (ratio) estimator
+//!
+//! `µ̂ = ( Σ f(v_i) / k_{v_i} ) / ( Σ 1 / k_{v_i} )`
+//!
+//! which is consistent for the population mean of `f` without knowing `|E|`
+//! or `|V|` — only per-sample degrees, which the interface returns with each
+//! query. For the *average degree* target (`f(v) = k_v`) this reduces to the
+//! harmonic-mean estimator `n / Σ (1/k_i)` used throughout the paper's
+//! Figure 6/7 experiments.
+
+use osn_graph::NodeId;
+
+/// Self-normalizing ratio estimator for degree-proportional samples.
+///
+/// Push `(f(v), k_v)` pairs as the walk visits nodes; read
+/// [`mean`](Self::mean) at any time. `O(1)` memory.
+///
+/// ```
+/// use osn_estimate::RatioEstimator;
+/// let mut est = RatioEstimator::new();
+/// // Node with value 10 and degree 2, visited twice (it is twice as
+/// // likely to be sampled as the degree-1 node below)...
+/// est.push(10.0, 2);
+/// est.push(10.0, 2);
+/// // ...and a node with value 40 and degree 1, visited once.
+/// est.push(40.0, 1);
+/// // The reweighted mean recovers the population mean (10 + 40) / 2.
+/// assert_eq!(est.mean(), Some(25.0));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RatioEstimator {
+    weighted_sum: f64,   // Σ f(v)/k_v
+    weight_total: f64,   // Σ 1/k_v
+    count: usize,
+}
+
+impl RatioEstimator {
+    /// New empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample with value `f_v` and degree `k_v`.
+    ///
+    /// Samples with zero degree are ignored (they cannot occur under any
+    /// SRW-family stationary distribution).
+    pub fn push(&mut self, f_v: f64, k_v: usize) {
+        if k_v == 0 {
+            return;
+        }
+        let w = 1.0 / k_v as f64;
+        self.weighted_sum += f_v * w;
+        self.weight_total += w;
+        self.count += 1;
+    }
+
+    /// Record a whole trace: `nodes` with a value function and degree lookup.
+    pub fn push_trace<'a, I, F, D>(&mut self, nodes: I, mut f: F, mut degree: D)
+    where
+        I: IntoIterator<Item = &'a NodeId>,
+        F: FnMut(NodeId) -> f64,
+        D: FnMut(NodeId) -> usize,
+    {
+        for &v in nodes {
+            self.push(f(v), degree(v));
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The estimated population mean of `f`; `None` before any sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.weight_total > 0.0).then(|| self.weighted_sum / self.weight_total)
+    }
+
+    /// Estimated population SUM given the (known or separately estimated)
+    /// population size `n`.
+    pub fn sum(&self, n: usize) -> Option<f64> {
+        self.mean().map(|m| m * n as f64)
+    }
+
+    /// Estimated average degree from the same samples: `count / Σ(1/k)`.
+    /// (The ratio estimator with `f(v) = k_v`.)
+    pub fn average_degree(&self) -> Option<f64> {
+        (self.weight_total > 0.0).then(|| self.count as f64 / self.weight_total)
+    }
+
+    /// Merge another estimator's accumulations into this one (for combining
+    /// independent walks).
+    pub fn merge(&mut self, other: &RatioEstimator) {
+        self.weighted_sum += other.weighted_sum;
+        self.weight_total += other.weight_total;
+        self.count += other.count;
+    }
+}
+
+/// Plain mean estimator for uniform samples (MHRW).
+#[derive(Clone, Debug, Default)]
+pub struct UniformMeanEstimator {
+    sum: f64,
+    count: usize,
+}
+
+impl UniformMeanEstimator {
+    /// New empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample value.
+    pub fn push(&mut self, f_v: f64) {
+        self.sum += f_v;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The sample mean; `None` before any sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Merge another estimator.
+    pub fn merge(&mut self, other: &UniformMeanEstimator) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_estimator_exact_on_full_stationary_pass() {
+        // Feed each node of a small graph exactly proportional to its
+        // degree; the ratio estimator must recover the exact population
+        // mean. Degrees: [3, 2, 2, 1]; f = [10, 20, 30, 40].
+        let degrees = [3usize, 2, 2, 1];
+        let f = [10.0, 20.0, 30.0, 40.0];
+        let mut est = RatioEstimator::new();
+        for (i, &k) in degrees.iter().enumerate() {
+            for _ in 0..k {
+                est.push(f[i], k); // k visits per node ~ pi(v) ∝ k_v
+            }
+        }
+        let mean = est.mean().unwrap();
+        let expected = (10.0 + 20.0 + 30.0 + 40.0) / 4.0;
+        assert!((mean - expected).abs() < 1e-12, "{mean} vs {expected}");
+        // SUM with n = 4.
+        assert!((est.sum(4).unwrap() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_degree_is_harmonic_corrected() {
+        // Degrees [4, 1]: degree-proportional sampling visits node0 4x,
+        // node1 1x. True average degree = 2.5.
+        let mut est = RatioEstimator::new();
+        for _ in 0..4 {
+            est.push(4.0, 4);
+        }
+        est.push(1.0, 1);
+        assert!((est.average_degree().unwrap() - 2.5).abs() < 1e-12);
+        // And the generic mean with f = degree agrees.
+        assert!((est.mean().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_degree_samples_ignored() {
+        let mut est = RatioEstimator::new();
+        est.push(99.0, 0);
+        assert_eq!(est.count(), 0);
+        assert_eq!(est.mean(), None);
+        assert_eq!(est.average_degree(), None);
+        assert_eq!(est.sum(10), None);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = RatioEstimator::new();
+        let mut b = RatioEstimator::new();
+        let mut whole = RatioEstimator::new();
+        for (f, k) in [(1.0, 1), (2.0, 2), (3.0, 3), (4.0, 4)] {
+            whole.push(f, k);
+        }
+        a.push(1.0, 1);
+        a.push(2.0, 2);
+        b.push(3.0, 3);
+        b.push(4.0, 4);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn push_trace_uses_lookups() {
+        let nodes = [NodeId(0), NodeId(1), NodeId(0)];
+        let mut est = RatioEstimator::new();
+        est.push_trace(
+            nodes.iter(),
+            |v| v.index() as f64 * 10.0,
+            |v| if v.index() == 0 { 2 } else { 1 },
+        );
+        assert_eq!(est.count(), 3);
+        // Σ f/k = 0/2 + 10/1 + 0/2 = 10; Σ 1/k = 0.5 + 1 + 0.5 = 2.
+        assert!((est.mean().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_mean_basics() {
+        let mut est = UniformMeanEstimator::new();
+        assert_eq!(est.mean(), None);
+        est.push(2.0);
+        est.push(4.0);
+        assert_eq!(est.count(), 2);
+        assert!((est.mean().unwrap() - 3.0).abs() < 1e-12);
+        let mut other = UniformMeanEstimator::new();
+        other.push(6.0);
+        est.merge(&other);
+        assert!((est.mean().unwrap() - 4.0).abs() < 1e-12);
+    }
+}

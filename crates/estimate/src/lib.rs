@@ -1,0 +1,37 @@
+//! # osn-estimate
+//!
+//! Turning random-walk traces into statistics, and measuring how good they
+//! are — the paper's §2.3 measurement apparatus:
+//!
+//! * [`estimators`] — aggregate estimation from biased samples. Samplers in
+//!   the SRW family select nodes with probability proportional to degree;
+//!   the importance-reweighted (Hansen–Hurwitz / respondent-driven-sampling)
+//!   ratio estimator corrects that bias. MHRW samples are uniform and use
+//!   the plain mean.
+//! * [`metrics`] — sampling-bias measures: the paper's symmetric
+//!   KL-divergence, `ℓ2` distance, plus total variation and relative error;
+//!   [`metrics::EmpiricalDistribution`] accumulates
+//!   visit counts across walks.
+//! * [`variance`] — asymptotic-variance estimation from a single trace
+//!   (batch means / overlapping batch means), the empirical counterpart of
+//!   Definition 3.
+//! * [`diagnostics`] — convergence diagnostics (Geweke z-score, multi-chain
+//!   split R-hat);
+//! * [`burnin`] — automatic burn-in selection built on the diagnostics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burnin;
+pub mod diagnostics;
+pub mod estimators;
+pub mod metrics;
+pub mod variance;
+
+pub use burnin::{suggest_burn_in, BurnInAdvice};
+pub use estimators::{RatioEstimator, UniformMeanEstimator};
+pub use metrics::{
+    kl_divergence, l2_distance, relative_error, symmetric_kl, total_variation,
+    EmpiricalDistribution,
+};
+pub use variance::{batch_means_variance, overlapping_batch_means_variance};

@@ -1,0 +1,123 @@
+//! Figure 10 — the "ill-formed" clustered graph (three cliques of 10/30/50
+//! chained by bridges): KL divergence, ℓ2 distance and estimation error vs
+//! query cost for SRW / NB-SRW / CNRW / GNRW.
+//!
+//! Small conductance makes burn-in maximally expensive; this is where
+//! history-aware transitions pay off most.
+
+use std::sync::Arc;
+
+use osn_datasets::clustered_graph;
+
+use crate::algorithms::Algorithm;
+use crate::output::{ExperimentResult, Series};
+use crate::sweeps::{bias_vs_budget, SweepConfig};
+
+/// Configuration for the Figure 10 reproduction.
+#[derive(Clone, Debug)]
+pub struct Fig10Config {
+    /// Sweep parameters (paper: budgets 20..140).
+    pub sweep: SweepConfig,
+}
+
+impl Default for Fig10Config {
+    fn default() -> Self {
+        Fig10Config {
+            sweep: SweepConfig::small_graph(1500, 0x000F_1610),
+        }
+    }
+}
+
+impl Fig10Config {
+    /// Reduced profile for CI and quick runs.
+    pub fn quick() -> Self {
+        Fig10Config {
+            sweep: SweepConfig {
+                budgets: vec![20, 60],
+                trials: 24,
+                seed: 0x000F_1610,
+                threads: crate::runner::default_threads(),
+            },
+        }
+    }
+}
+
+/// The three panels of Figure 10.
+pub struct Fig10Results {
+    /// 10a: KL divergence vs query cost.
+    pub kl: ExperimentResult,
+    /// 10b: ℓ2 distance vs query cost.
+    pub l2: ExperimentResult,
+    /// 10c: estimation error vs query cost.
+    pub error: ExperimentResult,
+}
+
+/// Run all three panels.
+pub fn run(config: &Fig10Config) -> Fig10Results {
+    let network = Arc::new(clustered_graph().network);
+    let algorithms = Algorithm::srw_family_set();
+    let xs: Vec<f64> = config.sweep.budgets.iter().map(|&b| b as f64).collect();
+
+    let mut kl = ExperimentResult::new(
+        "fig10a",
+        "Clustered graph: KL divergence",
+        "Query Cost",
+        "KL-Divergence",
+    );
+    let mut l2 = ExperimentResult::new(
+        "fig10b",
+        "Clustered graph: l2 distance",
+        "Query Cost",
+        "2-Norm Distance",
+    );
+    let mut error = ExperimentResult::new(
+        "fig10c",
+        "Clustered graph: estimation error (average degree)",
+        "Query Cost",
+        "Relative Error",
+    );
+    let note = format!(
+        "clustered graph: cliques 10/30/50, 90 nodes, 1707 edges (paper-exact); {} trials/point",
+        config.sweep.trials
+    );
+    kl.notes.push(note.clone());
+    l2.notes.push(note.clone());
+    error.notes.push(note);
+
+    for alg in &algorithms {
+        let m = bias_vs_budget(network.clone(), alg, &config.sweep);
+        kl.series.push(Series::new(alg.label(), xs.clone(), m.kl));
+        l2.series.push(Series::new(alg.label(), xs.clone(), m.l2));
+        error.series.push(Series::new(alg.label(), xs.clone(), m.error));
+    }
+    Fig10Results { kl, l2, error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_history_advantage() {
+        let r = run(&Fig10Config::quick());
+        for panel in [&r.kl, &r.l2, &r.error] {
+            assert_eq!(panel.series.len(), 4);
+        }
+        // On the ill-formed graph CNRW must not lose to SRW on KL.
+        let auc = |label: &str| r.kl.series_by_label(label).unwrap().auc();
+        assert!(
+            auc("CNRW") < auc("SRW") * 1.05,
+            "CNRW {} vs SRW {}",
+            auc("CNRW"),
+            auc("SRW")
+        );
+    }
+
+    #[test]
+    fn metrics_shrink_with_budget() {
+        let r = run(&Fig10Config::quick());
+        for s in &r.kl.series {
+            assert!(s.y[1] < s.y[0], "{}: {:?}", s.label, s.y);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # osn-experiments
+//!
+//! The experiment harness regenerating **every table and figure** of the
+//! paper's evaluation (§6). Each `figN` module exposes a config struct (with
+//! paper-faithful defaults and a `quick()` profile for CI) and a `run`
+//! function returning an [`output::ExperimentResult`] that renders as a
+//! markdown table, CSV, or JSON.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — dataset summary statistics |
+//! | [`fig6`] | Figure 6 — Google Plus: avg-degree relative error vs query cost, 5 algorithms |
+//! | [`fig7`] | Figure 7 — Facebook KL / ℓ2 / error vs cost; Youtube error vs cost |
+//! | [`fig8`] | Figure 8 — sampling distribution vs theoretical, nodes ordered by degree |
+//! | [`fig9`] | Figure 9 — Yelp: GNRW grouping strategies per aggregate |
+//! | [`fig10`] | Figure 10 — clustered graph: KL / ℓ2 / error vs cost |
+//! | [`fig11`] | Figure 11 — barbell sweep: KL / ℓ2 / error vs graph size |
+//! | [`theorem3`] | Theorem 3 — barbell escape: hitting times and bound |
+//! | [`ablation`] | §3.2 ablation — edge-keyed vs node-keyed circulation |
+//!
+//! All runs are seeded and deterministic (including under parallelism: trial
+//! seeds are derived, not scheduler-dependent).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod algorithms;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod output;
+pub mod runner;
+pub mod sweeps;
+pub mod table1;
+pub mod theorem3;
+
+pub use algorithms::{Algorithm, GroupingSpec};
+pub use output::{ExperimentResult, Series};
+pub use runner::{parallel_map, trial_seed, TrialPlan};

@@ -1,0 +1,223 @@
+//! Trial execution: deterministic seeding, budget-limited walks, and
+//! thread-parallel replication.
+
+use std::sync::Arc;
+
+use osn_client::{BudgetedClient, SimulatedOsn};
+use osn_graph::attributes::AttributedGraph;
+use osn_graph::NodeId;
+use osn_walks::{WalkConfig, WalkSession, WalkTrace};
+
+use crate::algorithms::Algorithm;
+
+/// Derive a per-trial seed from an experiment seed and trial index with
+/// SplitMix64 mixing. Stable across platforms and thread schedules.
+pub fn trial_seed(experiment_seed: u64, trial: u64) -> u64 {
+    let mut z = experiment_seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(trial + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The plan for one budget-limited walk trial over a shared snapshot.
+#[derive(Clone)]
+pub struct TrialPlan {
+    /// The snapshot every trial runs against (shared, never copied).
+    pub network: Arc<AttributedGraph>,
+    /// Unique-query budget (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Hard step cap (protects unlimited-budget walks; also bounds the time
+    /// a budget-limited walk spends revisiting cached nodes).
+    pub max_steps: usize,
+}
+
+impl TrialPlan {
+    /// Plan over a snapshot with a budget and a step cap proportional to it.
+    pub fn budgeted(network: Arc<AttributedGraph>, budget: u64) -> Self {
+        // Once the budget is exhausted a walk can only revisit cached nodes;
+        // the paper's samplers stop there. A generous multiple bounds the
+        // tail where the walk bounces among cached nodes before touching a
+        // new one.
+        let max_steps = (budget as usize).saturating_mul(50).max(10_000);
+        TrialPlan {
+            network,
+            budget: Some(budget),
+            max_steps,
+        }
+    }
+
+    /// Plan with no budget, only a step count (Figure 8-style runs).
+    pub fn steps(network: Arc<AttributedGraph>, max_steps: usize) -> Self {
+        TrialPlan {
+            network,
+            budget: None,
+            max_steps,
+        }
+    }
+
+    /// Uniformly random start node for the given trial seed.
+    pub fn start_node(&self, seed: u64) -> NodeId {
+        let n = self.network.graph.node_count() as u64;
+        NodeId((trial_seed(seed, 0xdead_beef) % n) as u32)
+    }
+
+    /// Run one trial of `algorithm` with the given seed, returning the trace.
+    pub fn run(&self, algorithm: &Algorithm, seed: u64) -> WalkTrace {
+        let start = self.start_node(seed);
+        let mut walker = algorithm.make(start);
+        let config = WalkConfig::steps(self.max_steps).with_seed(seed);
+        let session = WalkSession::new(config);
+        match self.budget {
+            Some(b) => {
+                let inner = SimulatedOsn::new_shared(self.network.clone());
+                let n = self.network.graph.node_count();
+                let mut client = BudgetedClient::new(inner, b, n);
+                session.run(walker.as_mut(), &mut client)
+            }
+            None => {
+                let mut client = SimulatedOsn::new_shared(self.network.clone());
+                session.run(walker.as_mut(), &mut client)
+            }
+        }
+    }
+}
+
+/// Map `f` over `0..count` using up to `threads` OS threads (crossbeam
+/// scoped), preserving output order. Results are deterministic because every
+/// trial derives its own seed — thread scheduling cannot reorder randomness.
+pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        // Workers pull indices from a shared counter and return
+        // (index, value) pairs; the scatter happens after the join.
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("worker panicked") {
+                results[i] = Some(v);
+            }
+        }
+    })
+    .expect("scope panicked");
+    results
+        .into_iter()
+        .map(|o| o.expect("all indices computed"))
+        .collect()
+}
+
+/// Default worker count: physical parallelism minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_datasets::{facebook_like, Scale};
+    use osn_walks::WalkStop;
+
+    fn shared_net() -> Arc<AttributedGraph> {
+        Arc::new(facebook_like(Scale::Test, 1).network)
+    }
+
+    #[test]
+    fn trial_seeds_are_spread() {
+        let a = trial_seed(1, 0);
+        let b = trial_seed(1, 1);
+        let c = trial_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(trial_seed(1, 0), a);
+    }
+
+    #[test]
+    fn budgeted_trial_stops_on_budget() {
+        let plan = TrialPlan::budgeted(shared_net(), 30);
+        let trace = plan.run(&Algorithm::Srw, 5);
+        assert_eq!(trace.stop, WalkStop::BudgetExhausted);
+        assert!(trace.stats.unique <= 30);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn unbudgeted_trial_runs_exact_steps() {
+        let plan = TrialPlan::steps(shared_net(), 500);
+        let trace = plan.run(&Algorithm::Cnrw, 6);
+        assert_eq!(trace.len(), 500);
+        assert_eq!(trace.stop, WalkStop::MaxSteps);
+    }
+
+    #[test]
+    fn trials_deterministic_per_seed() {
+        let plan = TrialPlan::budgeted(shared_net(), 50);
+        let a = plan.run(&Algorithm::Cnrw, 7);
+        let b = plan.run(&Algorithm::Cnrw, 7);
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn different_trials_start_differently_often() {
+        let plan = TrialPlan::budgeted(shared_net(), 10);
+        let starts: std::collections::HashSet<u32> =
+            (0..20).map(|t| plan.start_node(trial_seed(3, t)).0).collect();
+        assert!(starts.len() > 5, "starts not spread: {starts:?}");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_values() {
+        let out = parallel_map(100, 4, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread_path() {
+        assert_eq!(parallel_map(3, 1, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let plan = TrialPlan::budgeted(shared_net(), 20);
+        let serial: Vec<u64> = (0..8)
+            .map(|t| plan.run(&Algorithm::Srw, trial_seed(9, t)).stats.unique)
+            .collect();
+        let plan2 = plan.clone();
+        let parallel: Vec<u64> = parallel_map(8, 4, move |t| {
+            plan2
+                .run(&Algorithm::Srw, trial_seed(9, t as u64))
+                .stats
+                .unique
+        });
+        assert_eq!(serial, parallel);
+    }
+}

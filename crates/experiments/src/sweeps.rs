@@ -1,0 +1,299 @@
+//! Shared sweep machinery: most figures are "metric vs unique-query budget,
+//! one curve per algorithm" — this module implements that once.
+
+use std::sync::Arc;
+
+use osn_estimate::estimators::{RatioEstimator, UniformMeanEstimator};
+use osn_estimate::metrics::{l2_distance, relative_error, symmetric_kl, EmpiricalDistribution};
+use osn_graph::attributes::AttributedGraph;
+use osn_graph::NodeId;
+
+use crate::algorithms::Algorithm;
+use crate::output::Series;
+use crate::runner::{parallel_map, trial_seed, TrialPlan};
+
+/// Replication parameters shared by the budget-sweep experiments.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Unique-query budgets to sweep (the x axis).
+    pub budgets: Vec<u64>,
+    /// Independent trials per (algorithm, budget) point.
+    pub trials: usize,
+    /// Experiment seed (trial seeds derive from it).
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// Budgets 20..=140 step 20 (paper Figure 7/10 x-range).
+    pub fn small_graph(trials: usize, seed: u64) -> Self {
+        SweepConfig {
+            budgets: (1..=7).map(|i| i * 20).collect(),
+            trials,
+            seed,
+            threads: crate::runner::default_threads(),
+        }
+    }
+
+    /// Budgets 100..=1000 step 100 (paper Figure 6 x-range).
+    pub fn large_graph(trials: usize, seed: u64) -> Self {
+        SweepConfig {
+            budgets: (1..=10).map(|i| i * 100).collect(),
+            trials,
+            seed,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+/// What the samples are used to estimate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AggregateTarget {
+    /// The average degree over all nodes (Figures 6, 7, 9a, 10, 11).
+    AverageDegree,
+    /// The population mean of a node attribute (Figure 9b).
+    AttributeMean(String),
+}
+
+impl AggregateTarget {
+    /// Ground truth over the whole network.
+    pub fn truth(&self, network: &AttributedGraph) -> f64 {
+        match self {
+            AggregateTarget::AverageDegree => network.graph.average_degree(),
+            AggregateTarget::AttributeMean(name) => network
+                .attributes
+                .population_mean(name)
+                .expect("attribute exists"),
+        }
+    }
+
+    /// Value of one node.
+    pub fn value(&self, network: &AttributedGraph, v: NodeId) -> f64 {
+        match self {
+            AggregateTarget::AverageDegree => network.graph.degree(v) as f64,
+            AggregateTarget::AttributeMean(name) => network
+                .attributes
+                .value_f64(name, v)
+                .expect("attribute exists"),
+        }
+    }
+}
+
+/// Estimate the target from one trace and return the relative error.
+fn trial_error(
+    plan: &TrialPlan,
+    algorithm: &Algorithm,
+    target: &AggregateTarget,
+    truth: f64,
+    seed: u64,
+) -> f64 {
+    let trace = plan.run(algorithm, seed);
+    let network = &plan.network;
+    let estimate = if algorithm.uniform_stationary() {
+        let mut est = UniformMeanEstimator::new();
+        for &v in trace.nodes() {
+            est.push(target.value(network, v));
+        }
+        est.mean()
+    } else {
+        let mut est = RatioEstimator::new();
+        for &v in trace.nodes() {
+            est.push(target.value(network, v), network.graph.degree(v));
+        }
+        est.mean()
+    };
+    match estimate {
+        Some(e) => relative_error(e, truth),
+        None => 1.0, // empty trace: max error
+    }
+}
+
+/// "Relative error vs budget" curves, one per algorithm — the Figure 6/7c/9
+/// shape. The y value at each budget is the mean relative error over
+/// `trials` independent walks.
+pub fn error_vs_budget(
+    network: Arc<AttributedGraph>,
+    algorithms: &[Algorithm],
+    target: &AggregateTarget,
+    config: &SweepConfig,
+) -> Vec<Series> {
+    let truth = target.truth(&network);
+    algorithms
+        .iter()
+        .map(|alg| {
+            let ys: Vec<f64> = config
+                .budgets
+                .iter()
+                .map(|&budget| {
+                    let plan = TrialPlan::budgeted(network.clone(), budget);
+                    let errors = parallel_map(config.trials, config.threads, |t| {
+                        trial_error(
+                            &plan,
+                            alg,
+                            target,
+                            truth,
+                            trial_seed(config.seed ^ budget, t as u64),
+                        )
+                    });
+                    errors.iter().sum::<f64>() / errors.len() as f64
+                })
+                .collect();
+            Series::new(
+                alg.label(),
+                config.budgets.iter().map(|&b| b as f64).collect(),
+                ys,
+            )
+        })
+        .collect()
+}
+
+/// The three distribution-bias metrics of Figures 7a–c/10/11 computed in one
+/// pass: symmetric KL divergence, ℓ2 distance (both between the pooled
+/// empirical sampling distribution and the theoretical `k_v / 2|E|`), and
+/// mean relative error of the average-degree estimate.
+pub struct BiasMetrics {
+    /// Symmetric KL divergence per budget.
+    pub kl: Vec<f64>,
+    /// ℓ2 distance per budget.
+    pub l2: Vec<f64>,
+    /// Mean relative error per budget.
+    pub error: Vec<f64>,
+}
+
+/// Run the bias sweep for one algorithm.
+pub fn bias_vs_budget(
+    network: Arc<AttributedGraph>,
+    algorithm: &Algorithm,
+    config: &SweepConfig,
+) -> BiasMetrics {
+    let n = network.graph.node_count();
+    let target_dist = network.graph.degree_stationary_distribution();
+    let target = AggregateTarget::AverageDegree;
+    let truth = target.truth(&network);
+
+    let mut kl = Vec::with_capacity(config.budgets.len());
+    let mut l2 = Vec::with_capacity(config.budgets.len());
+    let mut error = Vec::with_capacity(config.budgets.len());
+
+    for &budget in &config.budgets {
+        let plan = TrialPlan::budgeted(network.clone(), budget);
+        let per_trial = parallel_map(config.trials, config.threads, |t| {
+            let seed = trial_seed(config.seed ^ budget, t as u64);
+            let trace = plan.run(algorithm, seed);
+            let mut dist = EmpiricalDistribution::new(n);
+            dist.record_all(trace.nodes());
+            let mut est = RatioEstimator::new();
+            for &v in trace.nodes() {
+                est.push(
+                    plan.network.graph.degree(v) as f64,
+                    plan.network.graph.degree(v),
+                );
+            }
+            let err = est
+                .mean()
+                .map(|e| relative_error(e, truth))
+                .unwrap_or(1.0);
+            (dist, err)
+        });
+        let mut pooled = EmpiricalDistribution::new(n);
+        let mut err_sum = 0.0;
+        for (dist, err) in &per_trial {
+            pooled.merge(dist);
+            err_sum += err;
+        }
+        let empirical_smoothed = pooled.probabilities_smoothed(0.5);
+        let empirical_raw = pooled.probabilities();
+        kl.push(symmetric_kl(&target_dist, &empirical_smoothed));
+        l2.push(l2_distance(&target_dist, &empirical_raw));
+        error.push(err_sum / per_trial.len() as f64);
+    }
+    BiasMetrics { kl, l2, error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_datasets::{facebook_like, Scale};
+
+    fn net() -> Arc<AttributedGraph> {
+        Arc::new(facebook_like(Scale::Test, 1).network)
+    }
+
+    fn quick_config() -> SweepConfig {
+        SweepConfig {
+            budgets: vec![20, 60],
+            trials: 8,
+            seed: 42,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn error_sweep_shapes() {
+        let series = error_vs_budget(
+            net(),
+            &[Algorithm::Srw, Algorithm::Cnrw],
+            &AggregateTarget::AverageDegree,
+            &quick_config(),
+        );
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.len(), 2);
+            assert!(s.y.iter().all(|&e| (0.0..=2.0).contains(&e)), "{:?}", s.y);
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_budget_on_average() {
+        let mut config = quick_config();
+        config.budgets = vec![10, 150];
+        config.trials = 24;
+        let series = error_vs_budget(
+            net(),
+            &[Algorithm::Srw],
+            &AggregateTarget::AverageDegree,
+            &config,
+        );
+        let y = &series[0].y;
+        assert!(
+            y[1] < y[0],
+            "error should shrink with budget: {y:?}"
+        );
+    }
+
+    #[test]
+    fn bias_sweep_metrics_finite_and_positive() {
+        // Wide budget spread: at tiny budgets tight-community graphs can
+        // show non-monotone pooled KL (see fig10 notes), but 20 -> 150 on a
+        // 200-node graph must shrink.
+        let mut config = quick_config();
+        config.budgets = vec![20, 150];
+        let m = bias_vs_budget(net(), &Algorithm::Cnrw, &config);
+        assert_eq!(m.kl.len(), 2);
+        for v in m.kl.iter().chain(&m.l2).chain(&m.error) {
+            assert!(v.is_finite() && *v >= 0.0, "metric {v}");
+        }
+        // More budget -> pooled distribution closer to target.
+        assert!(m.kl[1] < m.kl[0], "KL should shrink: {:?}", m.kl);
+    }
+
+    #[test]
+    fn attribute_target_reads_attributes() {
+        let network = net();
+        let t = AggregateTarget::AttributeMean("age".to_string());
+        let truth = t.truth(&network);
+        assert!(truth > 0.0);
+        let v = t.value(&network, NodeId(0));
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn sweep_config_presets() {
+        let s = SweepConfig::small_graph(10, 1);
+        assert_eq!(s.budgets, vec![20, 40, 60, 80, 100, 120, 140]);
+        let l = SweepConfig::large_graph(10, 1);
+        assert_eq!(l.budgets.len(), 10);
+        assert_eq!(*l.budgets.last().unwrap(), 1000);
+    }
+}

@@ -1,0 +1,178 @@
+//! Clustering coefficients and triangle counting.
+
+use crate::{CsrGraph, NodeId};
+
+/// Number of edges among the neighbors of `v` (i.e. triangles through `v`).
+///
+/// Uses sorted-list intersection between `N(v)` and each neighbor's list,
+/// counting each neighbor-pair edge once.
+fn links_among_neighbors(graph: &CsrGraph, v: NodeId) -> u64 {
+    let ns = graph.neighbors(v);
+    let mut links = 0u64;
+    for (i, &u) in ns.iter().enumerate() {
+        // Intersect ns[i+1..] with N(u) by merge; both are sorted.
+        let rest = &ns[i + 1..];
+        let nu = graph.neighbors(u);
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < rest.len() && b < nu.len() {
+            match rest[a].cmp(&nu[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    links += 1;
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Local clustering coefficient of `v`:
+/// `2 * links_among_neighbors / (k_v (k_v - 1))`, and 0 when `k_v < 2`.
+pub fn local_clustering_coefficient(graph: &CsrGraph, v: NodeId) -> f64 {
+    let k = graph.degree(v);
+    if k < 2 {
+        return 0.0;
+    }
+    let links = links_among_neighbors(graph, v);
+    2.0 * links as f64 / (k as f64 * (k as f64 - 1.0))
+}
+
+/// Average of local clustering coefficients over all nodes (the "average
+/// clustering coefficient" column of the paper's Table 1; nodes with degree
+/// < 2 contribute 0).
+pub fn average_clustering_coefficient(graph: &CsrGraph) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = graph
+        .nodes()
+        .map(|v| local_clustering_coefficient(graph, v))
+        .sum();
+    sum / graph.node_count() as f64
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 * triangles / open-or-closed wedges`.
+pub fn global_clustering_coefficient(graph: &CsrGraph) -> f64 {
+    let triangles = triangle_count(graph);
+    let wedges: u64 = graph
+        .nodes()
+        .map(|v| {
+            let k = graph.degree(v) as u64;
+            k * k.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangles as f64 / wedges as f64
+}
+
+/// Exact triangle count, each triangle counted once.
+///
+/// Per-node neighbor-pair intersection counts each triangle three times
+/// (once per corner); we divide at the end. `O(sum_v k_v^2)` worst case.
+pub fn triangle_count(graph: &CsrGraph) -> u64 {
+    let total: u64 = graph.nodes().map(|v| links_among_neighbors(graph, v)).sum();
+    total / 3
+}
+
+/// Compute average clustering and triangle count in one pass (both need
+/// `links_among_neighbors`, so fusing halves the work for Table 1).
+pub(crate) fn clustering_and_triangles(graph: &CsrGraph) -> (f64, u64) {
+    if graph.node_count() == 0 {
+        return (0.0, 0);
+    }
+    let mut cc_sum = 0.0f64;
+    let mut link_sum = 0u64;
+    for v in graph.nodes() {
+        let k = graph.degree(v);
+        let links = links_among_neighbors(graph, v);
+        link_sum += links;
+        if k >= 2 {
+            cc_sum += 2.0 * links as f64 / (k as f64 * (k as f64 - 1.0));
+        }
+    }
+    (cc_sum / graph.node_count() as f64, link_sum / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.push_edge(i, j);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn complete_graph_triangles() {
+        // K5 has C(5,3) = 10 triangles; clustering 1.
+        let g = complete(5);
+        assert_eq!(triangle_count(&g), 10);
+        assert!((average_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        // Triangle 0-1-2 with pendant 3 attached to 0.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .build()
+            .unwrap();
+        assert_eq!(triangle_count(&g), 1);
+        // cc(0) = 2*1/(3*2) = 1/3, cc(1) = cc(2) = 1, cc(3) = 0
+        let expected = (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0;
+        assert!((average_clustering_coefficient(&g) - expected).abs() < 1e-12);
+        assert!(
+            (local_clustering_coefficient(&g, crate::NodeId(0)) - 1.0 / 3.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn barbell_triangle_count_matches_table1() {
+        // Table 1: barbell(50,50) has 39200 triangles = 2 * C(50,3).
+        let g = crate::generators::barbell(50, 50).unwrap();
+        assert_eq!(triangle_count(&g), 2 * 50 * 49 * 48 / 6);
+        assert_eq!(2 * 50 * 49 * 48 / 6, 39200);
+    }
+
+    #[test]
+    fn clustered_graph_triangles_match_table1() {
+        // Table 1: clustering graph has 23780 triangles
+        // = C(10,3) + C(30,3) + C(50,3).
+        let g = crate::generators::clustered_cliques(&Default::default()).unwrap();
+        let expected = 10 * 9 * 8 / 6 + 30 * 29 * 28 / 6 + 50 * 49 * 48 / 6;
+        assert_eq!(expected, 23780);
+        assert_eq!(triangle_count(&g), 23780);
+    }
+
+    #[test]
+    fn fused_pass_matches_separate() {
+        let g = crate::generators::erdos_renyi(200, 0.05, 1).unwrap();
+        let (cc, tri) = clustering_and_triangles(&g);
+        assert!((cc - average_clustering_coefficient(&g)).abs() < 1e-12);
+        assert_eq!(tri, triangle_count(&g));
+    }
+}

@@ -1,0 +1,152 @@
+//! Connected components and largest-connected-subgraph extraction.
+
+use crate::{CsrGraph, GraphBuilder, NodeId, Result};
+
+/// Label every node with its connected component, `0..component_count`,
+/// numbered in order of first appearance (so node 0 is always in
+/// component 0). Iterative BFS; `O(|V| + |E|)`.
+pub fn connected_components(graph: &CsrGraph) -> Vec<usize> {
+    const UNVISITED: usize = usize::MAX;
+    let n = graph.node_count();
+    let mut label = vec![UNVISITED; n];
+    let mut queue: Vec<NodeId> = Vec::new();
+    let mut next_label = 0usize;
+    for start in graph.nodes() {
+        if label[start.index()] != UNVISITED {
+            continue;
+        }
+        label[start.index()] = next_label;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &u in graph.neighbors(v) {
+                if label[u.index()] == UNVISITED {
+                    label[u.index()] = next_label;
+                    queue.push(u);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    label
+}
+
+/// Whether the graph is a single connected component.
+pub fn is_connected(graph: &CsrGraph) -> bool {
+    let labels = connected_components(graph);
+    labels.iter().all(|&l| l == 0)
+}
+
+/// Extract the largest connected component as its own graph (node ids
+/// compacted to `0..size`), returning also the mapping from new id to
+/// original id.
+///
+/// The paper does exactly this for the Yelp dataset ("we extracted the
+/// largest connected subgraph containing 119,839 users out of 252,898").
+///
+/// # Errors
+/// Propagates builder errors (never for non-empty input graphs).
+pub fn largest_connected_subgraph(graph: &CsrGraph) -> Result<(CsrGraph, Vec<NodeId>)> {
+    let labels = connected_components(graph);
+    let component_count = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; component_count];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let largest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    // Compact id mapping for members of the winning component.
+    let mut new_id = vec![u32::MAX; graph.node_count()];
+    let mut original = Vec::with_capacity(sizes.get(largest).copied().unwrap_or(0));
+    for v in graph.nodes() {
+        if labels[v.index()] == largest {
+            new_id[v.index()] = original.len() as u32;
+            original.push(v);
+        }
+    }
+
+    let mut builder = GraphBuilder::new().with_nodes(original.len());
+    for (u, v) in graph.edges() {
+        if labels[u.index()] == largest {
+            builder.push_edge(new_id[u.index()], new_id[v.index()]);
+        }
+    }
+    Ok((builder.build()?, original))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn two_components_labeled_in_order() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(2, 3)
+            .build()
+            .unwrap();
+        assert!(!is_connected(&g));
+        assert_eq!(connected_components(&g), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let g = GraphBuilder::new().with_nodes(4).add_edge(0, 1).build().unwrap();
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[2], labels[3]);
+        assert_ne!(labels[2], labels[0]);
+    }
+
+    #[test]
+    fn lcc_extraction() {
+        // Component A: 0-1-2 (path). Component B: 3-4.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .build()
+            .unwrap();
+        let (lcc, original) = largest_connected_subgraph(&g).unwrap();
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(lcc.edge_count(), 2);
+        assert_eq!(original, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(is_connected(&lcc));
+    }
+
+    #[test]
+    fn lcc_of_connected_graph_is_identity() {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let (lcc, original) = largest_connected_subgraph(&g).unwrap();
+        assert_eq!(lcc, g);
+        assert_eq!(original.len(), 3);
+    }
+
+    #[test]
+    fn lcc_prefers_larger_later_component() {
+        // Component 0: {0,1}; component 1: {2,3,4,5} — larger, appears later.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .build()
+            .unwrap();
+        let (lcc, original) = largest_connected_subgraph(&g).unwrap();
+        assert_eq!(lcc.node_count(), 4);
+        assert_eq!(original[0], NodeId(2));
+    }
+
+    use crate::GraphBuilder;
+}

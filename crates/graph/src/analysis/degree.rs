@@ -1,0 +1,111 @@
+//! Degree statistics and histograms.
+
+use crate::CsrGraph;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2|E| / |V|`).
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+}
+
+impl DegreeStats {
+    /// Compute degree statistics for a graph.
+    pub fn of(graph: &CsrGraph) -> DegreeStats {
+        let mut degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+        degrees.sort_unstable();
+        let n = degrees.len();
+        assert!(n > 0, "graphs are never empty by construction");
+        let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+        let variance =
+            degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            degrees[n / 2] as f64
+        } else {
+            (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+        };
+        DegreeStats {
+            min: degrees[0],
+            max: degrees[n - 1],
+            mean,
+            median,
+            variance,
+        }
+    }
+}
+
+/// Histogram of the degree sequence: `hist[k]` = number of nodes with
+/// degree `k`. Length is `max_degree + 1`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_star() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .add_edge(0, 4)
+            .build()
+            .unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.median, 1.0);
+        assert!(s.variance > 0.0);
+    }
+
+    #[test]
+    fn stats_of_regular_graph_have_zero_variance() {
+        // 4-cycle: all degrees 2.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0)
+            .build()
+            .unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = crate::generators::erdos_renyi(100, 0.05, 1).unwrap();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+        assert_eq!(hist.len(), g.max_degree() + 1);
+    }
+
+    #[test]
+    fn even_length_median_averages() {
+        // Path 0-1-2-3: degrees [1,2,2,1] -> sorted [1,1,2,2] -> median 1.5
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .build()
+            .unwrap();
+        assert_eq!(DegreeStats::of(&g).median, 1.5);
+    }
+}

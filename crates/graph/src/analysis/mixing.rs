@@ -1,0 +1,214 @@
+//! Structural predictors of random-walk mixing: degree assortativity and
+//! cut conductance.
+//!
+//! The paper's entire premise is that burn-in cost is governed by topology —
+//! "ill-formed" low-conductance graphs are where history-aware walks pay
+//! off. These measures quantify that on any graph, which is how the
+//! dataset stand-ins in `osn-datasets` are calibrated and how a user can
+//! predict, before spending budget, whether CNRW/GNRW will help on their
+//! network.
+
+use crate::{CsrGraph, NodeId};
+
+/// Pearson degree assortativity coefficient (Newman):
+/// correlation of the degrees at the two ends of an edge, in `[-1, 1]`.
+///
+/// Social networks are usually assortative (hubs befriend hubs, r > 0);
+/// crawled follower graphs are often disassortative. Returns `None` for
+/// graphs with no edges or zero degree variance at edge endpoints (e.g.
+/// regular graphs, where the coefficient is undefined).
+pub fn degree_assortativity(graph: &CsrGraph) -> Option<f64> {
+    let m = graph.edge_count();
+    if m == 0 {
+        return None;
+    }
+    // Accumulate over each undirected edge once, using both orientations
+    // (the standard symmetric estimator).
+    let mut sum_xy = 0.0;
+    let mut sum_x = 0.0;
+    let mut sum_x2 = 0.0;
+    let mut count = 0.0;
+    for (u, v) in graph.edges() {
+        let ku = graph.degree(u) as f64;
+        let kv = graph.degree(v) as f64;
+        // Both orientations: (ku, kv) and (kv, ku).
+        sum_xy += 2.0 * ku * kv;
+        sum_x += ku + kv;
+        sum_x2 += ku * ku + kv * kv;
+        count += 2.0;
+    }
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 1e-12 {
+        return None;
+    }
+    let cov = sum_xy / count - mean * mean;
+    Some(cov / var)
+}
+
+/// Conductance of a node set `S`:
+/// `phi(S) = cut(S, V\S) / min(vol(S), vol(V\S))`,
+/// where `vol` is the sum of degrees and `cut` counts edges crossing the
+/// boundary. Small conductance = walk trap.
+///
+/// Returns `None` when `S` or its complement has zero volume.
+///
+/// ```
+/// use osn_graph::generators::barbell;
+/// use osn_graph::analysis::conductance;
+/// let g = barbell(10, 10).unwrap();
+/// let left_bell: Vec<bool> = (0..20).map(|i| i < 10).collect();
+/// // One bridge edge over a dense bell: tiny conductance = severe trap.
+/// assert!(conductance(&g, &left_bell).unwrap() < 0.02);
+/// ```
+pub fn conductance(graph: &CsrGraph, in_set: &[bool]) -> Option<f64> {
+    assert_eq!(in_set.len(), graph.node_count(), "mask length mismatch");
+    let mut cut = 0u64;
+    let mut vol_s = 0u64;
+    let mut vol_rest = 0u64;
+    for v in graph.nodes() {
+        let k = graph.degree(v) as u64;
+        if in_set[v.index()] {
+            vol_s += k;
+            for &u in graph.neighbors(v) {
+                if !in_set[u.index()] {
+                    cut += 1;
+                }
+            }
+        } else {
+            vol_rest += k;
+        }
+    }
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        return None;
+    }
+    Some(cut as f64 / denom as f64)
+}
+
+/// The minimum conductance over the parts of a disjoint partition
+/// (e.g. planted communities): a proxy for the worst walk trap in the graph.
+///
+/// Returns `None` for a trivial partition (fewer than 2 non-empty parts).
+pub fn partition_conductance(graph: &CsrGraph, labels: &[u32]) -> Option<f64> {
+    assert_eq!(labels.len(), graph.node_count(), "label length mismatch");
+    let parts: std::collections::BTreeSet<u32> = labels.iter().copied().collect();
+    if parts.len() < 2 {
+        return None;
+    }
+    let mut worst: Option<f64> = None;
+    for part in parts {
+        let mask: Vec<bool> = labels.iter().map(|&l| l == part).collect();
+        if let Some(phi) = conductance(graph, &mask) {
+            worst = Some(match worst {
+                Some(w) => w.min(phi),
+                None => phi,
+            });
+        }
+    }
+    worst
+}
+
+/// Quick mask helper: the `k`-hop ball around `center` (including it).
+pub fn ball_mask(graph: &CsrGraph, center: NodeId, hops: usize) -> Vec<bool> {
+    let mut mask = vec![false; graph.node_count()];
+    mask[center.index()] = true;
+    let mut frontier = vec![center];
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in graph.neighbors(v) {
+                if !mask[u.index()] {
+                    mask[u.index()] = true;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barbell, erdos_renyi};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn star_is_perfectly_disassortative() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .build()
+            .unwrap();
+        let r = degree_assortativity(&g).unwrap();
+        assert!((r + 1.0).abs() < 1e-9, "star r = {r}");
+    }
+
+    #[test]
+    fn regular_graph_assortativity_undefined() {
+        // 4-cycle: all degrees equal -> zero variance -> None.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0)
+            .build()
+            .unwrap();
+        assert_eq!(degree_assortativity(&g), None);
+    }
+
+    #[test]
+    fn er_graph_assortativity_near_zero() {
+        let g = erdos_renyi(2000, 0.01, 1).unwrap();
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r.abs() < 0.1, "ER r = {r}");
+    }
+
+    #[test]
+    fn barbell_bell_has_tiny_conductance() {
+        let g = barbell(20, 20).unwrap();
+        let mask: Vec<bool> = (0..40).map(|i| i < 20).collect();
+        let phi = conductance(&g, &mask).unwrap();
+        // One crossing edge over vol(bell) = 2*C(20,2)+1 = 381.
+        assert!((phi - 1.0 / 381.0).abs() < 1e-9, "phi = {phi}");
+    }
+
+    #[test]
+    fn full_or_empty_set_has_no_conductance() {
+        let g = barbell(5, 5).unwrap();
+        assert_eq!(conductance(&g, &vec![true; 10]), None);
+        assert_eq!(conductance(&g, &vec![false; 10]), None);
+    }
+
+    #[test]
+    fn partition_conductance_flags_the_worst_trap() {
+        let g = barbell(10, 10).unwrap();
+        let labels: Vec<u32> = (0..20).map(|i| if i < 10 { 0 } else { 1 }).collect();
+        let phi = partition_conductance(&g, &labels).unwrap();
+        assert!(phi < 0.02, "barbell partition phi = {phi}");
+        // Trivial partition: None.
+        assert_eq!(partition_conductance(&g, &vec![0; 20]), None);
+    }
+
+    #[test]
+    fn well_connected_graph_has_high_conductance() {
+        let g = erdos_renyi(200, 0.2, 2).unwrap();
+        let mask: Vec<bool> = (0..200).map(|i| i < 100).collect();
+        let phi = conductance(&g, &mask).unwrap();
+        assert!(phi > 0.3, "dense ER phi = {phi}");
+    }
+
+    #[test]
+    fn ball_mask_grows_with_hops() {
+        let g = barbell(6, 6).unwrap();
+        let b0 = ball_mask(&g, NodeId(0), 0);
+        assert_eq!(b0.iter().filter(|&&x| x).count(), 1);
+        let b1 = ball_mask(&g, NodeId(0), 1);
+        assert_eq!(b1.iter().filter(|&&x| x).count(), 6); // its clique
+        let b2 = ball_mask(&g, NodeId(0), 2);
+        assert!(b2.iter().filter(|&&x| x).count() > 6); // reaches the bridge
+    }
+}

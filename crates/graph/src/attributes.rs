@@ -1,0 +1,359 @@
+//! Typed per-node attribute columns.
+//!
+//! The restricted OSN interface returns, along with the neighbor list, "all
+//! other attributes of `u`" (paper §2.1). GNRW's grouping strategies and the
+//! aggregate estimators both consume those attributes, so the graph substrate
+//! carries them as named, typed, dense columns.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::{CsrGraph, GraphError, NodeId, Result};
+
+/// A single dense attribute column; one value per node.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AttributeColumn {
+    /// Unsigned integer attribute (e.g. `reviews_count`, `age`).
+    UInt(Arc<Vec<u64>>),
+    /// Floating-point attribute (e.g. an activity score).
+    Float(Arc<Vec<f64>>),
+    /// Small categorical attribute stored as a code per node plus a legend
+    /// (e.g. `occupation`, `community`).
+    Categorical {
+        /// Per-node category code; indexes into `legend`.
+        codes: Arc<Vec<u32>>,
+        /// Human-readable category names.
+        legend: Arc<Vec<String>>,
+    },
+}
+
+impl AttributeColumn {
+    /// Number of node values stored.
+    pub fn len(&self) -> usize {
+        match self {
+            AttributeColumn::UInt(v) => v.len(),
+            AttributeColumn::Float(v) => v.len(),
+            AttributeColumn::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Name of the stored type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttributeColumn::UInt(_) => "uint",
+            AttributeColumn::Float(_) => "float",
+            AttributeColumn::Categorical { .. } => "categorical",
+        }
+    }
+
+    /// Value of node `v` as `f64`, the common currency of estimators.
+    /// Categorical attributes surface their code.
+    pub fn as_f64(&self, v: NodeId) -> f64 {
+        match self {
+            AttributeColumn::UInt(col) => col[v.index()] as f64,
+            AttributeColumn::Float(col) => col[v.index()],
+            AttributeColumn::Categorical { codes, .. } => codes[v.index()] as f64,
+        }
+    }
+
+    /// Value of node `v` as `u64` if integral.
+    pub fn as_u64(&self, v: NodeId) -> Option<u64> {
+        match self {
+            AttributeColumn::UInt(col) => Some(col[v.index()]),
+            AttributeColumn::Categorical { codes, .. } => Some(codes[v.index()] as u64),
+            AttributeColumn::Float(_) => None,
+        }
+    }
+}
+
+/// A set of named attribute columns attached to a graph.
+///
+/// Columns are validated to have exactly one value per node at insertion.
+/// Cloning is cheap (`Arc`ed columns), so a [`NodeAttributes`] can be shared
+/// between the simulated OSN interface and the ground-truth estimator side of
+/// an experiment without duplication.
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeAttributes {
+    node_count: usize,
+    columns: BTreeMap<String, AttributeColumn>,
+}
+
+impl NodeAttributes {
+    /// Empty attribute set for a graph with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        NodeAttributes {
+            node_count,
+            columns: BTreeMap::new(),
+        }
+    }
+
+    /// Empty attribute set sized for `graph`.
+    pub fn for_graph(graph: &CsrGraph) -> Self {
+        Self::new(graph.node_count())
+    }
+
+    /// Number of nodes the columns are sized for.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Names of all columns, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+
+    /// Insert (or replace) an unsigned integer column.
+    ///
+    /// # Errors
+    /// [`GraphError::AttributeLengthMismatch`] if `values.len()` differs from
+    /// the node count.
+    pub fn insert_uint(&mut self, name: impl Into<String>, values: Vec<u64>) -> Result<()> {
+        let name = name.into();
+        self.check_len(&name, values.len())?;
+        self.columns
+            .insert(name, AttributeColumn::UInt(Arc::new(values)));
+        Ok(())
+    }
+
+    /// Insert (or replace) a float column.
+    pub fn insert_float(&mut self, name: impl Into<String>, values: Vec<f64>) -> Result<()> {
+        let name = name.into();
+        self.check_len(&name, values.len())?;
+        self.columns
+            .insert(name, AttributeColumn::Float(Arc::new(values)));
+        Ok(())
+    }
+
+    /// Insert (or replace) a categorical column.
+    ///
+    /// # Errors
+    /// Length mismatch, or any code not covered by the legend.
+    pub fn insert_categorical(
+        &mut self,
+        name: impl Into<String>,
+        codes: Vec<u32>,
+        legend: Vec<String>,
+    ) -> Result<()> {
+        let name = name.into();
+        self.check_len(&name, codes.len())?;
+        if let Some(&bad) = codes.iter().find(|&&c| c as usize >= legend.len()) {
+            return Err(GraphError::InvalidGeneratorConfig(format!(
+                "categorical `{name}` code {bad} outside legend of {} entries",
+                legend.len()
+            )));
+        }
+        self.columns.insert(
+            name,
+            AttributeColumn::Categorical {
+                codes: Arc::new(codes),
+                legend: Arc::new(legend),
+            },
+        );
+        Ok(())
+    }
+
+    fn check_len(&self, name: &str, got: usize) -> Result<()> {
+        if got != self.node_count {
+            return Err(GraphError::AttributeLengthMismatch {
+                name: name.to_string(),
+                got,
+                expected: self.node_count,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetch a column by name.
+    pub fn column(&self, name: &str) -> Result<&AttributeColumn> {
+        self.columns
+            .get(name)
+            .ok_or_else(|| GraphError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Whether a column exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.contains_key(name)
+    }
+
+    /// Fetch a uint column's data, with a typed error on mismatch.
+    pub fn uint(&self, name: &str) -> Result<&[u64]> {
+        match self.column(name)? {
+            AttributeColumn::UInt(v) => Ok(v),
+            other => Err(GraphError::AttributeTypeMismatch {
+                name: name.to_string(),
+                actual: other.type_name(),
+                requested: "uint",
+            }),
+        }
+    }
+
+    /// Fetch a float column's data, with a typed error on mismatch.
+    pub fn float(&self, name: &str) -> Result<&[f64]> {
+        match self.column(name)? {
+            AttributeColumn::Float(v) => Ok(v),
+            other => Err(GraphError::AttributeTypeMismatch {
+                name: name.to_string(),
+                actual: other.type_name(),
+                requested: "float",
+            }),
+        }
+    }
+
+    /// Value of `name` for node `v` as `f64`.
+    pub fn value_f64(&self, name: &str, v: NodeId) -> Result<f64> {
+        Ok(self.column(name)?.as_f64(v))
+    }
+
+    /// Ground-truth population mean of a column over all nodes — the target
+    /// of the AVG aggregate estimators.
+    pub fn population_mean(&self, name: &str) -> Result<f64> {
+        let col = self.column(name)?;
+        if self.node_count == 0 {
+            return Ok(f64::NAN);
+        }
+        let sum: f64 = (0..self.node_count)
+            .map(|i| col.as_f64(NodeId::from_index(i)))
+            .sum();
+        Ok(sum / self.node_count as f64)
+    }
+
+    /// Ground-truth population sum of a column over all nodes.
+    pub fn population_sum(&self, name: &str) -> Result<f64> {
+        let col = self.column(name)?;
+        Ok((0..self.node_count)
+            .map(|i| col.as_f64(NodeId::from_index(i)))
+            .sum())
+    }
+}
+
+/// A graph bundled with its node attributes — the full "social network" the
+/// simulated interface serves.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    /// Topology.
+    pub graph: CsrGraph,
+    /// Node attributes.
+    pub attributes: NodeAttributes,
+}
+
+impl AttributedGraph {
+    /// Bundle a graph with attributes, checking node counts agree.
+    ///
+    /// # Errors
+    /// [`GraphError::AttributeLengthMismatch`] if the attribute set is sized
+    /// for a different node count.
+    pub fn new(graph: CsrGraph, attributes: NodeAttributes) -> Result<Self> {
+        if attributes.node_count() != graph.node_count() {
+            return Err(GraphError::AttributeLengthMismatch {
+                name: "<attribute set>".to_string(),
+                got: attributes.node_count(),
+                expected: graph.node_count(),
+            });
+        }
+        Ok(AttributedGraph { graph, attributes })
+    }
+
+    /// Bundle a graph with an empty attribute set.
+    pub fn bare(graph: CsrGraph) -> Self {
+        let attributes = NodeAttributes::for_graph(&graph);
+        AttributedGraph { graph, attributes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3() -> CsrGraph {
+        GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap()
+    }
+
+    #[test]
+    fn insert_and_read_uint() {
+        let g = path3();
+        let mut attrs = NodeAttributes::for_graph(&g);
+        attrs.insert_uint("reviews", vec![5, 0, 10]).unwrap();
+        assert_eq!(attrs.uint("reviews").unwrap(), &[5, 0, 10]);
+        assert_eq!(attrs.value_f64("reviews", NodeId(2)).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let g = path3();
+        let mut attrs = NodeAttributes::for_graph(&g);
+        let err = attrs.insert_uint("reviews", vec![1, 2]).unwrap_err();
+        assert!(matches!(err, GraphError::AttributeLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let g = path3();
+        let mut attrs = NodeAttributes::for_graph(&g);
+        attrs.insert_float("score", vec![0.5, 1.0, 2.0]).unwrap();
+        let err = attrs.uint("score").unwrap_err();
+        assert!(matches!(err, GraphError::AttributeTypeMismatch { .. }));
+        assert!(attrs.float("score").is_ok());
+    }
+
+    #[test]
+    fn unknown_attribute() {
+        let attrs = NodeAttributes::new(3);
+        assert!(matches!(
+            attrs.column("nope"),
+            Err(GraphError::UnknownAttribute(_))
+        ));
+        assert!(!attrs.contains("nope"));
+    }
+
+    #[test]
+    fn categorical_codes_validated() {
+        let mut attrs = NodeAttributes::new(2);
+        let err = attrs
+            .insert_categorical("occ", vec![0, 5], vec!["student".into()])
+            .unwrap_err();
+        assert!(err.to_string().contains("legend"));
+        attrs
+            .insert_categorical("occ", vec![0, 0], vec!["student".into()])
+            .unwrap();
+        assert_eq!(attrs.column("occ").unwrap().as_u64(NodeId(1)), Some(0));
+    }
+
+    #[test]
+    fn population_statistics() {
+        let mut attrs = NodeAttributes::new(4);
+        attrs.insert_uint("x", vec![1, 2, 3, 4]).unwrap();
+        assert!((attrs.population_mean("x").unwrap() - 2.5).abs() < 1e-12);
+        assert!((attrs.population_sum("x").unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attributed_graph_checks_sizes() {
+        let g = path3();
+        let attrs = NodeAttributes::new(7);
+        assert!(AttributedGraph::new(g.clone(), attrs).is_err());
+        let ok = AttributedGraph::bare(g);
+        assert_eq!(ok.attributes.node_count(), 3);
+    }
+
+    #[test]
+    fn float_column_as_f64() {
+        let col = AttributeColumn::Float(Arc::new(vec![1.5, 2.5]));
+        assert_eq!(col.as_f64(NodeId(1)), 2.5);
+        assert_eq!(col.as_u64(NodeId(1)), None);
+        assert_eq!(col.len(), 2);
+        assert!(!col.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Deduplicating builder for [`CsrGraph`].
+
+use crate::{CsrGraph, GraphError, NodeId, Result};
+
+/// Incremental builder producing a simple undirected [`CsrGraph`].
+///
+/// The builder accepts edges in any order, in either endpoint order, with
+/// duplicates and self-loops; it normalizes everything at [`build`](Self::build):
+///
+/// * self-loops are dropped (the paper's access model has no self-edges),
+/// * duplicate edges are collapsed,
+/// * adjacency lists come out sorted.
+///
+/// Node count defaults to `max endpoint + 1` but can be forced higher with
+/// [`with_nodes`](Self::with_nodes) to include isolated nodes.
+///
+/// ```
+/// use osn_graph::GraphBuilder;
+/// let g = GraphBuilder::new()
+///     .with_nodes(5)              // node 4 stays isolated
+///     .add_edge(0, 1)
+///     .add_edge(1, 0)             // duplicate, collapsed
+///     .add_edge(2, 2)             // self-loop, dropped
+///     .add_edge(2, 3)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.node_count(), 5);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    min_nodes: usize,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New builder with capacity for `edges` edges reserved up front.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            min_nodes: 0,
+        }
+    }
+
+    /// Ensure the built graph has at least `n` nodes (ids `0..n`), even if
+    /// some of them end up with no incident edges.
+    #[must_use]
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.min_nodes = self.min_nodes.max(n);
+        self
+    }
+
+    /// Add the undirected edge `{u, v}` (builder-style).
+    #[must_use]
+    pub fn add_edge(mut self, u: u32, v: u32) -> Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Add the undirected edge `{u, v}` (in-place, for loops).
+    pub fn push_edge(&mut self, u: u32, v: u32) {
+        self.edges.push((u, v));
+    }
+
+    /// Add every edge from an iterator of `(u, v)` pairs.
+    #[must_use]
+    pub fn extend_edges<I: IntoIterator<Item = (u32, u32)>>(mut self, iter: I) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Number of raw (pre-dedup) edges currently staged.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into a [`CsrGraph`].
+    ///
+    /// # Errors
+    /// Returns [`GraphError::EmptyGraph`] if no nodes would result.
+    pub fn build(self) -> Result<CsrGraph> {
+        let GraphBuilder { mut edges, min_nodes } = self;
+
+        // Normalize to (min, max), drop self loops.
+        edges.retain(|&(u, v)| u != v);
+        for e in &mut edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let max_endpoint = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = max_endpoint.max(min_nodes);
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+
+        // Degree counting pass.
+        let mut degree = vec![0u64; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+
+        // Prefix sums into offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut acc = 0u64;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        // Scatter pass: cursor per node.
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut neighbors = vec![NodeId(0); acc as usize];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize] as usize] = NodeId(v);
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = NodeId(u);
+            cursor[v as usize] += 1;
+        }
+
+        // Because edges were globally sorted by (min, max), per-node lists are
+        // NOT automatically sorted for the higher endpoint; sort each slice.
+        for i in 0..n {
+            let s = offsets[i] as usize;
+            let e = offsets[i + 1] as usize;
+            neighbors[s..e].sort_unstable();
+        }
+
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+impl FromIterator<(u32, u32)> for GraphBuilder {
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        GraphBuilder::new().extend_edges(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(0, 1)
+            .add_edge(1, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_via_with_nodes() {
+        let g = GraphBuilder::new().with_nodes(10).add_edge(0, 1).build().unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.degree(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn empty_builder_errors() {
+        assert!(matches!(
+            GraphBuilder::new().build(),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn nodes_only_no_edges_is_ok() {
+        let g = GraphBuilder::new().with_nodes(3).build().unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let g: GraphBuilder = vec![(0, 1), (1, 2)].into_iter().collect();
+        let g = g.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn adjacency_symmetric_and_sorted() {
+        let g = GraphBuilder::new()
+            .add_edge(5, 2)
+            .add_edge(5, 9)
+            .add_edge(5, 0)
+            .add_edge(2, 9)
+            .build()
+            .unwrap();
+        assert_eq!(
+            g.neighbors(NodeId(5)),
+            &[NodeId(0), NodeId(2), NodeId(9)]
+        );
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn staged_edges_counts_raw() {
+        let b = GraphBuilder::new().add_edge(0, 1).add_edge(0, 1);
+        assert_eq!(b.staged_edges(), 2);
+    }
+
+    #[test]
+    fn push_edge_in_place() {
+        let mut b = GraphBuilder::new();
+        for i in 0..10u32 {
+            b.push_edge(i, i + 1);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(g.edge_count(), 10);
+    }
+}

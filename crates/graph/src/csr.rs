@@ -1,0 +1,286 @@
+//! Immutable compressed-sparse-row (CSR) undirected graph.
+
+use crate::{GraphError, NodeId, Result};
+
+/// An immutable, simple (no self-loops, no parallel edges), undirected graph
+/// in compressed-sparse-row form.
+///
+/// Neighbor lists are stored contiguously and sorted, which gives
+///
+/// * `O(1)` degree lookup,
+/// * `O(1)` access to the neighbor slice (what the simulated OSN interface
+///   returns for a query),
+/// * `O(log k)` adjacency tests via binary search,
+/// * cache-friendly iteration for the analysis passes (triangles, clustering).
+///
+/// `CsrGraph` is the single in-memory representation every other crate in the
+/// workspace builds on. Construct one through [`GraphBuilder`](crate::GraphBuilder),
+/// the [`generators`](crate::generators), or [`io`](crate::io).
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` delimits `neighbors` entries of node `v`.
+    offsets: Vec<u64>,
+    /// Concatenated, per-node-sorted adjacency lists.
+    neighbors: Vec<NodeId>,
+    /// Number of undirected edges (half the number of stored arcs).
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Build directly from raw CSR parts.
+    ///
+    /// `offsets` must have length `node_count + 1`, start at 0, be
+    /// non-decreasing, and end at `neighbors.len()`; each adjacency slice must
+    /// be sorted, self-loop-free and duplicate-free, and the relation must be
+    /// symmetric. This is checked in debug builds only; prefer the builder.
+    pub(crate) fn from_parts(offsets: Vec<u64>, neighbors: Vec<NodeId>) -> Result<Self> {
+        if offsets.len() < 2 {
+            return Err(GraphError::EmptyGraph);
+        }
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        let arc_count = neighbors.len();
+        debug_assert!(arc_count.is_multiple_of(2), "undirected graph must store arcs in pairs");
+        let g = CsrGraph {
+            offsets,
+            neighbors,
+            edge_count: arc_count / 2,
+        };
+        #[cfg(debug_assertions)]
+        g.check_invariants();
+        Ok(g)
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        for v in self.nodes() {
+            let ns = self.neighbors(v);
+            debug_assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted or duplicate");
+            debug_assert!(!ns.contains(&v), "self loop at {v}");
+            for &u in ns {
+                debug_assert!(
+                    self.neighbors(u).binary_search(&v).is_ok(),
+                    "asymmetric edge {v}-{u}"
+                );
+            }
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree `k_v` of node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The sorted neighbor slice `N(v)`.
+    ///
+    /// This is exactly the answer the restricted OSN interface returns for a
+    /// local-neighborhood query on `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (small, probe) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(small).binary_search(&probe).is_ok()
+    }
+
+    /// Whether node `v` is a valid id for this graph.
+    #[inline]
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.node_count()
+    }
+
+    /// Iterator over all node ids `0..node_count`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of degrees, i.e. `2|E|`. The normalizer of the SRW stationary
+    /// distribution `pi(v) = k_v / 2|E|`.
+    #[inline]
+    pub fn total_degree(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn average_degree(&self) -> f64 {
+        self.total_degree() as f64 / self.node_count() as f64
+    }
+
+    /// Maximum degree over all nodes (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// The theoretical SRW stationary probability of each node,
+    /// `pi(v) = k_v / 2|E|` (Eq. 3 of the paper).
+    ///
+    /// Returns an empty vector for an edgeless graph (the stationary
+    /// distribution is undefined without edges).
+    pub fn degree_stationary_distribution(&self) -> Vec<f64> {
+        let total = self.total_degree();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.nodes()
+            .map(|v| self.degree(v) as f64 / total as f64)
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes (for capacity planning in the
+    /// experiment harness).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, NodeId};
+
+    fn triangle() -> crate::CsrGraph {
+        GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.total_degree(), 6);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 3)
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn has_edge_both_orders() {
+        let g = triangle();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        let g2 = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        assert!(!g2.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0)
+            .add_edge(0, 2)
+            .build()
+            .unwrap();
+        let pi = g.degree_stationary_distribution();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Node 0 and 2 have degree 3, nodes 1 and 3 degree 2.
+        assert!(pi[0] > pi[1]);
+    }
+
+    #[test]
+    fn min_max_degree() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .build()
+            .unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn contains_node_bounds() {
+        let g = triangle();
+        assert!(g.contains_node(NodeId(2)));
+        assert!(!g.contains_node(NodeId(3)));
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(triangle().heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Directed edge lists and the paper's directed→undirected conversion.
+//!
+//! Real OSNs such as Twitter expose *directed* relations (follower /
+//! followee). The paper casts them to undirected graphs; for its large
+//! datasets it keeps only edges "that appear in both directions in the
+//! original graph" (mutual edges, §6.1), and it also describes the laxer
+//! either-direction casting (§2.1). Both conversions are provided here.
+
+use std::collections::HashSet;
+
+use crate::{CsrGraph, GraphBuilder, Result};
+
+/// How to cast a directed relation into an undirected edge set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UndirectedCast {
+    /// Keep `{u,v}` only when both `u→v` and `v→u` exist (what the paper's
+    /// experiments use — guarantees any undirected walk is executable on the
+    /// original directed interface).
+    Mutual,
+    /// Keep `{u,v}` when either `u→v` or `v→u` exists (§2.1's definition).
+    EitherDirection,
+}
+
+/// A bag of directed arcs, the raw form a crawl of a directed OSN produces.
+#[derive(Clone, Debug, Default)]
+pub struct DirectedEdgeList {
+    arcs: Vec<(u32, u32)>,
+}
+
+impl DirectedEdgeList {
+    /// New empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add the arc `u → v`. Self-arcs are kept here and dropped at
+    /// conversion (the undirected builder filters them).
+    pub fn push(&mut self, u: u32, v: u32) {
+        self.arcs.push((u, v));
+    }
+
+    /// Number of stored arcs (including duplicates).
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Whether no arcs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// Out-neighbors would require an index; expose raw arcs instead.
+    pub fn arcs(&self) -> &[(u32, u32)] {
+        &self.arcs
+    }
+
+    /// Convert to an undirected [`CsrGraph`] under the given casting rule.
+    ///
+    /// # Errors
+    /// Propagates [`crate::GraphError::EmptyGraph`] when the cast yields no
+    /// nodes (e.g. `Mutual` on a list with no reciprocated arcs).
+    pub fn to_undirected(&self, cast: UndirectedCast) -> Result<CsrGraph> {
+        let mut builder = GraphBuilder::with_capacity(self.arcs.len());
+        match cast {
+            UndirectedCast::EitherDirection => {
+                for &(u, v) in &self.arcs {
+                    builder.push_edge(u, v);
+                }
+            }
+            UndirectedCast::Mutual => {
+                let set: HashSet<(u32, u32)> = self.arcs.iter().copied().collect();
+                for &(u, v) in &self.arcs {
+                    // Emit each mutual pair once, from its smaller endpoint.
+                    if u < v && set.contains(&(v, u)) {
+                        builder.push_edge(u, v);
+                    }
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// Fraction of arcs that are reciprocated (both directions present).
+    /// Useful when calibrating synthetic stand-ins for directed OSNs.
+    pub fn reciprocity(&self) -> f64 {
+        if self.arcs.is_empty() {
+            return 0.0;
+        }
+        let set: HashSet<(u32, u32)> = self.arcs.iter().copied().collect();
+        let reciprocated = set
+            .iter()
+            .filter(|&&(u, v)| u != v && set.contains(&(v, u)))
+            .count();
+        reciprocated as f64 / set.len() as f64
+    }
+}
+
+impl FromIterator<(u32, u32)> for DirectedEdgeList {
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        DirectedEdgeList {
+            arcs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn sample() -> DirectedEdgeList {
+        // 0→1, 1→0 (mutual); 1→2 (one way); 2→3, 3→2 (mutual)
+        vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn mutual_cast_keeps_reciprocated_only() {
+        let g = sample().to_undirected(UndirectedCast::Mutual).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(2), NodeId(3)));
+        assert!(!g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn either_cast_keeps_all() {
+        let g = sample()
+            .to_undirected(UndirectedCast::EitherDirection)
+            .unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn reciprocity_measured() {
+        let el = sample();
+        // 4 of 5 distinct arcs are reciprocated.
+        assert!((el.reciprocity() - 0.8).abs() < 1e-12);
+        assert_eq!(el.len(), 5);
+        assert!(!el.is_empty());
+    }
+
+    #[test]
+    fn mutual_cast_with_none_reciprocated_errors() {
+        let el: DirectedEdgeList = vec![(0, 1), (1, 2)].into_iter().collect();
+        assert!(el.to_undirected(UndirectedCast::Mutual).is_err());
+    }
+
+    #[test]
+    fn duplicate_arcs_collapse() {
+        let el: DirectedEdgeList = vec![(0, 1), (0, 1), (1, 0)].into_iter().collect();
+        let g = el.to_undirected(UndirectedCast::EitherDirection).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reciprocity_empty_is_zero() {
+        assert_eq!(DirectedEdgeList::new().reciprocity(), 0.0);
+    }
+}

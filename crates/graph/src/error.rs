@@ -1,0 +1,127 @@
+//! Error type for graph construction and analysis.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while building, loading, or analyzing graphs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The builder produced a graph with no nodes.
+    EmptyGraph,
+    /// An edge referenced a node id outside `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An attribute column has the wrong length for the graph.
+    AttributeLengthMismatch {
+        /// Name of the attribute column.
+        name: String,
+        /// Length of the supplied column.
+        got: usize,
+        /// Expected length (= node count).
+        expected: usize,
+    },
+    /// A named attribute column does not exist.
+    UnknownAttribute(String),
+    /// An attribute column exists but has a different type than requested.
+    AttributeTypeMismatch {
+        /// Name of the attribute column.
+        name: String,
+        /// The type actually stored.
+        actual: &'static str,
+        /// The type requested.
+        requested: &'static str,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidGeneratorConfig(String),
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// An underlying I/O failure while reading or writing an edge list.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (node count {node_count})")
+            }
+            GraphError::AttributeLengthMismatch { name, got, expected } => write!(
+                f,
+                "attribute `{name}` has {got} values but the graph has {expected} nodes"
+            ),
+            GraphError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            GraphError::AttributeTypeMismatch {
+                name,
+                actual,
+                requested,
+            } => write!(
+                f,
+                "attribute `{name}` is stored as {actual}, requested as {requested}"
+            ),
+            GraphError::InvalidGeneratorConfig(msg) => {
+                write!(f, "invalid generator configuration: {msg}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge-list parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::AttributeLengthMismatch {
+            name: "age".into(),
+            got: 3,
+            expected: 10,
+        };
+        assert!(e.to_string().contains("age"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(io);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! Barabási–Albert preferential-attachment graphs.
+
+use rand::Rng;
+
+use super::rng;
+use crate::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// Generate a Barabási–Albert preferential-attachment graph.
+///
+/// Start from a small clique of `m + 1` seed nodes; each subsequent node
+/// attaches to `m` distinct existing nodes chosen with probability
+/// proportional to their current degree (implemented with the standard
+/// repeated-endpoint trick: sample a uniform position in the arc list).
+///
+/// Produces the heavy-tailed degree distribution (`P(k) ~ k^-3`) typical of
+/// OSN follower graphs; used for the Youtube-like sparse stand-in.
+/// The result is connected by construction.
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] for `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    if m == 0 {
+        return Err(GraphError::InvalidGeneratorConfig(
+            "attachment count m must be positive".to_string(),
+        ));
+    }
+    if n <= m {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "need n > m (got n={n}, m={m})"
+        )));
+    }
+
+    let mut r = rng(seed);
+    // `targets` holds every edge endpoint twice; sampling a uniform element
+    // is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut builder = GraphBuilder::with_capacity(n * m).with_nodes(n);
+
+    // Seed clique of m+1 nodes guarantees every early pick has m candidates.
+    let seed_nodes = m + 1;
+    for i in 0..seed_nodes as u32 {
+        for j in (i + 1)..seed_nodes as u32 {
+            builder.push_edge(i, j);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+
+    let mut picked: Vec<u32> = Vec::with_capacity(m);
+    for v in seed_nodes as u32..n as u32 {
+        picked.clear();
+        // Rejection-sample m distinct degree-proportional targets.
+        while picked.len() < m {
+            let t = endpoints[r.gen_range(0..endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            builder.push_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::is_connected;
+    use crate::NodeId;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 5).unwrap();
+        assert_eq!(g.node_count(), n);
+        let seed_edges = (m + 1) * m / 2;
+        assert_eq!(g.edge_count(), seed_edges + (n - m - 1) * m);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let g = barabasi_albert(300, 2, 6).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) >= 2));
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let g = barabasi_albert(3000, 2, 7).unwrap();
+        // A preferential-attachment graph of this size should have a hub with
+        // degree far above the mean (mean ~ 4).
+        assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn early_nodes_tend_to_be_hubs() {
+        let g = barabasi_albert(2000, 3, 8).unwrap();
+        let early: usize = (0..10).map(|i| g.degree(NodeId(i))).sum();
+        let late: usize = (1990..2000).map(|i| g.degree(NodeId(i))).sum();
+        assert!(early > late, "early {early} late {late}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            barabasi_albert(100, 2, 3).unwrap(),
+            barabasi_albert(100, 2, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(barabasi_albert(10, 0, 0).is_err());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+    }
+}

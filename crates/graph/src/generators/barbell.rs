@@ -1,0 +1,90 @@
+//! Barbell graphs (two cliques joined by a single bridge edge).
+
+use crate::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// Generate a barbell graph: a clique of `left` nodes and a clique of `right`
+/// nodes joined by one bridge edge.
+///
+/// Node layout: `0..left` is the left clique, `left..left+right` the right
+/// clique; the bridge connects node `left - 1` to node `left`.
+///
+/// This is the paper's Theorem 3 topology and the Figure 11 workload: the
+/// single bridge gives the graph tiny conductance, so a memoryless walk gets
+/// stuck inside one bell. The paper's Table 1 "Barbell graph" row (100 nodes,
+/// 2451 edges) is `barbell(50, 50)`.
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] if either side has fewer than 2
+/// nodes (a bell must be a clique with at least one internal edge).
+pub fn barbell(left: usize, right: usize) -> Result<CsrGraph> {
+    if left < 2 || right < 2 {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "barbell sides must each have >= 2 nodes (got {left}, {right})"
+        )));
+    }
+    let edge_estimate = left * (left - 1) / 2 + right * (right - 1) / 2 + 1;
+    let mut builder = GraphBuilder::with_capacity(edge_estimate);
+    clique(&mut builder, 0, left);
+    clique(&mut builder, left as u32, right);
+    builder.push_edge(left as u32 - 1, left as u32);
+    builder.build()
+}
+
+/// Add a complete graph on `size` nodes starting at id `base`.
+pub(crate) fn clique(builder: &mut GraphBuilder, base: u32, size: usize) {
+    for i in 0..size as u32 {
+        for j in (i + 1)..size as u32 {
+            builder.push_edge(base + i, base + j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::is_connected;
+    use crate::NodeId;
+
+    #[test]
+    fn table1_barbell_row() {
+        // Paper Table 1: Barbell graph, 100 nodes, 2451 edges.
+        let g = barbell(50, 50).unwrap();
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 2451);
+    }
+
+    #[test]
+    fn bridge_endpoints_have_extra_degree() {
+        let g = barbell(5, 7).unwrap();
+        // interior left node: degree 4; bridge left endpoint: 5
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert_eq!(g.degree(NodeId(4)), 5);
+        assert_eq!(g.degree(NodeId(5)), 7);
+        assert_eq!(g.degree(NodeId(6)), 6);
+        assert!(g.has_edge(NodeId(4), NodeId(5)));
+    }
+
+    #[test]
+    fn asymmetric_sides() {
+        let g = barbell(2, 10).unwrap();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 1 + 45 + 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        assert!(barbell(1, 5).is_err());
+        assert!(barbell(5, 0).is_err());
+    }
+
+    #[test]
+    fn connected_for_sweep_sizes() {
+        // Figure 11 sweeps sizes 20..56.
+        for n in [20usize, 30, 40, 56] {
+            let g = barbell(n / 2, n - n / 2).unwrap();
+            assert_eq!(g.node_count(), n);
+            assert!(is_connected(&g));
+        }
+    }
+}

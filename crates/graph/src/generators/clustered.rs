@@ -1,0 +1,154 @@
+//! Clustered-cliques graphs (several cliques chained by bridge edges).
+
+use super::barbell::clique;
+use crate::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// Configuration for [`clustered_cliques`].
+#[derive(Clone, Debug)]
+pub struct ClusteredCliquesConfig {
+    /// Size of each clique, in node-id order.
+    pub clique_sizes: Vec<usize>,
+    /// Number of bridge edges between each pair of consecutive cliques
+    /// (1 reproduces the paper's graph; more raises conductance).
+    pub bridges_between: usize,
+}
+
+impl Default for ClusteredCliquesConfig {
+    /// The paper's Figure 10 graph: three complete graphs of sizes 10, 30
+    /// and 50, chained with single bridges (Table 1 "Clustering graph":
+    /// 90 nodes, 1707 edges).
+    fn default() -> Self {
+        ClusteredCliquesConfig {
+            clique_sizes: vec![10, 30, 50],
+            bridges_between: 1,
+        }
+    }
+}
+
+/// Generate a chain of cliques joined by bridge edges.
+///
+/// Cliques occupy consecutive id ranges. Between clique `i` and clique
+/// `i + 1`, `bridges_between` edges are added, pairing the `j`-th highest
+/// node of clique `i` with the `j`-th lowest node of clique `i + 1`.
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] if fewer than one clique is given,
+/// any clique has fewer than 2 nodes, `bridges_between` is zero with more
+/// than one clique, or `bridges_between` exceeds a neighboring clique size.
+pub fn clustered_cliques(config: &ClusteredCliquesConfig) -> Result<CsrGraph> {
+    let sizes = &config.clique_sizes;
+    if sizes.is_empty() {
+        return Err(GraphError::InvalidGeneratorConfig(
+            "need at least one clique".to_string(),
+        ));
+    }
+    if let Some(&bad) = sizes.iter().find(|&&s| s < 2) {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "clique of size {bad} is degenerate; need >= 2"
+        )));
+    }
+    if sizes.len() > 1 && config.bridges_between == 0 {
+        return Err(GraphError::InvalidGeneratorConfig(
+            "bridges_between = 0 would disconnect the graph".to_string(),
+        ));
+    }
+    for w in sizes.windows(2) {
+        if config.bridges_between > w[0].min(w[1]) {
+            return Err(GraphError::InvalidGeneratorConfig(format!(
+                "bridges_between {} exceeds neighboring clique size {}",
+                config.bridges_between,
+                w[0].min(w[1])
+            )));
+        }
+    }
+
+    let edge_estimate: usize =
+        sizes.iter().map(|s| s * (s - 1) / 2).sum::<usize>() + sizes.len() * config.bridges_between;
+    let mut builder = GraphBuilder::with_capacity(edge_estimate);
+
+    let mut base = 0u32;
+    let mut bases = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        bases.push(base);
+        clique(&mut builder, base, s);
+        base += s as u32;
+    }
+    for (i, w) in sizes.windows(2).enumerate() {
+        let left_end = bases[i] + w[0] as u32; // one past left clique
+        let right_start = bases[i + 1];
+        for j in 0..config.bridges_between as u32 {
+            builder.push_edge(left_end - 1 - j, right_start + j);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::is_connected;
+
+    #[test]
+    fn table1_clustering_graph_row() {
+        // Paper Table 1: Clustering graph, 90 nodes, 1707 edges.
+        let g = clustered_cliques(&ClusteredCliquesConfig::default()).unwrap();
+        assert_eq!(g.node_count(), 90);
+        let expected = 10 * 9 / 2 + 30 * 29 / 2 + 50 * 49 / 2 + 2;
+        assert_eq!(expected, 1707);
+        assert_eq!(g.edge_count(), 1707);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_bridges() {
+        let g = clustered_cliques(&ClusteredCliquesConfig {
+            clique_sizes: vec![4, 4],
+            bridges_between: 3,
+        })
+        .unwrap();
+        assert_eq!(g.edge_count(), 6 + 6 + 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn single_clique_ok() {
+        let g = clustered_cliques(&ClusteredCliquesConfig {
+            clique_sizes: vec![6],
+            bridges_between: 0,
+        })
+        .unwrap();
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(clustered_cliques(&ClusteredCliquesConfig {
+            clique_sizes: vec![],
+            bridges_between: 1,
+        })
+        .is_err());
+        assert!(clustered_cliques(&ClusteredCliquesConfig {
+            clique_sizes: vec![3, 1],
+            bridges_between: 1,
+        })
+        .is_err());
+        assert!(clustered_cliques(&ClusteredCliquesConfig {
+            clique_sizes: vec![3, 3],
+            bridges_between: 0,
+        })
+        .is_err());
+        assert!(clustered_cliques(&ClusteredCliquesConfig {
+            clique_sizes: vec![3, 3],
+            bridges_between: 4,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn high_clustering_coefficient() {
+        // Table 1 lists 0.99 average clustering for these graphs.
+        let g = clustered_cliques(&ClusteredCliquesConfig::default()).unwrap();
+        let cc = crate::analysis::average_clustering_coefficient(&g);
+        assert!(cc > 0.95, "clustering coefficient {cc} too low");
+    }
+}

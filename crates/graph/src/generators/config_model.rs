@@ -1,0 +1,129 @@
+//! Powerlaw configuration-model graphs.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::{connect_components, rng};
+use crate::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// Generate a connected simple graph whose degree sequence is drawn from a
+/// truncated powerlaw `P(k) ∝ k^-gamma` on `k in [k_min, k_max]`, wired with
+/// the configuration model (uniform stub matching, self-loops and multi-edges
+/// discarded).
+///
+/// This is the workhorse stand-in for crawled OSN snapshots: it matches a
+/// target average degree and tail shape without imposing clustering (combine
+/// with triadic closure in `homophily_communities` when clustering matters).
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] for `n < 2`, `gamma <= 1`,
+/// `k_min == 0`, or `k_min > k_max`.
+pub fn powerlaw_configuration(
+    n: usize,
+    gamma: f64,
+    k_min: usize,
+    k_max: usize,
+    seed: u64,
+) -> Result<CsrGraph> {
+    if n < 2 {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "need n >= 2 (got {n})"
+        )));
+    }
+    if gamma <= 1.0 {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "powerlaw exponent must exceed 1 (got {gamma})"
+        )));
+    }
+    if k_min == 0 || k_min > k_max {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "need 1 <= k_min <= k_max (got {k_min}..{k_max})"
+        )));
+    }
+    let k_max = k_max.min(n - 1);
+
+    let mut r = rng(seed);
+
+    // Sample degrees by inverse-CDF over the discrete truncated powerlaw.
+    let weights: Vec<f64> = (k_min..=k_max).map(|k| (k as f64).powf(-gamma)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let sample_degree = |r: &mut rand_chacha::ChaCha12Rng| -> usize {
+        let u: f64 = r.gen();
+        let pos = cdf.partition_point(|&c| c < u);
+        k_min + pos.min(cdf.len() - 1)
+    };
+
+    let mut degrees: Vec<usize> = (0..n).map(|_| sample_degree(&mut r)).collect();
+    // Stub count must be even; bump one node if necessary.
+    if degrees.iter().sum::<usize>() % 2 == 1 {
+        degrees[0] += 1;
+    }
+
+    // Configuration model: shuffle the stub multiset and pair consecutively.
+    let mut stubs: Vec<u32> = Vec::with_capacity(degrees.iter().sum());
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(v as u32, d));
+    }
+    stubs.shuffle(&mut r);
+
+    let mut builder = GraphBuilder::with_capacity(stubs.len() / 2).with_nodes(n);
+    for pair in stubs.chunks_exact(2) {
+        // Self-loops / duplicates removed by the builder; "erased"
+        // configuration model.
+        builder.push_edge(pair[0], pair[1]);
+    }
+    connect_components(&builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::is_connected;
+
+    #[test]
+    fn respects_degree_bounds_roughly() {
+        let g = powerlaw_configuration(2000, 2.5, 2, 100, 1).unwrap();
+        assert_eq!(g.node_count(), 2000);
+        assert!(is_connected(&g));
+        // Erasure removes some edges, so min degree can dip below k_min, but
+        // the bulk should sit in range and the tail must exist.
+        assert!(g.max_degree() <= 101);
+        assert!(g.max_degree() > 20, "max {}", g.max_degree());
+        assert!(g.average_degree() > 2.0 && g.average_degree() < 10.0);
+    }
+
+    #[test]
+    fn gamma_steeper_means_sparser() {
+        let shallow = powerlaw_configuration(3000, 2.0, 2, 200, 2).unwrap();
+        let steep = powerlaw_configuration(3000, 3.5, 2, 200, 2).unwrap();
+        assert!(shallow.average_degree() > steep.average_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            powerlaw_configuration(500, 2.2, 2, 50, 9).unwrap(),
+            powerlaw_configuration(500, 2.2, 2, 50, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(powerlaw_configuration(1, 2.5, 1, 10, 0).is_err());
+        assert!(powerlaw_configuration(10, 1.0, 1, 10, 0).is_err());
+        assert!(powerlaw_configuration(10, 2.5, 0, 10, 0).is_err());
+        assert!(powerlaw_configuration(10, 2.5, 5, 4, 0).is_err());
+    }
+
+    #[test]
+    fn k_max_clamped_to_n_minus_1() {
+        let g = powerlaw_configuration(20, 2.5, 2, 10_000, 3).unwrap();
+        assert!(g.max_degree() < 20);
+    }
+}

@@ -1,0 +1,155 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+
+use rand::Rng;
+
+use super::{connect_components, rng};
+use crate::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// Generate a connected Erdős–Rényi `G(n, p)` graph.
+///
+/// Each of the `n (n-1) / 2` candidate edges is included independently with
+/// probability `p` using geometric skipping (`O(n + |E|)` expected time, so
+/// large sparse graphs are cheap). If the sample is disconnected, components
+/// are stitched with a minimal number of extra edges — at `p` above the
+/// connectivity threshold this virtually never triggers, and below it the
+/// stitching adds `o(|E|)` edges, which keeps degree statistics intact for
+/// our calibration purposes.
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] for `n < 2` or `p` outside `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<CsrGraph> {
+    if n < 2 {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "Erdos-Renyi needs n >= 2 (got {n})"
+        )));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "edge probability must lie in [0, 1] (got {p})"
+        )));
+    }
+    let mut r = rng(seed);
+    let expected_edges = (p * (n as f64) * (n as f64 - 1.0) / 2.0) as usize;
+    let mut builder = GraphBuilder::with_capacity(expected_edges + n).with_nodes(n);
+
+    if p > 0.0 {
+        // Geometric skipping over the lexicographic edge enumeration
+        // (Batagelj–Brandes): skip ~Geom(p) candidates between inclusions.
+        let total = n as u64 * (n as u64 - 1) / 2;
+        let log_1mp = (1.0 - p).ln();
+        let mut idx: u64 = 0;
+        loop {
+            if p >= 1.0 {
+                if idx >= total {
+                    break;
+                }
+                let (u, v) = unrank(idx, n as u64);
+                builder.push_edge(u as u32, v as u32);
+                idx += 1;
+                continue;
+            }
+            let u01: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u01.ln() / log_1mp).floor() as u64;
+            idx = idx.saturating_add(skip);
+            if idx >= total {
+                break;
+            }
+            let (u, v) = unrank(idx, n as u64);
+            builder.push_edge(u as u32, v as u32);
+            idx += 1;
+        }
+    }
+
+    connect_components(&builder.build()?)
+}
+
+/// Map a lexicographic rank to the `(u, v)` pair with `u < v` in an `n`-node
+/// complete graph, where rank 0 is `(0,1)`, rank 1 is `(0,2)`, …
+fn unrank(rank: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... simpler: walk rows.
+    // For performance use the closed form via quadratic inversion.
+    // Edges from node u: n - 1 - u of them.
+    // Cumulative edges before row u: u*n - u*(u+1)/2.
+    // Solve largest u with cum(u) <= rank.
+    let fr = rank as f64;
+    let fnn = n as f64;
+    // cum(u) = u*n - u*(u+1)/2 = -(u^2)/2 + u*(n - 1/2)
+    // Invert approximately then fix up.
+    let mut u = ((2.0 * fnn - 1.0 - ((2.0 * fnn - 1.0).powi(2) - 8.0 * fr).sqrt()) / 2.0) as u64;
+    u = u.min(n - 2);
+    let cum = |u: u64| u * n - u * (u + 1) / 2;
+    while u > 0 && cum(u) > rank {
+        u -= 1;
+    }
+    while cum(u + 1) <= rank {
+        u += 1;
+    }
+    let v = u + 1 + (rank - cum(u));
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::is_connected;
+
+    #[test]
+    fn unrank_enumerates_all_pairs() {
+        let n = 7u64;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..total {
+            let (u, v) = unrank(r, n);
+            assert!(u < v && v < n, "bad pair ({u},{v}) at rank {r}");
+            assert!(seen.insert((u, v)), "duplicate pair at rank {r}");
+        }
+        assert_eq!(seen.len(), total as usize);
+    }
+
+    #[test]
+    fn p_one_gives_complete_graph() {
+        let g = erdos_renyi(6, 1.0, 1).unwrap();
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn p_zero_gives_stitched_tree() {
+        // All edges come from component stitching: n-1 edges, connected.
+        let g = erdos_renyi(8, 0.0, 2).unwrap();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 7);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.01;
+        let g = erdos_renyi(n, p, 42).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // within 5 standard deviations
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sd + 10.0,
+            "got {got}, expected {expected}"
+        );
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(100, 0.05, 7).unwrap();
+        let b = erdos_renyi(100, 0.05, 7).unwrap();
+        let c = erdos_renyi(100, 0.05, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(erdos_renyi(1, 0.5, 0).is_err());
+        assert!(erdos_renyi(10, -0.1, 0).is_err());
+        assert!(erdos_renyi(10, 1.1, 0).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Synthetic graph generators.
+//!
+//! Two families live here:
+//!
+//! * the paper's **ill-formed synthetic graphs** (§6.1): [`barbell`] and
+//!   [`clustered_cliques`] — small-conductance graphs that make burn-in
+//!   expensive and show the largest CNRW/GNRW gains (Figures 10 and 11,
+//!   Theorem 3);
+//! * **stand-in models for real OSN snapshots**: [`erdos_renyi`],
+//!   [`watts_strogatz`], [`barabasi_albert`], [`powerlaw_configuration`] and
+//!   [`homophily_communities`], which `osn-datasets` calibrates to the
+//!   node/edge/clustering statistics of Table 1.
+//!
+//! Every generator takes an explicit seed and is fully deterministic; all of
+//! them guarantee a *connected* simple graph (random walks need one) unless
+//! documented otherwise.
+
+mod barabasi_albert;
+mod barbell;
+mod clustered;
+mod config_model;
+mod erdos_renyi;
+mod homophily;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use barbell::barbell;
+pub use clustered::{clustered_cliques, ClusteredCliquesConfig};
+pub use config_model::powerlaw_configuration;
+pub use erdos_renyi::erdos_renyi;
+pub use homophily::{homophily_communities, HomophilyConfig, DEGREE_LEVELS};
+pub use watts_strogatz::watts_strogatz;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::analysis::components::connected_components;
+use crate::{CsrGraph, GraphBuilder, Result};
+
+/// Deterministic RNG used by every generator in this module.
+pub(crate) fn rng(seed: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(seed)
+}
+
+/// Stitch a possibly-disconnected graph into a connected one by adding one
+/// edge between consecutive components (each component's minimum-id node is
+/// linked to the previous component's). Adds `c - 1` edges for `c` components;
+/// preserves simplicity.
+pub(crate) fn connect_components(graph: &CsrGraph) -> Result<CsrGraph> {
+    let labels = connected_components(graph);
+    let component_count = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if component_count <= 1 {
+        return Ok(graph.clone());
+    }
+    // First (minimum-id) node of each component.
+    let mut representative = vec![u32::MAX; component_count];
+    for (i, &c) in labels.iter().enumerate() {
+        if representative[c] == u32::MAX {
+            representative[c] = i as u32;
+        }
+    }
+    let mut builder = GraphBuilder::with_capacity(graph.edge_count() + component_count);
+    for (u, v) in graph.edges() {
+        builder.push_edge(u.0, v.0);
+    }
+    for w in representative.windows(2) {
+        builder.push_edge(w[0], w[1]);
+    }
+    builder.with_nodes(graph.node_count()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::is_connected;
+
+    #[test]
+    fn connect_components_stitches() {
+        // Two disjoint edges.
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(2, 3)
+            .build()
+            .unwrap();
+        assert!(!is_connected(&g));
+        let c = connect_components(&g).unwrap();
+        assert!(is_connected(&c));
+        assert_eq!(c.edge_count(), 3);
+    }
+
+    #[test]
+    fn connect_components_noop_when_connected() {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let c = connect_components(&g).unwrap();
+        assert_eq!(g, c);
+    }
+}

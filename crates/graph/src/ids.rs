@@ -1,0 +1,84 @@
+//! Node identifier newtype.
+
+use std::fmt;
+
+/// Identifier of a node (user) in a graph.
+///
+/// Nodes are always densely numbered `0..node_count`. The newtype prevents
+/// accidental mixing of node ids with other integer quantities (degrees,
+/// counts, budgets) that circulate through the sampling pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index, for slice/column access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32` (graphs are capped at ~4.3B nodes,
+    /// far above anything this crate targets).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId(7)), "7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(NodeId(3) < NodeId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text edge-list reading and writing.
+//!
+//! The paper's public benchmark datasets ship as SNAP-style edge lists
+//! (`1684.edges` and friends): one `u v` pair per line, `#`-prefixed comment
+//! lines, arbitrary whitespace. This module parses that dialect from any
+//! `BufRead` and can write it back, so users with the real snapshots can load
+//! them directly in place of our synthetic stand-ins.
+
+use std::io::{BufRead, Write};
+
+use crate::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// Parse a SNAP-style undirected edge list.
+///
+/// * Lines starting with `#` or `%` are comments.
+/// * Blank lines are skipped.
+/// * Each data line holds two whitespace-separated node ids.
+/// * Duplicate edges and self-loops are tolerated (normalized away).
+///
+/// Node ids are used as-is; callers with sparse id spaces should compact ids
+/// first (see [`read_edge_list_compacted`]).
+///
+/// # Errors
+/// [`GraphError::Parse`] with the 1-based line number on malformed lines,
+/// [`GraphError::Io`] on read failures.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let (u, v) = parse_pair(trimmed, idx + 1)?;
+        builder.push_edge(u, v);
+    }
+    builder.build()
+}
+
+/// Parse an edge list whose ids may be sparse (e.g. raw user ids), compacting
+/// them to dense `0..n`. Returns the graph and the original id of each dense
+/// node, so samples can be mapped back.
+pub fn read_edge_list_compacted<R: BufRead>(reader: R) -> Result<(CsrGraph, Vec<u64>)> {
+    use std::collections::HashMap;
+    let mut remap: HashMap<u64, u32> = HashMap::new();
+    let mut original: Vec<u64> = Vec::new();
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let (u, v) = parse_pair_u64(trimmed, idx + 1)?;
+        let mut dense = |raw: u64| -> u32 {
+            *remap.entry(raw).or_insert_with(|| {
+                let id = original.len() as u32;
+                original.push(raw);
+                id
+            })
+        };
+        let du = dense(u);
+        let dv = dense(v);
+        builder.push_edge(du, dv);
+    }
+    Ok((builder.build()?, original))
+}
+
+fn parse_pair(line: &str, line_no: usize) -> Result<(u32, u32)> {
+    let (u, v) = parse_pair_u64(line, line_no)?;
+    let narrow = |x: u64| -> Result<u32> {
+        u32::try_from(x).map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("node id {x} exceeds u32; use read_edge_list_compacted"),
+        })
+    };
+    Ok((narrow(u)?, narrow(v)?))
+}
+
+fn parse_pair_u64(line: &str, line_no: usize) -> Result<(u64, u64)> {
+    let mut parts = line.split_whitespace();
+    let mut next = |what: &str| -> Result<u64> {
+        parts
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: format!("missing {what} node id"),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                message: format!("bad {what} node id: {e}"),
+            })
+    };
+    let u = next("source")?;
+    let v = next("target")?;
+    Ok((u, v))
+}
+
+/// Write a graph as a SNAP-style edge list (one `u v` line per undirected
+/// edge, smaller endpoint first), preceded by a summary comment.
+///
+/// # Errors
+/// [`GraphError::Io`] on write failures.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "# undirected edge list: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn parse_simple_list() {
+        let text = "# comment\n0 1\n1 2\n\n% also comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_missing_target() {
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("target"));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let g = crate::GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn compacted_remaps_sparse_ids() {
+        let text = "1000000000000 5\n5 70\n";
+        let (g, original) = read_edge_list_compacted(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(original.len(), 3);
+        assert_eq!(original[0], 1000000000000);
+        // node 1 (= raw 5) is adjacent to both others
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn non_compacted_rejects_huge_ids() {
+        let text = "1000000000000 5\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("compacted"));
+    }
+
+    #[test]
+    fn tabs_and_extra_whitespace_ok() {
+        let g = read_edge_list("0\t1\n 1   2 \n".as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+}

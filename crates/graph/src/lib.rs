@@ -1,0 +1,60 @@
+//! # osn-graph
+//!
+//! Compact, immutable, undirected graph substrate for random-walk sampling of
+//! online social networks.
+//!
+//! This crate provides everything the walkers in `osn-walks` and the simulated
+//! access interface in `osn-client` need from a graph:
+//!
+//! * [`CsrGraph`] — an immutable compressed-sparse-row adjacency structure
+//!   with `O(1)` degree lookup and contiguous neighbor slices.
+//! * [`GraphBuilder`] — deduplicating, self-loop-filtering construction from
+//!   arbitrary edge streams, plus [`DirectedEdgeList`](directed::DirectedEdgeList)
+//!   with the paper's mutual-edge directed→undirected conversion.
+//! * [`generators`] — synthetic topologies used in the paper's evaluation
+//!   (barbell, clustered cliques) and generators used to stand in for the
+//!   real OSN snapshots (powerlaw configuration model, attribute homophily).
+//! * [`analysis`] — degree distributions, clustering coefficients, triangle
+//!   counts, connected components (Table 1 statistics).
+//! * [`attributes`] — typed per-node attribute columns (e.g. `reviews_count`)
+//!   used by GNRW grouping and aggregate estimation.
+//! * [`io`] — plain-text edge-list reading/writing.
+//!
+//! All randomized construction is seeded and deterministic.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use osn_graph::{GraphBuilder, NodeId};
+//!
+//! let g = GraphBuilder::new()
+//!     .add_edge(0, 1)
+//!     .add_edge(1, 2)
+//!     .add_edge(2, 0)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.edge_count(), 3);
+//! assert_eq!(g.degree(NodeId(0)), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod attributes;
+mod builder;
+mod csr;
+pub mod directed;
+mod error;
+pub mod generators;
+mod ids;
+pub mod io;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use ids::NodeId;
+
+/// Convenience result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,82 @@
+//! Many cooperating walkers over one rate-limited interface.
+//!
+//! ```text
+//! cargo run --release --example many_walkers
+//! ```
+//!
+//! The paper's related work cites "many random walks are faster than one".
+//! Under the restricted-access cost model walkers sharing one crawler share
+//! its **cache**, so every node any walker queries is free for all of them
+//! — coverage rises with the walker count at no extra query cost.
+//!
+//! The example also shows the catch: on an ill-formed graph with a tiny
+//! budget, each walker stays trapped near its start, and naively *pooling*
+//! chains that disagree weights regions by walker count instead of by the
+//! stationary distribution. The split-R̂ diagnostic across the walker
+//! chains detects exactly this — R̂ far above 1 means the pooled estimate
+//! cannot be trusted yet and the budget must grow (or the chains be
+//! reweighted).
+
+use std::sync::Arc;
+
+use osn_sampling::estimate::diagnostics::split_rhat;
+use osn_sampling::prelude::*;
+
+fn main() {
+    let dataset = osn_sampling::datasets::clustered_graph();
+    let network = Arc::new(dataset.network);
+    let n = network.graph.node_count();
+    let truth = network.graph.average_degree();
+    println!(
+        "clustered graph: {} nodes, {} edges, true avg degree {truth:.2}",
+        n,
+        network.graph.edge_count()
+    );
+
+    let budget = 70u64;
+    println!("shared budget: {budget} unique queries\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "walkers", "coverage", "rel. error", "split-R^"
+    );
+
+    for k in [1usize, 2, 4, 8] {
+        let client = SimulatedOsn::new_shared(network.clone());
+        let mut client = BudgetedClient::new(client, budget, n);
+        let mut walkers: Vec<Box<dyn RandomWalk + Send>> = (0..k)
+            .map(|i| {
+                let start = NodeId(((i * 31) % n) as u32);
+                Box::new(Cnrw::new(start)) as Box<dyn RandomWalk + Send>
+            })
+            .collect();
+        let trace = MultiWalkSession::new(4_000, 99).run(&mut walkers, &mut client);
+
+        let mut est = RatioEstimator::new();
+        let mut seen = std::collections::HashSet::new();
+        for v in trace.pooled() {
+            let deg = network.graph.degree(v);
+            est.push(deg as f64, deg);
+            seen.insert(v);
+        }
+        let err = est
+            .average_degree()
+            .map(|e| (e - truth).abs() / truth)
+            .unwrap_or(1.0);
+        let chains = trace.chains(|v| network.graph.degree(v) as f64);
+        let rhat = split_rhat(&chains)
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "n/a".to_string());
+        println!(
+            "{k:>8} {:>9}/{n} {err:>12.4} {rhat:>10}",
+            seen.len()
+        );
+    }
+
+    println!(
+        "\nmore walkers cover more territory for the same unique-query\n\
+         budget (shared cache), but pooling chains that have not mixed\n\
+         weights clusters by walker count, not by the stationary\n\
+         distribution — watch the error grow as R^ explodes. The\n\
+         diagnostic, not the coverage, tells you when pooling is safe."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: estimate the average degree of a social network you can only
+//! reach through a rate-limited neighbor-query interface.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The scenario mirrors the paper's motivation: a third party (sociologist,
+//! economist) wants an aggregate over all users, but the platform only
+//! answers "who are the neighbors of user X?" and throttles queries hard.
+//! We compare the classic simple random walk (SRW) with the paper's
+//! history-aware CNRW at the same unique-query budget.
+
+use osn_sampling::prelude::*;
+
+fn estimate_with(
+    walker: &mut dyn RandomWalk,
+    network: std::sync::Arc<osn_sampling::graph::attributes::AttributedGraph>,
+    budget: u64,
+    seed: u64,
+) -> (f64, u64) {
+    let n = network.graph.node_count();
+    let client = SimulatedOsn::new_shared(network);
+    let mut client = BudgetedClient::new(client, budget, n);
+    let trace = WalkSession::new(WalkConfig::steps(1_000_000).with_seed(seed))
+        .run(walker, &mut client);
+
+    // Samples arrive with probability proportional to degree; the ratio
+    // estimator reweights by 1/degree to recover the population mean.
+    let mut est = RatioEstimator::new();
+    for &v in trace.nodes() {
+        let k = client.peek_degree(v);
+        est.push(k as f64, k);
+    }
+    (est.average_degree().unwrap_or(f64::NAN), trace.stats.unique)
+}
+
+/// A labeled walker factory, boxed for heterogeneous comparison lists.
+type WalkerFactory<'a> = (&'a str, Box<dyn Fn(NodeId) -> Box<dyn RandomWalk>>);
+
+fn main() {
+    // A 775-node Facebook-like social graph (same shape as the paper's
+    // public benchmark snapshot).
+    let dataset = osn_sampling::datasets::facebook_like(Scale::Default, 42);
+    let network = std::sync::Arc::new(dataset.network);
+    let truth = network.graph.average_degree();
+    println!("ground truth average degree: {truth:.3}");
+    println!("graph: {} nodes, {} edges\n", network.graph.node_count(), network.graph.edge_count());
+
+    let budget = 200;
+    let trials = 40;
+    println!("budget: {budget} unique queries, averaged over {trials} trials\n");
+
+    let algorithms: Vec<WalkerFactory> = vec![
+        ("SRW ", Box::new(|s| Box::new(Srw::new(s)))),
+        ("CNRW", Box::new(|s| Box::new(Cnrw::new(s)))),
+    ];
+    for (name, make) in &algorithms {
+        let mut total_err = 0.0;
+        for t in 0..trials {
+            let start = NodeId((t * 13) % network.graph.node_count() as u32);
+            let mut walker = make(start);
+            let (estimate, _) = estimate_with(walker.as_mut(), network.clone(), budget, t as u64);
+            total_err += (estimate - truth).abs() / truth;
+        }
+        println!(
+            "{name}  mean relative error: {:.4}",
+            total_err / trials as f64
+        );
+    }
+
+    println!("\nCNRW is a drop-in replacement: same stationary distribution,");
+    println!("same estimator, same budget — lower error.");
+}

@@ -1,0 +1,79 @@
+//! # osn-sampling
+//!
+//! A production-quality Rust implementation of **history-aware random walk
+//! sampling of online social networks**, reproducing *"Leveraging History
+//! for Faster Sampling of Online Social Networks"* (Zhuojie Zhou, Nan Zhang,
+//! Gautam Das — VLDB 2015, arXiv:1505.00079).
+//!
+//! The headline algorithms are **CNRW** (Circulated Neighbors Random Walk)
+//! and **GNRW** (GroupBy Neighbors Random Walk): drop-in replacements for
+//! the simple random walk that sample each node's neighbors *without
+//! replacement* (per incoming edge), provably keeping the SRW stationary
+//! distribution `k_v / 2|E|` while reducing asymptotic variance — i.e. fewer
+//! rate-limited API queries per unit of estimation accuracy.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`graph`] (`osn-graph`) — CSR graph substrate, generators, analysis;
+//! * [`client`] (`osn-client`) — the simulated restricted OSN interface
+//!   with unique-query accounting and rate-limit simulation;
+//! * [`walks`] (`osn-walks`) — SRW, MHRW, NB-SRW, **CNRW**, **GNRW**,
+//!   NB-CNRW, plus exact Markov-chain analysis;
+//! * [`estimate`] (`osn-estimate`) — reweighted aggregate estimators, bias
+//!   metrics, variance estimation, convergence diagnostics;
+//! * [`datasets`] (`osn-datasets`) — calibrated stand-ins for the paper's
+//!   evaluation datasets;
+//! * [`experiments`] (`osn-experiments`) — the harness regenerating every
+//!   table and figure of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use osn_sampling::prelude::*;
+//!
+//! // A small social graph behind a restricted interface.
+//! let network = osn_sampling::datasets::facebook_like(Scale::Test, 7).network;
+//! let truth = network.graph.average_degree();
+//! let n = network.graph.node_count();
+//!
+//! // Budget: 150 unique queries, as a third party would be limited.
+//! let client = SimulatedOsn::new(network);
+//! let mut client = BudgetedClient::new(client, 150, n);
+//!
+//! // CNRW is a drop-in replacement for SRW: same stationary distribution,
+//! // faster convergence.
+//! let mut walker = Cnrw::new(NodeId(0));
+//! let trace = WalkSession::new(WalkConfig::steps(100_000).with_seed(1))
+//!     .run(&mut walker, &mut client);
+//!
+//! // Correct the degree-proportional sampling bias while estimating.
+//! let mut est = RatioEstimator::new();
+//! for &v in trace.nodes() {
+//!     let k = client.peek_degree(v);
+//!     est.push(k as f64, k);
+//! }
+//! let estimate = est.average_degree().unwrap();
+//! assert!((estimate - truth).abs() / truth < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use osn_client as client;
+pub use osn_datasets as datasets;
+pub use osn_estimate as estimate;
+pub use osn_experiments as experiments;
+pub use osn_graph as graph;
+pub use osn_walks as walks;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use osn_client::{BudgetedClient, OsnClient, RateLimitConfig, RateLimitedOsn, SimulatedOsn};
+    pub use osn_datasets::{Dataset, Scale};
+    pub use osn_estimate::{RatioEstimator, UniformMeanEstimator};
+    pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use osn_walks::{
+        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, Mhrw, MultiWalkSession,
+        NbCnrw, NbSrw, NodeCnrw, RandomWalk, Srw, WalkConfig, WalkSession,
+    };
+}
