@@ -18,17 +18,13 @@ fn fig6_trial(c: &mut Criterion) {
     for alg in Algorithm::figure6_set() {
         for budget in [100u64, 300] {
             let plan = TrialPlan::budgeted(network.clone(), budget);
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), budget),
-                &plan,
-                |b, plan| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        plan.run(&alg, seed).stats.unique
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.label(), budget), &plan, |b, plan| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    plan.run(&alg, seed).stats.unique
+                });
+            });
         }
     }
     group.finish();

@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use osn_datasets::{yelp_like, Scale};
 use osn_graph::NodeId;
-use osn_walks::{ByAttribute, ByDegree, ByHash, Gnrw, RandomWalk, ValueBucketing, WalkConfig, WalkSession};
+use osn_walks::{
+    ByAttribute, ByDegree, ByHash, Gnrw, RandomWalk, ValueBucketing, WalkConfig, WalkSession,
+};
 
 fn fig9_grouping(c: &mut Criterion) {
     let network = Arc::new(yelp_like(Scale::Test, 1).network);

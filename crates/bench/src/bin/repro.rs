@@ -12,7 +12,9 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use osn_datasets::Scale;
-use osn_experiments::{ablation, fig10, fig11, fig6, fig7, fig8, fig9, table1, theorem3, ExperimentResult};
+use osn_experiments::{
+    ablation, fig10, fig11, fig6, fig7, fig8, fig9, table1, theorem3, ExperimentResult,
+};
 
 struct Options {
     quick: bool,
@@ -51,7 +53,11 @@ fn parse_args() -> Options {
         .map(|s| s.to_string())
         .collect();
     }
-    Options { quick, out, targets }
+    Options {
+        quick,
+        out,
+        targets,
+    }
 }
 
 fn emit(result: &ExperimentResult, out: &Option<PathBuf>) {
@@ -74,25 +80,49 @@ fn main() {
     let started = std::time::Instant::now();
     for target in &opts.targets {
         let t0 = std::time::Instant::now();
-        eprintln!("== running {target} ({}) ==", if opts.quick { "quick" } else { "default" });
+        eprintln!(
+            "== running {target} ({}) ==",
+            if opts.quick { "quick" } else { "default" }
+        );
         match target.as_str() {
             "table1" => {
-                let scale = if opts.quick { Scale::Test } else { Scale::Default };
+                let scale = if opts.quick {
+                    Scale::Test
+                } else {
+                    Scale::Default
+                };
                 emit(&table1::run(scale, 1), &opts.out);
             }
             "fig6" => {
-                let config = if opts.quick { fig6::Fig6Config::quick() } else { Default::default() };
+                let config = if opts.quick {
+                    fig6::Fig6Config::quick()
+                } else {
+                    Default::default()
+                };
                 emit(&fig6::run(&config), &opts.out);
             }
             "fig7" => {
-                let config = if opts.quick { fig7::Fig7Config::quick() } else { Default::default() };
+                let config = if opts.quick {
+                    fig7::Fig7Config::quick()
+                } else {
+                    Default::default()
+                };
                 let r = fig7::run(&config);
-                for panel in [&r.facebook_kl, &r.facebook_l2, &r.facebook_error, &r.youtube_error] {
+                for panel in [
+                    &r.facebook_kl,
+                    &r.facebook_l2,
+                    &r.facebook_error,
+                    &r.youtube_error,
+                ] {
                     emit(panel, &opts.out);
                 }
             }
             "fig8" => {
-                let config = if opts.quick { fig8::Fig8Config::quick() } else { Default::default() };
+                let config = if opts.quick {
+                    fig8::Fig8Config::quick()
+                } else {
+                    Default::default()
+                };
                 for panel in fig8::run(&config) {
                     // Figure 8 has one row per node; print a summary to
                     // stdout and write the full series only to --out.
@@ -115,20 +145,32 @@ fn main() {
                 }
             }
             "fig9" => {
-                let config = if opts.quick { fig9::Fig9Config::quick() } else { Default::default() };
+                let config = if opts.quick {
+                    fig9::Fig9Config::quick()
+                } else {
+                    Default::default()
+                };
                 let r = fig9::run(&config);
                 emit(&r.average_degree, &opts.out);
                 emit(&r.average_reviews, &opts.out);
             }
             "fig10" => {
-                let config = if opts.quick { fig10::Fig10Config::quick() } else { Default::default() };
+                let config = if opts.quick {
+                    fig10::Fig10Config::quick()
+                } else {
+                    Default::default()
+                };
                 let r = fig10::run(&config);
                 for panel in [&r.kl, &r.l2, &r.error] {
                     emit(panel, &opts.out);
                 }
             }
             "fig11" => {
-                let config = if opts.quick { fig11::Fig11Config::quick() } else { Default::default() };
+                let config = if opts.quick {
+                    fig11::Fig11Config::quick()
+                } else {
+                    Default::default()
+                };
                 let r = fig11::run(&config);
                 for panel in [&r.kl, &r.l2, &r.error] {
                     emit(panel, &opts.out);

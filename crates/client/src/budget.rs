@@ -81,7 +81,9 @@ impl<C: OsnClient> OsnClient for BudgetedClient<C> {
         }
         if !self.seen[idx] {
             if self.used >= self.budget {
-                return Err(BudgetExhausted { budget: self.budget });
+                return Err(BudgetExhausted {
+                    budget: self.budget,
+                });
             }
             self.seen[idx] = true;
             self.used += 1;

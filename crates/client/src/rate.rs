@@ -62,7 +62,12 @@ impl VirtualClock {
     /// Elapsed time formatted as `h:mm:ss` for reports.
     pub fn display(&self) -> String {
         let total = self.now.round() as u64;
-        format!("{}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
+        format!(
+            "{}:{:02}:{:02}",
+            total / 3600,
+            (total % 3600) / 60,
+            total % 60
+        )
     }
 
     fn advance(&mut self, secs: f64) {

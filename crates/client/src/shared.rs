@@ -7,10 +7,9 @@
 //! one [`SimulatedOsn`], so a node queried by any walker is cached (free) for
 //! every other walker, and the unique-query count is global.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use osn_graph::NodeId;
-use parking_lot::Mutex;
 
 use crate::budget::BudgetExhausted;
 use crate::client::{OsnClient, SimulatedOsn};
@@ -37,31 +36,44 @@ impl SharedOsn {
         }
     }
 
+    /// Lock the shared simulator, recovering from poisoning: the cache and
+    /// counters stay valid even if another walker thread panicked. Takes
+    /// the mutex (not `&self`) so callers can keep `self.scratch` mutable
+    /// while the guard is live.
+    fn locked(inner: &Mutex<SimulatedOsn>) -> MutexGuard<'_, SimulatedOsn> {
+        inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Query neighbors, returning an owned copy.
     ///
     /// # Errors
     /// Never fails for the bare simulator; kept fallible for interface
     /// symmetry with budget wrappers.
     pub fn neighbors_owned(&self, u: NodeId) -> Result<Vec<NodeId>, BudgetExhausted> {
-        let mut guard = self.inner.lock();
+        let mut guard = Self::locked(&self.inner);
         guard.neighbors(u).map(|s| s.to_vec())
     }
 
     /// Global query statistics across all handles.
     pub fn global_stats(&self) -> QueryStats {
-        self.inner.lock().stats()
+        Self::locked(&self.inner).stats()
     }
 
     /// Try to unwrap the inner simulator (succeeds when this is the last
     /// handle).
     pub fn try_into_inner(self) -> Option<SimulatedOsn> {
-        Arc::try_unwrap(self.inner).ok().map(Mutex::into_inner)
+        Arc::try_unwrap(self.inner).ok().map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        })
     }
 }
 
 impl OsnClient for SharedOsn {
     fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
-        let mut guard = self.inner.lock();
+        let mut guard = Self::locked(&self.inner);
         let slice = guard.neighbors(u)?;
         self.scratch.clear();
         self.scratch.extend_from_slice(slice);
@@ -70,11 +82,11 @@ impl OsnClient for SharedOsn {
     }
 
     fn peek_degree(&self, u: NodeId) -> usize {
-        self.inner.lock().peek_degree(u)
+        Self::locked(&self.inner).peek_degree(u)
     }
 
     fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
-        self.inner.lock().peek_attribute(u, name)
+        Self::locked(&self.inner).peek_attribute(u, name)
     }
 
     fn stats(&self) -> QueryStats {

@@ -26,7 +26,9 @@ pub struct Fnv64 {
 
 impl Default for Fnv64 {
     fn default() -> Self {
-        Fnv64 { state: OFFSET_BASIS }
+        Fnv64 {
+            state: OFFSET_BASIS,
+        }
     }
 }
 

@@ -38,9 +38,7 @@ impl FrontierSampler {
     /// (stand-in for the uniform seed nodes the original paper assumes).
     pub fn spread(m: usize, n: usize) -> Self {
         assert!(m > 0 && n > 0);
-        let positions = (0..m)
-            .map(|i| NodeId(((i * n) / m) as u32))
-            .collect();
+        let positions = (0..m).map(|i| NodeId(((i * n) / m) as u32)).collect();
         FrontierSampler { positions }
     }
 
@@ -67,7 +65,7 @@ impl FrontierSampler {
             .iter()
             .map(|&p| client.peek_degree(p).max(1))
             .sum();
-        let mut pick = (&mut *rng).gen_range(0..total);
+        let mut pick = (*rng).gen_range(0..total);
         let mut chosen = 0usize;
         for (i, &p) in self.positions.iter().enumerate() {
             let w = client.peek_degree(p).max(1);
@@ -82,7 +80,7 @@ impl FrontierSampler {
         if neighbors.is_empty() {
             return Ok(at);
         }
-        let next = neighbors[(&mut *rng).gen_range(0..neighbors.len())];
+        let next = neighbors[(*rng).gen_range(0..neighbors.len())];
         self.positions[chosen] = next;
         Ok(next)
     }
@@ -167,10 +165,7 @@ mod tests {
             let mut client = SimulatedOsn::from_graph(g.clone());
             let mut fs = FrontierSampler::new(positions);
             let (nodes, _) = fs.run(&mut client, 50_000, 5);
-            nodes
-                .iter()
-                .position(|v| v.index() >= 25)
-                .unwrap_or(50_000)
+            nodes.iter().position(|v| v.index() >= 25).unwrap_or(50_000)
         };
         let clumped = first_right_visit(vec![NodeId(0); 8]);
         let spread = first_right_visit((0..8).map(|i| NodeId(i * 6)).collect());

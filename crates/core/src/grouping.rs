@@ -53,7 +53,11 @@ pub enum ValueBucketing {
 impl ValueBucketing {
     /// Map a non-negative value to its bucket id.
     pub fn bucket(&self, value: f64) -> u64 {
-        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
         match self {
             ValueBucketing::Exact => v.to_bits(),
             ValueBucketing::Linear(width) => {
@@ -296,7 +300,9 @@ mod tests {
             .build()
             .unwrap();
         let mut attrs = NodeAttributes::for_graph(&g);
-        attrs.insert_uint("reviews", vec![5, 0, 1, 10, 100]).unwrap();
+        attrs
+            .insert_uint("reviews", vec![5, 0, 1, 10, 100])
+            .unwrap();
         SimulatedOsn::new(AttributedGraph::new(g, attrs).unwrap())
     }
 

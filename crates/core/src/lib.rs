@@ -59,9 +59,9 @@ mod session;
 mod walker;
 pub mod walkers;
 
-pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
-pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
 pub use frontier::FrontierSampler;
+pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
 pub use multiwalk::{MultiWalkSession, MultiWalkTrace};
+pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
 pub use walker::RandomWalk;
 pub use walkers::{Cnrw, Gnrw, Mhrw, NbCnrw, NbSrw, NodeCnrw, Srw};

@@ -39,11 +39,7 @@ pub fn asymptotic_variance(p: &TransitionKernel, pi: &[f64], f: &[f64]) -> f64 {
     // Solve A z = f̃  =>  z = Z f̃.
     let z = solve_dense(a, centered.clone());
 
-    let var: f64 = pi
-        .iter()
-        .zip(&centered)
-        .map(|(&w, &x)| w * x * x)
-        .sum();
+    let var: f64 = pi.iter().zip(&centered).map(|(&w, &x)| w * x * x).sum();
     let cross: f64 = pi
         .iter()
         .zip(&centered)
@@ -59,7 +55,12 @@ pub fn asymptotic_variance(p: &TransitionKernel, pi: &[f64], f: &[f64]) -> f64 {
 ///
 /// This is the "burn-in period" quantity the paper's introduction talks
 /// about, computed exactly for small graphs.
-pub fn mixing_time_upper(p: &TransitionKernel, pi: &[f64], eps: f64, max_t: usize) -> Option<usize> {
+pub fn mixing_time_upper(
+    p: &TransitionKernel,
+    pi: &[f64],
+    eps: f64,
+    max_t: usize,
+) -> Option<usize> {
     let n = p.len();
     // Evolve all n point-mass rows together: dist[i] is the t-step
     // distribution starting from i.
@@ -103,10 +104,8 @@ mod tests {
         // A kernel whose every row is pi produces i.i.d. samples, so the
         // asymptotic variance equals Var_pi(f).
         let pi = vec![0.25, 0.25, 0.5];
-        let p = TransitionKernel::from_rows(
-            3,
-            vec![0.25, 0.25, 0.5, 0.25, 0.25, 0.5, 0.25, 0.25, 0.5],
-        );
+        let p =
+            TransitionKernel::from_rows(3, vec![0.25, 0.25, 0.5, 0.25, 0.25, 0.5, 0.25, 0.25, 0.5]);
         let f = vec![1.0, 2.0, 4.0];
         let mean = 0.25 + 0.5 + 2.0;
         let var: f64 = pi
@@ -167,10 +166,10 @@ mod tests {
         let bar = barbell(6, 6).unwrap();
         let kc = TransitionKernel::srw(&clique);
         let kb = TransitionKernel::srw(&bar);
-        let tc = mixing_time_upper(&kc, &clique.degree_stationary_distribution(), 0.01, 10_000)
-            .unwrap();
-        let tb = mixing_time_upper(&kb, &bar.degree_stationary_distribution(), 0.01, 10_000)
-            .unwrap();
+        let tc =
+            mixing_time_upper(&kc, &clique.degree_stationary_distribution(), 0.01, 10_000).unwrap();
+        let tb =
+            mixing_time_upper(&kb, &bar.degree_stationary_distribution(), 0.01, 10_000).unwrap();
         assert!(tb > 5 * tc, "barbell {tb} vs clique {tc}");
     }
 

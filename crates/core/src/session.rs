@@ -108,7 +108,10 @@ impl WalkTrace {
 
     /// Number of samples [`samples`](Self::samples) will yield.
     pub fn sample_count(&self) -> usize {
-        self.nodes.len().saturating_sub(self.burn_in).div_ceil(self.thinning)
+        self.nodes
+            .len()
+            .saturating_sub(self.burn_in)
+            .div_ceil(self.thinning)
     }
 }
 
@@ -188,8 +191,7 @@ mod tests {
         let n = inner.graph().node_count();
         let mut c = BudgetedClient::new(inner, 5, n);
         let mut w = Srw::new(NodeId(0));
-        let trace =
-            WalkSession::new(WalkConfig::steps(10_000).with_seed(1)).run(&mut w, &mut c);
+        let trace = WalkSession::new(WalkConfig::steps(10_000).with_seed(1)).run(&mut w, &mut c);
         assert_eq!(trace.stop, WalkStop::BudgetExhausted);
         // With budget 5, at most a handful of distinct nodes were visited,
         // but revisits are free so the trace can be longer than 5.

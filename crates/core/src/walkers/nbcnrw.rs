@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn dead_end_backtracks() {
-        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
         let mut client = SimulatedOsn::from_graph(g);
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let mut w = NbCnrw::new(NodeId(1));
@@ -193,7 +197,11 @@ mod tests {
         let pi = client.graph().degree_stationary_distribution();
         for (i, &c) in visits.iter().enumerate() {
             let freq = c as f64 / steps as f64;
-            assert!((freq - pi[i]).abs() < 0.015, "node {i}: {freq} vs {}", pi[i]);
+            assert!(
+                (freq - pi[i]).abs() < 0.015,
+                "node {i}: {freq} vs {}",
+                pi[i]
+            );
         }
     }
 

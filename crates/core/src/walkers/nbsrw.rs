@@ -122,7 +122,11 @@ mod tests {
     #[test]
     fn dead_end_forces_backtrack() {
         // Path 0-1-2: at node 0 or 2 the only move is back.
-        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
         let mut client = SimulatedOsn::from_graph(g);
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let mut w = NbSrw::new(NodeId(1));

@@ -128,14 +128,18 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let mut w = NodeCnrw::new(NodeId(0));
         let steps = 120_000;
-        let mut visits = vec![0usize; 6];
+        let mut visits = [0usize; 6];
         for _ in 0..steps {
             visits[w.step(&mut client, &mut rng).unwrap().index()] += 1;
         }
         let pi = client.graph().degree_stationary_distribution();
         for (i, &c) in visits.iter().enumerate() {
             let freq = c as f64 / steps as f64;
-            assert!((freq - pi[i]).abs() < 0.015, "node {i}: {freq} vs {}", pi[i]);
+            assert!(
+                (freq - pi[i]).abs() < 0.015,
+                "node {i}: {freq} vs {}",
+                pi[i]
+            );
         }
     }
 

@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn isolated_node_stays_put() {
-        let g = GraphBuilder::new().with_nodes(2).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::new()
+            .with_nodes(2)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         // Build a graph with an isolated node 2.
         let g = GraphBuilder::new()
             .with_nodes(3)

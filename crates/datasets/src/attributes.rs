@@ -64,8 +64,7 @@ pub fn degree_scaled_counts(
     seed: u64,
 ) -> Vec<u64> {
     assert_eq!(communities.len(), degrees.len());
-    let mean_degree =
-        (degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64).max(1.0);
+    let mean_degree = (degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64).max(1.0);
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     communities
         .iter()
@@ -155,7 +154,10 @@ mod tests {
 
     #[test]
     fn attach_inserts_column() {
-        let g = osn_graph::GraphBuilder::new().add_edge(0, 1).build().unwrap();
+        let g = osn_graph::GraphBuilder::new()
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let mut attrs = osn_graph::attributes::NodeAttributes::for_graph(&g);
         attach_community_attribute(&mut attrs, "reviews_count", &[0, 1], 10.0, 2.0, 0.5, 3)
             .unwrap();

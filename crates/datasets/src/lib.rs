@@ -27,7 +27,9 @@
 mod attributes;
 mod standins;
 
-pub use attributes::{attach_community_attribute, degree_scaled_counts, zipf_like_counts, ATTRIBUTE_LEVELS};
+pub use attributes::{
+    attach_community_attribute, degree_scaled_counts, zipf_like_counts, ATTRIBUTE_LEVELS,
+};
 pub use standins::{
     barbell_graph, barbell_graph_sized, clustered_graph, facebook_like, gplus_like, yelp_like,
     youtube_like,
@@ -96,7 +98,14 @@ mod tests {
         let names: Vec<_> = ds.iter().map(|d| d.name).collect();
         assert_eq!(
             names,
-            vec!["facebook", "gplus", "yelp", "youtube", "clustered", "barbell"]
+            vec![
+                "facebook",
+                "gplus",
+                "yelp",
+                "youtube",
+                "clustered",
+                "barbell"
+            ]
         );
         for d in &ds {
             assert!(d.node_count() > 0, "{} empty", d.name);

@@ -195,10 +195,7 @@ pub fn barbell_graph_sized(left: usize, right: usize) -> Dataset {
         .collect();
     let mut attrs = NodeAttributes::new(graph.node_count());
     attrs
-        .insert_uint(
-            "side",
-            communities.iter().map(|&c| c as u64).collect(),
-        )
+        .insert_uint("side", communities.iter().map(|&c| c as u64).collect())
         .expect("sized correctly");
     let network = AttributedGraph::new(graph, attrs).expect("matching sizes");
     Dataset {

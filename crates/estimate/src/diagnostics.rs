@@ -61,10 +61,7 @@ pub fn split_rhat(chains: &[Vec<f64>]) -> Option<f64> {
     let m = halves.len() as f64;
     let n = (min_len / 2) as f64;
 
-    let means: Vec<f64> = halves
-        .iter()
-        .map(|h| h.iter().sum::<f64>() / n)
-        .collect();
+    let means: Vec<f64> = halves.iter().map(|h| h.iter().sum::<f64>() / n).collect();
     let grand = means.iter().sum::<f64>() / m;
     let b = n / (m - 1.0)
         * means
@@ -74,9 +71,7 @@ pub fn split_rhat(chains: &[Vec<f64>]) -> Option<f64> {
     let w = halves
         .iter()
         .zip(&means)
-        .map(|(h, &mu)| {
-            h.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n - 1.0)
-        })
+        .map(|(h, &mu)| h.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n - 1.0))
         .sum::<f64>()
         / m;
     if w == 0.0 {

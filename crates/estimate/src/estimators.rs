@@ -33,8 +33,8 @@ use osn_graph::NodeId;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RatioEstimator {
-    weighted_sum: f64,   // Σ f(v)/k_v
-    weight_total: f64,   // Σ 1/k_v
+    weighted_sum: f64, // Σ f(v)/k_v
+    weight_total: f64, // Σ 1/k_v
     count: usize,
 }
 

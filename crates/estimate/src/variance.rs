@@ -160,7 +160,9 @@ mod tests {
         // x alternates +1/-1: ergodic averages converge at 1/n, so V∞ -> 0.
         // This is the CNRW intuition in its purest form: anti-correlation
         // *reduces* asymptotic variance below the i.i.d. level.
-        let xs: Vec<f64> = (0..10_000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let v = batch_means_variance(&xs, 50).unwrap();
         assert!(v < 0.01, "alternating variance {v}");
     }

@@ -18,7 +18,6 @@ use osn_graph::attributes::AttributedGraph;
 use osn_graph::NodeId;
 use osn_walks::{Cnrw, NodeCnrw, RandomWalk, Srw, WalkConfig, WalkSession};
 
-
 use crate::output::{ExperimentResult, Series};
 use crate::runner::parallel_map;
 
@@ -171,9 +170,8 @@ pub fn run_budget(config: &AblationConfig) -> ExperimentResult {
                     let seed = trial_seed(config.seed ^ budget, t as u64);
                     let start = plan.start_node(seed);
                     let mut walker = make(start);
-                    let session = WalkSession::new(
-                        WalkConfig::steps(plan.max_steps).with_seed(seed),
-                    );
+                    let session =
+                        WalkSession::new(WalkConfig::steps(plan.max_steps).with_seed(seed));
                     let mut client = osn_client::BudgetedClient::new(
                         osn_client::SimulatedOsn::new_shared(plan.network.clone()),
                         budget,
@@ -185,9 +183,7 @@ pub fn run_budget(config: &AblationConfig) -> ExperimentResult {
                         let k = plan.network.graph.degree(v);
                         est.push(k as f64, k);
                     }
-                    est.mean()
-                        .map(|e| (e - truth).abs() / truth)
-                        .unwrap_or(1.0)
+                    est.mean().map(|e| (e - truth).abs() / truth).unwrap_or(1.0)
                 });
                 errors.iter().sum::<f64>() / errors.len() as f64
             })

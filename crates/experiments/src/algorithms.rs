@@ -5,7 +5,7 @@ use osn_graph::NodeId;
 use osn_walks::{ByAttribute, ByDegree, ByHash, Cnrw, Gnrw, Mhrw, NbCnrw, NbSrw, RandomWalk, Srw};
 
 /// Which grouping GNRW uses (mirrors the paper's Figure 9 variants).
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GroupingSpec {
     /// `GNRW_By_Degree`.
     ByDegree,

@@ -88,7 +88,9 @@ pub fn run(config: &Fig10Config) -> Fig10Results {
         let m = bias_vs_budget(network.clone(), alg, &config.sweep);
         kl.series.push(Series::new(alg.label(), xs.clone(), m.kl));
         l2.series.push(Series::new(alg.label(), xs.clone(), m.l2));
-        error.series.push(Series::new(alg.label(), xs.clone(), m.error));
+        error
+            .series
+            .push(Series::new(alg.label(), xs.clone(), m.error));
     }
     Fig10Results { kl, l2, error }
 }

@@ -150,8 +150,12 @@ pub fn run(config: &Fig11Config) -> Fig11Results {
             l2_y.push(l2_distance(&target_dist, &pooled.probabilities()));
             err_y.push(err_sum / per_trial.len() as f64);
         }
-        kl_panel.series.push(Series::new(alg.label(), xs.clone(), kl_y));
-        l2_panel.series.push(Series::new(alg.label(), xs.clone(), l2_y));
+        kl_panel
+            .series
+            .push(Series::new(alg.label(), xs.clone(), kl_y));
+        l2_panel
+            .series
+            .push(Series::new(alg.label(), xs.clone(), l2_y));
         error_panel
             .series
             .push(Series::new(alg.label(), xs.clone(), err_y));

@@ -98,8 +98,10 @@ pub fn run(config: &Fig7Config) -> Fig7Results {
     );
     for alg in &algorithms {
         let metrics = bias_vs_budget(fb.clone(), alg, &config.facebook_sweep);
-        kl.series.push(Series::new(alg.label(), xs.clone(), metrics.kl));
-        l2.series.push(Series::new(alg.label(), xs.clone(), metrics.l2));
+        kl.series
+            .push(Series::new(alg.label(), xs.clone(), metrics.kl));
+        l2.series
+            .push(Series::new(alg.label(), xs.clone(), metrics.l2));
         err.series
             .push(Series::new(alg.label(), xs.clone(), metrics.error));
     }
@@ -173,6 +175,11 @@ mod tests {
         }
         // History-aware walks should not lose to SRW on the KL sweep.
         let auc = |label: &str| r.facebook_kl.series_by_label(label).unwrap().auc();
-        assert!(auc("CNRW") < auc("SRW") * 1.1, "CNRW {} SRW {}", auc("CNRW"), auc("SRW"));
+        assert!(
+            auc("CNRW") < auc("SRW") * 1.1,
+            "CNRW {} SRW {}",
+            auc("CNRW"),
+            auc("SRW")
+        );
     }
 }

@@ -105,7 +105,9 @@ pub fn run_panel(
         }
         let probs = pooled.probabilities();
         let sorted: Vec<f64> = order.iter().map(|&v| probs[v as usize]).collect();
-        result.series.push(Series::new(alg.label(), xs.clone(), sorted));
+        result
+            .series
+            .push(Series::new(alg.label(), xs.clone(), sorted));
     }
     result
 }
@@ -115,7 +117,11 @@ pub fn run_panel(
 pub fn run(config: &Fig8Config) -> Vec<ExperimentResult> {
     let panels = [
         (config.seed, "fig8a", "facebook dataset 1: distribution"),
-        (config.seed ^ 0x5eed, "fig8b", "facebook dataset 2: distribution"),
+        (
+            config.seed ^ 0x5eed,
+            "fig8b",
+            "facebook dataset 2: distribution",
+        ),
     ];
     panels
         .iter()
@@ -156,8 +162,12 @@ mod tests {
                 // Total variation aggregates the convergence claim; the
                 // per-node maximum is noisy for autocorrelated walk samples.
                 let alg = &panel.series_by_label(label).unwrap().y;
-                let tv: f64 =
-                    0.5 * theo.iter().zip(alg).map(|(&a, &b)| (a - b).abs()).sum::<f64>();
+                let tv: f64 = 0.5
+                    * theo
+                        .iter()
+                        .zip(alg)
+                        .map(|(&a, &b)| (a - b).abs())
+                        .sum::<f64>();
                 assert!(tv < 0.08, "{label}: TV distance {tv}");
                 let dev = max_deviation(panel, label).unwrap();
                 assert!(dev < 0.02, "{label}: max per-node deviation {dev}");

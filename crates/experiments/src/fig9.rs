@@ -80,14 +80,13 @@ pub fn run(config: &Fig9Config) -> Fig9Results {
 
     let build = |id: &str, title: &str, target: AggregateTarget| {
         let series = error_vs_budget(network.clone(), &algorithms, &target, &config.sweep);
-        let mut r = ExperimentResult::new(id, title, "Query Cost", "Relative Error").with_note(
-            format!(
+        let mut r =
+            ExperimentResult::new(id, title, "Query Cost", "Relative Error").with_note(format!(
                 "yelp stand-in: {} nodes, {} edges, attribute `reviews_count`; {} trials/point",
                 network.graph.node_count(),
                 network.graph.edge_count(),
                 config.sweep.trials
-            ),
-        );
+            ));
         for s in series {
             r.series.push(s);
         }

@@ -1,10 +1,13 @@
 //! Experiment result containers and renderers (markdown / CSV / JSON).
-
-use serde::{Deserialize, Serialize};
+//!
+//! JSON encoding/decoding is hand-rolled for the two fixed container shapes
+//! below — the build environment has no registry access for `serde`, and the
+//! schema (strings + `f64` arrays) is small enough that a bespoke
+//! writer/parser is simpler than vendoring a serialization framework.
 
 /// One labeled curve: `(x, y)` pairs (a line in one of the paper's plots,
 /// or a column group in a table).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     /// Legend label (e.g. `"CNRW"`).
     pub label: String,
@@ -61,7 +64,7 @@ impl Series {
 }
 
 /// A complete experiment artifact: identifier, axis names, all series.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentResult {
     /// Identifier matching the paper ("fig6", "table1", …).
     pub id: String,
@@ -181,7 +184,379 @@ impl ExperimentResult {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("serializable by construction")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json::string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json::string(&self.title)));
+        out.push_str(&format!(
+            "  \"x_label\": {},\n",
+            json::string(&self.x_label)
+        ));
+        out.push_str(&format!(
+            "  \"y_label\": {},\n",
+            json::string(&self.y_label)
+        ));
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"label\": {},\n", json::string(&s.label)));
+            out.push_str(&format!("      \"x\": {},\n", json::numbers(&s.x)));
+            out.push_str(&format!("      \"y\": {}\n", json::numbers(&s.y)));
+            out.push_str("    }");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json::string(n));
+        }
+        out.push_str("]\n}");
+        out
+    }
+
+    /// Parse the JSON produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    /// Returns a human-readable message when `input` is not a well-formed
+    /// experiment-result document.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let value = json::parse(input)?;
+        let obj = value.as_object()?;
+        let series_values = json::get(obj, "series")?.as_array()?;
+        let mut series = Vec::with_capacity(series_values.len());
+        for sv in series_values {
+            let so = sv.as_object()?;
+            let x = json::get(so, "x")?.as_numbers()?;
+            let y = json::get(so, "y")?.as_numbers()?;
+            if x.len() != y.len() {
+                return Err("series coordinate length mismatch".into());
+            }
+            series.push(Series {
+                label: json::get(so, "label")?.as_string()?,
+                x,
+                y,
+            });
+        }
+        let notes = json::get(obj, "notes")?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_string())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExperimentResult {
+            id: json::get(obj, "id")?.as_string()?,
+            title: json::get(obj, "title")?.as_string()?,
+            x_label: json::get(obj, "x_label")?.as_string()?,
+            y_label: json::get(obj, "y_label")?.as_string()?,
+            series,
+            notes,
+        })
+    }
+}
+
+/// Minimal JSON writer/parser covering exactly the document shape
+/// [`ExperimentResult::to_json`] emits (objects, arrays, strings, finite
+/// and non-finite `f64`s).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub(super) enum Value {
+        /// String scalar.
+        Str(String),
+        /// Number scalar (non-finite values round-trip via string forms).
+        Num(f64),
+        /// Array of values.
+        Arr(Vec<Value>),
+        /// Object as ordered key/value pairs (no duplicate-key handling).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Obj(fields) => Ok(fields),
+                other => Err(format!("expected object, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_array(&self) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                other => Err(format!("expected array, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_string(&self) -> Result<String, String> {
+            match self {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(format!("expected string, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_numbers(&self) -> Result<Vec<f64>, String> {
+            self.as_array()?
+                .iter()
+                .map(|v| match v {
+                    Value::Num(n) => Ok(*n),
+                    // `numbers` encodes non-finite values as strings.
+                    Value::Str(s) => s
+                        .parse::<f64>()
+                        .map_err(|_| format!("expected number, got string `{s}`")),
+                    other => Err(format!("expected number, got {other:?}")),
+                })
+                .collect()
+        }
+    }
+
+    /// Fetch a required object field.
+    pub(super) fn get<'v>(obj: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    /// Encode a string with JSON escaping.
+    pub(super) fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Encode an `f64` array. Non-finite values (possible for diverging
+    /// estimators) are encoded as strings, which [`parse`] maps back.
+    pub(super) fn numbers(xs: &[f64]) -> String {
+        let mut out = String::from("[");
+        for (i, x) in xs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            if x.is_finite() {
+                out.push_str(&format_number(*x));
+            } else {
+                out.push_str(&format!("\"{x}\""));
+            }
+        }
+        out.push(']');
+        out
+    }
+
+    /// Shortest round-trip decimal form, always with a decimal point or
+    /// exponent so the value reads as a float.
+    fn format_number(x: f64) -> String {
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+
+    /// Parse a JSON document (the subset emitted by this module).
+    pub(super) fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            let got = self.peek()?;
+            if got != b {
+                return Err(format!(
+                    "expected `{}` at byte {}, got `{}`",
+                    b as char, self.pos, got as char
+                ));
+            }
+            self.pos += 1;
+            Ok(())
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(self.string_value()?),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                let key = match self.string_value()? {
+                    Value::Str(s) => s,
+                    _ => unreachable!("string_value returns Str"),
+                };
+                self.expect(b':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
+                }
+            }
+        }
+
+        fn string_value(&mut self) -> Result<Value, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self
+                    .bytes
+                    .get(self.pos)
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                self.pos += 1;
+                match b {
+                    b'"' => break,
+                    b'\\' => {
+                        let esc = *self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("invalid codepoint {code}"))?,
+                                );
+                            }
+                            other => return Err(format!("bad escape `\\{}`", other as char)),
+                        }
+                    }
+                    _ => {
+                        // Re-decode multi-byte UTF-8 sequences from the raw
+                        // byte stream.
+                        let start = self.pos - 1;
+                        let width = utf8_width(b);
+                        let end = start + width;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| "truncated utf-8 sequence".to_string())?;
+                        let s = std::str::from_utf8(chunk)
+                            .map_err(|_| "invalid utf-8 in string".to_string())?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+            Ok(Value::Str(out))
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        }
+    }
+
+    fn utf8_width(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
     }
 }
 
@@ -239,8 +614,30 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let r = sample();
-        let back: ExperimentResult = serde_json::from_str(&r.to_json()).unwrap();
+        let back = ExperimentResult::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_roundtrip_hostile_content() {
+        let r = ExperimentResult::new("fig\"X\"", "Demo \\ Δ", "x\nlabel", "y\tlabel")
+            .with_series(Series::new(
+                "divérging",
+                vec![0.0, 1.5, -2.0],
+                vec![f64::INFINITY, f64::NEG_INFINITY, 1e-9],
+            ))
+            .with_note("note with \"quotes\" and unicode: π ≈ 3.14159");
+        let back = ExperimentResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_rejects_malformed() {
+        assert!(ExperimentResult::from_json("").is_err());
+        assert!(ExperimentResult::from_json("{}").is_err());
+        assert!(ExperimentResult::from_json("[1, 2").is_err());
+        let good = sample().to_json();
+        assert!(ExperimentResult::from_json(&good[..good.len() - 1]).is_err());
     }
 
     #[test]

@@ -13,8 +13,7 @@ use crate::algorithms::Algorithm;
 /// Derive a per-trial seed from an experiment seed and trial index with
 /// SplitMix64 mixing. Stable across platforms and thread schedules.
 pub fn trial_seed(experiment_seed: u64, trial: u64) -> u64 {
-    let mut z = experiment_seed
-        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(trial + 1));
+    let mut z = experiment_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(trial + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -83,9 +82,9 @@ impl TrialPlan {
     }
 }
 
-/// Map `f` over `0..count` using up to `threads` OS threads (crossbeam
-/// scoped), preserving output order. Results are deterministic because every
-/// trial derives its own seed — thread scheduling cannot reorder randomness.
+/// Map `f` over `0..count` using up to `threads` scoped OS threads,
+/// preserving output order. Results are deterministic because every trial
+/// derives its own seed — thread scheduling cannot reorder randomness.
 pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -98,13 +97,13 @@ where
     let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let f = &f;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // Workers pull indices from a shared counter and return
         // (index, value) pairs; the scatter happens after the join.
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -122,8 +121,7 @@ where
                 results[i] = Some(v);
             }
         }
-    })
-    .expect("scope panicked");
+    });
     results
         .into_iter()
         .map(|o| o.expect("all indices computed"))
@@ -185,8 +183,9 @@ mod tests {
     #[test]
     fn different_trials_start_differently_often() {
         let plan = TrialPlan::budgeted(shared_net(), 10);
-        let starts: std::collections::HashSet<u32> =
-            (0..20).map(|t| plan.start_node(trial_seed(3, t)).0).collect();
+        let starts: std::collections::HashSet<u32> = (0..20)
+            .map(|t| plan.start_node(trial_seed(3, t)).0)
+            .collect();
         assert!(starts.len() > 5, "starts not spread: {starts:?}");
     }
 

@@ -190,10 +190,7 @@ pub fn bias_vs_budget(
                     plan.network.graph.degree(v),
                 );
             }
-            let err = est
-                .mean()
-                .map(|e| relative_error(e, truth))
-                .unwrap_or(1.0);
+            let err = est.mean().map(|e| relative_error(e, truth)).unwrap_or(1.0);
             (dist, err)
         });
         let mut pooled = EmpiricalDistribution::new(n);
@@ -256,10 +253,7 @@ mod tests {
             &config,
         );
         let y = &series[0].y;
-        assert!(
-            y[1] < y[0],
-            "error should shrink with budget: {y:?}"
-        );
+        assert!(y[1] < y[0], "error should shrink with budget: {y:?}");
     }
 
     #[test]

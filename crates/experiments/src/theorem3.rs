@@ -126,11 +126,7 @@ pub fn run(config: &Theorem3Config) -> ExperimentResult {
     .with_series(Series::new("SRW mean escape steps", xs.clone(), srw_y))
     .with_series(Series::new("CNRW mean escape steps", xs.clone(), cnrw_y))
     .with_series(Series::new("speedup (SRW/CNRW)", xs.clone(), ratio_y))
-    .with_series(Series::new(
-        "Thm 3 bound on P_CNRW/P_SRW",
-        xs,
-        bound_y,
-    ))
+    .with_series(Series::new("Thm 3 bound on P_CNRW/P_SRW", xs, bound_y))
 }
 
 /// The Theorem 3 lower bound `(|G1|/(|G1|-1)) ln |G1|` on

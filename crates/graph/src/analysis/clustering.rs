@@ -125,7 +125,11 @@ mod tests {
 
     #[test]
     fn path_has_no_triangles() {
-        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
         assert_eq!(triangle_count(&g), 0);
         assert_eq!(average_clustering_coefficient(&g), 0.0);
         assert_eq!(global_clustering_coefficient(&g), 0.0);
@@ -145,9 +149,7 @@ mod tests {
         // cc(0) = 2*1/(3*2) = 1/3, cc(1) = cc(2) = 1, cc(3) = 0
         let expected = (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0;
         assert!((average_clustering_coefficient(&g) - expected).abs() < 1e-12);
-        assert!(
-            (local_clustering_coefficient(&g, crate::NodeId(0)) - 1.0 / 3.0).abs() < 1e-12
-        );
+        assert!((local_clustering_coefficient(&g, crate::NodeId(0)) - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

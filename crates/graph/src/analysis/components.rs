@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn single_component() {
-        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
         assert!(is_connected(&g));
         assert_eq!(connected_components(&g), vec![0, 0, 0]);
     }
@@ -102,7 +106,11 @@ mod tests {
 
     #[test]
     fn isolated_nodes_are_their_own_components() {
-        let g = GraphBuilder::new().with_nodes(4).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::new()
+            .with_nodes(4)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let labels = connected_components(&g);
         assert_eq!(labels[0], labels[1]);
         assert_ne!(labels[2], labels[3]);
@@ -127,7 +135,11 @@ mod tests {
 
     #[test]
     fn lcc_of_connected_graph_is_identity() {
-        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
         let (lcc, original) = largest_connected_subgraph(&g).unwrap();
         assert_eq!(lcc, g);
         assert_eq!(original.len(), 3);

@@ -25,8 +25,11 @@ impl DegreeStats {
         let n = degrees.len();
         assert!(n > 0, "graphs are never empty by construction");
         let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
-        let variance =
-            degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let variance = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         let median = if n % 2 == 1 {
             degrees[n / 2] as f64
         } else {

@@ -179,8 +179,8 @@ mod tests {
     #[test]
     fn full_or_empty_set_has_no_conductance() {
         let g = barbell(5, 5).unwrap();
-        assert_eq!(conductance(&g, &vec![true; 10]), None);
-        assert_eq!(conductance(&g, &vec![false; 10]), None);
+        assert_eq!(conductance(&g, &[true; 10]), None);
+        assert_eq!(conductance(&g, &[false; 10]), None);
     }
 
     #[test]
@@ -190,7 +190,7 @@ mod tests {
         let phi = partition_conductance(&g, &labels).unwrap();
         assert!(phi < 0.02, "barbell partition phi = {phi}");
         // Trivial partition: None.
-        assert_eq!(partition_conductance(&g, &vec![0; 20]), None);
+        assert_eq!(partition_conductance(&g, &[0; 20]), None);
     }
 
     #[test]

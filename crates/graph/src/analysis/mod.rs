@@ -3,8 +3,8 @@
 //! triangle count) plus the component machinery used to extract the largest
 //! connected subgraph (as the paper does for Yelp).
 
-pub mod components;
 mod clustering;
+pub mod components;
 mod degree;
 mod mixing;
 

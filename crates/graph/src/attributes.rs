@@ -12,7 +12,6 @@ use crate::{CsrGraph, GraphError, NodeId, Result};
 
 /// A single dense attribute column; one value per node.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AttributeColumn {
     /// Unsigned integer attribute (e.g. `reviews_count`, `age`).
     UInt(Arc<Vec<u64>>),
@@ -79,7 +78,6 @@ impl AttributeColumn {
 /// between the simulated OSN interface and the ground-truth estimator side of
 /// an experiment without duplication.
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeAttributes {
     node_count: usize,
     columns: BTreeMap<String, AttributeColumn>,
@@ -278,7 +276,11 @@ mod tests {
     use crate::GraphBuilder;
 
     fn path3() -> CsrGraph {
-        GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap()
+        GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl GraphBuilder {
     /// # Errors
     /// Returns [`GraphError::EmptyGraph`] if no nodes would result.
     pub fn build(self) -> Result<CsrGraph> {
-        let GraphBuilder { mut edges, min_nodes } = self;
+        let GraphBuilder {
+            mut edges,
+            min_nodes,
+        } = self;
 
         // Normalize to (min, max), drop self loops.
         edges.retain(|&(u, v)| u != v);
@@ -169,7 +172,11 @@ mod tests {
 
     #[test]
     fn isolated_nodes_via_with_nodes() {
-        let g = GraphBuilder::new().with_nodes(10).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::new()
+            .with_nodes(10)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         assert_eq!(g.node_count(), 10);
         assert_eq!(g.degree(NodeId(9)), 0);
     }
@@ -205,10 +212,7 @@ mod tests {
             .add_edge(2, 9)
             .build()
             .unwrap();
-        assert_eq!(
-            g.neighbors(NodeId(5)),
-            &[NodeId(0), NodeId(2), NodeId(9)]
-        );
+        assert_eq!(g.neighbors(NodeId(5)), &[NodeId(0), NodeId(2), NodeId(9)]);
         for (u, v) in g.edges().collect::<Vec<_>>() {
             assert!(g.has_edge(v, u));
         }

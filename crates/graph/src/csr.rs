@@ -17,7 +17,6 @@ use crate::{GraphError, NodeId, Result};
 /// workspace builds on. Construct one through [`GraphBuilder`](crate::GraphBuilder),
 /// the [`generators`](crate::generators), or [`io`](crate::io).
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` delimits `neighbors` entries of node `v`.
     offsets: Vec<u64>,
@@ -41,7 +40,10 @@ impl CsrGraph {
         debug_assert_eq!(offsets[0], 0);
         debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
         let arc_count = neighbors.len();
-        debug_assert!(arc_count.is_multiple_of(2), "undirected graph must store arcs in pairs");
+        debug_assert!(
+            arc_count.is_multiple_of(2),
+            "undirected graph must store arcs in pairs"
+        );
         let g = CsrGraph {
             offsets,
             neighbors,
@@ -229,7 +231,11 @@ mod tests {
         let g = triangle();
         assert!(g.has_edge(NodeId(0), NodeId(1)));
         assert!(g.has_edge(NodeId(1), NodeId(0)));
-        let g2 = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let g2 = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
         assert!(!g2.has_edge(NodeId(0), NodeId(2)));
     }
 

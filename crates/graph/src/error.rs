@@ -57,7 +57,11 @@ impl fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, node_count } => {
                 write!(f, "node {node} out of range (node count {node_count})")
             }
-            GraphError::AttributeLengthMismatch { name, got, expected } => write!(
+            GraphError::AttributeLengthMismatch {
+                name,
+                got,
+                expected,
+            } => write!(
                 f,
                 "attribute `{name}` has {got} values but the graph has {expected} nodes"
             ),

@@ -150,8 +150,8 @@ pub fn homophily_communities(config: &HomophilyConfig, seed: u64) -> Result<(Csr
     let raw_mean: f64 = raw.iter().sum::<f64>() / n as f64;
     let scale = config.mean_degree / raw_mean;
 
-    let mut builder = GraphBuilder::with_capacity((n as f64 * config.mean_degree) as usize)
-        .with_nodes(n);
+    let mut builder =
+        GraphBuilder::with_capacity((n as f64 * config.mean_degree) as usize).with_nodes(n);
     for v in 0..n as u32 {
         // Half the target degree in emitted half-edges (the other endpoint's
         // emissions supply the rest on average).

@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn connect_components_noop_when_connected() {
-        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
         let c = connect_components(&g).unwrap();
         assert_eq!(g, c);
     }

@@ -93,7 +93,6 @@ pub(crate) fn lattice_clustering(k: usize) -> f64 {
     3.0 * (k as f64 - 2.0) / (4.0 * (k as f64 - 1.0))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

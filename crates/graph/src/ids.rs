@@ -8,8 +8,6 @@ use std::fmt;
 /// accidental mixing of node ids with other integer quantities (degrees,
 /// counts, budgets) that circulate through the sampling pipeline.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -40,16 +40,17 @@ fn main() {
     // Three strategies: plain SRW, GNRW grouped by an unrelated hash, and
     // GNRW grouped by the aggregated attribute itself.
     let strategies: Vec<WalkerFactory> = vec![
-        ("SRW                      ", Box::new(|s| Box::new(Srw::new(s)))),
+        (
+            "SRW                      ",
+            Box::new(|s| Box::new(Srw::new(s))),
+        ),
         (
             "GNRW grouped by hash     ",
             Box::new(|s| Box::new(Gnrw::new(s, Box::new(ByHash::new(4))))),
         ),
         (
             "GNRW grouped by attribute",
-            Box::new(|s| {
-                Box::new(Gnrw::new(s, Box::new(ByAttribute::new("reviews_count"))))
-            }),
+            Box::new(|s| Box::new(Gnrw::new(s, Box::new(ByAttribute::new("reviews_count"))))),
         ),
     ];
 
@@ -77,7 +78,10 @@ fn main() {
                 total_err += 1.0;
             }
         }
-        println!("{name}  mean relative error: {:.4}", total_err / trials as f64);
+        println!(
+            "{name}  mean relative error: {:.4}",
+            total_err / trials as f64
+        );
     }
 
     println!("\nBoth GNRW variants beat SRW: stratified circulation spreads the");

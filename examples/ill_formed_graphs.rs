@@ -48,7 +48,10 @@ type WalkerFactory<'a> = (&'a str, Box<dyn Fn(NodeId) -> Box<dyn RandomWalk>>);
 fn main() {
     println!("== Barbell escape (Theorem 3) ==\n");
     println!("start in the left bell; count steps until the right bell is reached\n");
-    println!("{:>6} {:>12} {:>12} {:>9}", "|G1|", "SRW steps", "CNRW steps", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "|G1|", "SRW steps", "CNRW steps", "speedup"
+    );
     for bell in [10usize, 20, 30] {
         let srw = mean_escape_steps(|s| Box::new(Srw::new(s)), bell, 300);
         let cnrw = mean_escape_steps(|s| Box::new(Cnrw::new(s)), bell, 300);
@@ -59,9 +62,7 @@ fn main() {
     let dataset = osn_sampling::datasets::clustered_graph();
     let network = Arc::new(dataset.network);
     let truth = network.graph.average_degree();
-    println!(
-        "three cliques (10/30/50 nodes) chained by bridges; true avg degree {truth:.2}\n"
-    );
+    println!("three cliques (10/30/50 nodes) chained by bridges; true avg degree {truth:.2}\n");
 
     let budget = 80u64;
     let trials = 60;

@@ -66,10 +66,7 @@ fn main() {
         let rhat = split_rhat(&chains)
             .map(|r| format!("{r:.3}"))
             .unwrap_or_else(|| "n/a".to_string());
-        println!(
-            "{k:>8} {:>9}/{n} {err:>12.4} {rhat:>10}",
-            seen.len()
-        );
+        println!("{k:>8} {:>9}/{n} {err:>12.4} {rhat:>10}", seen.len());
     }
 
     println!(

@@ -22,8 +22,8 @@ fn estimate_with(
     let n = network.graph.node_count();
     let client = SimulatedOsn::new_shared(network);
     let mut client = BudgetedClient::new(client, budget, n);
-    let trace = WalkSession::new(WalkConfig::steps(1_000_000).with_seed(seed))
-        .run(walker, &mut client);
+    let trace =
+        WalkSession::new(WalkConfig::steps(1_000_000).with_seed(seed)).run(walker, &mut client);
 
     // Samples arrive with probability proportional to degree; the ratio
     // estimator reweights by 1/degree to recover the population mean.
@@ -45,7 +45,11 @@ fn main() {
     let network = std::sync::Arc::new(dataset.network);
     let truth = network.graph.average_degree();
     println!("ground truth average degree: {truth:.3}");
-    println!("graph: {} nodes, {} edges\n", network.graph.node_count(), network.graph.edge_count());
+    println!(
+        "graph: {} nodes, {} edges\n",
+        network.graph.node_count(),
+        network.graph.edge_count()
+    );
 
     let budget = 200;
     let trials = 40;

@@ -30,13 +30,23 @@ fn main() {
     // Walk with CNRW for a fixed number of steps.
     let steps = 600;
     let mut walker = Cnrw::new(NodeId(0));
-    let trace = WalkSession::new(WalkConfig::steps(steps).with_seed(11))
-        .run(&mut walker, &mut client);
+    let trace =
+        WalkSession::new(WalkConfig::steps(steps).with_seed(11)).run(&mut walker, &mut client);
 
     let stats = trace.stats;
-    println!("\nwalk of {} steps issued {} neighbor queries:", trace.len(), stats.issued);
-    println!("  unique (charged against the rate limit): {}", stats.unique);
-    println!("  served from local cache (free):          {}", stats.cache_hits);
+    println!(
+        "\nwalk of {} steps issued {} neighbor queries:",
+        trace.len(),
+        stats.issued
+    );
+    println!(
+        "  unique (charged against the rate limit): {}",
+        stats.unique
+    );
+    println!(
+        "  served from local cache (free):          {}",
+        stats.cache_hits
+    );
     println!("  cache hit rate: {:.1}%", 100.0 * stats.cache_hit_rate());
 
     let clock = client.clock();

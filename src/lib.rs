@@ -68,12 +68,14 @@ pub use osn_walks as walks;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use osn_client::{BudgetedClient, OsnClient, RateLimitConfig, RateLimitedOsn, SimulatedOsn};
+    pub use osn_client::{
+        BudgetedClient, OsnClient, RateLimitConfig, RateLimitedOsn, SimulatedOsn,
+    };
     pub use osn_datasets::{Dataset, Scale};
     pub use osn_estimate::{RatioEstimator, UniformMeanEstimator};
     pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use osn_walks::{
-        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, Mhrw, MultiWalkSession,
-        NbCnrw, NbSrw, NodeCnrw, RandomWalk, Srw, WalkConfig, WalkSession,
+        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, Mhrw, MultiWalkSession, NbCnrw,
+        NbSrw, NodeCnrw, RandomWalk, Srw, WalkConfig, WalkSession,
     };
 }

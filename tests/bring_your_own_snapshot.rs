@@ -54,8 +54,7 @@ fn sparse_id_snapshot_compacts_and_samples() {
 
     let mut client = SimulatedOsn::from_graph(graph);
     let mut walker = Srw::new(NodeId(0));
-    let trace =
-        WalkSession::new(WalkConfig::steps(200).with_seed(1)).run(&mut walker, &mut client);
+    let trace = WalkSession::new(WalkConfig::steps(200).with_seed(1)).run(&mut walker, &mut client);
     assert_eq!(trace.len(), 200);
     // Samples map back to platform ids.
     let first_platform_id = original_ids[trace.nodes()[0].index()];

@@ -15,8 +15,8 @@ fn unique_queries_equal_distinct_visited_nodes() {
     let network = Arc::new(facebook_like(Scale::Test, 1).network);
     let mut client = SimulatedOsn::new_shared(network.clone());
     let mut walker = Cnrw::new(NodeId(0));
-    let trace = WalkSession::new(WalkConfig::steps(3_000).with_seed(2))
-        .run(&mut walker, &mut client);
+    let trace =
+        WalkSession::new(WalkConfig::steps(3_000).with_seed(2)).run(&mut walker, &mut client);
 
     // Every queried node is a visited node (plus the start).
     let mut distinct: std::collections::HashSet<NodeId> = trace.nodes().iter().copied().collect();
@@ -41,8 +41,7 @@ fn rate_limit_time_is_proportional_to_unique_queries() {
     let inner = SimulatedOsn::new(network);
     let mut client = RateLimitedOsn::new(inner, limit);
     let mut walker = Srw::new(NodeId(0));
-    let trace =
-        WalkSession::new(WalkConfig::steps(400).with_seed(3)).run(&mut walker, &mut client);
+    let trace = WalkSession::new(WalkConfig::steps(400).with_seed(3)).run(&mut walker, &mut client);
     let unique = trace.stats.unique;
     // First query is free (token available); each further unique query waits
     // one 60s window.
@@ -62,7 +61,11 @@ fn budget_composes_with_rate_limit_and_multiwalk() {
         .map(|i| Box::new(Cnrw::new(NodeId(i * 7))) as Box<dyn RandomWalk + Send>)
         .collect();
     let trace = MultiWalkSession::new(2_000, 5).run(&mut walkers, &mut client);
-    assert!(trace.stats.unique <= 30, "budget leaked: {}", trace.stats.unique);
+    assert!(
+        trace.stats.unique <= 30,
+        "budget leaked: {}",
+        trace.stats.unique
+    );
     assert!(trace.total_steps() > 0);
     // Cache sharing: pooled distinct nodes <= budget + starts.
     let distinct: std::collections::HashSet<NodeId> = trace.pooled().collect();

@@ -75,8 +75,8 @@ fn mhrw_targets_uniform_instead() {
     let n = network.graph.node_count();
     let mut client = SimulatedOsn::new_shared(network.clone());
     let mut walker = Mhrw::new(NodeId(0));
-    let trace = WalkSession::new(WalkConfig::steps(400_000).with_seed(3))
-        .run(&mut walker, &mut client);
+    let trace =
+        WalkSession::new(WalkConfig::steps(400_000).with_seed(3)).run(&mut walker, &mut client);
     let mut dist = EmpiricalDistribution::new(n);
     dist.record_all(trace.nodes());
     let uniform = vec![1.0 / n as f64; n];

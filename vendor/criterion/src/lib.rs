@@ -1,0 +1,259 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the workspace's `benches/` targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a deliberately small measurement loop: warm up once, then
+//! time batches until ~`MEASURE_MS` of wall clock has elapsed, and print
+//! mean ns/iter (plus derived element throughput when configured).
+//!
+//! No statistics, plots, or disk output. The point is that `cargo bench`
+//! compiles and runs the real workload deterministically without a network
+//! registry; swap back to real criterion via `[workspace.dependencies]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Soft wall-clock target per benchmark, in milliseconds.
+const MEASURE_MS: u64 = 200;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching real criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id (`{group}/{parameter}` in real criterion).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (nodes, steps, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`: one warm-up call, then batches
+    /// until the soft wall-clock budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let budget = Duration::from_millis(MEASURE_MS);
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iters_done = iters;
+        self.elapsed = started.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            &bencher,
+            self.throughput,
+        );
+    }
+
+    /// End the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Entry point: hands out benchmark groups.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parse CLI arguments. The stand-in accepts and ignores everything
+    /// (`cargo bench -- <filter>` filters are not implemented).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(&id.name, &bencher, None);
+        self
+    }
+
+    /// No-op summary hook, matching real criterion's API.
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters_done == 0 {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+    let mut line = format!(
+        "{label}: {:.1} ns/iter ({} iters)",
+        ns_per_iter, bencher.iters_done
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (ns_per_iter / 1e9);
+        line.push_str(&format!(", {per_sec:.0} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+/// Define a benchmark group function from target functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from group functions, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("count", 10), |b| {
+            b.iter(|| calls = calls.wrapping_add(1))
+        });
+        group.bench_with_input(BenchmarkId::new("input", "x"), &5u64, |b, &five| {
+            b.iter(|| black_box(five * 2))
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate.
+//!
+//! Exposes the `ChaCha8Rng` / `ChaCha12Rng` / `ChaCha20Rng` type names the
+//! workspace seeds its reproducible walks with. The stream cipher core is
+//! replaced by **xoshiro256++** (Blackman & Vigna) — a fast, high-quality
+//! non-cryptographic generator. Output bytes therefore differ from the real
+//! ChaCha streams, but every property the workspace relies on holds:
+//! deterministic under [`SeedableRng::seed_from_u64`], cloneable mid-stream,
+//! and statistically uniform. Swap back to the real crate by editing
+//! `[workspace.dependencies]` once a registry is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_standin {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct $name {
+            s: [u64; 4],
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                // xoshiro256++ step.
+                let result = self.s[0]
+                    .wrapping_add(self.s[3])
+                    .rotate_left(23)
+                    .wrapping_add(self.s[0]);
+                let t = self.s[1] << 17;
+                self.s[2] ^= self.s[0];
+                self.s[3] ^= self.s[1];
+                self.s[1] ^= self.s[2];
+                self.s[0] ^= self.s[3];
+                self.s[2] ^= t;
+                self.s[3] = self.s[3].rotate_left(45);
+                result
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut s = [0u64; 4];
+                for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                    s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                }
+                // xoshiro must not start from the all-zero state.
+                if s == [0; 4] {
+                    s = [
+                        0x9E37_79B9_7F4A_7C15,
+                        0x6A09_E667_F3BC_C909,
+                        0xBB67_AE85_84CA_A73B,
+                        0x3C6E_F372_FE94_F82B,
+                    ];
+                }
+                let mut rng = $name { s };
+                // Decorrelate structured seeds (e.g. mostly-zero byte arrays).
+                for _ in 0..8 {
+                    rng.next_u64();
+                }
+                rng
+            }
+        }
+    };
+}
+
+chacha_standin! {
+    /// Stand-in for `rand_chacha::ChaCha8Rng` (xoshiro256++ core).
+    ChaCha8Rng
+}
+chacha_standin! {
+    /// Stand-in for `rand_chacha::ChaCha12Rng` (xoshiro256++ core).
+    ChaCha12Rng
+}
+chacha_standin! {
+    /// Stand-in for `rand_chacha::ChaCha20Rng` (xoshiro256++ core).
+    ChaCha20Rng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = ChaCha12Rng::from_seed([0u8; 32]);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        use rand::Rng;
+        let mut r = ChaCha12Rng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800 && c < 1200, "bucket count {c}");
+        }
+    }
+}
