@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [table1|fig6|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]
+//! repro [--quick] [--out DIR] [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]
 //! ```
 //!
 //! Each experiment prints its markdown table to stdout and, with `--out`,
@@ -13,7 +13,8 @@ use std::path::PathBuf;
 
 use osn_datasets::Scale;
 use osn_experiments::{
-    ablation, fig10, fig11, fig6, fig7, fig8, fig9, table1, theorem3, ExperimentResult,
+    ablation, fig10, fig11, fig6, fig6_parallel, fig7, fig8, fig9, table1, theorem3,
+    ExperimentResult,
 };
 
 struct Options {
@@ -38,7 +39,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] \
-                     [table1|fig6|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]..."
+                     [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]..."
                 );
                 std::process::exit(0);
             }
@@ -47,7 +48,8 @@ fn parse_args() -> Options {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = [
-            "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem3", "ablation",
+            "table1", "fig6", "fig6par", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem3",
+            "ablation",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -100,6 +102,14 @@ fn main() {
                     Default::default()
                 };
                 emit(&fig6::run(&config), &opts.out);
+            }
+            "fig6par" => {
+                let config = if opts.quick {
+                    fig6_parallel::Fig6ParallelConfig::quick()
+                } else {
+                    Default::default()
+                };
+                emit(&fig6_parallel::run(&config), &opts.out);
             }
             "fig7" => {
                 let config = if opts.quick {

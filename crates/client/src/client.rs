@@ -108,6 +108,27 @@ impl SimulatedOsn {
     pub fn unique_queries(&self) -> u64 {
         self.stats.unique
     }
+
+    /// Decompose into `(snapshot, queried flags, stats)` — used by
+    /// [`crate::SharedOsn`] to distribute the cache state over lock stripes.
+    pub(crate) fn into_parts(self) -> (Arc<AttributedGraph>, Vec<bool>, QueryStats) {
+        (self.network, self.queried, self.stats)
+    }
+
+    /// Rebuild from parts — the inverse of [`Self::into_parts`], used when a
+    /// [`crate::SharedOsn`] collapses back into a plain simulator.
+    pub(crate) fn from_parts(
+        network: Arc<AttributedGraph>,
+        queried: Vec<bool>,
+        stats: QueryStats,
+    ) -> Self {
+        debug_assert_eq!(queried.len(), network.graph.node_count());
+        SimulatedOsn {
+            network,
+            queried,
+            stats,
+        }
+    }
 }
 
 impl OsnClient for SimulatedOsn {

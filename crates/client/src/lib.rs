@@ -20,6 +20,12 @@
 //! [`RateLimitedOsn`] adds the rate-limit simulation. The paper runs its
 //! algorithms "over the simulated interface" of downloaded snapshots —
 //! exactly what this crate provides.
+//!
+//! For **parallel multi-walker sampling** (one crawler, many walker threads),
+//! [`SharedOsn`] shares one snapshot and one cache between cloned handles
+//! through an N-way lock-striped cache (stripe = `fnv(node) % N`) with
+//! per-stripe hit/miss/contention counters ([`StripeStats`]) and an optional
+//! budget enforced atomically across all handles — see [`shared`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +39,5 @@ mod stats;
 pub use budget::{BudgetExhausted, BudgetedClient};
 pub use client::{OsnClient, SimulatedOsn};
 pub use rate::{RateLimitConfig, RateLimitedOsn, VirtualClock};
-pub use shared::SharedOsn;
+pub use shared::{SharedOsn, StripeStats, DEFAULT_STRIPES};
 pub use stats::QueryStats;

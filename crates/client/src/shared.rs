@@ -1,96 +1,419 @@
-//! Thread-safe shared client for parallel random walks.
+//! Thread-safe shared client for parallel random walks, with a lock-striped
+//! cache.
 //!
 //! The paper's related-work section cites Alon et al., *"Many random walks
 //! are faster than one"* — running several walkers against one interface and
 //! pooling their queries through a **shared cache**. [`SharedOsn`] makes that
 //! pattern expressible: clone a handle per walker thread; all handles share
-//! one [`SimulatedOsn`], so a node queried by any walker is cached (free) for
-//! every other walker, and the unique-query count is global.
+//! one snapshot, so a node queried by any walker is cached (free) for every
+//! other walker, and the unique-query count is global.
+//!
+//! ## Lock striping
+//!
+//! A single global mutex serializes every walker on the hot `neighbors` path
+//! even though two walkers visiting *different* nodes never touch the same
+//! cache entry. [`SharedOsn`] therefore shards the mutable cache state
+//! (queried-set and counters) into `N` **stripes**, assigning each node to
+//! stripe `fnv(node) % N` ([`osn_graph::fnv`]). Walkers only contend when
+//! they hit the same stripe at the same instant; the immutable graph snapshot
+//! itself is read lock-free through an [`Arc`]. Per-stripe
+//! [hit/miss/contention counters](StripeStats) make the contention that
+//! remains observable, and the `multiwalk_contention` bench in `osn-bench`
+//! measures it (1/2/4/8 walkers × 1/8/64 stripes).
+//!
+//! Striping is invisible to correctness: a node belongs to exactly one
+//! stripe, so "was this node queried before" has the same answer as with one
+//! global lock, and [`SharedOsn::global_stats`] (the sum over stripes) equals
+//! the single-lock accounting bit-for-bit on any workload
+//! (`tests/striped_cache.rs` pins this equivalence).
+//!
+//! ## Shared budgets
+//!
+//! For parallel budget-sweep experiments the unique-query budget must be
+//! global across walkers, not per handle. [`SharedOsn::configured`] installs
+//! an atomic budget shared by all clones: a query for a *new* node atomically
+//! consumes one unit or fails with [`BudgetExhausted`]; cached nodes stay
+//! free, exactly like [`crate::BudgetedClient`] in the single-walker world.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
+use osn_graph::attributes::AttributedGraph;
+use osn_graph::fnv::{hash_node_id, FnvHashSet};
 use osn_graph::NodeId;
 
 use crate::budget::BudgetExhausted;
 use crate::client::{OsnClient, SimulatedOsn};
 use crate::stats::QueryStats;
 
-/// A cloneable, thread-safe handle to a shared [`SimulatedOsn`].
+/// Default stripe count for [`SharedOsn::new`]: enough to make contention
+/// rare for typical walker counts (≤ 16) without measurable memory cost.
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
 ///
-/// `neighbors` returns an owned `Vec` (the lock cannot be held across the
-/// trait's borrowed return), exposed via [`SharedOsn::neighbors_owned`];
-/// the `OsnClient` impl keeps a per-handle scratch buffer so walkers can use
-/// the trait interface unchanged.
-#[derive(Clone)]
+/// This is the one place in the crate that handles lock poisoning (the
+/// repeated `lock().unwrap_or_else(|p| p.into_inner())` pattern, now
+/// deduplicated). Returns the guard plus whether poison was observed, so
+/// callers with context (stripe index, holder id) can report *who* poisoned
+/// *what* instead of swallowing it.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> (MutexGuard<'_, T>, bool) {
+    match mutex.lock() {
+        Ok(guard) => (guard, false),
+        Err(poisoned) => {
+            // Clear the sticky flag so each panic is reported exactly once
+            // rather than on every later acquisition.
+            mutex.clear_poison();
+            (poisoned.into_inner(), true)
+        }
+    }
+}
+
+/// Observability snapshot of one cache stripe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StripeStats {
+    /// Queries answered by this stripe that hit an already-cached node.
+    pub hits: u64,
+    /// Queries that charged a new unique node (cache misses).
+    pub misses: u64,
+    /// Lock acquisitions that found the stripe lock already held and had to
+    /// wait — the direct measure of walker-vs-walker contention.
+    pub contention: u64,
+    /// Times the stripe lock was recovered after a holder panicked.
+    pub poison_recoveries: u64,
+}
+
+/// Mutable per-stripe cache state, protected by the stripe mutex.
+struct StripeState {
+    /// Node ids (of this stripe) that have been queried at least once.
+    queried: FnvHashSet<u32>,
+    /// Per-stripe accounting; [`SharedOsn::global_stats`] sums these.
+    stats: QueryStats,
+    /// Handle id of the current/most recent lock holder. After a poisoning
+    /// panic this still names the culprit, letting the recovery message say
+    /// which walker died rather than swallowing the context.
+    holder: u32,
+}
+
+/// One cache stripe: the locked state plus lock-free counters that must stay
+/// readable while the lock is held (or poisoned).
+struct Stripe {
+    state: Mutex<StripeState>,
+    contention: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+/// Shared atomic unique-query budget (see module docs).
+struct SharedBudget {
+    limit: u64,
+    remaining: AtomicU64,
+}
+
+/// State shared by every cloned [`SharedOsn`] handle.
+struct Shared {
+    network: Arc<AttributedGraph>,
+    stripes: Box<[Stripe]>,
+    budget: Option<SharedBudget>,
+    /// Next handle id (handle 0 is the constructor's).
+    next_handle: AtomicU32,
+    /// Human-readable records of every poison recovery.
+    poison_log: Mutex<Vec<String>>,
+}
+
+/// A cloneable, thread-safe handle to a shared, lock-striped OSN cache.
+///
+/// Clone one handle per walker thread. All clones share the snapshot, the
+/// cache, the accounting, and (if configured) the query budget; each clone
+/// carries its own id (for poison attribution) and scratch buffer.
+///
+/// `neighbors` returns an owned `Vec` via [`SharedOsn::neighbors_owned`]
+/// (no lock is held across the trait's borrowed return); the [`OsnClient`]
+/// impl keeps a per-handle scratch buffer so walkers can use the trait
+/// interface unchanged.
 pub struct SharedOsn {
-    inner: Arc<Mutex<SimulatedOsn>>,
+    shared: Arc<Shared>,
+    /// This handle's id, recorded as the stripe-lock holder while locked.
+    handle: u32,
     scratch: Vec<NodeId>,
 }
 
-impl SharedOsn {
-    /// Share `osn` between any number of cloned handles.
-    pub fn new(osn: SimulatedOsn) -> Self {
+impl Clone for SharedOsn {
+    fn clone(&self) -> Self {
         SharedOsn {
-            inner: Arc::new(Mutex::new(osn)),
+            shared: Arc::clone(&self.shared),
+            handle: self.shared.next_handle.fetch_add(1, Ordering::Relaxed),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl SharedOsn {
+    /// Share `osn` between any number of cloned handles, with
+    /// [`DEFAULT_STRIPES`] cache stripes and no budget.
+    pub fn new(osn: SimulatedOsn) -> Self {
+        Self::configured(osn, DEFAULT_STRIPES, None)
+    }
+
+    /// Share `osn` with an explicit stripe count (clamped to at least 1).
+    /// `with_stripes(osn, 1)` reproduces the old single-global-lock behavior.
+    pub fn with_stripes(osn: SimulatedOsn, stripes: usize) -> Self {
+        Self::configured(osn, stripes, None)
+    }
+
+    /// Fully configured constructor: stripe count plus an optional shared
+    /// unique-query budget enforced atomically across all handles.
+    ///
+    /// Accounting already performed by `osn` is preserved: its queried-set is
+    /// distributed to the home stripe of each node, its accumulated
+    /// [`QueryStats`] seed stripe 0 (so [`Self::global_stats`] continues the
+    /// same totals), and a budget is charged for the unique queries already
+    /// spent.
+    pub fn configured(osn: SimulatedOsn, stripes: usize, budget: Option<u64>) -> Self {
+        let stripes = stripes.max(1);
+        let (network, queried, stats) = osn.into_parts();
+        let mut states: Vec<StripeState> = (0..stripes)
+            .map(|_| StripeState {
+                queried: FnvHashSet::default(),
+                stats: QueryStats::default(),
+                holder: 0,
+            })
+            .collect();
+        for (idx, _) in queried.iter().enumerate().filter(|(_, &q)| q) {
+            let id = idx as u32;
+            states[stripe_index(id, stripes)].queried.insert(id);
+        }
+        states[0].stats = stats;
+        SharedOsn {
+            shared: Arc::new(Shared {
+                network,
+                stripes: states
+                    .into_iter()
+                    .map(|state| Stripe {
+                        state: Mutex::new(state),
+                        contention: AtomicU64::new(0),
+                        poison_recoveries: AtomicU64::new(0),
+                    })
+                    .collect(),
+                budget: budget.map(|limit| SharedBudget {
+                    limit,
+                    remaining: AtomicU64::new(limit.saturating_sub(stats.unique)),
+                }),
+                next_handle: AtomicU32::new(1),
+                poison_log: Mutex::new(Vec::new()),
+            }),
+            handle: 0,
             scratch: Vec::new(),
         }
     }
 
-    /// Lock the shared simulator, recovering from poisoning: the cache and
-    /// counters stay valid even if another walker thread panicked. Takes
-    /// the mutex (not `&self`) so callers can keep `self.scratch` mutable
-    /// while the guard is live.
-    fn locked(inner: &Mutex<SimulatedOsn>) -> MutexGuard<'_, SimulatedOsn> {
-        inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// Number of cache stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.shared.stripes.len()
+    }
+
+    /// The stripe `u` maps to (`fnv(u) % stripe_count`).
+    pub fn stripe_of(&self, u: NodeId) -> usize {
+        stripe_index(u.0, self.shared.stripes.len())
+    }
+
+    /// The shared snapshot (ground-truth side of experiments; a real third
+    /// party would not have this). Lock-free.
+    pub fn network(&self) -> &AttributedGraph {
+        &self.shared.network
+    }
+
+    /// Lock stripe `idx`, counting contention and recovering from poisoning.
+    ///
+    /// On recovery the culprit handle id (the holder recorded before the
+    /// panic) and the stripe index are appended to [`Self::poison_events`] —
+    /// the cache state itself (queried-set inserts and counter increments
+    /// are each atomic under the lock) stays valid.
+    fn lock_stripe(&self, idx: usize) -> MutexGuard<'_, StripeState> {
+        let stripe = &self.shared.stripes[idx];
+        let (guard, was_poisoned) = match stripe.state.try_lock() {
+            Ok(guard) => (guard, false),
+            Err(TryLockError::Poisoned(poisoned)) => {
+                stripe.state.clear_poison();
+                (poisoned.into_inner(), true)
+            }
+            Err(TryLockError::WouldBlock) => {
+                stripe.contention.fetch_add(1, Ordering::Relaxed);
+                lock_recovering(&stripe.state)
+            }
+        };
+        let mut guard = self.note_poison(idx, guard, was_poisoned);
+        guard.holder = self.handle;
+        guard
+    }
+
+    /// Lock stripe `idx` for **observation** (stats readers): recovers from
+    /// poisoning like [`Self::lock_stripe`] but does not count contention or
+    /// claim holdership, so monitoring threads polling stats cannot inflate
+    /// the walker-vs-walker contention metric or disturb poison attribution.
+    fn observe_stripe(&self, idx: usize) -> MutexGuard<'_, StripeState> {
+        let (guard, was_poisoned) = lock_recovering(&self.shared.stripes[idx].state);
+        self.note_poison(idx, guard, was_poisoned)
+    }
+
+    /// Record a poison recovery (counter + human-readable event naming the
+    /// culprit holder and the recovering handle), if one happened.
+    fn note_poison<'a>(
+        &'a self,
+        idx: usize,
+        guard: MutexGuard<'a, StripeState>,
+        was_poisoned: bool,
+    ) -> MutexGuard<'a, StripeState> {
+        if was_poisoned {
+            self.shared.stripes[idx]
+                .poison_recoveries
+                .fetch_add(1, Ordering::Relaxed);
+            let message = format!(
+                "stripe {idx}: lock poisoned by walker handle {} (panicked mid-update); \
+                 state recovered by walker handle {}",
+                guard.holder, self.handle
+            );
+            lock_recovering(&self.shared.poison_log).0.push(message);
+        }
+        guard
+    }
+
+    /// Record a query for `u` in its stripe: classify hit/miss, enforce the
+    /// shared budget on misses, and update the stripe counters.
+    fn record_query(&self, u: NodeId) -> Result<(), BudgetExhausted> {
+        let mut state = self.lock_stripe(self.stripe_of(u));
+        if state.queried.contains(&u.0) {
+            state.stats.record(false);
+            return Ok(());
+        }
+        if let Some(budget) = &self.shared.budget {
+            // Atomically consume one unit; a refused query charges nothing
+            // and records nothing, mirroring `BudgetedClient`.
+            if budget
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                .is_err()
+            {
+                return Err(BudgetExhausted {
+                    budget: budget.limit,
+                });
+            }
+        }
+        state.queried.insert(u.0);
+        state.stats.record(true);
+        Ok(())
     }
 
     /// Query neighbors, returning an owned copy.
     ///
     /// # Errors
-    /// Never fails for the bare simulator; kept fallible for interface
-    /// symmetry with budget wrappers.
+    /// [`BudgetExhausted`] when a shared budget was configured and this call
+    /// would charge a unique query beyond it; unbudgeted handles never fail.
     pub fn neighbors_owned(&self, u: NodeId) -> Result<Vec<NodeId>, BudgetExhausted> {
-        let mut guard = Self::locked(&self.inner);
-        guard.neighbors(u).map(|s| s.to_vec())
+        self.record_query(u)?;
+        Ok(self.shared.network.graph.neighbors(u).to_vec())
     }
 
-    /// Global query statistics across all handles.
+    /// Global query statistics, summed over all stripes and handles.
+    ///
+    /// Stripes are sampled one at a time, so under concurrent mutation the
+    /// totals are a consistent *per-stripe* snapshot (never torn counters),
+    /// though in-flight queries on other stripes may or may not be included.
     pub fn global_stats(&self) -> QueryStats {
-        Self::locked(&self.inner).stats()
+        let mut total = QueryStats::default();
+        for idx in 0..self.shared.stripes.len() {
+            total.merge(&self.observe_stripe(idx).stats);
+        }
+        total
     }
 
-    /// Try to unwrap the inner simulator (succeeds when this is the last
-    /// handle).
-    pub fn try_into_inner(self) -> Option<SimulatedOsn> {
-        Arc::try_unwrap(self.inner).ok().map(|m| {
-            m.into_inner()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-        })
+    /// Per-stripe hit/miss/contention/poison counters, in stripe order.
+    pub fn stripe_stats(&self) -> Vec<StripeStats> {
+        (0..self.shared.stripes.len())
+            .map(|idx| {
+                let stripe = &self.shared.stripes[idx];
+                let state = self.observe_stripe(idx);
+                StripeStats {
+                    hits: state.stats.cache_hits,
+                    misses: state.stats.unique,
+                    contention: stripe.contention.load(Ordering::Relaxed),
+                    poison_recoveries: stripe.poison_recoveries.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
+
+    /// Total lock acquisitions across all stripes that had to wait for
+    /// another walker (the workload's observed contention).
+    pub fn total_contention(&self) -> u64 {
+        self.shared
+            .stripes
+            .iter()
+            .map(|s| s.contention.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Poison-recovery records: which stripe was poisoned by which walker
+    /// handle, and which handle recovered it. Empty when no walker thread
+    /// has panicked while holding a stripe lock.
+    pub fn poison_events(&self) -> Vec<String> {
+        lock_recovering(&self.shared.poison_log).0.clone()
+    }
+
+    /// Try to collapse back into a plain [`SimulatedOsn`] (succeeds when
+    /// this is the last handle). The striped cache state is merged back into
+    /// one queried-set; accumulated stats are preserved.
+    pub fn try_into_inner(self) -> Option<SimulatedOsn> {
+        let shared = Arc::try_unwrap(self.shared).ok()?;
+        let n = shared.network.graph.node_count();
+        let mut queried = vec![false; n];
+        let mut stats = QueryStats::default();
+        for stripe in shared.stripes.into_vec() {
+            let state = match stripe.state.into_inner() {
+                Ok(state) => state,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for id in state.queried {
+                queried[id as usize] = true;
+            }
+            stats.merge(&state.stats);
+        }
+        Some(SimulatedOsn::from_parts(shared.network, queried, stats))
+    }
+}
+
+/// Home stripe of node id `id` among `stripes` stripes.
+fn stripe_index(id: u32, stripes: usize) -> usize {
+    (hash_node_id(id) % stripes as u64) as usize
 }
 
 impl OsnClient for SharedOsn {
     fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
-        let mut guard = Self::locked(&self.inner);
-        let slice = guard.neighbors(u)?;
+        self.record_query(u)?;
+        // The snapshot is immutable behind the Arc: copy to the per-handle
+        // scratch without holding any lock.
+        let slice = self.shared.network.graph.neighbors(u);
         self.scratch.clear();
         self.scratch.extend_from_slice(slice);
-        drop(guard);
         Ok(&self.scratch)
     }
 
     fn peek_degree(&self, u: NodeId) -> usize {
-        Self::locked(&self.inner).peek_degree(u)
+        self.shared.network.graph.degree(u)
     }
 
     fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
-        Self::locked(&self.inner).peek_attribute(u, name)
+        self.shared.network.attributes.value_f64(name, u).ok()
     }
 
     fn stats(&self) -> QueryStats {
         self.global_stats()
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        self.shared
+            .budget
+            .as_ref()
+            .map(|b| b.remaining.load(Ordering::Relaxed))
     }
 }
 
@@ -99,12 +422,16 @@ mod tests {
     use super::*;
     use osn_graph::GraphBuilder;
 
-    fn shared_path() -> SharedOsn {
+    fn path_osn() -> SimulatedOsn {
         let mut b = GraphBuilder::new();
         for i in 0..9 {
             b.push_edge(i, i + 1);
         }
-        SharedOsn::new(SimulatedOsn::from_graph(b.build().unwrap()))
+        SimulatedOsn::from_graph(b.build().unwrap())
+    }
+
+    fn shared_path() -> SharedOsn {
+        SharedOsn::new(path_osn())
     }
 
     #[test]
@@ -157,5 +484,145 @@ mod tests {
         let clone = shared.clone();
         assert!(shared.try_into_inner().is_none());
         drop(clone);
+    }
+
+    #[test]
+    fn try_into_inner_merges_stripe_state() {
+        let mut shared = SharedOsn::with_stripes(path_osn(), 8);
+        shared.neighbors(NodeId(2)).unwrap();
+        shared.neighbors(NodeId(7)).unwrap();
+        shared.neighbors(NodeId(2)).unwrap(); // hit
+        let mut inner = shared.try_into_inner().unwrap();
+        let s = inner.stats();
+        assert_eq!((s.issued, s.unique, s.cache_hits), (3, 2, 1));
+        // The merged queried-set still marks both nodes as cached.
+        inner.neighbors(NodeId(7)).unwrap();
+        assert_eq!(inner.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn wrapping_a_used_simulator_preserves_accounting() {
+        let mut osn = path_osn();
+        osn.neighbors(NodeId(3)).unwrap();
+        osn.neighbors(NodeId(3)).unwrap();
+        let mut shared = SharedOsn::with_stripes(osn, 4);
+        // Node 3 is already cached: querying it again is a hit, not a charge.
+        shared.neighbors(NodeId(3)).unwrap();
+        let s = shared.global_stats();
+        assert_eq!((s.issued, s.unique, s.cache_hits), (3, 1, 2));
+    }
+
+    #[test]
+    fn stripe_of_is_stable_and_in_range() {
+        let shared = SharedOsn::with_stripes(path_osn(), 7);
+        for i in 0..10u32 {
+            let s = shared.stripe_of(NodeId(i));
+            assert!(s < 7);
+            assert_eq!(s, shared.stripe_of(NodeId(i)));
+        }
+        // Zero stripes is clamped to one rather than dividing by zero.
+        assert_eq!(SharedOsn::with_stripes(path_osn(), 0).stripe_count(), 1);
+    }
+
+    #[test]
+    fn stripe_stats_sum_to_global() {
+        let mut shared = SharedOsn::with_stripes(path_osn(), 8);
+        for i in 0..10u32 {
+            shared.neighbors(NodeId(i % 6)).unwrap();
+        }
+        let global = shared.global_stats();
+        let per: Vec<StripeStats> = shared.stripe_stats();
+        assert_eq!(per.len(), 8);
+        assert_eq!(per.iter().map(|s| s.hits).sum::<u64>(), global.cache_hits);
+        assert_eq!(per.iter().map(|s| s.misses).sum::<u64>(), global.unique);
+    }
+
+    #[test]
+    fn shared_budget_is_enforced_globally() {
+        let mut a = SharedOsn::configured(path_osn(), 4, Some(3));
+        let mut b = a.clone();
+        assert_eq!(a.remaining_budget(), Some(3));
+        a.neighbors(NodeId(0)).unwrap();
+        b.neighbors(NodeId(1)).unwrap();
+        a.neighbors(NodeId(2)).unwrap();
+        assert_eq!(b.remaining_budget(), Some(0));
+        // New node refused for every handle; cached nodes stay free.
+        assert!(b.neighbors(NodeId(5)).is_err());
+        assert!(a.neighbors(NodeId(1)).is_ok());
+        let s = a.global_stats();
+        assert_eq!(s.unique, 3);
+        // The refused query was not recorded anywhere.
+        assert_eq!(s.issued, 4);
+    }
+
+    #[test]
+    fn budget_accounts_for_already_spent_queries() {
+        let mut osn = path_osn();
+        osn.neighbors(NodeId(0)).unwrap();
+        let shared = SharedOsn::configured(osn, 2, Some(3));
+        assert_eq!(shared.remaining_budget(), Some(2));
+    }
+
+    #[test]
+    fn poison_recovery_names_stripe_and_walker() {
+        let shared = SharedOsn::with_stripes(path_osn(), 4);
+        let culprit = shared.clone();
+        let culprit_handle = culprit.handle;
+        let target = NodeId(5);
+        let idx = shared.stripe_of(target);
+        // Panic while holding the stripe lock, as a crashed walker would.
+        let result = std::thread::spawn(move || {
+            let _guard = culprit.lock_stripe(idx);
+            panic!("walker died mid-update");
+        })
+        .join();
+        assert!(result.is_err());
+        // The next query on that stripe recovers and records the context.
+        let mut h = shared.clone();
+        h.neighbors(target).unwrap();
+        let events = shared.poison_events();
+        assert_eq!(events.len(), 1);
+        assert!(
+            events[0].contains(&format!("stripe {idx}"))
+                && events[0].contains(&format!("handle {culprit_handle}")),
+            "event should name stripe and culprit: {}",
+            events[0]
+        );
+        assert_eq!(shared.stripe_stats()[idx].poison_recoveries, 1);
+        // The cache itself stayed usable and consistent.
+        assert_eq!(shared.global_stats().unique, 1);
+    }
+
+    #[test]
+    fn contention_counter_observes_blocked_acquisitions() {
+        // Force contention deterministically: hold a stripe lock in one
+        // thread while another queries a node on the same stripe.
+        let shared = SharedOsn::with_stripes(path_osn(), 2);
+        let target = NodeId(4);
+        let idx = shared.stripe_of(target);
+        let holder = shared.clone();
+        std::thread::scope(|scope| {
+            let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+            let (held_tx, held_rx) = std::sync::mpsc::channel::<()>();
+            scope.spawn(move || {
+                let _guard = holder.lock_stripe(idx);
+                held_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            });
+            held_rx.recv().unwrap();
+            let mut walker = shared.clone();
+            let waiter = scope.spawn(move || {
+                walker.neighbors(target).unwrap();
+            });
+            // Wait until the walker has blocked on the held stripe, then
+            // release. `total_contention` reads atomics only, so polling it
+            // here cannot itself block on the held stripe lock.
+            while shared.total_contention() == 0 {
+                std::thread::yield_now();
+            }
+            release_tx.send(()).unwrap();
+            waiter.join().unwrap();
+        });
+        assert!(shared.total_contention() >= 1);
     }
 }

@@ -28,6 +28,14 @@ impl QueryStats {
         }
     }
 
+    /// Fold another accounting snapshot into this one (used to sum the
+    /// per-stripe counters of a striped shared cache).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.issued += other.issued;
+        self.unique += other.unique;
+        self.cache_hits += other.cache_hits;
+    }
+
     /// Fraction of calls served from cache (0 when none issued).
     pub fn cache_hit_rate(&self) -> f64 {
         if self.issued == 0 {

@@ -45,11 +45,18 @@
 //! The [`markov`] module provides exact chain analysis on small graphs
 //! (stationary distributions, asymptotic variance via the fundamental
 //! matrix) used to validate the walkers against theory.
+//!
+//! For **parallel sampling**, [`multiwalk`] drives many walkers at once:
+//! [`MultiWalkSession`] round-robins them on one thread, while
+//! [`MultiWalkRunner`] schedules one OS thread per walker against a shared
+//! lock-striped cache (`osn_client::SharedOsn`) with deterministic
+//! per-walker RNG streams and estimator merging.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod fnv;
+pub use osn_graph::fnv;
+
 pub mod frontier;
 pub mod grouping;
 pub mod history;
@@ -61,7 +68,7 @@ pub mod walkers;
 
 pub use frontier::FrontierSampler;
 pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
-pub use multiwalk::{MultiWalkSession, MultiWalkTrace};
+pub use multiwalk::{MultiWalkReport, MultiWalkRunner, MultiWalkSession, MultiWalkTrace};
 pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
 pub use walker::RandomWalk;
 pub use walkers::{Cnrw, Gnrw, Mhrw, NbCnrw, NbSrw, NodeCnrw, Srw};

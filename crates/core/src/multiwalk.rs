@@ -7,13 +7,28 @@
 //! others — `k` walkers cover ground faster *without* multiplying the
 //! unique-query bill.
 //!
-//! [`MultiWalkSession`] steps `k` walkers round-robin against one client
-//! until the shared budget runs out, interleaving their traces. Because the
-//! walkers are independent chains with the same stationary distribution,
-//! the pooled samples feed the usual estimators unchanged, and multi-chain
-//! diagnostics (`osn_estimate::diagnostics::split_rhat`) become applicable.
+//! Two drivers implement the pattern:
+//!
+//! * [`MultiWalkSession`] steps `k` walkers **round-robin on one thread**
+//!   against one client until the shared budget runs out, interleaving their
+//!   traces — fully deterministic, ideal for experiments that must replay
+//!   bit-identically.
+//! * [`MultiWalkRunner`] runs `k` walkers on **`k` scoped OS threads**
+//!   against cloned handles of a thread-safe client (one
+//!   [`osn_client::SharedOsn`] handle per walker). Each walker owns a
+//!   deterministic RNG stream derived from the run seed by SplitMix64, so
+//!   per-walker traces are independent of thread scheduling; per-walker
+//!   [`osn_estimate::RatioEstimator`]s are merged in walker-index order, so
+//!   the pooled estimate is bit-stable too (absent a shared budget, which
+//!   makes cut-off timing scheduling-dependent by nature).
+//!
+//! Because the walkers are independent chains with the same stationary
+//! distribution, the pooled samples feed the usual estimators unchanged, and
+//! multi-chain diagnostics (`osn_estimate::diagnostics::split_rhat`) become
+//! applicable.
 
 use osn_client::OsnClient;
+use osn_estimate::RatioEstimator;
 use osn_graph::NodeId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -104,6 +119,140 @@ impl MultiWalkSession {
     }
 }
 
+/// SplitMix64-derived RNG seed for stream `walker` of run `seed` —
+/// well-spread and stable across platforms and thread schedules. The single
+/// source of seed mixing for the workspace: walker streams here, trial
+/// seeds in `osn-experiments` (its `trial_seed` delegates to this).
+pub fn stream_seed(seed: u64, walker: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(walker + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Outcome of a [`MultiWalkRunner`] run: the per-walker traces plus the
+/// merged estimate.
+#[derive(Clone, Debug)]
+pub struct MultiWalkReport {
+    /// Per-walker visit sequences and final shared-client statistics.
+    pub trace: MultiWalkTrace,
+    /// The per-walker ratio estimators merged in walker-index order.
+    pub estimate: RatioEstimator,
+}
+
+/// Schedules `k` seeded walkers over `k` scoped OS threads against cloned
+/// handles of one thread-safe client.
+///
+/// Built for [`osn_client::SharedOsn`]: every clone shares the snapshot,
+/// the lock-striped cache, the global accounting, and (optionally) an atomic
+/// unique-query budget, so `k` walkers cover ground concurrently without
+/// multiplying the unique-query bill. Any `OsnClient + Clone + Send` works;
+/// for clients whose clones do *not* share state, the report's `stats` field
+/// only reflects the calling handle.
+///
+/// ## Determinism
+///
+/// Walker `i` draws from its own SplitMix64-derived RNG stream, and neighbor
+/// lists come from an immutable snapshot, so without a shared budget each
+/// per-walker trace is **bit-identical** to running that walker alone with
+/// the same derived seed — thread scheduling cannot perturb results. With a
+/// shared budget, *which* walker gets the last queries depends on
+/// scheduling; totals remain exact.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiWalkRunner {
+    walkers: usize,
+    max_steps_per_walker: usize,
+    seed: u64,
+}
+
+impl MultiWalkRunner {
+    /// Run `walkers` concurrent walkers, each performing at most
+    /// `max_steps_per_walker` transitions, with RNG streams derived from
+    /// `seed`.
+    pub fn new(walkers: usize, max_steps_per_walker: usize, seed: u64) -> Self {
+        MultiWalkRunner {
+            walkers: walkers.max(1),
+            max_steps_per_walker,
+            seed,
+        }
+    }
+
+    /// Number of walker threads this runner will spawn.
+    pub fn walker_count(&self) -> usize {
+        self.walkers
+    }
+
+    /// The deterministic RNG seed for walker `i`'s private stream.
+    pub fn walker_seed(&self, i: usize) -> u64 {
+        stream_seed(self.seed, i as u64)
+    }
+
+    /// Run all walkers to their step cap (or until a shared budget refuses
+    /// further queries), then merge the per-walker estimates.
+    ///
+    /// `make_walker(i)` builds walker `i` (choose spread-out start nodes for
+    /// disconnected or clustered graphs); `value(v)` is the quantity being
+    /// estimated at node `v`. Each walker thread pushes
+    /// `(value(v), degree(v))` into its own [`RatioEstimator`] — degrees come
+    /// free via [`OsnClient::peek_degree`] — and the estimators are merged
+    /// with [`RatioEstimator::merge`] in walker-index order after the join.
+    ///
+    /// # Panics
+    /// Propagates a panic from any walker thread after all threads joined.
+    pub fn run<C, W, F>(&self, client: &C, make_walker: W, value: F) -> MultiWalkReport
+    where
+        C: OsnClient + Clone + Send,
+        W: Fn(usize) -> Box<dyn RandomWalk + Send> + Sync,
+        F: Fn(NodeId) -> f64 + Sync,
+    {
+        let max_steps = self.max_steps_per_walker;
+        let (per_walker, estimate) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.walkers)
+                .map(|i| {
+                    let mut client = client.clone();
+                    let make_walker = &make_walker;
+                    let value = &value;
+                    let rng_seed = self.walker_seed(i);
+                    scope.spawn(move || {
+                        let mut walker = make_walker(i);
+                        let mut rng = ChaCha12Rng::seed_from_u64(rng_seed);
+                        let mut trace = Vec::new();
+                        let mut est = RatioEstimator::new();
+                        for _ in 0..max_steps {
+                            match walker.step(&mut client, &mut rng) {
+                                Ok(v) => {
+                                    est.push(value(v), client.peek_degree(v));
+                                    trace.push(v);
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        (trace, est)
+                    })
+                })
+                .collect();
+            // Join in walker-index order: the merge order (and therefore the
+            // merged floating-point sums) never depends on which thread
+            // finished first.
+            let mut per_walker = Vec::with_capacity(self.walkers);
+            let mut merged = RatioEstimator::new();
+            for handle in handles {
+                let (trace, est) = handle.join().expect("walker thread panicked");
+                merged.merge(&est);
+                per_walker.push(trace);
+            }
+            (per_walker, merged)
+        });
+        MultiWalkReport {
+            trace: MultiWalkTrace {
+                per_walker,
+                stats: client.stats(),
+            },
+            estimate,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +321,119 @@ mod tests {
         // With starts in both bells, several walkers reach nodes a single
         // trapped walker cannot within the same unique-query budget.
         assert!(coverage(4) >= coverage(1));
+    }
+
+    use osn_client::SharedOsn;
+
+    fn shared_client(stripes: usize) -> SharedOsn {
+        let g = barbell(10, 10).unwrap();
+        SharedOsn::with_stripes(SimulatedOsn::from_graph(g), stripes)
+    }
+
+    #[test]
+    fn runner_traces_are_deterministic_across_runs() {
+        let run = || {
+            let client = shared_client(8);
+            MultiWalkRunner::new(4, 300, 42)
+                .run(
+                    &client,
+                    |i| Box::new(Cnrw::new(NodeId(i as u32 * 5))),
+                    |v| v.index() as f64,
+                )
+                .trace
+                .per_walker
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn runner_matches_serial_replay_bit_identically() {
+        // Each walker thread must produce exactly the trace a serial run
+        // with the same derived RNG stream produces — thread scheduling and
+        // cache sharing cannot perturb trajectories (only accounting).
+        let runner = MultiWalkRunner::new(3, 250, 7);
+        let client = shared_client(16);
+        let report = runner.run(
+            &client,
+            |i| Box::new(Cnrw::new(NodeId(i as u32 * 3))),
+            |v| v.index() as f64,
+        );
+        for i in 0..3 {
+            let mut serial_client = shared_client(1);
+            let mut walker = Cnrw::new(NodeId(i as u32 * 3));
+            let mut rng = ChaCha12Rng::seed_from_u64(runner.walker_seed(i));
+            let mut serial = Vec::new();
+            for _ in 0..250 {
+                serial.push(walker.step(&mut serial_client, &mut rng).unwrap());
+            }
+            assert_eq!(report.trace.per_walker[i], serial, "walker {i}");
+        }
+    }
+
+    #[test]
+    fn runner_merges_estimates_in_index_order() {
+        // The merged estimator must equal merging per-walker estimators by
+        // hand in walker order (bit-identical f64 accumulation).
+        let client = shared_client(8);
+        let runner = MultiWalkRunner::new(4, 200, 9);
+        let degree_of = {
+            let g = client.network().graph.clone();
+            move |v: NodeId| g.degree(v)
+        };
+        let report = runner.run(
+            &client,
+            |i| Box::new(Srw::new(NodeId(i as u32))),
+            |v| v.index() as f64,
+        );
+        let mut by_hand = RatioEstimator::new();
+        for trace in &report.trace.per_walker {
+            let mut one = RatioEstimator::new();
+            for &v in trace {
+                one.push(v.index() as f64, degree_of(v));
+            }
+            by_hand.merge(&one);
+        }
+        assert_eq!(report.estimate.count(), by_hand.count());
+        assert_eq!(report.estimate.mean(), by_hand.mean());
+    }
+
+    #[test]
+    fn runner_respects_shared_budget() {
+        let g = barbell(12, 12).unwrap();
+        let client = SharedOsn::configured(SimulatedOsn::from_graph(g), 8, Some(15));
+        let report = MultiWalkRunner::new(4, 10_000, 1).run(
+            &client,
+            |i| Box::new(Cnrw::new(NodeId(i as u32 * 7))),
+            |v| v.index() as f64,
+        );
+        assert!(report.trace.stats.unique <= 15);
+        assert_eq!(client.remaining_budget(), Some(0));
+    }
+
+    #[test]
+    fn single_walker_runner_equals_shared_budgeted_serial_run() {
+        // K = 1 closes the loop: the parallel runner on a 64-stripe cache is
+        // bit-identical to the same walk driven serially against the old
+        // single-lock configuration, budget cut-off included.
+        let g = barbell(9, 9).unwrap();
+        let budget = 12;
+        let runner = MultiWalkRunner::new(1, 5_000, 33);
+
+        let striped = SharedOsn::configured(SimulatedOsn::from_graph(g.clone()), 64, Some(budget));
+        let parallel = runner.run(&striped, |_| Box::new(Cnrw::new(NodeId(0))), |_| 1.0);
+
+        let single = SharedOsn::configured(SimulatedOsn::from_graph(g), 1, Some(budget));
+        let mut client = single.clone();
+        let mut walker = Cnrw::new(NodeId(0));
+        let mut rng = ChaCha12Rng::seed_from_u64(runner.walker_seed(0));
+        let mut serial = Vec::new();
+        for _ in 0..5_000 {
+            match walker.step(&mut client, &mut rng) {
+                Ok(v) => serial.push(v),
+                Err(_) => break,
+            }
+        }
+        assert_eq!(parallel.trace.per_walker[0], serial);
+        assert_eq!(parallel.trace.stats, single.global_stats());
     }
 }

@@ -10,6 +10,7 @@
 //! |---|---|
 //! | [`table1`] | Table 1 — dataset summary statistics |
 //! | [`fig6`] | Figure 6 — Google Plus: avg-degree relative error vs query cost, 5 algorithms |
+//! | [`fig6_parallel`] | Figure 6, parallel variant — k concurrent CNRW walkers on one shared budget |
 //! | [`fig7`] | Figure 7 — Facebook KL / ℓ2 / error vs cost; Youtube error vs cost |
 //! | [`fig8`] | Figure 8 — sampling distribution vs theoretical, nodes ordered by degree |
 //! | [`fig9`] | Figure 9 — Yelp: GNRW grouping strategies per aggregate |
@@ -19,7 +20,10 @@
 //! | [`ablation`] | §3.2 ablation — edge-keyed vs node-keyed circulation |
 //!
 //! All runs are seeded and deterministic (including under parallelism: trial
-//! seeds are derived, not scheduler-dependent).
+//! seeds are derived, not scheduler-dependent). The one exception is
+//! [`fig6_parallel`] with more than one walker, where a shared atomic budget
+//! necessarily makes each walker's cut-off point scheduling-dependent; its
+//! trial seeds and budget totals remain exact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@ pub mod algorithms;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;
+pub mod fig6_parallel;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;

@@ -11,12 +11,10 @@ use osn_walks::{WalkConfig, WalkSession, WalkTrace};
 use crate::algorithms::Algorithm;
 
 /// Derive a per-trial seed from an experiment seed and trial index with
-/// SplitMix64 mixing. Stable across platforms and thread schedules.
+/// SplitMix64 mixing. Stable across platforms and thread schedules. Shares
+/// one mixer with the multi-walker engine's per-walker RNG streams.
 pub fn trial_seed(experiment_seed: u64, trial: u64) -> u64 {
-    let mut z = experiment_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(trial + 1));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    osn_walks::multiwalk::stream_seed(experiment_seed, trial)
 }
 
 /// The plan for one budget-limited walk trial over a shared snapshot.

@@ -1,15 +1,19 @@
 //! FNV-1a hashing.
 //!
-//! Two uses in this crate:
+//! Three uses across the workspace (the module lives here, at the bottom of
+//! the dependency graph, so both `osn-walks` and `osn-client` can share it):
 //!
-//! * a fast, deterministic `BuildHasher` for the history hash maps keyed by
-//!   directed edges (the paper's `b(u,v)` and `S(u,v)` structures, which are
-//!   hit on every step of CNRW/GNRW — `std`'s SipHash is needlessly slow and
-//!   randomly seeded, which would break run reproducibility);
+//! * a fast, deterministic `BuildHasher` for the walkers' history hash maps
+//!   keyed by directed edges (the paper's `b(u,v)` and `S(u,v)` structures,
+//!   which are hit on every step of CNRW/GNRW — `std`'s SipHash is needlessly
+//!   slow and randomly seeded, which would break run reproducibility);
 //! * the stand-in for the paper's `GNRW_By_MD5` grouping: the paper hashes
 //!   user ids with MD5 purely to obtain an attribute-independent pseudorandom
 //!   group assignment; FNV-1a provides the same property without a crypto
-//!   dependency.
+//!   dependency;
+//! * the stripe selector of the lock-striped shared cache in `osn-client`
+//!   (`stripe = fnv(node) % N`), where the same determinism guarantees that a
+//!   node maps to the same stripe in every run and on every platform.
 
 use std::hash::{BuildHasherDefault, Hasher};
 

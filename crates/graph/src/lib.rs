@@ -19,6 +19,8 @@
 //! * [`attributes`] — typed per-node attribute columns (e.g. `reviews_count`)
 //!   used by GNRW grouping and aggregate estimation.
 //! * [`io`] — plain-text edge-list reading/writing.
+//! * [`fnv`] — deterministic FNV-1a hashing, shared by the walkers' history
+//!   maps and the client's lock-striped cache (stripe = `fnv(node) % N`).
 //!
 //! All randomized construction is seeded and deterministic.
 //!
@@ -47,6 +49,7 @@ mod builder;
 mod csr;
 pub mod directed;
 mod error;
+pub mod fnv;
 pub mod generators;
 mod ids;
 pub mod io;

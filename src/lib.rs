@@ -26,6 +26,14 @@
 //! * [`experiments`] (`osn-experiments`) — the harness regenerating every
 //!   table and figure of the paper's evaluation.
 //!
+//! Beyond the paper, the workspace scales to **parallel multi-walker
+//! sampling**: [`client::SharedOsn`] is a lock-striped shared cache
+//! (stripe = `fnv(node) % N`, per-stripe hit/miss/contention counters, an
+//! optional atomic global budget) and [`walks::MultiWalkRunner`] schedules K
+//! seeded walkers over scoped threads with deterministic per-walker RNG
+//! streams, merging their estimates through [`estimate::RatioEstimator`].
+//! See `ARCHITECTURE.md` for the paper-concept → code map.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -69,13 +77,23 @@ pub use osn_walks as walks;
 /// The most common imports in one place.
 pub mod prelude {
     pub use osn_client::{
-        BudgetedClient, OsnClient, RateLimitConfig, RateLimitedOsn, SimulatedOsn,
+        BudgetedClient, OsnClient, RateLimitConfig, RateLimitedOsn, SharedOsn, SimulatedOsn,
+        StripeStats,
     };
     pub use osn_datasets::{Dataset, Scale};
     pub use osn_estimate::{RatioEstimator, UniformMeanEstimator};
     pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use osn_walks::{
-        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, Mhrw, MultiWalkSession, NbCnrw,
-        NbSrw, NodeCnrw, RandomWalk, Srw, WalkConfig, WalkSession,
+        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, Mhrw, MultiWalkReport,
+        MultiWalkRunner, MultiWalkSession, NbCnrw, NbSrw, NodeCnrw, RandomWalk, Srw, WalkConfig,
+        WalkSession,
     };
 }
+
+// Keep the README honest: compile and run its `rust` code blocks (the
+// quickstart included) as doctests of this crate, so the snippet cannot rot
+// apart from the library. `cargo test --doc` exercises this; the CI `docs`
+// job gates on it.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

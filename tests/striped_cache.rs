@@ -1,0 +1,165 @@
+//! Equivalence and stress tests for the lock-striped shared cache.
+//!
+//! Lock striping is a pure performance refactor of `SharedOsn`: these tests
+//! pin that claim. (1) On a seeded workload the striped cache must return
+//! bit-identical query results and hit counts to the single-lock
+//! configuration (one stripe reproduces the old global mutex exactly, and a
+//! plain `SimulatedOsn` is the ground truth both reduce to). (2) Under an
+//! 8-thread hammer no cache update may be lost — every unique node charged
+//! exactly once, global counters exactly consistent.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use osn_sampling::prelude::*;
+
+/// Deterministic mixed workload: a seeded, skewed sequence of node queries
+/// (some nodes hot, some cold) over `n` nodes.
+fn seeded_workload(n: usize, len: usize, seed: u64) -> Vec<NodeId> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            // xorshift64* keeps the workload independent of the crate's RNGs.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let r = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            // Square to skew toward low ids: hot head, cold tail.
+            let x = (r >> 33) as f64 / (1u64 << 31) as f64;
+            NodeId(((x * x * n as f64) as usize).min(n - 1) as u32)
+        })
+        .collect()
+}
+
+fn clustered_network() -> Arc<osn_sampling::graph::attributes::AttributedGraph> {
+    Arc::new(osn_sampling::datasets::clustered_graph().network)
+}
+
+#[test]
+fn striped_cache_is_bit_identical_to_single_lock() {
+    let network = clustered_network();
+    let n = network.graph.node_count();
+    let workload = seeded_workload(n, 4_000, 0xC0FFEE);
+
+    // Ground truth: the plain (unshared, unstriped) simulator.
+    let mut plain = SimulatedOsn::new_shared(network.clone());
+    let plain_results: Vec<Vec<NodeId>> = workload
+        .iter()
+        .map(|&u| plain.neighbors(u).unwrap().to_vec())
+        .collect();
+
+    for stripes in [1usize, 8, 64] {
+        let shared = SharedOsn::with_stripes(SimulatedOsn::new_shared(network.clone()), stripes);
+        for (i, &u) in workload.iter().enumerate() {
+            let owned = shared.neighbors_owned(u).unwrap();
+            assert_eq!(owned, plain_results[i], "stripes={stripes} query {i}");
+        }
+        // Identical accounting: issued / unique (charged) / cache hits.
+        assert_eq!(
+            shared.stats(),
+            plain.stats(),
+            "hit counts must match single-lock path at stripes={stripes}"
+        );
+        // Per-stripe counters decompose the same totals.
+        let per: Vec<StripeStats> = shared.stripe_stats();
+        assert_eq!(per.len(), stripes);
+        assert_eq!(
+            per.iter().map(|s| s.hits + s.misses).sum::<u64>(),
+            plain.stats().issued
+        );
+    }
+}
+
+#[test]
+fn striped_and_single_lock_agree_under_budget() {
+    // Single-threaded budgeted replay: the striped client must refuse the
+    // exact same query the single-lock client refuses.
+    let network = clustered_network();
+    let n = network.graph.node_count();
+    let workload = seeded_workload(n, 2_000, 7);
+    let run = |stripes: usize| {
+        let mut c =
+            SharedOsn::configured(SimulatedOsn::new_shared(network.clone()), stripes, Some(25));
+        let outcomes: Vec<bool> = workload.iter().map(|&u| c.neighbors(u).is_ok()).collect();
+        (outcomes, c.stats())
+    };
+    let (single, single_stats) = run(1);
+    let (striped, striped_stats) = run(64);
+    assert_eq!(single, striped);
+    assert_eq!(single_stats, striped_stats);
+    assert_eq!(single_stats.unique, 25);
+}
+
+#[test]
+fn eight_thread_stress_loses_no_cache_updates() {
+    let network = clustered_network();
+    let n = network.graph.node_count();
+    const THREADS: usize = 8;
+    const QUERIES: usize = 5_000;
+
+    for stripes in [1usize, 64] {
+        let shared = SharedOsn::with_stripes(SimulatedOsn::new_shared(network.clone()), stripes);
+        let per_thread: Vec<Vec<NodeId>> = (0..THREADS)
+            .map(|t| seeded_workload(n, QUERIES, 0xABCD + t as u64))
+            .collect();
+        let expected_unique: HashSet<u32> = per_thread.iter().flatten().map(|u| u.0).collect();
+
+        std::thread::scope(|scope| {
+            for workload in &per_thread {
+                let mut handle = shared.clone();
+                scope.spawn(move || {
+                    for &u in workload {
+                        handle.neighbors(u).unwrap();
+                    }
+                });
+            }
+        });
+
+        let stats = shared.global_stats();
+        // No lost updates: every issued query is accounted, every distinct
+        // node charged exactly once across all 8 threads, rest are hits.
+        assert_eq!(
+            stats.issued,
+            (THREADS * QUERIES) as u64,
+            "stripes={stripes}"
+        );
+        assert_eq!(
+            stats.unique,
+            expected_unique.len() as u64,
+            "stripes={stripes}"
+        );
+        assert_eq!(stats.cache_hits, stats.issued - stats.unique);
+
+        // The merged single-owner view agrees with the concurrent totals.
+        let mut inner = shared.try_into_inner().expect("sole handle");
+        assert_eq!(inner.stats(), stats);
+        // Every expected node is cached: re-querying charges nothing new.
+        for &id in &expected_unique {
+            inner.neighbors(NodeId(id)).unwrap();
+        }
+        assert_eq!(inner.stats().unique, expected_unique.len() as u64);
+    }
+}
+
+#[test]
+fn eight_thread_shared_budget_never_oversells() {
+    let network = clustered_network();
+    let n = network.graph.node_count();
+    const BUDGET: u64 = 40;
+
+    let shared = SharedOsn::configured(SimulatedOsn::new_shared(network.clone()), 16, Some(BUDGET));
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let mut handle = shared.clone();
+            let workload = seeded_workload(n, 2_000, 0xBEEF + t);
+            scope.spawn(move || {
+                for u in workload {
+                    let _ = handle.neighbors(u); // refusals expected
+                }
+            });
+        }
+    });
+    let stats = shared.global_stats();
+    assert_eq!(stats.unique, BUDGET, "exactly the budget, never more");
+    assert_eq!(shared.remaining_budget(), Some(0));
+}
