@@ -1,0 +1,96 @@
+//! Microbenchmark: legacy (hash-set) vs arena (partial-Fisher–Yates)
+//! circulation storage, isolated from everything else the walkers do.
+//!
+//! Two axes:
+//!
+//! * **per degree profile** — raw `EdgeHistory::draw` loops on a single hot
+//!   edge whose population size sweeps from inline-friendly (4) to
+//!   promotion-heavy (2048). This is the paper's §3.3 cost in vitro: the
+//!   legacy backend's rejection sampling degrades to an `O(deg)` rank scan
+//!   once the circulation is half-used, while the arena backend stays one
+//!   `gen_range` + one swap regardless of degree or cycle position.
+//! * **per graph** — full CNRW/GNRW/NB-CNRW walks over the two dataset
+//!   stand-ins (facebook-like: moderate degrees; gplus-like: heavy tail),
+//!   same trials as `walker_throughput` but restricted to the
+//!   backend-sensitive walkers so the comparison stays front and center.
+//!
+//! `repro perf` runs the per-graph half of this matrix outside criterion
+//! and records steps/sec to `BENCH_walkers.json` (the committed baseline
+//! that `scripts/perf_check.sh` diffs against).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use osn_bench::perf::{backend_algorithms, bench_graphs};
+use osn_experiments::runner::TrialPlan;
+use osn_graph::NodeId;
+use osn_walks::history::EdgeHistory;
+use osn_walks::HistoryBackend;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Raw draw cost on one hot edge, per population size (degree profile).
+fn circulation_draw(c: &mut Criterion) {
+    let draws = 4096usize;
+    let mut group = c.benchmark_group("circulation_draw");
+    group.throughput(Throughput::Elements(draws as u64));
+    for &deg in &[4usize, 32, 256, 2048] {
+        let population: Vec<NodeId> = (0..deg as u32).map(NodeId).collect();
+        for backend in HistoryBackend::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("deg_{deg}"), backend),
+                &population,
+                |b, population| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+                        let mut history = EdgeHistory::with_backend(backend);
+                        let (u, v) = (NodeId(0), NodeId(1));
+                        let mut acc = 0u64;
+                        for _ in 0..draws {
+                            acc = acc.wrapping_add(u64::from(
+                                history.draw(u, v, population, &mut rng).unwrap().0,
+                            ));
+                        }
+                        acc
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Full history-aware walks per graph, backend-vs-backend — the same
+/// (graph, algorithm) matrix `repro perf` records to `BENCH_walkers.json`,
+/// imported from one definition so the two cannot drift.
+fn backend_walks(c: &mut Criterion) {
+    let graphs = bench_graphs();
+    let algorithms = backend_algorithms();
+    let steps = 20_000usize;
+
+    let mut group = c.benchmark_group("backend_walks");
+    group.throughput(Throughput::Elements(steps as u64));
+    for (gname, network) in &graphs {
+        for alg in &algorithms {
+            for backend in HistoryBackend::ALL {
+                let plan = TrialPlan::steps(network.clone(), steps).with_backend(backend);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_{gname}", alg.label()), backend),
+                    &plan,
+                    |b, plan| {
+                        let mut seed = 0u64;
+                        b.iter(|| {
+                            seed += 1;
+                            plan.run(alg, seed).len()
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, circulation_draw, backend_walks);
+criterion_main!(benches);

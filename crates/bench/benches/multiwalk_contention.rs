@@ -47,9 +47,10 @@ fn multiwalk_contention(c: &mut Criterion) {
                         );
                         let report = MultiWalkRunner::new(walkers, STEPS_PER_WALKER, seed).run(
                             &client,
-                            |i| {
+                            |i, backend| {
                                 let start = NodeId(((i * 31) % n) as u32);
-                                Box::new(Cnrw::new(start)) as Box<dyn RandomWalk + Send>
+                                Box::new(Cnrw::with_backend(start, backend))
+                                    as Box<dyn RandomWalk + Send>
                             },
                             |v| v.index() as f64,
                         );
@@ -68,9 +69,9 @@ fn multiwalk_contention(c: &mut Criterion) {
         let client = SharedOsn::with_stripes(SimulatedOsn::new_shared(network.clone()), stripes);
         MultiWalkRunner::new(8, STEPS_PER_WALKER, 7).run(
             &client,
-            |i| {
+            |i, backend| {
                 let start = NodeId(((i * 31) % n) as u32);
-                Box::new(Cnrw::new(start)) as Box<dyn RandomWalk + Send>
+                Box::new(Cnrw::with_backend(start, backend)) as Box<dyn RandomWalk + Send>
             },
             |v| v.index() as f64,
         );

@@ -1,16 +1,24 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]
+//! repro [--quick] [--out DIR] [--record PATH] [--baseline PATH]
+//!       [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]
 //! ```
 //!
 //! Each experiment prints its markdown table to stdout and, with `--out`,
 //! also writes `<id>.md`, `<id>.csv` and `<id>.json` artifacts — the files
 //! EXPERIMENTS.md references.
+//!
+//! `perf` is the throughput-baseline target (not part of `all`): it
+//! measures walker steps/sec per (graph, algorithm, history backend);
+//! `--record PATH` writes the raw JSON (committed as `BENCH_walkers.json`),
+//! `--baseline PATH` diffs the fresh run against a recorded baseline and
+//! prints non-blocking warnings past the 15% tolerance.
 
 use std::io::Write;
 use std::path::PathBuf;
 
+use osn_bench::perf;
 use osn_datasets::Scale;
 use osn_experiments::{
     ablation, fig10, fig11, fig6, fig6_parallel, fig7, fig8, fig9, table1, theorem3,
@@ -20,12 +28,16 @@ use osn_experiments::{
 struct Options {
     quick: bool,
     out: Option<PathBuf>,
+    record: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     targets: Vec<String>,
 }
 
 fn parse_args() -> Options {
     let mut quick = false;
     let mut out = None;
+    let mut record = None;
+    let mut baseline = None;
     let mut targets = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,10 +48,20 @@ fn parse_args() -> Options {
                     args.next().expect("--out requires a directory"),
                 ));
             }
+            "--record" => {
+                record = Some(PathBuf::from(
+                    args.next().expect("--record requires a file"),
+                ));
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().expect("--baseline requires a file"),
+                ));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--out DIR] \
-                     [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|all]..."
+                    "usage: repro [--quick] [--out DIR] [--record PATH] [--baseline PATH] \
+                     [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]..."
                 );
                 std::process::exit(0);
             }
@@ -47,19 +69,102 @@ fn parse_args() -> Options {
         }
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
-        targets = [
+        // Expand `all` in place, keeping any explicitly named extra targets
+        // (`perf` is deliberately not part of `all` — it is a timing run
+        // whose value is the recorded baseline, not a figure of the paper —
+        // but `repro all perf` must still run it).
+        let standard: Vec<String> = [
             "table1", "fig6", "fig6par", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem3",
             "ablation",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
+        let extras: Vec<String> = targets
+            .iter()
+            .filter(|t| *t != "all" && !standard.contains(t))
+            .cloned()
+            .collect();
+        targets = standard;
+        targets.extend(extras);
     }
     Options {
         quick,
         out,
+        record,
+        baseline,
         targets,
     }
+}
+
+/// Run the `perf` target: measure, optionally record, optionally diff
+/// against a baseline (warn-only — the perf gate never fails the build).
+fn run_perf(opts: &Options) -> ExperimentResult {
+    let config = if opts.quick {
+        perf::PerfConfig::quick()
+    } else {
+        perf::PerfConfig::new()
+    };
+    let result = perf::measure(&config);
+    if let Some(path) = &opts.record {
+        std::fs::write(path, result.to_json()).expect("write perf record");
+        eprintln!("perf baseline recorded to {}", path.display());
+    }
+    if let Some(path) = &opts.baseline {
+        let raw = std::fs::read_to_string(path).expect("read perf baseline");
+        let baseline = ExperimentResult::from_json(&raw).expect("parse perf baseline");
+        let deltas = perf::compare(&result, &baseline, perf::REGRESSION_TOLERANCE);
+        let mut regressions = 0usize;
+        for d in &deltas {
+            if d.regressed {
+                regressions += 1;
+                // `::warning::` renders as an annotation on GitHub Actions
+                // and is harmless noise elsewhere.
+                println!(
+                    "::warning::perf: {} regressed {:.1}% (current {:.0} steps/s vs baseline {:.0})",
+                    d.label,
+                    -d.ratio_delta * 100.0,
+                    d.current,
+                    d.baseline
+                );
+            }
+        }
+        // Machine-independent pass: arena-over-legacy speedups are computed
+        // within one run, so they stay comparable even when this host and
+        // the baseline's recording machine are different classes.
+        let base_speedups = perf::speedups(&baseline);
+        let mut speedup_regressions = 0usize;
+        let mut speedup_cells = 0usize;
+        for (label, current) in perf::speedups(&result) {
+            let Some((_, base)) = base_speedups.iter().find(|(l, _)| *l == label) else {
+                continue;
+            };
+            speedup_cells += 1;
+            if current < base * (1.0 - perf::REGRESSION_TOLERANCE) {
+                speedup_regressions += 1;
+                println!(
+                    "::warning::perf: arena-over-legacy speedup for {label} fell to {current:.2}x \
+                     (baseline {base:.2}x) — machine-independent signal, likely a real regression"
+                );
+            }
+        }
+        if regressions > deltas.len() / 2 && speedup_regressions == 0 {
+            eprintln!(
+                "perf note: most absolute cells shifted together while every arena-over-legacy \
+                 speedup held — this usually means a different machine class than the baseline's, \
+                 not a code regression"
+            );
+        }
+        eprintln!(
+            "perf check vs {}: {} absolute cells ({} beyond the {:.0}% tolerance), \
+             {speedup_cells} speedup ratios ({speedup_regressions} regressed); non-blocking",
+            path.display(),
+            deltas.len(),
+            regressions,
+            perf::REGRESSION_TOLERANCE * 100.0
+        );
+    }
+    result
 }
 
 fn emit(result: &ExperimentResult, out: &Option<PathBuf>) {
@@ -202,6 +307,10 @@ fn main() {
                     Default::default()
                 };
                 emit(&theorem3::run(&config), &opts.out);
+            }
+            "perf" => {
+                let result = run_perf(&opts);
+                emit(&result, &opts.out);
             }
             other => {
                 eprintln!("unknown target `{other}` (see --help)");

@@ -1,0 +1,268 @@
+//! Walker-throughput measurement behind `repro perf`: the machine-readable
+//! perf baseline (`BENCH_walkers.json`) and its regression check.
+//!
+//! Criterion benches print human-oriented timings; this module runs the
+//! same backend-vs-backend walker matrix (`history_backends`'s per-graph
+//! half) with plain `Instant` timing and records **steps per second** into
+//! an [`ExperimentResult`] — one series per `graph/algorithm/backend`, one
+//! point per repetition — so the numbers can be committed, diffed, and
+//! trended across PRs. `scripts/perf_check.sh` re-measures in quick mode
+//! and [`compare`]s against the committed baseline, warning (non-blocking)
+//! past [`REGRESSION_TOLERANCE`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use osn_datasets::{facebook_like, gplus_like, Scale};
+use osn_experiments::runner::TrialPlan;
+use osn_experiments::{Algorithm, ExperimentResult, GroupingSpec, Series};
+use osn_graph::attributes::AttributedGraph;
+use osn_walks::HistoryBackend;
+
+/// Relative steps/sec drop beyond which [`compare`] emits a warning.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// The two benchmark graphs — the single definition shared by
+/// `walker_throughput`, `history_backends`, and `repro perf`, so the
+/// committed baseline always measures the same workload the benches print.
+pub fn bench_graphs() -> [(&'static str, Arc<AttributedGraph>); 2] {
+    [
+        ("facebook", Arc::new(facebook_like(Scale::Test, 1).network)),
+        ("gplus", Arc::new(gplus_like(Scale::Test, 2).network)),
+    ]
+}
+
+/// The history-backend-sensitive walkers every backend comparison measures
+/// (shared with the `history_backends` bench for the same reason).
+pub fn backend_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Cnrw,
+        Algorithm::Gnrw(GroupingSpec::ByDegree),
+        Algorithm::NbCnrw,
+    ]
+}
+
+/// Measurement plan for one `repro perf` run.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfConfig {
+    /// Transitions per timed walk.
+    pub steps: usize,
+    /// Timed repetitions per (graph, algorithm, backend) cell; the *best*
+    /// rep is what [`compare`] uses (least scheduler noise).
+    pub reps: usize,
+}
+
+impl PerfConfig {
+    /// Default plan: long enough walks for stable steps/sec.
+    pub fn new() -> Self {
+        PerfConfig {
+            steps: 200_000,
+            reps: 3,
+        }
+    }
+
+    /// CI-sized plan (about a second). Keeps the walk length of the
+    /// default plan — steps/sec depends on it through cache warm-up, so a
+    /// shorter quick walk would read systematically slower than the
+    /// committed baseline — and only drops repetitions.
+    pub fn quick() -> Self {
+        PerfConfig {
+            steps: 200_000,
+            reps: 1,
+        }
+    }
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The measured matrix: [`backend_algorithms`] × both backends, plus SRW
+/// as the no-history reference.
+fn algorithms() -> Vec<(Algorithm, Vec<HistoryBackend>)> {
+    let both = HistoryBackend::ALL.to_vec();
+    let mut matrix = vec![(Algorithm::Srw, vec![HistoryBackend::Arena])];
+    matrix.extend(backend_algorithms().into_iter().map(|a| (a, both.clone())));
+    matrix
+}
+
+/// Series label for one cell, `graph/ALG/backend`.
+fn label(graph: &str, alg: &Algorithm, backend: HistoryBackend) -> String {
+    format!("{graph}/{}/{backend}", alg.label())
+}
+
+/// Run the full matrix and return the recorded steps/sec document.
+pub fn measure(config: &PerfConfig) -> ExperimentResult {
+    let graphs = bench_graphs();
+    let mut result = ExperimentResult::new(
+        "BENCH_walkers",
+        "Walker throughput baseline: steps/sec per graph, algorithm, and history backend",
+        "repetition",
+        "steps per second",
+    )
+    .with_note(format!(
+        "steps={} reps={}; best rep is the comparison statistic; \
+         regression tolerance {:.0}% (scripts/perf_check.sh, non-blocking)",
+        config.steps,
+        config.reps,
+        REGRESSION_TOLERANCE * 100.0
+    ));
+    for (gname, network) in &graphs {
+        for (alg, backends) in algorithms() {
+            for backend in backends {
+                let plan = TrialPlan::steps(network.clone(), config.steps).with_backend(backend);
+                // One untimed warm-up walk per cell (page in the snapshot).
+                plan.run(&alg, 0);
+                let mut xs = Vec::with_capacity(config.reps);
+                let mut ys = Vec::with_capacity(config.reps);
+                for rep in 0..config.reps {
+                    let started = Instant::now();
+                    let done = plan.run(&alg, rep as u64 + 1).len();
+                    let secs = started.elapsed().as_secs_f64().max(1e-9);
+                    xs.push(rep as f64);
+                    ys.push(done as f64 / secs);
+                }
+                result = result.with_series(Series::new(label(gname, &alg, backend), xs, ys));
+            }
+        }
+    }
+    result
+}
+
+/// Best (maximum) steps/sec across a series' repetitions.
+fn best(series: &Series) -> f64 {
+    series.y.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// Arena-over-legacy speedup per `graph/ALG` cell pair, computed *within*
+/// one document. Both cells of a ratio share the host and the run, so this
+/// statistic is machine-independent — the signal to trust when a fresh run
+/// and the committed baseline come from different machine classes (e.g.
+/// shared CI runners vs the recording machine), where the absolute
+/// steps/sec comparison mostly measures the hardware.
+pub fn speedups(doc: &ExperimentResult) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for series in &doc.series {
+        if let Some(prefix) = series.label.strip_suffix("/arena") {
+            if let Some(legacy) = doc.series_by_label(&format!("{prefix}/legacy")) {
+                let (a, l) = (best(series), best(legacy));
+                if a.is_finite() && l.is_finite() && l > 0.0 {
+                    out.push((prefix.to_string(), a / l));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Clone, Debug)]
+pub struct PerfDelta {
+    /// `graph/ALG/backend`.
+    pub label: String,
+    /// Best steps/sec in the current run.
+    pub current: f64,
+    /// Best steps/sec in the baseline.
+    pub baseline: f64,
+    /// `current / baseline - 1` (negative = slower than baseline).
+    pub ratio_delta: f64,
+    /// Whether the drop exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Diff `current` against `baseline`, flagging cells whose best steps/sec
+/// dropped more than `tolerance` (e.g. [`REGRESSION_TOLERANCE`]). Cells
+/// present on only one side are skipped — adding or retiring a walker must
+/// not trip the check.
+pub fn compare(
+    current: &ExperimentResult,
+    baseline: &ExperimentResult,
+    tolerance: f64,
+) -> Vec<PerfDelta> {
+    let mut deltas = Vec::new();
+    for base in &baseline.series {
+        let Some(cur) = current.series_by_label(&base.label) else {
+            continue;
+        };
+        let (b, c) = (best(base), best(cur));
+        if !(b.is_finite() && c.is_finite()) || b <= 0.0 {
+            continue;
+        }
+        let ratio_delta = c / b - 1.0;
+        deltas.push(PerfDelta {
+            label: base.label.clone(),
+            current: c,
+            baseline: b,
+            ratio_delta,
+            regressed: ratio_delta < -tolerance,
+        });
+    }
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(label: &str, ys: &[f64]) -> ExperimentResult {
+        ExperimentResult::new("BENCH_walkers", "t", "x", "y").with_series(Series::new(
+            label,
+            (0..ys.len()).map(|i| i as f64).collect(),
+            ys.to_vec(),
+        ))
+    }
+
+    #[test]
+    fn quick_measure_records_full_matrix() {
+        let result = measure(&PerfConfig {
+            steps: 300,
+            reps: 1,
+        });
+        // 2 graphs x (1 SRW + 3 history walkers x 2 backends) = 14 series.
+        assert_eq!(result.series.len(), 14);
+        for s in &result.series {
+            assert!(best(s) > 0.0, "{} recorded no throughput", s.label);
+        }
+        // Round-trips through the JSON the baseline file uses.
+        let parsed = ExperimentResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(parsed.series.len(), result.series.len());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let baseline = doc("g/CNRW/arena", &[100.0, 120.0]);
+        let ok = compare(&doc("g/CNRW/arena", &[110.0]), &baseline, 0.15);
+        assert_eq!(ok.len(), 1);
+        assert!(!ok[0].regressed, "faster run must not warn");
+        let slight = compare(&doc("g/CNRW/arena", &[105.0]), &baseline, 0.15);
+        assert!(!slight[0].regressed, "12.5% drop is inside tolerance");
+        let bad = compare(&doc("g/CNRW/arena", &[90.0]), &baseline, 0.15);
+        assert!(bad[0].regressed, "25% drop must warn");
+    }
+
+    #[test]
+    fn compare_skips_unmatched_series() {
+        let baseline = doc("g/CNRW/arena", &[100.0]);
+        let deltas = compare(&doc("g/CNRW/legacy", &[10.0]), &baseline, 0.15);
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn speedups_pair_arena_with_legacy_cells() {
+        let result = ExperimentResult::new("BENCH_walkers", "t", "x", "y")
+            .with_series(Series::new("g/CNRW/legacy", vec![0.0], vec![50.0]))
+            .with_series(Series::new(
+                "g/CNRW/arena",
+                vec![0.0, 1.0],
+                vec![120.0, 150.0],
+            ))
+            .with_series(Series::new("g/SRW/arena", vec![0.0], vec![999.0]));
+        let s = speedups(&result);
+        // SRW has no legacy twin -> exactly one ratio, best-vs-best.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, "g/CNRW");
+        assert!((s[0].1 - 3.0).abs() < 1e-12);
+    }
+}

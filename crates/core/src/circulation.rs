@@ -1,0 +1,870 @@
+//! Arena-backed partial-Fisher–Yates circulation engine.
+//!
+//! This is the storage layer behind [`crate::history`]: the per-edge
+//! without-replacement "circulation" state of CNRW (Algorithm 1) and GNRW
+//! (Algorithm 2), reworked from one-hash-set-per-edge into compact,
+//! index-based layouts that make the steady-state per-draw hot path
+//! **exactly `O(1)`** — no rejection loop, no rank scan, and zero hashing
+//! *inside* a promoted circulation. (Locating the edge's state still costs
+//! the one packed-edge-key map lookup per draw that every layout pays; what
+//! the arena removes is the per-candidate membership hashing within it.)
+//!
+//! ## Layout
+//!
+//! All touched edges of one walker share a single arena (`Vec<NodeId>` for
+//! the node engine, two `Vec<u32>` for the group engine). Each promoted edge
+//! owns a contiguous slice of it holding a permutation of the edge's
+//! candidate population, plus a cursor:
+//!
+//! ```text
+//! arena:  [ .. | d  a  c  b | .. ]      slice of edge (u, v), len = 4
+//!                      ^cursor = 2      a, d used this cycle; c, b unused
+//! ```
+//!
+//! A draw is one *partial Fisher–Yates* step: pick a uniform position in the
+//! unused suffix `[cursor, len)`, swap it to `cursor`, advance the cursor —
+//! one `gen_range`, one swap, no membership test. When the cursor reaches
+//! `len` the circulation is complete and reset is a cursor rewind to `0`
+//! (the slice already holds a permutation of the population, so the next
+//! cycle draws from the full population again).
+//!
+//! ## Staged states and the `O(K)` space bound
+//!
+//! Most directed edges of a long walk are transited only a handful of
+//! times, and a promoted slice costs `O(deg)` regardless of how few draws
+//! it served — so promoting eagerly would break the paper's `O(K)` history
+//! bound (§3.3) on heavy-tailed graphs. Per-edge state therefore moves
+//! through three stages, each `O(draws recorded)`:
+//!
+//! 1. **Inline** — up to [`INLINE_CAP`] used node ids in a fixed array
+//!    stored directly in the map slot (no heap allocation at all); draws
+//!    use bounded rejection sampling against the tiny array.
+//! 2. **Spill** — a hash set of used ids, one entry per draw (the legacy
+//!    layout, `O(1)` expected draws), entered only when the inline array
+//!    fills before the edge qualifies for promotion.
+//! 3. **Promoted** — the arena slice. An edge is promoted once it has at
+//!    least `promotion_threshold` recorded draws (tunable, see
+//!    [`CirculationEngine::with_threshold`]) **and** the slice would cost
+//!    at most [`PROMOTION_SPAN`]` × draws` — or unconditionally once half
+//!    its population is used, where the slice costs `≤ 2 × draws` and the
+//!    legacy layout would start degrading to rank scans.
+//!
+//! Promotion preserves the already-used set, so the drawn coverage of a
+//! cycle is independent of the threshold; and since a slice never exceeds
+//! `PROMOTION_SPAN ×` the draws recorded on its edge, total memory stays
+//! `O(K)` after `K` steps (within that constant), matching the legacy
+//! backend's bound.
+//!
+//! The [`GroupEngine`] used by GNRW applies the same staging: a small
+//! hash-set stage (exactly the legacy probes GNRW would otherwise do)
+//! until the edge earns its slices, then `O(1)` array-compare membership —
+//! the probe GNRW issues `deg` times per step — via the inverse
+//! permutation.
+
+use osn_graph::NodeId;
+use rand::Rng;
+
+use crate::fnv::{FnvHashMap, FnvHashSet};
+
+/// Which storage backs the per-edge circulation history of a walker.
+///
+/// Both backends realize the same without-replacement semantics (same
+/// per-cycle coverage, same uniform marginals, same stationary distribution)
+/// but consume RNG differently, so traces are seed-stable *per backend*, not
+/// bit-identical across backends. The `walker_throughput` and
+/// `history_backends` benches ablate one against the other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HistoryBackend {
+    /// The paper's suggested layout: a `HashMap` keyed by the directed edge
+    /// whose values are hash *sets* of used neighbors. Draws rejection-sample
+    /// (bounded, falling back to a rank scan) and probe the set per
+    /// candidate.
+    Legacy,
+    /// Arena-backed partial Fisher–Yates (the default): each hot edge owns
+    /// a slice of a shared arena plus a cursor; a draw is one `gen_range`
+    /// and one swap — exactly `O(1)`, with no hashing beyond the edge-key
+    /// lookup — while cold edges stay in `O(draws)` inline/spill states.
+    #[default]
+    Arena,
+}
+
+impl HistoryBackend {
+    /// Both backends, in ablation order — the single definition every
+    /// backend-comparison matrix (benches, `repro perf`, tests) iterates.
+    pub const ALL: [HistoryBackend; 2] = [HistoryBackend::Legacy, HistoryBackend::Arena];
+
+    /// Short lowercase label for bench/series names (`"legacy"`/`"arena"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HistoryBackend::Legacy => "legacy",
+            HistoryBackend::Arena => "arena",
+        }
+    }
+}
+
+impl std::fmt::Display for HistoryBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Capacity of the inline (pre-spill) used-item array, and therefore the
+/// hard upper bound on [`CirculationEngine`] promotion thresholds.
+pub const INLINE_CAP: usize = 8;
+
+/// Maximum ratio between a promoted slice's length and the draws recorded
+/// on its edge at promotion time. This is what keeps arena memory `O(K)`:
+/// every promoted `deg`-sized slice is backed by at least `deg / SPAN`
+/// recorded draws, so the arena never exceeds `SPAN × steps` entries.
+pub const PROMOTION_SPAN: usize = 8;
+
+/// Iteration cap for every rejection-sampling draw loop in this crate.
+///
+/// Acceptance is kept at ≥ ½ by the half-used promotion/scan rules, so 32
+/// failed candidates has probability ≤ 2⁻³²; the cap exists to bound the
+/// worst case on adversarial RNG streams, falling back to an exact
+/// `O(population)` rank scan.
+pub const MAX_REJECTION_ITERS: usize = 32;
+
+/// Uniform draw from the items of `population` not matched by `is_used`
+/// (`remaining` of them): up to `max_rejections` rejection-sampling
+/// proposals, then an exact rank scan. The single implementation behind
+/// every pre-promotion draw path — inline, spill, and the legacy
+/// [`crate::history::CirculationSet`] (which passes `max_rejections = 0`
+/// on half-used populations to go straight to the scan).
+pub(crate) fn draw_excluding<R: Rng + ?Sized>(
+    population: &[NodeId],
+    remaining: usize,
+    max_rejections: usize,
+    is_used: impl Fn(&NodeId) -> bool,
+    rng: &mut R,
+) -> NodeId {
+    debug_assert!(remaining > 0 && remaining <= population.len());
+    for _ in 0..max_rejections {
+        let cand = population[rng.gen_range(0..population.len())];
+        if !is_used(&cand) {
+            return cand;
+        }
+    }
+    let mut rank = rng.gen_range(0..remaining);
+    *population
+        .iter()
+        .filter(|w| !is_used(w))
+        .find(|_| {
+            if rank == 0 {
+                true
+            } else {
+                rank -= 1;
+                false
+            }
+        })
+        .expect("rank < remaining unused items")
+}
+
+/// Does an edge with `used` recorded draws out of a `plen`-item population
+/// qualify for promotion (given a configured minimum of `threshold` draws)?
+///
+/// Promotion requires the slice to cost at most [`PROMOTION_SPAN`]` × used`
+/// — the `O(K)` guard — except at the half-used point (`slice ≤ 2 × used`),
+/// where it is always worthwhile: that is exactly where hash-set layouts
+/// start degrading. The completing draw of a cycle never promotes (the
+/// state resets instead).
+#[inline]
+fn promotable(used: usize, plen: usize, threshold: usize) -> bool {
+    used + 1 < plen && (2 * used >= plen || (used >= threshold && plen <= PROMOTION_SPAN * used))
+}
+
+/// Per-edge state of the node engine: staged from inline through spill to
+/// an owned arena slice (see the module docs).
+#[derive(Clone, Debug)]
+enum Slot {
+    /// Up to `INLINE_CAP` used node ids, stored in place.
+    Inline { used: [NodeId; INLINE_CAP], len: u8 },
+    /// Used ids in a hash set — `O(draws)` memory for edges whose
+    /// population is too large to promote yet.
+    Spill(FnvHashSet<NodeId>),
+    /// `arena[start..start + len]` is a permutation of the population;
+    /// positions `< cursor` are used this cycle.
+    Promoted { start: u32, len: u32, cursor: u32 },
+}
+
+impl Slot {
+    fn used_len(&self) -> usize {
+        match self {
+            Slot::Inline { len, .. } => usize::from(*len),
+            Slot::Spill(set) => set.len(),
+            Slot::Promoted { cursor, .. } => *cursor as usize,
+        }
+    }
+}
+
+/// The arena-backed circulation engine for node circulations (`b(u, v)` of
+/// Algorithm 1), shared by every edge one walker has touched.
+///
+/// Keys are opaque `u64`s (packed directed edges for CNRW/NB-CNRW, node ids
+/// for the node-keyed ablation). The population for a key is supplied at
+/// each draw — it is the neighbor list, owned by the graph — and must be
+/// identical across draws of the same key (true for static snapshots).
+#[derive(Clone, Debug)]
+pub struct CirculationEngine {
+    slots: FnvHashMap<u64, Slot>,
+    arena: Vec<NodeId>,
+    promotion_threshold: usize,
+}
+
+impl Default for CirculationEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CirculationEngine {
+    /// Engine with the default promotion threshold ([`INLINE_CAP`] draws).
+    pub fn new() -> Self {
+        Self::with_threshold(INLINE_CAP)
+    }
+
+    /// Engine with a custom minimum draw count before an edge may be
+    /// promoted to an arena slice (clamped to `1..=INLINE_CAP`). Lower
+    /// thresholds reach the `O(1)`-exact draw path earlier; the drawn
+    /// coverage per cycle is the same for every threshold, and the
+    /// [`PROMOTION_SPAN`] memory guard applies regardless.
+    pub fn with_threshold(threshold: usize) -> Self {
+        CirculationEngine {
+            slots: FnvHashMap::default(),
+            arena: Vec::new(),
+            promotion_threshold: threshold.clamp(1, INLINE_CAP),
+        }
+    }
+
+    /// The configured promotion threshold.
+    pub fn promotion_threshold(&self) -> usize {
+        self.promotion_threshold
+    }
+
+    /// Number of keys with live circulation state.
+    pub fn tracked(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total used-items across all keys (the `O(K)` accounting quantity of
+    /// §3.3 — identical to the legacy backend's set-size sum).
+    pub fn total_entries(&self) -> usize {
+        self.slots.values().map(Slot::used_len).sum()
+    }
+
+    /// Used-item count for `key`, or `None` if the key has no state. Never
+    /// creates state (read-only probe).
+    pub fn used_len(&self, key: u64) -> Option<usize> {
+        self.slots.get(&key).map(Slot::used_len)
+    }
+
+    /// Drop all state and reclaim the arena.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.arena.clear();
+    }
+
+    /// Draw uniformly at random from `population \ used(key)`, record the
+    /// draw, and reset the cycle once the population is exhausted (the
+    /// completing draw triggers the reset, so the *next* draw sees the full
+    /// population again). Returns `None` only for an empty population.
+    pub fn draw<R: Rng + ?Sized>(
+        &mut self,
+        key: u64,
+        population: &[NodeId],
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let plen = population.len();
+        if plen == 0 {
+            return None;
+        }
+        let threshold = self.promotion_threshold;
+        let slot = self.slots.entry(key).or_insert(Slot::Inline {
+            used: [NodeId(0); INLINE_CAP],
+            len: 0,
+        });
+        // Stage transitions first (no RNG consumed). Promotion preserves
+        // the used set, so a cycle's coverage never depends on when (or
+        // whether) it happens.
+        if !matches!(slot, Slot::Promoted { .. }) && promotable(slot.used_len(), plen, threshold) {
+            let start = self.arena.len();
+            self.arena.extend_from_slice(population);
+            // Partition the fresh slice: swap every already-used item into
+            // the prefix. One pass; the membership probes are over the
+            // O(draws)-sized pre-promotion state.
+            let slice = &mut self.arena[start..];
+            let mut cursor = 0usize;
+            match &*slot {
+                Slot::Inline { used, len } => {
+                    let used = &used[..usize::from(*len)];
+                    for i in 0..plen {
+                        if used.contains(&slice[i]) {
+                            slice.swap(cursor, i);
+                            cursor += 1;
+                        }
+                    }
+                }
+                Slot::Spill(set) => {
+                    for i in 0..plen {
+                        if set.contains(&slice[i]) {
+                            slice.swap(cursor, i);
+                            cursor += 1;
+                        }
+                    }
+                }
+                Slot::Promoted { .. } => unreachable!("guarded by the !Promoted check above"),
+            }
+            debug_assert_eq!(cursor, slot.used_len(), "used set ⊆ population");
+            // Fail loudly rather than silently aliasing slices if a
+            // pathological walk ever grows the arena past u32 offsets.
+            let start = u32::try_from(start).expect("arena exceeds u32::MAX entries");
+            *slot = Slot::Promoted {
+                start,
+                len: plen as u32,
+                cursor: cursor as u32,
+            };
+        } else if let Slot::Inline { used, len } = slot {
+            // Inline full but the population is too large for the span
+            // guard: spill to a hash set that grows one entry per draw.
+            if usize::from(*len) == INLINE_CAP {
+                *slot = Slot::Spill(used.iter().copied().collect());
+            }
+        }
+        match slot {
+            Slot::Inline { used, len } => {
+                let used_len = usize::from(*len);
+                debug_assert!(used_len < plen && used_len < INLINE_CAP);
+                // Bounded rejection against the tiny inline array (probes
+                // are hash-free). Acceptance is > 1/2 below the half-used
+                // promotion point; only the cycle-completing draw of a
+                // small population can sit lower (≥ 1/plen), and the cap
+                // bounds that too.
+                let pick = draw_excluding(
+                    population,
+                    plen - used_len,
+                    MAX_REJECTION_ITERS,
+                    |w| used[..used_len].contains(w),
+                    rng,
+                );
+                if used_len + 1 == plen {
+                    *len = 0; // circulation complete -> reset
+                } else {
+                    used[used_len] = pick;
+                    *len += 1;
+                }
+                Some(pick)
+            }
+            Slot::Spill(set) => {
+                // Spill implies 2*used < plen (the half-used rule would
+                // have promoted otherwise): acceptance > 1/2, and the
+                // cycle cannot complete in this stage.
+                debug_assert!(2 * set.len() < plen);
+                let pick = draw_excluding(
+                    population,
+                    plen - set.len(),
+                    MAX_REJECTION_ITERS,
+                    |w| set.contains(w),
+                    rng,
+                );
+                set.insert(pick);
+                Some(pick)
+            }
+            Slot::Promoted { start, len, cursor } => {
+                let (start, slen) = (*start as usize, *len as usize);
+                debug_assert_eq!(slen, plen, "population changed between draws");
+                let c = *cursor as usize;
+                // Partial Fisher–Yates: uniform position in the unused
+                // suffix, swapped to the cursor. Exactly O(1).
+                let j = rng.gen_range(c..slen);
+                self.arena.swap(start + c, start + j);
+                let pick = self.arena[start + c];
+                *cursor += 1;
+                if *cursor as usize == slen {
+                    *cursor = 0; // reset is a cursor rewind
+                }
+                Some(pick)
+            }
+        }
+    }
+}
+
+/// Per-edge state of the [`GroupEngine`]: a small hash-backed stage
+/// (`O(draws)` memory, legacy-style probes) until the edge earns its arena
+/// slices.
+#[derive(Clone, Debug)]
+enum GroupSlot {
+    /// Pre-promotion: used population indices + attempted groups.
+    Small {
+        /// Indices into `N(v)` chosen this super-cycle (`b(u, v)`).
+        used: FnvHashSet<u32>,
+        /// Groups attempted in the current sub-cycle (`S(u, v)`).
+        used_groups: Vec<u64>,
+    },
+    /// Promoted: `items`/`pos` slices in the shared arenas.
+    Sliced {
+        start: u32,
+        len: u32,
+        cursor: u32,
+        /// Groups attempted in the current sub-cycle; group counts are a
+        /// handful, so a linear-scan vec beats a hash set.
+        used_groups: Vec<u64>,
+    },
+}
+
+impl GroupSlot {
+    fn used_len(&self) -> usize {
+        match self {
+            GroupSlot::Small { used, .. } => used.len(),
+            GroupSlot::Sliced { cursor, .. } => *cursor as usize,
+        }
+    }
+
+    fn attempted_groups(&self) -> usize {
+        match self {
+            GroupSlot::Small { used_groups, .. } | GroupSlot::Sliced { used_groups, .. } => {
+                used_groups.len()
+            }
+        }
+    }
+}
+
+/// The arena-backed engine for GNRW's per-edge state (Algorithm 2).
+///
+/// Promoted edges own slices of two parallel arenas: `items` holds a
+/// permutation of the population indices `0..len` (used prefix / unused
+/// suffix around a cursor, exactly like [`CirculationEngine`]); `pos` is
+/// the inverse permutation, making "has neighbor *i* been chosen this
+/// super-cycle?" a single array compare — the probe GNRW issues `deg`
+/// times per step. Cold edges stay in an `O(draws)` hash-set stage and are
+/// promoted under the same [`PROMOTION_SPAN`] rule as the node engine, so
+/// group-history memory is `O(K)` too.
+#[derive(Clone, Debug, Default)]
+pub struct GroupEngine {
+    slots: FnvHashMap<u64, GroupSlot>,
+    items: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+impl GroupEngine {
+    /// Number of keys with live state.
+    pub fn tracked(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total used-node entries across all keys (the `O(K)` quantity).
+    pub fn total_entries(&self) -> usize {
+        self.slots.values().map(GroupSlot::used_len).sum()
+    }
+
+    /// `(used nodes, attempted groups)` for `key` without creating state.
+    pub fn probe(&self, key: u64) -> Option<(usize, usize)> {
+        self.slots
+            .get(&key)
+            .map(|s| (s.used_len(), s.attempted_groups()))
+    }
+
+    /// Drop all state and reclaim the arenas.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.items.clear();
+        self.pos.clear();
+    }
+
+    /// Mutable view of `key`'s state, created on first touch and promoted
+    /// to arena slices once it qualifies. `population_len` must be stable
+    /// across visits.
+    pub fn view(&mut self, key: u64, population_len: usize) -> ArenaGroupView<'_> {
+        let slot = self.slots.entry(key).or_insert_with(|| GroupSlot::Small {
+            used: FnvHashSet::default(),
+            used_groups: Vec::new(),
+        });
+        if let GroupSlot::Small { used, used_groups } = slot {
+            if promotable(used.len(), population_len, INLINE_CAP) {
+                let start = self.items.len();
+                self.items.extend(0..population_len as u32);
+                self.pos.extend(0..population_len as u32);
+                let items = &mut self.items[start..];
+                let pos = &mut self.pos[start..];
+                // Partition used indices into the prefix, maintaining the
+                // inverse permutation through the same swap discipline the
+                // steady state uses.
+                let mut cursor = 0usize;
+                for i in 0..population_len {
+                    let idx = items[i] as usize;
+                    if used.contains(&(idx as u32)) {
+                        let other = items[cursor] as usize;
+                        items.swap(cursor, i);
+                        pos[idx] = cursor as u32;
+                        pos[other] = i as u32;
+                        cursor += 1;
+                    }
+                }
+                debug_assert_eq!(cursor, used.len(), "used indices ⊆ population");
+                let start = u32::try_from(start).expect("arena exceeds u32::MAX entries");
+                *slot = GroupSlot::Sliced {
+                    start,
+                    len: population_len as u32,
+                    cursor: cursor as u32,
+                    used_groups: std::mem::take(used_groups),
+                };
+            }
+        }
+        match slot {
+            GroupSlot::Small { used, used_groups } => ArenaGroupView(ViewRepr::Small {
+                used,
+                used_groups,
+                population_len,
+            }),
+            GroupSlot::Sliced {
+                start,
+                len,
+                cursor,
+                used_groups,
+            } => {
+                debug_assert_eq!(
+                    *len as usize, population_len,
+                    "population changed between visits"
+                );
+                let range = *start as usize..(*start + *len) as usize;
+                ArenaGroupView(ViewRepr::Sliced {
+                    len: *len,
+                    cursor,
+                    used_groups,
+                    items: &mut self.items[range.clone()],
+                    pos: &mut self.pos[range],
+                })
+            }
+        }
+    }
+}
+
+/// Borrowed view of one edge's [`GroupEngine`] state.
+pub struct ArenaGroupView<'a>(ViewRepr<'a>);
+
+enum ViewRepr<'a> {
+    Small {
+        used: &'a mut FnvHashSet<u32>,
+        used_groups: &'a mut Vec<u64>,
+        population_len: usize,
+    },
+    Sliced {
+        len: u32,
+        cursor: &'a mut u32,
+        used_groups: &'a mut Vec<u64>,
+        items: &'a mut [u32],
+        pos: &'a mut [u32],
+    },
+}
+
+impl ArenaGroupView<'_> {
+    /// Has population index `idx` been chosen in the current super-cycle?
+    #[inline]
+    pub fn is_used(&self, idx: usize) -> bool {
+        match &self.0 {
+            ViewRepr::Small { used, .. } => used.contains(&(idx as u32)),
+            ViewRepr::Sliced { pos, cursor, .. } => pos[idx] < **cursor,
+        }
+    }
+
+    /// Nodes chosen so far in the current super-cycle.
+    pub fn used_count(&self) -> usize {
+        match &self.0 {
+            ViewRepr::Small { used, .. } => used.len(),
+            ViewRepr::Sliced { cursor, .. } => **cursor as usize,
+        }
+    }
+
+    /// Has `group` been attempted in the current group sub-cycle?
+    pub fn group_attempted(&self, group: u64) -> bool {
+        match &self.0 {
+            ViewRepr::Small { used_groups, .. } | ViewRepr::Sliced { used_groups, .. } => {
+                used_groups.contains(&group)
+            }
+        }
+    }
+
+    /// Reset the group sub-cycle (`S(u, v) <- ∅`).
+    pub fn clear_attempted(&mut self) {
+        match &mut self.0 {
+            ViewRepr::Small { used_groups, .. } | ViewRepr::Sliced { used_groups, .. } => {
+                used_groups.clear()
+            }
+        }
+    }
+
+    /// Record the choice of population index `idx` from `group`: mark the
+    /// node used, mark the group attempted, and reset the whole super-cycle
+    /// once every node is covered.
+    pub fn record(&mut self, idx: usize, group: u64) {
+        match &mut self.0 {
+            ViewRepr::Small {
+                used,
+                used_groups,
+                population_len,
+            } => {
+                let inserted = used.insert(idx as u32);
+                debug_assert!(inserted, "index already used this super-cycle");
+                if !used_groups.contains(&group) {
+                    used_groups.push(group);
+                }
+                if used.len() == *population_len {
+                    used.clear(); // super-cycle complete (Algorithm 2 step 4)
+                    used_groups.clear();
+                }
+            }
+            ViewRepr::Sliced {
+                len,
+                cursor,
+                used_groups,
+                items,
+                pos,
+            } => {
+                let c = **cursor as usize;
+                let p = pos[idx] as usize;
+                debug_assert!(p >= c, "index already used this super-cycle");
+                let other = items[c] as usize;
+                items.swap(c, p);
+                pos[idx] = c as u32;
+                pos[other] = p as u32;
+                **cursor += 1;
+                if !used_groups.contains(&group) {
+                    used_groups.push(group);
+                }
+                if **cursor == *len {
+                    **cursor = 0; // super-cycle complete (Algorithm 2 step 4)
+                    used_groups.clear();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn pop(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn every_cycle_is_a_permutation_across_promotion() {
+        // Degree 20 with threshold 4: the first cycle crosses the
+        // inline -> promoted boundary mid-way and must still cover the
+        // population exactly once, as must every later (fully promoted)
+        // cycle.
+        let population = pop(20);
+        for threshold in [1usize, 2, 4, 8] {
+            let mut engine = CirculationEngine::with_threshold(threshold);
+            let mut rng = ChaCha12Rng::seed_from_u64(9);
+            for cycle in 0..4 {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..population.len() {
+                    let d = engine.draw(7, &population, &mut rng).unwrap();
+                    assert!(seen.insert(d), "repeat in cycle {cycle} (t={threshold})");
+                }
+                assert_eq!(seen.len(), population.len());
+            }
+        }
+    }
+
+    #[test]
+    fn small_populations_never_promote() {
+        // A population completing its cycles inside the inline capacity
+        // stays inline forever: zero arena growth.
+        let population = pop(3);
+        let mut engine = CirculationEngine::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..30 {
+            engine.draw(1, &population, &mut rng).unwrap();
+        }
+        assert!(engine.arena.is_empty());
+        assert_eq!(engine.tracked(), 1);
+    }
+
+    #[test]
+    fn large_populations_spill_then_promote_within_the_span_bound() {
+        // Degree 200 > PROMOTION_SPAN * INLINE_CAP: the edge must pass
+        // through the spill stage and only promote once the slice costs at
+        // most PROMOTION_SPAN times the recorded draws — the O(K) memory
+        // guard.
+        let plen = 200usize;
+        let population = pop(plen as u32);
+        let mut engine = CirculationEngine::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for draws in 1..=plen {
+            seen.insert(engine.draw(0, &population, &mut rng).unwrap());
+            if !engine.arena.is_empty() {
+                // Promotion just happened (or already had): the O(K) bound.
+                assert!(
+                    engine.arena.len() <= PROMOTION_SPAN * draws,
+                    "slice of {} after {draws} draws breaks the span bound",
+                    engine.arena.len()
+                );
+            } else {
+                // Still inline/spilled: memory is exactly the used set, and
+                // the state seen at the start of this draw was legitimately
+                // not yet promotable.
+                assert_eq!(engine.used_len(0), Some(draws));
+                assert!(!promotable(draws - 1, plen, INLINE_CAP));
+            }
+        }
+        // Promotion must have happened well before the cycle completed,
+        // and the cycle still covered everything exactly once.
+        assert_eq!(engine.arena.len(), plen);
+        assert_eq!(seen.len(), plen);
+        assert_eq!(engine.total_entries(), 0); // cursor rewound
+    }
+
+    #[test]
+    fn promoted_reset_is_a_cursor_rewind() {
+        let population = pop(12);
+        let mut engine = CirculationEngine::with_threshold(2);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        for _ in 0..12 {
+            engine.draw(0, &population, &mut rng).unwrap();
+        }
+        // Cycle complete: accounting shows zero used, arena still owns the
+        // (single) slice.
+        assert_eq!(engine.total_entries(), 0);
+        assert_eq!(engine.arena.len(), 12);
+        // Second full cycle re-covers everything.
+        let seen: std::collections::HashSet<NodeId> = (0..12)
+            .map(|_| engine.draw(0, &population, &mut rng).unwrap())
+            .collect();
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn used_len_probe_never_creates_state() {
+        let mut engine = CirculationEngine::new();
+        assert_eq!(engine.used_len(3), None);
+        assert_eq!(engine.tracked(), 0);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        engine.draw(3, &pop(5), &mut rng).unwrap();
+        assert_eq!(engine.used_len(3), Some(1));
+        assert_eq!(engine.used_len(4), None);
+        assert_eq!(engine.tracked(), 1);
+    }
+
+    #[test]
+    fn empty_population_draws_none() {
+        let mut engine = CirculationEngine::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        assert_eq!(engine.draw(0, &[], &mut rng), None);
+        assert_eq!(engine.tracked(), 0);
+    }
+
+    #[test]
+    fn singleton_population_always_draws_it() {
+        let mut engine = CirculationEngine::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(engine.draw(0, &pop(1), &mut rng), Some(NodeId(0)));
+        }
+        assert_eq!(engine.total_entries(), 0);
+    }
+
+    #[test]
+    fn clear_reclaims_arena() {
+        let mut engine = CirculationEngine::with_threshold(1);
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        for _ in 0..5 {
+            engine.draw(0, &pop(30), &mut rng).unwrap();
+        }
+        assert!(!engine.arena.is_empty());
+        engine.clear();
+        assert_eq!(engine.tracked(), 0);
+        assert!(engine.arena.is_empty());
+    }
+
+    #[test]
+    fn group_engine_membership_and_reset() {
+        let mut engine = GroupEngine::default();
+        {
+            let mut view = engine.view(42, 4);
+            assert_eq!(view.used_count(), 0);
+            assert!(!view.is_used(2));
+            view.record(2, 100);
+            assert!(view.is_used(2));
+            assert!(view.group_attempted(100));
+            assert!(!view.group_attempted(200));
+            view.record(0, 200);
+            view.record(3, 100);
+            assert_eq!(view.used_count(), 3);
+            // Completing the super-cycle resets nodes and groups.
+            view.record(1, 200);
+            assert_eq!(view.used_count(), 0);
+            assert!(!view.group_attempted(100));
+            for i in 0..4 {
+                assert!(!view.is_used(i), "index {i} leaked across super-cycles");
+            }
+        }
+        assert_eq!(engine.tracked(), 1);
+        assert_eq!(engine.total_entries(), 0);
+        assert_eq!(engine.probe(42), Some((0, 0)));
+        assert_eq!(engine.probe(43), None);
+    }
+
+    #[test]
+    fn group_engine_promotes_at_half_used_and_stays_consistent() {
+        // Population 6: records through fresh views (as the walker does,
+        // one view per step) promote the edge at the half-used point; the
+        // membership answers must be identical across the transition.
+        let mut engine = GroupEngine::default();
+        engine.view(9, 6).record(4, 1);
+        engine.view(9, 6).record(1, 2);
+        assert!(engine.items.is_empty(), "too early to promote");
+        // Third record leaves 3 of 6 used; the next view creation crosses
+        // the half-used point and must promote without changing any answer.
+        engine.view(9, 6).record(5, 1);
+        {
+            let view = engine.view(9, 6);
+            assert_eq!(view.used_count(), 3);
+            for idx in [1usize, 4, 5] {
+                assert!(view.is_used(idx), "index {idx} lost in promotion");
+            }
+            for idx in [0usize, 2, 3] {
+                assert!(!view.is_used(idx), "index {idx} wrongly used");
+            }
+            assert!(view.group_attempted(1) && view.group_attempted(2));
+        }
+        assert!(!engine.items.is_empty(), "half-used edge must be promoted");
+        // Finish the super-cycle through the sliced path.
+        let mut view = engine.view(9, 6);
+        view.record(0, 3);
+        view.record(2, 1);
+        view.record(3, 2);
+        assert_eq!(engine.total_entries(), 0); // rewound
+        assert_eq!(engine.probe(9), Some((0, 0)));
+    }
+
+    #[test]
+    fn group_engine_keeps_large_cold_edges_compact() {
+        // One draw on a degree-500 edge must not materialize slices: the
+        // small stage is O(draws), the O(K) guard for GNRW.
+        let mut engine = GroupEngine::default();
+        engine.view(1, 500).record(123, 7);
+        assert!(engine.items.is_empty() && engine.pos.is_empty());
+        assert_eq!(engine.total_entries(), 1);
+        assert!(engine.view(1, 500).is_used(123));
+        assert!(!engine.view(1, 500).is_used(124));
+    }
+
+    #[test]
+    fn group_engine_separate_keys_have_separate_slices() {
+        let mut engine = GroupEngine::default();
+        engine.view(1, 3).record(0, 7);
+        engine.view(2, 5).record(4, 9);
+        assert_eq!(engine.tracked(), 2);
+        assert_eq!(engine.total_entries(), 2);
+        assert!(engine.view(1, 3).is_used(0));
+        assert!(!engine.view(1, 3).is_used(1));
+        assert!(engine.view(2, 5).is_used(4));
+        assert!(!engine.view(2, 5).is_used(0));
+    }
+}

@@ -26,6 +26,12 @@
 //! chosen group. Both provably preserve SRW's stationary distribution while
 //! never increasing — and usually decreasing — asymptotic variance.
 //!
+//! The circulation state lives behind a [`HistoryBackend`] knob: the default
+//! arena-backed partial-Fisher–Yates engine ([`circulation`]) makes every
+//! draw exactly `O(1)` and hash-free, while the paper's hash-set layout is
+//! retained as [`HistoryBackend::Legacy`] for ablation (see the
+//! `walker_throughput` and `history_backends` benches).
+//!
 //! ## Running a walk
 //!
 //! ```
@@ -57,6 +63,7 @@
 
 pub use osn_graph::fnv;
 
+pub mod circulation;
 pub mod frontier;
 pub mod grouping;
 pub mod history;
@@ -66,6 +73,7 @@ mod session;
 mod walker;
 pub mod walkers;
 
+pub use circulation::HistoryBackend;
 pub use frontier::FrontierSampler;
 pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
 pub use multiwalk::{MultiWalkReport, MultiWalkRunner, MultiWalkSession, MultiWalkTrace};

@@ -33,6 +33,7 @@ use osn_graph::NodeId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+use crate::circulation::HistoryBackend;
 use crate::walker::RandomWalk;
 
 /// Outcome of a multi-walker run.
@@ -163,18 +164,34 @@ pub struct MultiWalkRunner {
     walkers: usize,
     max_steps_per_walker: usize,
     seed: u64,
+    backend: HistoryBackend,
 }
 
 impl MultiWalkRunner {
     /// Run `walkers` concurrent walkers, each performing at most
     /// `max_steps_per_walker` transitions, with RNG streams derived from
-    /// `seed`.
+    /// `seed`. History-aware walkers use the default (arena) backend; see
+    /// [`with_backend`](Self::with_backend).
     pub fn new(walkers: usize, max_steps_per_walker: usize, seed: u64) -> Self {
         MultiWalkRunner {
             walkers: walkers.max(1),
             max_steps_per_walker,
             seed,
+            backend: HistoryBackend::default(),
         }
+    }
+
+    /// Choose the history backend handed to the walker factory (the
+    /// ablation knob of the backend benches).
+    #[must_use]
+    pub fn with_backend(mut self, backend: HistoryBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The history backend handed to the walker factory.
+    pub fn backend(&self) -> HistoryBackend {
+        self.backend
     }
 
     /// Number of walker threads this runner will spawn.
@@ -190,22 +207,26 @@ impl MultiWalkRunner {
     /// Run all walkers to their step cap (or until a shared budget refuses
     /// further queries), then merge the per-walker estimates.
     ///
-    /// `make_walker(i)` builds walker `i` (choose spread-out start nodes for
-    /// disconnected or clustered graphs); `value(v)` is the quantity being
-    /// estimated at node `v`. Each walker thread pushes
-    /// `(value(v), degree(v))` into its own [`RatioEstimator`] — degrees come
-    /// free via [`OsnClient::peek_degree`] — and the estimators are merged
-    /// with [`RatioEstimator::merge`] in walker-index order after the join.
+    /// `make_walker(i, backend)` builds walker `i` (choose spread-out start
+    /// nodes for disconnected or clustered graphs), instantiating
+    /// history-aware walkers on `backend` — the runner's configured
+    /// [`HistoryBackend`], threaded through so a single knob ablates the
+    /// whole fleet; `value(v)` is the quantity being estimated at node `v`.
+    /// Each walker thread pushes `(value(v), degree(v))` into its own
+    /// [`RatioEstimator`] — degrees come free via
+    /// [`OsnClient::peek_degree`] — and the estimators are merged with
+    /// [`RatioEstimator::merge`] in walker-index order after the join.
     ///
     /// # Panics
     /// Propagates a panic from any walker thread after all threads joined.
     pub fn run<C, W, F>(&self, client: &C, make_walker: W, value: F) -> MultiWalkReport
     where
         C: OsnClient + Clone + Send,
-        W: Fn(usize) -> Box<dyn RandomWalk + Send> + Sync,
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send> + Sync,
         F: Fn(NodeId) -> f64 + Sync,
     {
         let max_steps = self.max_steps_per_walker;
+        let backend = self.backend;
         let (per_walker, estimate) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.walkers)
                 .map(|i| {
@@ -214,7 +235,7 @@ impl MultiWalkRunner {
                     let value = &value;
                     let rng_seed = self.walker_seed(i);
                     scope.spawn(move || {
-                        let mut walker = make_walker(i);
+                        let mut walker = make_walker(i, backend);
                         let mut rng = ChaCha12Rng::seed_from_u64(rng_seed);
                         let mut trace = Vec::new();
                         let mut est = RatioEstimator::new();
@@ -337,7 +358,7 @@ mod tests {
             MultiWalkRunner::new(4, 300, 42)
                 .run(
                     &client,
-                    |i| Box::new(Cnrw::new(NodeId(i as u32 * 5))),
+                    |i, backend| Box::new(Cnrw::with_backend(NodeId(i as u32 * 5), backend)),
                     |v| v.index() as f64,
                 )
                 .trace
@@ -355,7 +376,7 @@ mod tests {
         let client = shared_client(16);
         let report = runner.run(
             &client,
-            |i| Box::new(Cnrw::new(NodeId(i as u32 * 3))),
+            |i, backend| Box::new(Cnrw::with_backend(NodeId(i as u32 * 3), backend)),
             |v| v.index() as f64,
         );
         for i in 0..3 {
@@ -382,7 +403,7 @@ mod tests {
         };
         let report = runner.run(
             &client,
-            |i| Box::new(Srw::new(NodeId(i as u32))),
+            |i, _| Box::new(Srw::new(NodeId(i as u32))),
             |v| v.index() as f64,
         );
         let mut by_hand = RatioEstimator::new();
@@ -403,7 +424,7 @@ mod tests {
         let client = SharedOsn::configured(SimulatedOsn::from_graph(g), 8, Some(15));
         let report = MultiWalkRunner::new(4, 10_000, 1).run(
             &client,
-            |i| Box::new(Cnrw::new(NodeId(i as u32 * 7))),
+            |i, backend| Box::new(Cnrw::with_backend(NodeId(i as u32 * 7), backend)),
             |v| v.index() as f64,
         );
         assert!(report.trace.stats.unique <= 15);
@@ -420,7 +441,11 @@ mod tests {
         let runner = MultiWalkRunner::new(1, 5_000, 33);
 
         let striped = SharedOsn::configured(SimulatedOsn::from_graph(g.clone()), 64, Some(budget));
-        let parallel = runner.run(&striped, |_| Box::new(Cnrw::new(NodeId(0))), |_| 1.0);
+        let parallel = runner.run(
+            &striped,
+            |_, b| Box::new(Cnrw::with_backend(NodeId(0), b)),
+            |_| 1.0,
+        );
 
         let single = SharedOsn::configured(SimulatedOsn::from_graph(g), 1, Some(budget));
         let mut client = single.clone();

@@ -4,7 +4,7 @@ use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
 use rand::RngCore;
 
-use crate::history::EdgeHistory;
+use crate::history::{EdgeHistory, HistoryBackend};
 use crate::walker::{uniform_pick, RandomWalk};
 
 /// Circulated Neighbors Random Walk (paper §3, Algorithm 1).
@@ -27,8 +27,10 @@ use crate::walker::{uniform_pick, RandomWalk};
 /// The first step of a walk has no incoming edge; it is performed as a plain
 /// SRW step (the paper assumes `x0 = u, x1 = v` are given).
 ///
-/// Space: `O(K)` after `K` steps; amortized `O(1)` expected time per step
-/// (§3.3).
+/// Space: `O(K)` after `K` steps. Per-step cost depends on the
+/// [`HistoryBackend`]: exactly `O(1)` on the default arena backend, `O(1)`
+/// amortized expected (degrading to an `O(deg)` rank scan on half-used
+/// circulations) on the legacy hash-set backend the paper describes in §3.3.
 #[derive(Clone, Debug)]
 pub struct Cnrw {
     prev: Option<NodeId>,
@@ -37,13 +39,24 @@ pub struct Cnrw {
 }
 
 impl Cnrw {
-    /// Start a walk at `start`.
+    /// Start a walk at `start` on the default (arena) history backend.
     pub fn new(start: NodeId) -> Self {
+        Self::with_backend(start, HistoryBackend::default())
+    }
+
+    /// Start a walk at `start` with an explicit history backend (the
+    /// ablation knob of the `walker_throughput`/`history_backends` benches).
+    pub fn with_backend(start: NodeId, backend: HistoryBackend) -> Self {
         Cnrw {
             prev: None,
             current: start,
-            history: EdgeHistory::new(),
+            history: EdgeHistory::with_backend(backend),
         }
+    }
+
+    /// Which history backend this walker runs on.
+    pub fn backend(&self) -> HistoryBackend {
+        self.history.backend()
     }
 
     /// The live history size (number of recorded outgoing choices) — the
@@ -82,8 +95,7 @@ impl RandomWalk for Cnrw {
             None => uniform_pick(neighbors, rng),
             Some(u) => self
                 .history
-                .entry(u, v)
-                .draw(neighbors, rng)
+                .draw(u, v, neighbors, rng)
                 .expect("non-empty neighbor list"),
         };
         self.prev = Some(v);
@@ -120,43 +132,67 @@ mod tests {
     #[test]
     fn circulation_covers_all_neighbors_before_repeat() {
         // Force repeated transits of the same directed edge and check the
-        // outgoing choices circulate.
-        let g = GraphBuilder::new()
-            .add_edge(0, 1) // edge to circulate: 0 -> 1
-            .add_edge(1, 2)
-            .add_edge(1, 3)
-            .add_edge(1, 4)
-            .add_edge(2, 0)
-            .add_edge(3, 0)
-            .add_edge(4, 0)
-            .build()
-            .unwrap();
-        let mut client = SimulatedOsn::from_graph(g);
-        let mut rng = ChaCha12Rng::seed_from_u64(1);
-        let mut w = Cnrw::new(NodeId(0));
+        // outgoing choices circulate — on both history backends.
+        for backend in [HistoryBackend::Legacy, HistoryBackend::Arena] {
+            let g = GraphBuilder::new()
+                .add_edge(0, 1) // edge to circulate: 0 -> 1
+                .add_edge(1, 2)
+                .add_edge(1, 3)
+                .add_edge(1, 4)
+                .add_edge(2, 0)
+                .add_edge(3, 0)
+                .add_edge(4, 0)
+                .build()
+                .unwrap();
+            let mut client = SimulatedOsn::from_graph(g);
+            let mut rng = ChaCha12Rng::seed_from_u64(1);
+            let mut w = Cnrw::with_backend(NodeId(0), backend);
+            assert_eq!(w.backend(), backend);
 
-        // Walk long enough to transit 0->1 many times; collect the node
-        // chosen immediately after each 0->1 transit.
-        let mut after: Vec<NodeId> = Vec::new();
-        let mut prev = w.current();
-        for _ in 0..4000 {
-            let curr = w.step(&mut client, &mut rng).unwrap();
-            if prev == NodeId(0) && curr == NodeId(1) {
-                let nxt = w.step(&mut client, &mut rng).unwrap();
-                after.push(nxt);
-                prev = nxt;
-                continue;
+            // Walk long enough to transit 0->1 many times; collect the node
+            // chosen immediately after each 0->1 transit.
+            let mut after: Vec<NodeId> = Vec::new();
+            let mut prev = w.current();
+            for _ in 0..4000 {
+                let curr = w.step(&mut client, &mut rng).unwrap();
+                if prev == NodeId(0) && curr == NodeId(1) {
+                    let nxt = w.step(&mut client, &mut rng).unwrap();
+                    after.push(nxt);
+                    prev = nxt;
+                    continue;
+                }
+                prev = curr;
             }
-            prev = curr;
+            assert!(after.len() >= 12, "too few transits: {}", after.len());
+            // Every consecutive window of 4 choices must cover all of N(1) =
+            // {0, 2, 3, 4} exactly once (alternating path blocks, Fig. 3).
+            for chunk in after.chunks_exact(4) {
+                let mut set: Vec<u32> = chunk.iter().map(|n| n.0).collect();
+                set.sort_unstable();
+                assert_eq!(
+                    set,
+                    vec![0, 2, 3, 4],
+                    "window not a permutation ({backend}): {chunk:?}"
+                );
+            }
         }
-        assert!(after.len() >= 12, "too few transits: {}", after.len());
-        // Every consecutive window of 4 choices must cover all of N(1) =
-        // {0, 2, 3, 4} exactly once (alternating path blocks, Fig. 3).
-        for chunk in after.chunks_exact(4) {
-            let mut set: Vec<u32> = chunk.iter().map(|n| n.0).collect();
-            set.sort_unstable();
-            assert_eq!(set, vec![0, 2, 3, 4], "window not a permutation: {chunk:?}");
-        }
+    }
+
+    #[test]
+    fn backend_traces_are_seed_stable() {
+        // Same seed + same backend -> same trace; the two backends consume
+        // RNG differently, so cross-backend traces may (and generally do)
+        // diverge while staying distributionally equivalent.
+        let run = |backend: HistoryBackend| {
+            let mut client = star_plus_ring();
+            let mut rng = ChaCha12Rng::seed_from_u64(17);
+            let mut w = Cnrw::with_backend(NodeId(0), backend);
+            (0..500)
+                .map(|_| w.step(&mut client, &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(HistoryBackend::Arena), run(HistoryBackend::Arena));
+        assert_eq!(run(HistoryBackend::Legacy), run(HistoryBackend::Legacy));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use rand::{Rng, RngCore};
 
 use crate::fnv::FnvHashMap;
 use crate::grouping::GroupingStrategy;
-use crate::history::GroupHistory;
+use crate::history::{GroupEdgeView, GroupHistory, HistoryBackend};
 use crate::walker::{uniform_pick, RandomWalk};
 
 /// GroupBy Neighbors Random Walk (paper §4, Algorithm 2).
@@ -46,27 +46,47 @@ pub struct Gnrw {
     history: GroupHistory,
     label: String,
     // Reused scratch state (one allocation amortized over the walk).
+    // Groups hold neighbor *indices* into `scratch_neighbors`, which is what
+    // the arena backend's membership probes are keyed by.
     scratch_neighbors: Vec<NodeId>,
     scratch_assignments: Vec<u64>,
-    scratch_groups: FnvHashMap<u64, Vec<NodeId>>,
+    scratch_groups: FnvHashMap<u64, Vec<u32>>,
     scratch_keys: Vec<u64>,
+    scratch_candidates: Vec<(u64, usize)>,
 }
 
 impl Gnrw {
-    /// Start a walk at `start` with the given grouping strategy.
+    /// Start a walk at `start` with the given grouping strategy, on the
+    /// default (arena) history backend.
     pub fn new(start: NodeId, strategy: Box<dyn GroupingStrategy + Send>) -> Self {
+        Self::with_backend(start, strategy, HistoryBackend::default())
+    }
+
+    /// Start a walk at `start` with the given grouping strategy and an
+    /// explicit history backend.
+    pub fn with_backend(
+        start: NodeId,
+        strategy: Box<dyn GroupingStrategy + Send>,
+        backend: HistoryBackend,
+    ) -> Self {
         let label = format!("GNRW[{}]", strategy.label());
         Gnrw {
             prev: None,
             current: start,
             strategy,
-            history: GroupHistory::new(),
+            history: GroupHistory::with_backend(backend),
             label,
             scratch_neighbors: Vec::new(),
             scratch_assignments: Vec::new(),
             scratch_groups: FnvHashMap::default(),
             scratch_keys: Vec::new(),
+            scratch_candidates: Vec::new(),
         }
+    }
+
+    /// Which history backend this walker runs on.
+    pub fn backend(&self) -> HistoryBackend {
+        self.history.backend()
     }
 
     /// The strategy's own label (e.g. `GNRW_By_Degree`), used by the
@@ -128,8 +148,8 @@ impl RandomWalk for Gnrw {
                 } else {
                     self.scratch_groups.values_mut().for_each(Vec::clear);
                 }
-                for (&w, &key) in self.scratch_neighbors.iter().zip(&self.scratch_assignments) {
-                    self.scratch_groups.entry(key).or_default().push(w);
+                for (i, &key) in self.scratch_assignments.iter().enumerate() {
+                    self.scratch_groups.entry(key).or_default().push(i as u32);
                 }
                 // Deterministic group ordering (sorted keys) so RNG
                 // consumption does not depend on hash-map iteration order.
@@ -142,35 +162,36 @@ impl RandomWalk for Gnrw {
                 );
                 self.scratch_keys.sort_unstable();
 
-                let state = self.history.state(u, v);
-                // Groups that still have unvisited members in the current
-                // super-cycle, with their remaining counts.
-                let remaining = |groups: &FnvHashMap<u64, Vec<NodeId>>,
-                                 state: &crate::history::GnrwEdgeState,
-                                 k: u64| {
-                    groups[&k]
-                        .iter()
-                        .filter(|w| !state.used_nodes.contains(w))
-                        .count()
-                };
+                let neighbors = &self.scratch_neighbors;
+                let mut view = self.history.edge_view(u, v, neighbors.len());
+                // Unvisited members of group `k` in the current super-cycle.
+                let remaining =
+                    |groups: &FnvHashMap<u64, Vec<u32>>, view: &GroupEdgeView<'_>, k: u64| {
+                        groups[&k]
+                            .iter()
+                            .filter(|&&i| !view.is_used(i as usize, neighbors[i as usize]))
+                            .count()
+                    };
                 // Candidate groups: un-attempted (not in S(u,v)) with
                 // unvisited members; if none, reset the group sub-cycle.
-                let mut candidates: Vec<(u64, usize)> = self
-                    .scratch_keys
-                    .iter()
-                    .filter(|k| !state.used_groups.contains(k))
-                    .map(|&k| (k, remaining(&self.scratch_groups, state, k)))
-                    .filter(|&(_, r)| r > 0)
-                    .collect();
-                if candidates.is_empty() {
-                    state.used_groups.clear();
-                    candidates = self
-                        .scratch_keys
+                self.scratch_candidates.clear();
+                self.scratch_candidates.extend(
+                    self.scratch_keys
                         .iter()
-                        .map(|&k| (k, remaining(&self.scratch_groups, state, k)))
-                        .filter(|&(_, r)| r > 0)
-                        .collect();
+                        .filter(|&&k| !view.group_attempted(k))
+                        .map(|&k| (k, remaining(&self.scratch_groups, &view, k)))
+                        .filter(|&(_, r)| r > 0),
+                );
+                if self.scratch_candidates.is_empty() {
+                    view.clear_attempted();
+                    self.scratch_candidates.extend(
+                        self.scratch_keys
+                            .iter()
+                            .map(|&k| (k, remaining(&self.scratch_groups, &view, k)))
+                            .filter(|&(_, r)| r > 0),
+                    );
                 }
+                let candidates = &self.scratch_candidates;
                 debug_assert!(
                     !candidates.is_empty(),
                     "global b(u,v) resets before covering N(v)"
@@ -182,7 +203,7 @@ impl RandomWalk for Gnrw {
                 let mut pick = (*rng).gen_range(0..total);
                 let mut chosen = candidates[0].0;
                 let mut chosen_remaining = candidates[0].1;
-                for &(k, r) in &candidates {
+                for &(k, r) in candidates {
                     if pick < r {
                         chosen = k;
                         chosen_remaining = r;
@@ -193,20 +214,17 @@ impl RandomWalk for Gnrw {
 
                 // Uniform among the chosen group's unvisited members.
                 let rank = (*rng).gen_range(0..chosen_remaining);
-                let node = self.scratch_groups[&chosen]
+                let idx = self.scratch_groups[&chosen]
                     .iter()
-                    .filter(|w| !state.used_nodes.contains(w))
+                    .filter(|&&i| !view.is_used(i as usize, neighbors[i as usize]))
                     .nth(rank)
                     .copied()
-                    .expect("rank < remaining");
+                    .expect("rank < remaining") as usize;
+                let node = neighbors[idx];
 
-                // Record; reset the super-cycle when N(v) is covered.
-                state.used_groups.insert(chosen);
-                state.used_nodes.insert(node);
-                if state.used_nodes.len() == self.scratch_neighbors.len() {
-                    state.used_nodes.clear();
-                    state.used_groups.clear();
-                }
+                // Record; the view resets the super-cycle once N(v) is
+                // covered (Algorithm 2 step 4).
+                view.record(idx, node, chosen);
                 node
             }
         };
@@ -362,6 +380,25 @@ mod tests {
         assert_eq!(w.tracked_edges(), 0);
         assert_eq!(w.history_entries(), 0);
         assert_eq!(w.current(), NodeId(1));
+    }
+
+    #[test]
+    fn backends_produce_identical_traces() {
+        // GNRW's draw consumes exactly two `gen_range` calls per historied
+        // step on either backend, and both backends track the same used
+        // sets — so unlike CNRW the traces must be bit-identical, not just
+        // distributionally equivalent.
+        let run = |backend: HistoryBackend| {
+            let mut client = two_community_client();
+            let mut rng = ChaCha12Rng::seed_from_u64(21);
+            let mut w =
+                Gnrw::with_backend(NodeId(0), Box::new(ByAttribute::new("community")), backend);
+            let trace: Vec<NodeId> = (0..3000)
+                .map(|_| w.step(&mut client, &mut rng).unwrap())
+                .collect();
+            (trace, w.tracked_edges(), w.history_entries())
+        };
+        assert_eq!(run(HistoryBackend::Legacy), run(HistoryBackend::Arena));
     }
 
     #[test]

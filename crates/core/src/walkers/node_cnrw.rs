@@ -19,30 +19,42 @@ use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
 use rand::RngCore;
 
-use crate::fnv::FnvHashMap;
-use crate::history::CirculationSet;
+use crate::history::{EdgeHistory, HistoryBackend};
 use crate::walker::RandomWalk;
 
 /// CNRW variant with **node-keyed** history `b(v)` (ablation of §3.2's
 /// edge-based design decision).
+///
+/// Storage reuses [`EdgeHistory`] with the degenerate key `(v, v)`, so the
+/// ablation walker gets the same [`HistoryBackend`] knob as CNRW proper.
 #[derive(Clone, Debug, Default)]
 pub struct NodeCnrw {
     current: NodeId,
-    history: FnvHashMap<u32, CirculationSet>,
+    history: EdgeHistory,
 }
 
 impl NodeCnrw {
-    /// Start a walk at `start`.
+    /// Start a walk at `start` on the default (arena) history backend.
     pub fn new(start: NodeId) -> Self {
+        Self::with_backend(start, HistoryBackend::default())
+    }
+
+    /// Start a walk at `start` with an explicit history backend.
+    pub fn with_backend(start: NodeId, backend: HistoryBackend) -> Self {
         NodeCnrw {
             current: start,
-            history: FnvHashMap::default(),
+            history: EdgeHistory::with_backend(backend),
         }
+    }
+
+    /// Which history backend this walker runs on.
+    pub fn backend(&self) -> HistoryBackend {
+        self.history.backend()
     }
 
     /// Total recorded history entries.
     pub fn history_entries(&self) -> usize {
-        self.history.values().map(CirculationSet::used_len).sum()
+        self.history.total_entries()
     }
 }
 
@@ -67,9 +79,7 @@ impl RandomWalk for NodeCnrw {
         }
         let next = self
             .history
-            .entry(v.0)
-            .or_default()
-            .draw(neighbors, rng)
+            .draw(v, v, neighbors, rng)
             .expect("non-empty neighbor list");
         self.current = next;
         Ok(next)

@@ -2,7 +2,9 @@
 //! test, and the factory turning it into a live walker.
 
 use osn_graph::NodeId;
-use osn_walks::{ByAttribute, ByDegree, ByHash, Cnrw, Gnrw, Mhrw, NbCnrw, NbSrw, RandomWalk, Srw};
+use osn_walks::{
+    ByAttribute, ByDegree, ByHash, Cnrw, Gnrw, HistoryBackend, Mhrw, NbCnrw, NbSrw, RandomWalk, Srw,
+};
 
 /// Which grouping GNRW uses (mirrors the paper's Figure 9 variants).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,23 +49,44 @@ impl Algorithm {
         }
     }
 
-    /// Instantiate a walker starting at `start`.
+    /// Instantiate a walker starting at `start` on the default (arena)
+    /// history backend.
     pub fn make(&self, start: NodeId) -> Box<dyn RandomWalk + Send> {
+        self.make_with_backend(start, HistoryBackend::default())
+    }
+
+    /// Instantiate a walker starting at `start` with an explicit history
+    /// backend for the history-aware samplers (memoryless samplers ignore
+    /// it).
+    pub fn make_with_backend(
+        &self,
+        start: NodeId,
+        backend: HistoryBackend,
+    ) -> Box<dyn RandomWalk + Send> {
         match self {
             Algorithm::Srw => Box::new(Srw::new(start)),
             Algorithm::Mhrw => Box::new(Mhrw::new(start)),
             Algorithm::NbSrw => Box::new(NbSrw::new(start)),
-            Algorithm::Cnrw => Box::new(Cnrw::new(start)),
+            Algorithm::Cnrw => Box::new(Cnrw::with_backend(start, backend)),
             Algorithm::Gnrw(spec) => {
                 let strategy: Box<dyn osn_walks::GroupingStrategy + Send> = match spec {
                     GroupingSpec::ByDegree => Box::new(ByDegree::new()),
                     GroupingSpec::ByHash(groups) => Box::new(ByHash::new(*groups)),
                     GroupingSpec::ByAttribute(name) => Box::new(ByAttribute::new(name.clone())),
                 };
-                Box::new(Gnrw::new(start, strategy))
+                Box::new(Gnrw::with_backend(start, strategy, backend))
             }
-            Algorithm::NbCnrw => Box::new(NbCnrw::new(start)),
+            Algorithm::NbCnrw => Box::new(NbCnrw::with_backend(start, backend)),
         }
+    }
+
+    /// Whether the sampler keeps circulation history (and therefore has a
+    /// meaningful [`HistoryBackend`] ablation axis).
+    pub fn uses_history(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Cnrw | Algorithm::Gnrw(_) | Algorithm::NbCnrw
+        )
     }
 
     /// Whether the sampler's stationary distribution is uniform (MHRW) as

@@ -89,9 +89,9 @@ fn trial_error(
     let graph = &network.graph;
     let report = MultiWalkRunner::new(k, max_steps, seed).run(
         &client,
-        |i| {
+        |i, backend| {
             let start = NodeId(((seed as usize + i * 31) % n) as u32);
-            Box::new(Cnrw::new(start)) as Box<dyn RandomWalk + Send>
+            Box::new(Cnrw::with_backend(start, backend)) as Box<dyn RandomWalk + Send>
         },
         // Average degree: f(v) = k_v, read from the shared snapshot.
         |v| graph.degree(v) as f64,

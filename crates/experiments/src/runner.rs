@@ -6,7 +6,7 @@ use std::sync::Arc;
 use osn_client::{BudgetedClient, SimulatedOsn};
 use osn_graph::attributes::AttributedGraph;
 use osn_graph::NodeId;
-use osn_walks::{WalkConfig, WalkSession, WalkTrace};
+use osn_walks::{HistoryBackend, WalkConfig, WalkSession, WalkTrace};
 
 use crate::algorithms::Algorithm;
 
@@ -27,6 +27,9 @@ pub struct TrialPlan {
     /// Hard step cap (protects unlimited-budget walks; also bounds the time
     /// a budget-limited walk spends revisiting cached nodes).
     pub max_steps: usize,
+    /// History backend for the history-aware samplers (arena by default;
+    /// the benches flip this to ablate legacy vs arena storage).
+    pub backend: HistoryBackend,
 }
 
 impl TrialPlan {
@@ -41,6 +44,7 @@ impl TrialPlan {
             network,
             budget: Some(budget),
             max_steps,
+            backend: HistoryBackend::default(),
         }
     }
 
@@ -50,7 +54,15 @@ impl TrialPlan {
             network,
             budget: None,
             max_steps,
+            backend: HistoryBackend::default(),
         }
+    }
+
+    /// Same plan on an explicit history backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: HistoryBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Uniformly random start node for the given trial seed.
@@ -62,7 +74,7 @@ impl TrialPlan {
     /// Run one trial of `algorithm` with the given seed, returning the trace.
     pub fn run(&self, algorithm: &Algorithm, seed: u64) -> WalkTrace {
         let start = self.start_node(seed);
-        let mut walker = algorithm.make(start);
+        let mut walker = algorithm.make_with_backend(start, self.backend);
         let config = WalkConfig::steps(self.max_steps).with_seed(seed);
         let session = WalkSession::new(config);
         match self.budget {

@@ -53,10 +53,10 @@ fn main() {
         let graph = &network.graph;
         let report = MultiWalkRunner::new(k, 4_000, 99).run(
             &client,
-            |i| {
+            |i, backend| {
                 // Spread starts across the clusters.
                 let start = NodeId(((i * 31) % n) as u32);
-                Box::new(Cnrw::new(start)) as Box<dyn RandomWalk + Send>
+                Box::new(Cnrw::with_backend(start, backend)) as Box<dyn RandomWalk + Send>
             },
             |v| graph.degree(v) as f64,
         );

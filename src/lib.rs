@@ -84,9 +84,9 @@ pub mod prelude {
     pub use osn_estimate::{RatioEstimator, UniformMeanEstimator};
     pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use osn_walks::{
-        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, Mhrw, MultiWalkReport,
-        MultiWalkRunner, MultiWalkSession, NbCnrw, NbSrw, NodeCnrw, RandomWalk, Srw, WalkConfig,
-        WalkSession,
+        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, HistoryBackend, Mhrw,
+        MultiWalkReport, MultiWalkRunner, MultiWalkSession, NbCnrw, NbSrw, NodeCnrw, RandomWalk,
+        Srw, WalkConfig, WalkSession,
     };
 }
 

@@ -1,0 +1,206 @@
+//! Property tests for the circulation engines behind CNRW/GNRW history.
+//!
+//! The invariants pinned here are exactly what Theorems 1–4 lean on, so they
+//! must hold for **every** backend, population size, and promotion
+//! threshold:
+//!
+//! * each circulation cycle covers the population exactly once;
+//! * the first draw of each cycle is uniform over the population;
+//! * the hybrid promotion threshold changes *when* the arena engine
+//!   materializes slices, never the drawn coverage;
+//! * legacy and arena backends agree on the `O(K)` accounting
+//!   (`tracked_edges` / `total_entries`) under identical draw schedules.
+
+use proptest::prelude::*;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use osn_sampling::prelude::*;
+use osn_sampling::walks::circulation::{CirculationEngine, INLINE_CAP};
+use osn_sampling::walks::history::EdgeHistory;
+
+fn population(n: usize) -> Vec<NodeId> {
+    (0..n as u32).map(NodeId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_cycle_covers_the_population_exactly_once(
+        // Up to 150 so populations beyond PROMOTION_SPAN * INLINE_CAP = 64
+        // exercise the spill stage, not just inline -> promoted.
+        n in 1usize..150,
+        threshold in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let pop = population(n);
+        let mut engine = CirculationEngine::with_threshold(threshold);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for cycle in 0..3 {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..n {
+                let d = engine.draw(7, &pop, &mut rng).unwrap();
+                prop_assert!(seen.insert(d), "repeat in cycle {} (t={})", cycle, threshold);
+            }
+            prop_assert_eq!(seen.len(), n);
+            // The completing draw rewound the cycle: accounting reads zero.
+            prop_assert_eq!(engine.used_len(7), Some(0));
+        }
+    }
+
+    #[test]
+    fn first_draw_of_each_cycle_is_uniform(
+        n in 2usize..9,
+        threshold in 1usize..9,
+    ) {
+        // Chi-square-ish bound: 600 fresh engines, each first draw must be
+        // uniform over the population. With 600/n expected per item, a 0.45x
+        // to 1.8x band is ~10 sigma — loose enough to never flake, tight
+        // enough to catch any positional bias.
+        let pop = population(n);
+        let mut counts = vec![0usize; n];
+        for seed in 0..600u64 {
+            let mut engine = CirculationEngine::with_threshold(threshold);
+            let mut rng = ChaCha12Rng::seed_from_u64(9000 + seed);
+            let d = engine.draw(1, &pop, &mut rng).unwrap();
+            counts[d.index()] += 1;
+        }
+        let expected = 600.0 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) > 0.45 * expected && (c as f64) < 1.8 * expected,
+                "item {} drawn {} times, expected ~{:.0}",
+                i, c, expected
+            );
+        }
+    }
+
+    #[test]
+    fn promotion_threshold_never_changes_the_drawn_set(
+        // Crosses the spill boundary (n > 64) for part of the range.
+        n in 2usize..120,
+        seed in 0u64..500,
+    ) {
+        // Any threshold yields the same per-cycle coverage guarantee: after
+        // k draws, the current cycle holds exactly (k mod n) distinct items
+        // and every completed cycle covered all n. Run every admissible
+        // threshold over the same population and check the cycle-set
+        // invariant at every prefix length.
+        for threshold in 1..=INLINE_CAP {
+            let pop = population(n);
+            let mut engine = CirculationEngine::with_threshold(threshold);
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut cycle: Vec<NodeId> = Vec::new();
+            for k in 1..=(2 * n + 3) {
+                let d = engine.draw(3, &pop, &mut rng).unwrap();
+                prop_assert!(!cycle.contains(&d), "repeat mid-cycle (t={})", threshold);
+                cycle.push(d);
+                if cycle.len() == n {
+                    let mut ids: Vec<u32> = cycle.iter().map(|v| v.0).collect();
+                    ids.sort_unstable();
+                    let want: Vec<u32> = (0..n as u32).collect();
+                    prop_assert_eq!(ids, want, "cycle not a cover (t={})", threshold);
+                    cycle.clear();
+                }
+                prop_assert_eq!(engine.used_len(3), Some(k % n), "t={}", threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_accounting(
+        seed in 0u64..500,
+        edges in 2usize..6,
+    ) {
+        // Identical draw schedules over several edges with different
+        // degrees: the O(K) bookkeeping the memory-profile experiments
+        // read must be storage-independent at every step.
+        let populations: Vec<Vec<NodeId>> =
+            (0..edges).map(|e| population(1 + e * 7)).collect();
+        let mut legacy = EdgeHistory::with_backend(HistoryBackend::Legacy);
+        let mut arena = EdgeHistory::with_backend(HistoryBackend::Arena);
+        let mut rng_l = ChaCha12Rng::seed_from_u64(seed);
+        let mut rng_a = ChaCha12Rng::seed_from_u64(seed ^ 0xabcd);
+        let mut schedule = ChaCha12Rng::seed_from_u64(seed.wrapping_mul(31));
+        for _ in 0..300 {
+            let e = schedule.gen_range(0..edges);
+            let (u, v) = (NodeId(e as u32), NodeId(e as u32 + 100));
+            legacy.draw(u, v, &populations[e], &mut rng_l).unwrap();
+            arena.draw(u, v, &populations[e], &mut rng_a).unwrap();
+            prop_assert_eq!(legacy.tracked_edges(), arena.tracked_edges());
+            prop_assert_eq!(legacy.total_entries(), arena.total_entries());
+            prop_assert_eq!(legacy.get_used_len(u, v), arena.get_used_len(u, v));
+        }
+    }
+
+    #[test]
+    fn cnrw_backends_are_distributionally_interchangeable(
+        seed in 0u64..40,
+    ) {
+        // Walk the same graph with both backends: different RNG consumption
+        // means different traces, but the circulation guarantee (windows of
+        // deg(v) choices after repeated (u,v)-transits are permutations of
+        // N(v)) must hold identically. The graph forces every 0->1 transit
+        // through one hot edge.
+        let g = osn_sampling::graph::GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(1, 3)
+            .add_edge(1, 4)
+            .add_edge(2, 0)
+            .add_edge(3, 0)
+            .add_edge(4, 0)
+            .build()
+            .unwrap();
+        for backend in [HistoryBackend::Legacy, HistoryBackend::Arena] {
+            let mut client = SimulatedOsn::from_graph(g.clone());
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut w = Cnrw::with_backend(NodeId(0), backend);
+            let mut after = Vec::new();
+            let mut prev = w.current();
+            for _ in 0..1500 {
+                let curr = w.step(&mut client, &mut rng).unwrap();
+                if prev == NodeId(0) && curr == NodeId(1) {
+                    let nxt = w.step(&mut client, &mut rng).unwrap();
+                    after.push(nxt);
+                    prev = nxt;
+                    continue;
+                }
+                prev = curr;
+            }
+            for win in after.chunks_exact(4) {
+                let mut ids: Vec<u32> = win.iter().map(|n| n.0).collect();
+                ids.sort_unstable();
+                prop_assert_eq!(ids, vec![0, 2, 3, 4], "window not a cover");
+            }
+        }
+    }
+}
+
+/// GNRW draws the same RNG on both backends, so full traces (not just
+/// distributions) must agree — the strongest possible equivalence witness
+/// for the group engine. Plain test (one seeded graph sweep, no strategies
+/// needed from proptest).
+#[test]
+fn gnrw_backends_agree_bit_for_bit_on_random_graphs() {
+    use osn_sampling::graph::generators::erdos_renyi;
+    for seed in 0..8u64 {
+        let g = erdos_renyi(40, 0.2, seed).unwrap();
+        let run = |backend: HistoryBackend| {
+            let mut client = SimulatedOsn::from_graph(g.clone());
+            let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5a5a);
+            let mut w = Gnrw::with_backend(NodeId(0), Box::new(ByDegree::new()), backend);
+            let trace: Vec<NodeId> = (0..4000)
+                .map(|_| w.step(&mut client, &mut rng).unwrap())
+                .collect();
+            (trace, w.tracked_edges(), w.history_entries())
+        };
+        assert_eq!(
+            run(HistoryBackend::Legacy),
+            run(HistoryBackend::Arena),
+            "seed {seed}"
+        );
+    }
+}

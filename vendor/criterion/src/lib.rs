@@ -76,12 +76,22 @@ pub enum Throughput {
 pub struct Bencher {
     iters_done: u64,
     elapsed: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Time repeated calls of `routine`: one warm-up call, then batches
-    /// until the soft wall-clock budget is spent.
+    /// until the soft wall-clock budget is spent. In test mode (`cargo
+    /// bench -- --test`, mirroring real criterion) the routine runs exactly
+    /// once and no timing is attempted.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let started = Instant::now();
+            black_box(routine());
+            self.iters_done = 1;
+            self.elapsed = started.elapsed();
+            return;
+        }
         black_box(routine());
         let budget = Duration::from_millis(MEASURE_MS);
         let started = Instant::now();
@@ -102,6 +112,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -141,6 +152,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             iters_done: 0,
             elapsed: Duration::ZERO,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         report(
@@ -156,13 +168,18 @@ impl BenchmarkGroup<'_> {
 
 /// Entry point: hands out benchmark groups.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
 
 impl Criterion {
-    /// Parse CLI arguments. The stand-in accepts and ignores everything
+    /// Parse CLI arguments. The stand-in recognizes `--test` (run every
+    /// routine exactly once without timing, as real criterion does for
+    /// `cargo bench -- --test` smoke runs) and ignores everything else
     /// (`cargo bench -- <filter>` filters are not implemented).
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -171,6 +188,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             throughput: None,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -184,6 +202,7 @@ impl Criterion {
         let mut bencher = Bencher {
             iters_done: 0,
             elapsed: Duration::ZERO,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         report(&id.name, &bencher, None);

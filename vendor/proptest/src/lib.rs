@@ -153,10 +153,11 @@ macro_rules! prop_assert {
     };
 }
 
-/// Assert equality inside a [`proptest!`] body.
+/// Assert equality inside a [`proptest!`] body, optionally with a custom
+/// message (formatted like `format!`, as in real proptest).
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let left = &$left;
         let right = &$right;
         $crate::prop_assert!(
@@ -164,6 +165,17 @@ macro_rules! prop_assert_eq {
             "assertion failed: `{:?}` == `{:?}`",
             left,
             right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
         );
     }};
 }
