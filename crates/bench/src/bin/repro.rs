@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] [--record PATH] [--baseline PATH]
-//!       [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]
+//!       [table1|fig6|fig6par|fig6batch|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]
 //! ```
 //!
 //! Each experiment prints its markdown table to stdout and, with `--out`,
@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use osn_bench::perf;
 use osn_datasets::Scale;
 use osn_experiments::{
-    ablation, fig10, fig11, fig6, fig6_parallel, fig7, fig8, fig9, table1, theorem3,
+    ablation, fig10, fig11, fig6, fig6_batch, fig6_parallel, fig7, fig8, fig9, table1, theorem3,
     ExperimentResult,
 };
 
@@ -61,7 +61,8 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--record PATH] [--baseline PATH] \
-                     [table1|fig6|fig6par|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]..."
+                     [table1|fig6|fig6par|fig6batch|fig7|fig8|fig9|fig10|fig11|theorem3|\
+                     ablation|perf|all]..."
                 );
                 std::process::exit(0);
             }
@@ -74,7 +75,16 @@ fn parse_args() -> Options {
         // whose value is the recorded baseline, not a figure of the paper —
         // but `repro all perf` must still run it).
         let standard: Vec<String> = [
-            "table1", "fig6", "fig6par", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem3",
+            "table1",
+            "fig6",
+            "fig6par",
+            "fig6batch",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "theorem3",
             "ablation",
         ]
         .iter()
@@ -215,6 +225,14 @@ fn main() {
                     Default::default()
                 };
                 emit(&fig6_parallel::run(&config), &opts.out);
+            }
+            "fig6batch" => {
+                let config = if opts.quick {
+                    fig6_batch::Fig6BatchConfig::quick()
+                } else {
+                    Default::default()
+                };
+                emit(&fig6_batch::run(&config), &opts.out);
             }
             "fig7" => {
                 let config = if opts.quick {

@@ -109,6 +109,12 @@ impl SimulatedOsn {
         self.stats.unique
     }
 
+    /// Whether `u` has been queried before (a further query is free). The
+    /// batch endpoint uses this to decide budget charging *before* a fetch.
+    pub fn is_cached(&self, u: NodeId) -> bool {
+        self.queried.get(u.index()).copied().unwrap_or(false)
+    }
+
     /// Decompose into `(snapshot, queried flags, stats)` — used by
     /// [`crate::SharedOsn`] to distribute the cache state over lock stripes.
     pub(crate) fn into_parts(self) -> (Arc<AttributedGraph>, Vec<bool>, QueryStats) {

@@ -26,16 +26,28 @@
 //! through an N-way lock-striped cache (stripe = `fnv(node) % N`) with
 //! per-stripe hit/miss/contention counters ([`StripeStats`]) and an optional
 //! budget enforced atomically across all handles — see [`shared`].
+//!
+//! For **batched I/O** — real platforms expose batch endpoints with bounded
+//! in-flight windows and transient failures — [`BatchOsnClient`] models the
+//! submit/poll interaction and [`SimulatedBatchOsn`] simulates it over the
+//! same cache/budget/rate-limit machinery (latency + seeded jitter,
+//! deterministic drop-every-`k`-th failure injection, bounded retry, budget
+//! charged at most once per unique node) — see [`batch`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod budget;
 mod client;
 pub mod rate;
 pub mod shared;
 mod stats;
 
+pub use batch::{
+    BatchConfig, BatchLimits, BatchNodeError, BatchOsnClient, BatchOutcome, BatchStats,
+    SimulatedBatchOsn, SubmitError, TicketId,
+};
 pub use budget::{BudgetExhausted, BudgetedClient};
 pub use client::{OsnClient, SimulatedOsn};
 pub use rate::{RateLimitConfig, RateLimitedOsn, VirtualClock};

@@ -70,7 +70,7 @@ impl VirtualClock {
         )
     }
 
-    fn advance(&mut self, secs: f64) {
+    pub(crate) fn advance(&mut self, secs: f64) {
         self.now += secs;
     }
 }

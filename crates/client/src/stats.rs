@@ -18,8 +18,10 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Record one call; `was_unique` says whether it was charged.
-    pub(crate) fn record(&mut self, was_unique: bool) {
+    /// Record one call; `was_unique` says whether it was charged. Public so
+    /// external drivers (e.g. the coalescing batch dispatcher in
+    /// `osn-walks`) can keep walker-side accounting in the same shape.
+    pub fn record(&mut self, was_unique: bool) {
         self.issued += 1;
         if was_unique {
             self.unique += 1;

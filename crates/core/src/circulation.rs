@@ -259,10 +259,23 @@ impl CirculationEngine {
         self.slots.get(&key).map(Slot::used_len)
     }
 
-    /// Drop all state and reclaim the arena.
+    /// Drop all state, **keeping the slab allocations**: the arena's
+    /// backing buffer and the slot map's buckets are retained at their
+    /// current capacity so the next walk re-promotes into already-owned
+    /// memory. This is the contract `RandomWalk::restart` relies on — a
+    /// restarted walker must not re-allocate its history from scratch
+    /// (pinned by `arena_slab_is_reused_across_restarts` in
+    /// `tests/circulation_props.rs`, via [`Self::arena_capacity`]).
     pub fn clear(&mut self) {
         self.slots.clear();
         self.arena.clear();
+    }
+
+    /// Allocated capacity of the shared arena, in entries. Survives
+    /// [`Self::clear`] unchanged — the no-re-allocation observable of the
+    /// slab-reuse contract.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
     }
 
     /// Draw uniformly at random from `population \ used(key)`, record the
@@ -464,11 +477,19 @@ impl GroupEngine {
             .map(|s| (s.used_len(), s.attempted_groups()))
     }
 
-    /// Drop all state and reclaim the arenas.
+    /// Drop all state, **keeping the slab allocations** (both arenas and
+    /// the slot-map buckets) — same restart-reuse contract as
+    /// [`CirculationEngine::clear`].
     pub fn clear(&mut self) {
         self.slots.clear();
         self.items.clear();
         self.pos.clear();
+    }
+
+    /// Allocated capacity of the `items` arena, in entries (`pos` always
+    /// mirrors it). Survives [`Self::clear`] unchanged.
+    pub fn arena_capacity(&self) -> usize {
+        self.items.capacity()
     }
 
     /// Mutable view of `key`'s state, created on first touch and promoted
@@ -770,16 +791,19 @@ mod tests {
     }
 
     #[test]
-    fn clear_reclaims_arena() {
+    fn clear_empties_arena_but_keeps_capacity() {
         let mut engine = CirculationEngine::with_threshold(1);
         let mut rng = ChaCha12Rng::seed_from_u64(6);
         for _ in 0..5 {
             engine.draw(0, &pop(30), &mut rng).unwrap();
         }
         assert!(!engine.arena.is_empty());
+        let capacity = engine.arena_capacity();
         engine.clear();
         assert_eq!(engine.tracked(), 0);
         assert!(engine.arena.is_empty());
+        // The slab itself is retained for the next walk (restart reuse).
+        assert_eq!(engine.arena_capacity(), capacity);
     }
 
     #[test]

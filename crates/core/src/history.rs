@@ -213,11 +213,25 @@ impl EdgeHistory {
         }
     }
 
-    /// Drop all history (the walker becomes memoryless again).
+    /// Drop all history (the walker becomes memoryless again). Slab
+    /// allocations are kept for reuse: on the arena backend the arena
+    /// buffer survives at full capacity (see
+    /// [`CirculationEngine::clear`](crate::circulation::CirculationEngine::clear)),
+    /// so a restarted walk re-promotes without re-allocating.
     pub fn clear(&mut self) {
         match &mut self.backend {
             EdgeBackend::Legacy(map) => map.clear(),
             EdgeBackend::Arena(engine) => engine.clear(),
+        }
+    }
+
+    /// Allocated arena capacity in entries (`None` on the legacy backend,
+    /// which has no arena). Unchanged by [`Self::clear`] — the observable
+    /// of the restart slab-reuse contract.
+    pub fn arena_capacity(&self) -> Option<usize> {
+        match &self.backend {
+            EdgeBackend::Legacy(_) => None,
+            EdgeBackend::Arena(engine) => Some(engine.arena_capacity()),
         }
     }
 }
@@ -344,11 +358,21 @@ impl GroupHistory {
         }
     }
 
-    /// Drop all history.
+    /// Drop all history, keeping slab allocations for reuse (see
+    /// [`EdgeHistory::clear`]).
     pub fn clear(&mut self) {
         match &mut self.backend {
             GroupBackend::Legacy(map) => map.clear(),
             GroupBackend::Arena(engine) => engine.clear(),
+        }
+    }
+
+    /// Allocated arena capacity in entries (`None` on the legacy backend).
+    /// Unchanged by [`Self::clear`].
+    pub fn arena_capacity(&self) -> Option<usize> {
+        match &self.backend {
+            GroupBackend::Legacy(_) => None,
+            GroupBackend::Arena(engine) => Some(engine.arena_capacity()),
         }
     }
 }

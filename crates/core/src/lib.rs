@@ -76,7 +76,10 @@ pub mod walkers;
 pub use circulation::HistoryBackend;
 pub use frontier::FrontierSampler;
 pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
-pub use multiwalk::{MultiWalkReport, MultiWalkRunner, MultiWalkSession, MultiWalkTrace};
+pub use multiwalk::{
+    BatchDispatchReport, CoalescingDispatcher, MultiWalkReport, MultiWalkRunner, MultiWalkSession,
+    MultiWalkTrace,
+};
 pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
 pub use walker::RandomWalk;
 pub use walkers::{Cnrw, Gnrw, Mhrw, NbCnrw, NbSrw, NodeCnrw, Srw};

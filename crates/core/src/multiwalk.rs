@@ -7,7 +7,7 @@
 //! others — `k` walkers cover ground faster *without* multiplying the
 //! unique-query bill.
 //!
-//! Two drivers implement the pattern:
+//! Three drivers implement the pattern:
 //!
 //! * [`MultiWalkSession`] steps `k` walkers **round-robin on one thread**
 //!   against one client until the shared budget runs out, interleaving their
@@ -21,19 +21,34 @@
 //!   [`osn_estimate::RatioEstimator`]s are merged in walker-index order, so
 //!   the pooled estimate is bit-stable too (absent a shared budget, which
 //!   makes cut-off timing scheduling-dependent by nature).
+//! * [`CoalescingDispatcher`] (also reachable as
+//!   [`MultiWalkRunner::run_batched`]) drives `k` walkers against a
+//!   **batch endpoint** ([`osn_client::BatchOsnClient`]): each round it
+//!   parks every walker's pending neighbor request in a queue, **dedups**
+//!   the node ids across walkers, fans the unique ids out in batches of at
+//!   most `B` within the endpoint's in-flight window, and only then lets
+//!   each walker step — from its own RNG stream, so per-walker traces are
+//!   bit-identical to the serial replay while the interface sees each node
+//!   at most once. This is the paper's unique-query cost model pushed down
+//!   into the I/O layer: `k` walkers share one request stream the way they
+//!   already share one cache.
 //!
 //! Because the walkers are independent chains with the same stationary
 //! distribution, the pooled samples feed the usual estimators unchanged, and
 //! multi-chain diagnostics (`osn_estimate::diagnostics::split_rhat`) become
 //! applicable.
 
-use osn_client::OsnClient;
+use std::collections::VecDeque;
+
+use osn_client::batch::{BatchNodeError, BatchOsnClient};
+use osn_client::{BudgetExhausted, OsnClient, QueryStats};
 use osn_estimate::RatioEstimator;
 use osn_graph::NodeId;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
 use crate::circulation::HistoryBackend;
+use crate::fnv::{FnvHashMap, FnvHashSet};
 use crate::walker::RandomWalk;
 
 /// Outcome of a multi-walker run.
@@ -121,14 +136,12 @@ impl MultiWalkSession {
 }
 
 /// SplitMix64-derived RNG seed for stream `walker` of run `seed` —
-/// well-spread and stable across platforms and thread schedules. The single
-/// source of seed mixing for the workspace: walker streams here, trial
-/// seeds in `osn-experiments` (its `trial_seed` delegates to this).
+/// well-spread and stable across platforms and thread schedules. Delegates
+/// to [`osn_graph::mix::splitmix64_stream`], the workspace's single seed
+/// mixer: walker streams here, trial seeds in `osn-experiments`, jitter
+/// streams in `osn-client`.
 pub fn stream_seed(seed: u64, walker: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(walker + 1));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    osn_graph::mix::splitmix64_stream(seed, walker)
 }
 
 /// Outcome of a [`MultiWalkRunner`] run: the per-walker traces plus the
@@ -271,6 +284,358 @@ impl MultiWalkRunner {
             },
             estimate,
         }
+    }
+}
+
+/// Dispatcher-level cap on resubmissions of a node whose requests keep
+/// coming back permanently dropped. Past it the node is abandoned and the
+/// walkers waiting on it terminate (with a budget-style error) instead of
+/// spinning forever against a dead interface.
+pub const DEFAULT_NODE_ATTEMPT_CAP: u32 = 32;
+
+/// Outcome of a batched ([`CoalescingDispatcher`]) run.
+#[derive(Clone, Debug)]
+pub struct BatchDispatchReport {
+    /// Per-walker visit sequences plus **walker-side** accounting: `issued`
+    /// counts every neighbor query a walker made, `unique`/`cache_hits`
+    /// split them by first-vs-repeat across all walkers — the same shape a
+    /// serial run's client reports, so cross-mode comparisons are direct.
+    pub trace: MultiWalkTrace,
+    /// Per-walker ratio estimators merged in walker-index order.
+    pub estimate: RatioEstimator,
+    /// Why each walker stopped, in walker order ([`crate::WalkStop`]).
+    pub stops: Vec<crate::WalkStop>,
+    /// Dispatch rounds executed (each round: gather → dedup → fetch → step).
+    pub rounds: usize,
+    /// **Interface-side** accounting from the batch client: one entry per
+    /// id delivered by the endpoint. `interface.unique` is the charged cost
+    /// and always equals `trace.stats.unique` when the client started
+    /// fresh; `interface.issued` is smaller than `trace.stats.issued`
+    /// because walker revisits are absorbed by the dispatcher cache.
+    pub interface: QueryStats,
+    /// Nodes the budget refused (each terminated the walkers parked on it).
+    pub refused_nodes: usize,
+    /// Nodes abandoned after [`CoalescingDispatcher::node_attempt_cap`]
+    /// permanently dropped requests.
+    pub abandoned_nodes: usize,
+}
+
+/// Drives `k` walkers against a batch endpoint through a coalescing queue
+/// (see the module docs).
+///
+/// Each **round**:
+///
+/// 1. *gather* — every live walker parks the node it needs next (its
+///    current position: each walker in this crate issues exactly one
+///    `neighbors(current)` query per step);
+/// 2. *dedup* — parked ids are deduplicated, in walker order, against each
+///    other and against the dispatcher's cache of already-fetched lists;
+/// 3. *charge* — the unique ids are chunked into batches of at most `B`
+///    and submitted within the endpoint's in-flight window; drops are
+///    resubmitted (bounded by [`Self::node_attempt_cap`]), budget refusals
+///    are recorded per node;
+/// 4. *fan-out* — each walker steps against a cache-backed client view,
+///    consuming **its own RNG stream**, so trajectories are bit-identical
+///    to serial replay no matter how requests were batched.
+///
+/// The dispatcher is single-threaded and fully deterministic (batch
+/// composition included), which is what lets the golden-trace and
+/// cross-mode equivalence suites pin its behavior.
+#[derive(Clone, Copy, Debug)]
+pub struct CoalescingDispatcher {
+    max_steps_per_walker: usize,
+    node_attempt_cap: u32,
+}
+
+impl CoalescingDispatcher {
+    /// Each walker performs at most `max_steps_per_walker` transitions.
+    pub fn new(max_steps_per_walker: usize) -> Self {
+        CoalescingDispatcher {
+            max_steps_per_walker,
+            node_attempt_cap: DEFAULT_NODE_ATTEMPT_CAP,
+        }
+    }
+
+    /// Override the resubmission cap for permanently dropped nodes
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn with_node_attempt_cap(mut self, cap: u32) -> Self {
+        self.node_attempt_cap = cap.max(1);
+        self
+    }
+
+    /// Resubmissions allowed per node before it is abandoned.
+    pub fn node_attempt_cap(&self) -> u32 {
+        self.node_attempt_cap
+    }
+
+    /// Fetch every id in `pending` through the batch endpoint: fan out in
+    /// window-respecting batches, resubmit drops (bounded per node), and
+    /// record deliveries into the state's cache / refusals into its
+    /// refused-set.
+    fn fetch_all<B: BatchOsnClient>(
+        &self,
+        client: &mut B,
+        mut pending: VecDeque<NodeId>,
+        state: &mut DispatchState,
+    ) {
+        let limits = client.limits();
+        let mut batch: Vec<NodeId> = Vec::with_capacity(limits.max_batch_size);
+        while !pending.is_empty() || client.in_flight() > 0 {
+            // Fill the in-flight window with max-size batches.
+            while client.in_flight() < limits.max_in_flight && !pending.is_empty() {
+                batch.clear();
+                while batch.len() < limits.max_batch_size {
+                    let Some(u) = pending.pop_front() else { break };
+                    batch.push(u);
+                }
+                client.submit(&batch).expect("window and size checked");
+            }
+            let Some(outcome) = client.poll() else { break };
+            for (u, result) in outcome.per_node {
+                match result {
+                    Ok(neighbors) => {
+                        state.cache.insert(u.0, neighbors);
+                    }
+                    Err(BatchNodeError::Budget(e)) => {
+                        // Remember the budget in force so walker-facing
+                        // errors report the same value a serial
+                        // `BudgetedClient` would.
+                        state.budget_in_force = Some(e.budget);
+                        if state.refused.insert(u.0) {
+                            state.refused_nodes += 1;
+                        }
+                    }
+                    Err(BatchNodeError::Dropped) => {
+                        let attempts = state.node_attempts.entry(u.0).or_insert(0);
+                        *attempts += 1;
+                        if *attempts >= self.node_attempt_cap {
+                            // Dead interface for this node: give up so the
+                            // walkers parked on it terminate cleanly.
+                            if state.refused.insert(u.0) {
+                                state.abandoned_nodes += 1;
+                            }
+                        } else {
+                            pending.push_back(u);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run all walkers to their step cap (or until the budget/interface
+    /// refuses the node they are parked on), merging per-walker estimates
+    /// in walker-index order. `rngs[i]` is walker `i`'s private stream;
+    /// `value(v)` is the quantity being estimated at node `v`.
+    ///
+    /// # Panics
+    /// If `walkers` and `rngs` lengths differ.
+    pub fn run<B, R, F>(
+        &self,
+        client: &mut B,
+        walkers: &mut [Box<dyn RandomWalk + Send>],
+        rngs: &mut [R],
+        value: F,
+    ) -> BatchDispatchReport
+    where
+        B: BatchOsnClient,
+        R: RngCore,
+        F: Fn(NodeId) -> f64,
+    {
+        assert_eq!(walkers.len(), rngs.len(), "one RNG stream per walker");
+        let k = walkers.len();
+        let interface_before = client.stats();
+        let mut state = DispatchState::default();
+        let mut traces: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        let mut estimators: Vec<RatioEstimator> = (0..k).map(|_| RatioEstimator::new()).collect();
+        let mut stops: Vec<crate::WalkStop> = vec![crate::WalkStop::MaxSteps; k];
+        let mut live: Vec<bool> = vec![true; k];
+        let mut rounds = 0usize;
+
+        loop {
+            let active: Vec<usize> = (0..k)
+                .filter(|&i| live[i] && traces[i].len() < self.max_steps_per_walker)
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            rounds += 1;
+            // Gather + dedup: the node each active walker is parked on, in
+            // walker order, minus ids already cached or refused.
+            let mut pending: VecDeque<NodeId> = VecDeque::new();
+            let mut queued: FnvHashSet<u32> = FnvHashSet::default();
+            for &i in &active {
+                let u = walkers[i].current();
+                if !state.cache.contains_key(&u.0)
+                    && !state.refused.contains(&u.0)
+                    && queued.insert(u.0)
+                {
+                    pending.push_back(u);
+                }
+            }
+            // Charge: fan the deduped ids out through the batch endpoint.
+            self.fetch_all(client, pending, &mut state);
+            // Fan-out: step every active walker from its own RNG stream.
+            for &i in &active {
+                if state.refused.contains(&walkers[i].current().0) {
+                    // The node this walker needs was refused (budget) or
+                    // abandoned (dead interface): terminate it, exactly as
+                    // a serial walk ends on its first refused query.
+                    stops[i] = crate::WalkStop::BudgetExhausted;
+                    live[i] = false;
+                    continue;
+                }
+                let mut view = PrefetchedClient {
+                    client: &mut *client,
+                    dispatcher: self,
+                    state: &mut state,
+                };
+                match walkers[i].step(&mut view, &mut rngs[i]) {
+                    Ok(v) => {
+                        estimators[i].push(value(v), client.peek_degree(v));
+                        traces[i].push(v);
+                    }
+                    Err(_) => {
+                        stops[i] = crate::WalkStop::BudgetExhausted;
+                        live[i] = false;
+                    }
+                }
+            }
+        }
+
+        let mut merged = RatioEstimator::new();
+        for est in &estimators {
+            merged.merge(est);
+        }
+        let mut interface = client.stats();
+        interface.issued -= interface_before.issued;
+        interface.unique -= interface_before.unique;
+        interface.cache_hits -= interface_before.cache_hits;
+        BatchDispatchReport {
+            trace: MultiWalkTrace {
+                per_walker: traces,
+                stats: state.stats,
+            },
+            estimate: merged,
+            stops,
+            rounds,
+            interface,
+            refused_nodes: state.refused_nodes,
+            abandoned_nodes: state.abandoned_nodes,
+        }
+    }
+}
+
+/// Mutable bookkeeping shared by the dispatcher loop and the per-walker
+/// [`PrefetchedClient`] views of one run.
+#[derive(Default)]
+struct DispatchState {
+    /// Neighbor lists fetched so far (the dispatcher's shared cache).
+    cache: FnvHashMap<u32, Vec<NodeId>>,
+    /// Nodes the run will never deliver: budget-refused or abandoned.
+    refused: FnvHashSet<u32>,
+    /// Dispatcher-level resubmission counts for dropped nodes.
+    node_attempts: FnvHashMap<u32, u32>,
+    /// Nodes ever queried by any walker (walker-side unique/hit split).
+    seen: FnvHashSet<u32>,
+    /// Walker-side accounting (serial-shaped `issued`/`unique`/`hits`).
+    stats: QueryStats,
+    /// Distinct budget-refused nodes.
+    refused_nodes: usize,
+    /// Distinct nodes abandoned after the resubmission cap.
+    abandoned_nodes: usize,
+    /// The budget limit observed in refusals, so walker-facing errors
+    /// report the same value a serial `BudgetedClient` would.
+    budget_in_force: Option<u64>,
+}
+
+/// The per-step client view the dispatcher hands each walker: neighbor
+/// lists come from the dispatcher cache (walker-side accounting recorded),
+/// metadata peeks pass through to the endpoint for free. A query for a node
+/// that was *not* prefetched (no walker in this crate issues one, but the
+/// [`RandomWalk`] trait allows it) falls back to an on-demand synchronous
+/// batch of one, with the same refusal/abandon bookkeeping.
+struct PrefetchedClient<'a, B: BatchOsnClient> {
+    client: &'a mut B,
+    dispatcher: &'a CoalescingDispatcher,
+    state: &'a mut DispatchState,
+}
+
+impl<B: BatchOsnClient> OsnClient for PrefetchedClient<'_, B> {
+    fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
+        if !self.state.cache.contains_key(&u.0) && !self.state.refused.contains(&u.0) {
+            // Off-protocol query: fetch on demand through the endpoint.
+            self.dispatcher
+                .fetch_all(self.client, VecDeque::from([u]), self.state);
+        }
+        match self.state.cache.get(&u.0) {
+            Some(neighbors) => {
+                self.state.stats.record(self.state.seen.insert(u.0));
+                Ok(neighbors)
+            }
+            // Refused: report the budget a serial `BudgetedClient` would
+            // name. Abandoned nodes on an unbudgeted client have no honest
+            // value for the trait's error type; fall back to the remaining
+            // budget (0 for "the interface gave this up").
+            None => Err(BudgetExhausted {
+                budget: self
+                    .state
+                    .budget_in_force
+                    .or(self.client.remaining_budget())
+                    .unwrap_or(0),
+            }),
+        }
+    }
+
+    fn peek_degree(&self, u: NodeId) -> usize {
+        self.client.peek_degree(u)
+    }
+
+    fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
+        self.client.peek_attribute(u, name)
+    }
+
+    fn stats(&self) -> QueryStats {
+        self.state.stats
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        self.client.remaining_budget()
+    }
+}
+
+impl MultiWalkRunner {
+    /// Run the same fleet through the batched path: one
+    /// [`CoalescingDispatcher`] round-trip per step wave instead of one OS
+    /// thread per walker. Walker `i` consumes the identical SplitMix64 RNG
+    /// stream [`Self::walker_seed`] uses in the threaded mode, so per-walker
+    /// traces are **bit-identical across the two modes** (absent a budget);
+    /// what changes is the interface traffic — deduplicated, batched,
+    /// rate-limit-aware.
+    pub fn run_batched<B, W, F>(
+        &self,
+        client: &mut B,
+        make_walker: W,
+        value: F,
+    ) -> BatchDispatchReport
+    where
+        B: BatchOsnClient,
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+        F: Fn(NodeId) -> f64,
+    {
+        let mut walkers: Vec<Box<dyn RandomWalk + Send>> = (0..self.walkers)
+            .map(|i| make_walker(i, self.backend))
+            .collect();
+        let mut rngs: Vec<ChaCha12Rng> = (0..self.walkers)
+            .map(|i| ChaCha12Rng::seed_from_u64(self.walker_seed(i)))
+            .collect();
+        CoalescingDispatcher::new(self.max_steps_per_walker).run(
+            client,
+            &mut walkers,
+            &mut rngs,
+            value,
+        )
     }
 }
 
@@ -429,6 +794,91 @@ mod tests {
         );
         assert!(report.trace.stats.unique <= 15);
         assert_eq!(client.remaining_budget(), Some(0));
+    }
+
+    use osn_client::batch::{BatchConfig, SimulatedBatchOsn};
+
+    fn batch_client(config: BatchConfig) -> SimulatedBatchOsn {
+        let g = barbell(10, 10).unwrap();
+        SimulatedBatchOsn::new(SimulatedOsn::from_graph(g), config)
+    }
+
+    #[test]
+    fn batched_traces_match_threaded_runner_bit_identically() {
+        // The headline cross-mode property: for every batch size the
+        // dispatcher replays exactly the trajectories the threaded runner
+        // produces — batching only reshapes interface traffic.
+        let runner = MultiWalkRunner::new(4, 250, 42);
+        let threaded = runner.run(
+            &shared_client(8),
+            |i, backend| Box::new(Cnrw::with_backend(NodeId(i as u32 * 5), backend)),
+            |v| v.index() as f64,
+        );
+        for batch_size in [1usize, 4, 16] {
+            let mut client = batch_client(BatchConfig::new(batch_size).with_in_flight(2));
+            let report = runner.run_batched(
+                &mut client,
+                |i, backend| Box::new(Cnrw::with_backend(NodeId(i as u32 * 5), backend)),
+                |v| v.index() as f64,
+            );
+            assert_eq!(
+                report.trace.per_walker, threaded.trace.per_walker,
+                "batch_size={batch_size}"
+            );
+            assert_eq!(report.estimate.count(), threaded.estimate.count());
+            assert_eq!(report.estimate.mean(), threaded.estimate.mean());
+            assert!(report.stops.iter().all(|s| *s == crate::WalkStop::MaxSteps));
+        }
+    }
+
+    #[test]
+    fn batched_interface_charges_each_unique_node_once() {
+        let mut client = batch_client(BatchConfig::new(4));
+        let report = MultiWalkRunner::new(4, 200, 3).run_batched(
+            &mut client,
+            |i, backend| Box::new(Cnrw::with_backend(NodeId(i as u32 * 3), backend)),
+            |v| v.index() as f64,
+        );
+        // Interface-side unique == distinct nodes fetched: every start
+        // (fetched for the first step) plus every node a walker departed
+        // from (a walker's final position is never fetched).
+        let mut distinct: std::collections::HashSet<u32> = (0..4u32).map(|i| i * 3).collect();
+        for trace in &report.trace.per_walker {
+            distinct.extend(trace[..trace.len() - 1].iter().map(|v| v.0));
+        }
+        assert_eq!(report.interface.unique, distinct.len() as u64);
+        assert_eq!(report.interface.unique, report.trace.stats.unique);
+        // Walker-side accounting has serial shape: one issued query per
+        // step, revisits as cache hits.
+        assert_eq!(report.trace.stats.issued, 4 * 200);
+        assert_eq!(
+            report.trace.stats.cache_hits,
+            report.trace.stats.issued - report.trace.stats.unique
+        );
+    }
+
+    #[test]
+    fn batched_budget_terminates_walkers_cleanly() {
+        let g = barbell(12, 12).unwrap();
+        let mut client = SimulatedBatchOsn::configured(
+            SimulatedOsn::from_graph(g),
+            BatchConfig::new(4),
+            Some(9),
+        );
+        let report = MultiWalkRunner::new(4, 10_000, 1).run_batched(
+            &mut client,
+            |i, backend| Box::new(Cnrw::with_backend(NodeId(i as u32 * 7), backend)),
+            |v| v.index() as f64,
+        );
+        assert_eq!(report.interface.unique, 9, "exactly the budget");
+        assert_eq!(client.remaining_budget(), Some(0));
+        assert!(report.refused_nodes > 0);
+        // Every walker terminated (no walker is lost in limbo) and each
+        // cut-off is reported as a budget stop.
+        assert!(report
+            .stops
+            .iter()
+            .all(|s| *s == crate::WalkStop::BudgetExhausted));
     }
 
     #[test]

@@ -82,6 +82,26 @@ pub struct WalkTrace {
 }
 
 impl WalkTrace {
+    /// Assemble a trace from an external driver's parts (no burn-in, no
+    /// thinning) — used by the batched dispatch path of
+    /// `osn-experiments::TrialPlan`, whose walks are driven by
+    /// [`crate::CoalescingDispatcher`] rather than a [`WalkSession`].
+    pub fn from_parts(
+        start: NodeId,
+        nodes: Vec<NodeId>,
+        stop: WalkStop,
+        stats: QueryStats,
+    ) -> Self {
+        WalkTrace {
+            start,
+            nodes,
+            stop,
+            stats,
+            burn_in: 0,
+            thinning: 1,
+        }
+    }
+
     /// Number of transitions performed.
     pub fn len(&self) -> usize {
         self.nodes.len()

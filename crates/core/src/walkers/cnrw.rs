@@ -69,6 +69,13 @@ impl Cnrw {
     pub fn tracked_edges(&self) -> usize {
         self.history.tracked_edges()
     }
+
+    /// Allocated history-arena capacity in entries (`None` on the legacy
+    /// backend). [`RandomWalk::restart`] keeps this unchanged — the slab is
+    /// reused, not re-allocated.
+    pub fn arena_capacity(&self) -> Option<usize> {
+        self.history.arena_capacity()
+    }
 }
 
 impl RandomWalk for Cnrw {

@@ -104,6 +104,13 @@ impl Gnrw {
     pub fn history_entries(&self) -> usize {
         self.history.total_entries()
     }
+
+    /// Allocated history-arena capacity in entries (`None` on the legacy
+    /// backend). [`RandomWalk::restart`] keeps this unchanged — the slab is
+    /// reused, not re-allocated.
+    pub fn arena_capacity(&self) -> Option<usize> {
+        self.history.arena_capacity()
+    }
 }
 
 impl RandomWalk for Gnrw {

@@ -11,6 +11,7 @@
 //! | [`table1`] | Table 1 — dataset summary statistics |
 //! | [`fig6`] | Figure 6 — Google Plus: avg-degree relative error vs query cost, 5 algorithms |
 //! | [`fig6_parallel`] | Figure 6, parallel variant — k concurrent CNRW walkers on one shared budget |
+//! | [`fig6_batch`] | Figure 6, batched variant — coalescing batch dispatcher vs independent walkers |
 //! | [`fig7`] | Figure 7 — Facebook KL / ℓ2 / error vs cost; Youtube error vs cost |
 //! | [`fig8`] | Figure 8 — sampling distribution vs theoretical, nodes ordered by degree |
 //! | [`fig9`] | Figure 9 — Yelp: GNRW grouping strategies per aggregate |
@@ -33,6 +34,7 @@ pub mod algorithms;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;
+pub mod fig6_batch;
 pub mod fig6_parallel;
 pub mod fig7;
 pub mod fig8;

@@ -3,10 +3,12 @@
 
 use std::sync::Arc;
 
-use osn_client::{BudgetedClient, SimulatedOsn};
+use osn_client::{BatchConfig, BudgetedClient, SimulatedBatchOsn, SimulatedOsn};
 use osn_graph::attributes::AttributedGraph;
 use osn_graph::NodeId;
-use osn_walks::{HistoryBackend, WalkConfig, WalkSession, WalkTrace};
+use osn_walks::{
+    CoalescingDispatcher, HistoryBackend, RandomWalk, WalkConfig, WalkSession, WalkTrace,
+};
 
 use crate::algorithms::Algorithm;
 
@@ -30,6 +32,13 @@ pub struct TrialPlan {
     /// History backend for the history-aware samplers (arena by default;
     /// the benches flip this to ablate legacy vs arena storage).
     pub backend: HistoryBackend,
+    /// Dispatch mode: `None` drives the walk synchronously through a
+    /// [`WalkSession`]; `Some(config)` routes every neighbor fetch through
+    /// a [`SimulatedBatchOsn`] batch endpoint via the
+    /// [`CoalescingDispatcher`]. Both modes consume the identical RNG
+    /// stream, so traces are bit-identical — the cross-mode equivalence
+    /// `tests/batch_client_props.rs` pins.
+    pub batch: Option<BatchConfig>,
 }
 
 impl TrialPlan {
@@ -45,6 +54,7 @@ impl TrialPlan {
             budget: Some(budget),
             max_steps,
             backend: HistoryBackend::default(),
+            batch: None,
         }
     }
 
@@ -55,6 +65,7 @@ impl TrialPlan {
             budget: None,
             max_steps,
             backend: HistoryBackend::default(),
+            batch: None,
         }
     }
 
@@ -65,6 +76,14 @@ impl TrialPlan {
         self
     }
 
+    /// Same plan routed through a batch endpoint (the coalescing dispatch
+    /// mode; see [`Self::batch`]).
+    #[must_use]
+    pub fn with_batch(mut self, config: BatchConfig) -> Self {
+        self.batch = Some(config);
+        self
+    }
+
     /// Uniformly random start node for the given trial seed.
     pub fn start_node(&self, seed: u64) -> NodeId {
         let n = self.network.graph.node_count() as u64;
@@ -72,9 +91,17 @@ impl TrialPlan {
     }
 
     /// Run one trial of `algorithm` with the given seed, returning the trace.
+    ///
+    /// With [`Self::batch`] set, the walk is driven by the coalescing batch
+    /// dispatcher instead of a synchronous session — over the **same** RNG
+    /// stream, so the trace is bit-identical to the synchronous mode
+    /// (budget cut-off included).
     pub fn run(&self, algorithm: &Algorithm, seed: u64) -> WalkTrace {
         let start = self.start_node(seed);
         let mut walker = algorithm.make_with_backend(start, self.backend);
+        if let Some(batch) = &self.batch {
+            return self.run_batched(walker, start, batch.clone(), seed);
+        }
         let config = WalkConfig::steps(self.max_steps).with_seed(seed);
         let session = WalkSession::new(config);
         match self.budget {
@@ -89,6 +116,39 @@ impl TrialPlan {
                 session.run(walker.as_mut(), &mut client)
             }
         }
+    }
+
+    /// The batched leg of [`Self::run`]: one walker through the
+    /// [`CoalescingDispatcher`] against a [`SimulatedBatchOsn`], seeded
+    /// exactly like the synchronous [`WalkSession`].
+    fn run_batched(
+        &self,
+        walker: Box<dyn RandomWalk + Send>,
+        start: NodeId,
+        batch: BatchConfig,
+        seed: u64,
+    ) -> WalkTrace {
+        use rand::SeedableRng;
+        let mut client = SimulatedBatchOsn::configured(
+            SimulatedOsn::new_shared(self.network.clone()),
+            batch,
+            self.budget,
+        );
+        let mut walkers = vec![walker];
+        let mut rngs = vec![rand_chacha::ChaCha12Rng::seed_from_u64(seed)];
+        let report = CoalescingDispatcher::new(self.max_steps).run(
+            &mut client,
+            &mut walkers,
+            &mut rngs,
+            |_| 1.0,
+        );
+        let nodes = report
+            .trace
+            .per_walker
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+        WalkTrace::from_parts(start, nodes, report.stops[0], report.trace.stats)
     }
 }
 
@@ -180,6 +240,26 @@ mod tests {
         let trace = plan.run(&Algorithm::Cnrw, 6);
         assert_eq!(trace.len(), 500);
         assert_eq!(trace.stop, WalkStop::MaxSteps);
+    }
+
+    #[test]
+    fn batched_trial_is_bit_identical_to_serial() {
+        // Same plan, same seed, serial session vs coalescing batch
+        // dispatcher: identical trace, identical accounting, identical
+        // budget cut-off — for several batch shapes.
+        let plan = TrialPlan::budgeted(shared_net(), 40);
+        for algorithm in [Algorithm::Cnrw, Algorithm::Srw] {
+            let serial = plan.run(&algorithm, 11);
+            for batch_size in [1usize, 4, 16] {
+                let batched = plan
+                    .clone()
+                    .with_batch(osn_client::BatchConfig::new(batch_size).with_in_flight(2))
+                    .run(&algorithm, 11);
+                assert_eq!(serial.nodes(), batched.nodes(), "batch_size={batch_size}");
+                assert_eq!(serial.stop, batched.stop);
+                assert_eq!(serial.stats, batched.stats);
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod fnv;
 pub mod generators;
 mod ids;
 pub mod io;
+pub mod mix;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;

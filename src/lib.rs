@@ -32,7 +32,14 @@
 //! optional atomic global budget) and [`walks::MultiWalkRunner`] schedules K
 //! seeded walkers over scoped threads with deterministic per-walker RNG
 //! streams, merging their estimates through [`estimate::RatioEstimator`].
-//! See `ARCHITECTURE.md` for the paper-concept → code map.
+//! For **batched I/O** — real OSN APIs expose batch endpoints with bounded
+//! in-flight windows and transient failures — [`client::SimulatedBatchOsn`]
+//! models the endpoint (latency/jitter, deterministic failure injection,
+//! bounded retry, budget charged once per unique node) and
+//! [`walks::CoalescingDispatcher`] parks walker requests in a queue, dedups
+//! ids across walkers, and fans them out in batches, with per-walker traces
+//! bit-identical to serial replay. See `ARCHITECTURE.md` for the
+//! paper-concept → code map.
 //!
 //! ## Quickstart
 //!
@@ -77,16 +84,16 @@ pub use osn_walks as walks;
 /// The most common imports in one place.
 pub mod prelude {
     pub use osn_client::{
-        BudgetedClient, OsnClient, RateLimitConfig, RateLimitedOsn, SharedOsn, SimulatedOsn,
-        StripeStats,
+        BatchConfig, BatchOsnClient, BudgetedClient, OsnClient, RateLimitConfig, RateLimitedOsn,
+        SharedOsn, SimulatedBatchOsn, SimulatedOsn, StripeStats,
     };
     pub use osn_datasets::{Dataset, Scale};
     pub use osn_estimate::{RatioEstimator, UniformMeanEstimator};
     pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use osn_walks::{
-        ByAttribute, ByDegree, ByHash, Cnrw, FrontierSampler, Gnrw, HistoryBackend, Mhrw,
-        MultiWalkReport, MultiWalkRunner, MultiWalkSession, NbCnrw, NbSrw, NodeCnrw, RandomWalk,
-        Srw, WalkConfig, WalkSession,
+        ByAttribute, ByDegree, ByHash, Cnrw, CoalescingDispatcher, FrontierSampler, Gnrw,
+        HistoryBackend, Mhrw, MultiWalkReport, MultiWalkRunner, MultiWalkSession, NbCnrw, NbSrw,
+        NodeCnrw, RandomWalk, Srw, WalkConfig, WalkSession,
     };
 }
 

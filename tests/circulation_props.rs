@@ -204,3 +204,94 @@ fn gnrw_backends_agree_bit_for_bit_on_random_graphs() {
         );
     }
 }
+
+/// ROADMAP arena follow-up: `restart()` must *reuse* the circulation arena
+/// slab, not drop it. The observable is `Vec::capacity`: after a restart
+/// the arena reads empty but keeps its buffer, and replaying an identical
+/// walk fills it back up without a single re-allocation.
+#[test]
+fn arena_slab_is_reused_across_restarts() {
+    use osn_sampling::graph::generators::erdos_renyi;
+    let g = erdos_renyi(60, 0.25, 5).unwrap();
+    let walk = |w: &mut Cnrw, seed: u64| {
+        let mut client = SimulatedOsn::from_graph(g.clone());
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..3_000 {
+            w.step(&mut client, &mut rng).unwrap();
+        }
+    };
+    let mut w = Cnrw::new(NodeId(0));
+    walk(&mut w, 11);
+    let capacity = w.arena_capacity().expect("arena backend");
+    assert!(capacity > 0, "walk long enough to promote edges");
+    assert!(w.tracked_edges() > 0);
+
+    w.restart(NodeId(0));
+    // History is gone; the slab is not.
+    assert_eq!(w.tracked_edges(), 0);
+    assert_eq!(
+        w.arena_capacity(),
+        Some(capacity),
+        "restart() dropped the arena slab instead of reusing it"
+    );
+
+    // The identical walk replays entirely inside the retained buffer.
+    walk(&mut w, 11);
+    assert_eq!(
+        w.arena_capacity(),
+        Some(capacity),
+        "replaying the same walk re-allocated the arena"
+    );
+}
+
+/// Same contract for GNRW's twin-arena group engine.
+#[test]
+fn group_arena_slab_is_reused_across_restarts() {
+    use osn_sampling::graph::generators::erdos_renyi;
+    let g = erdos_renyi(60, 0.25, 6).unwrap();
+    let walk = |w: &mut Gnrw, seed: u64| {
+        let mut client = SimulatedOsn::from_graph(g.clone());
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..3_000 {
+            w.step(&mut client, &mut rng).unwrap();
+        }
+    };
+    let mut w = Gnrw::new(NodeId(0), Box::new(ByDegree::new()));
+    walk(&mut w, 12);
+    let capacity = w.arena_capacity().expect("arena backend");
+    assert!(capacity > 0, "walk long enough to promote edges");
+
+    w.restart(NodeId(0));
+    assert_eq!(w.tracked_edges(), 0);
+    assert_eq!(w.arena_capacity(), Some(capacity));
+    walk(&mut w, 12);
+    assert_eq!(
+        w.arena_capacity(),
+        Some(capacity),
+        "replaying the same walk re-allocated the group arenas"
+    );
+}
+
+/// Engine-level pin of the same contract, including the legacy backend's
+/// `None` answer (no arena to reuse there).
+#[test]
+fn engine_clear_preserves_arena_capacity() {
+    let pop = population(40);
+    let mut engine = CirculationEngine::with_threshold(1);
+    let mut rng = ChaCha12Rng::seed_from_u64(3);
+    for _ in 0..10 {
+        engine.draw(0, &pop, &mut rng).unwrap();
+    }
+    let capacity = engine.arena_capacity();
+    assert!(capacity >= 40);
+    engine.clear();
+    assert_eq!(engine.tracked(), 0);
+    assert_eq!(engine.arena_capacity(), capacity);
+
+    let legacy = EdgeHistory::with_backend(HistoryBackend::Legacy);
+    assert_eq!(legacy.arena_capacity(), None);
+    assert_eq!(
+        EdgeHistory::with_backend(HistoryBackend::Arena).arena_capacity(),
+        Some(0)
+    );
+}
