@@ -1,13 +1,19 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [--record PATH] [--baseline PATH]
-//!       [table1|fig6|fig6par|fig6batch|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]
+//! repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] [--baseline PATH]
+//!       [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]
 //! ```
 //!
 //! Each experiment prints its markdown table to stdout and, with `--out`,
 //! also writes `<id>.md`, `<id>.csv` and `<id>.json` artifacts — the files
 //! EXPERIMENTS.md references.
+//!
+//! `--full` runs every scale-aware target at `Scale::Full` (the largest
+//! calibrated stand-ins) under a wall-clock guard: once `--max-secs`
+//! (default 1800 with `--full`) has elapsed, remaining targets are skipped
+//! with a notice instead of running unbounded. Defaults are unchanged
+//! without the flag.
 //!
 //! `perf` is the throughput-baseline target (not part of `all`): it
 //! measures walker steps/sec per (graph, algorithm, history backend);
@@ -21,20 +27,48 @@ use std::path::PathBuf;
 use osn_bench::perf;
 use osn_datasets::Scale;
 use osn_experiments::{
-    ablation, fig10, fig11, fig6, fig6_batch, fig6_parallel, fig7, fig8, fig9, table1, theorem3,
-    ExperimentResult,
+    ablation, fig10, fig11, fig6, fig6_batch, fig6_parallel, fig6_steal, fig7, fig8, fig9, table1,
+    theorem3, Deadline, ExperimentResult,
 };
 
 struct Options {
     quick: bool,
+    full: bool,
+    max_secs: Option<u64>,
     out: Option<PathBuf>,
     record: Option<PathBuf>,
     baseline: Option<PathBuf>,
     targets: Vec<String>,
 }
 
+impl Options {
+    /// The dataset scale the flags select (default scale when neither
+    /// `--quick` nor `--full` is given).
+    fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::Test
+        } else if self.full {
+            Scale::Full
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// The wall-clock guard: explicit `--max-secs` wins; `--full` runs
+    /// default to 30 minutes; everything else is unguarded.
+    fn deadline(&self) -> Deadline {
+        match (self.max_secs, self.full) {
+            (Some(secs), _) => Deadline::after_secs(secs),
+            (None, true) => Deadline::after_secs(1800),
+            (None, false) => Deadline::unlimited(),
+        }
+    }
+}
+
 fn parse_args() -> Options {
     let mut quick = false;
+    let mut full = false;
+    let mut max_secs = None;
     let mut out = None;
     let mut record = None;
     let mut baseline = None;
@@ -43,6 +77,15 @@ fn parse_args() -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--full" => full = true,
+            "--max-secs" => {
+                max_secs = Some(
+                    args.next()
+                        .expect("--max-secs requires a number")
+                        .parse()
+                        .expect("--max-secs requires a number of seconds"),
+                );
+            }
             "--out" => {
                 out = Some(PathBuf::from(
                     args.next().expect("--out requires a directory"),
@@ -60,9 +103,9 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--out DIR] [--record PATH] [--baseline PATH] \
-                     [table1|fig6|fig6par|fig6batch|fig7|fig8|fig9|fig10|fig11|theorem3|\
-                     ablation|perf|all]..."
+                    "usage: repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] \
+                     [--baseline PATH] [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|\
+                     fig9|fig10|fig11|theorem3|ablation|perf|all]..."
                 );
                 std::process::exit(0);
             }
@@ -79,6 +122,7 @@ fn parse_args() -> Options {
             "fig6",
             "fig6par",
             "fig6batch",
+            "fig6steal",
             "fig7",
             "fig8",
             "fig9",
@@ -98,8 +142,14 @@ fn parse_args() -> Options {
         targets = standard;
         targets.extend(extras);
     }
+    if quick && full {
+        eprintln!("--quick and --full are mutually exclusive");
+        std::process::exit(2);
+    }
     Options {
         quick,
+        full,
+        max_secs,
         out,
         record,
         baseline,
@@ -195,26 +245,39 @@ fn emit(result: &ExperimentResult, out: &Option<PathBuf>) {
 fn main() {
     let opts = parse_args();
     let started = std::time::Instant::now();
+    let deadline = opts.deadline();
     for target in &opts.targets {
+        if deadline.exceeded() {
+            eprintln!(
+                "== wall-clock guard ({:?}) exceeded after {:.1?}: skipping {target} ==",
+                deadline.limit().expect("guard fired"),
+                deadline.elapsed()
+            );
+            continue;
+        }
         let t0 = std::time::Instant::now();
         eprintln!(
             "== running {target} ({}) ==",
-            if opts.quick { "quick" } else { "default" }
+            if opts.quick {
+                "quick"
+            } else if opts.full {
+                "full"
+            } else {
+                "default"
+            }
         );
         match target.as_str() {
             "table1" => {
-                let scale = if opts.quick {
-                    Scale::Test
-                } else {
-                    Scale::Default
-                };
-                emit(&table1::run(scale, 1), &opts.out);
+                emit(&table1::run(opts.scale(), 1), &opts.out);
             }
             "fig6" => {
                 let config = if opts.quick {
                     fig6::Fig6Config::quick()
                 } else {
-                    Default::default()
+                    fig6::Fig6Config {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
                 };
                 emit(&fig6::run(&config), &opts.out);
             }
@@ -222,7 +285,10 @@ fn main() {
                 let config = if opts.quick {
                     fig6_parallel::Fig6ParallelConfig::quick()
                 } else {
-                    Default::default()
+                    fig6_parallel::Fig6ParallelConfig {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
                 };
                 emit(&fig6_parallel::run(&config), &opts.out);
             }
@@ -230,15 +296,29 @@ fn main() {
                 let config = if opts.quick {
                     fig6_batch::Fig6BatchConfig::quick()
                 } else {
-                    Default::default()
+                    fig6_batch::Fig6BatchConfig {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
                 };
                 emit(&fig6_batch::run(&config), &opts.out);
+            }
+            "fig6steal" => {
+                let config = if opts.quick {
+                    fig6_steal::Fig6StealConfig::quick()
+                } else {
+                    Default::default()
+                };
+                emit(&fig6_steal::run(&config), &opts.out);
             }
             "fig7" => {
                 let config = if opts.quick {
                     fig7::Fig7Config::quick()
                 } else {
-                    Default::default()
+                    fig7::Fig7Config {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
                 };
                 let r = fig7::run(&config);
                 for panel in [
@@ -254,7 +334,10 @@ fn main() {
                 let config = if opts.quick {
                     fig8::Fig8Config::quick()
                 } else {
-                    Default::default()
+                    fig8::Fig8Config {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
                 };
                 for panel in fig8::run(&config) {
                     // Figure 8 has one row per node; print a summary to
@@ -281,7 +364,10 @@ fn main() {
                 let config = if opts.quick {
                     fig9::Fig9Config::quick()
                 } else {
-                    Default::default()
+                    fig9::Fig9Config {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
                 };
                 let r = fig9::run(&config);
                 emit(&r.average_degree, &opts.out);

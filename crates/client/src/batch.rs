@@ -266,6 +266,16 @@ pub trait BatchOsnClient {
 
     /// Attribute of `u` as free listing metadata.
     fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64>;
+
+    /// Whether `u` has been delivered (and charged) by this endpoint before,
+    /// so re-fetching it is free. The orchestrator hook that lets restart
+    /// decisions ride the batch queue cheaply: the work-stealing policy
+    /// prefers relocation targets the endpoint already served, and anything
+    /// else it picks is fetched through the next coalesced batch like any
+    /// other walker request. The default `false` is always safe.
+    fn is_cached(&self, _u: NodeId) -> bool {
+        false
+    }
 }
 
 /// Running counters of batch-interface usage (requests, not nodes).
@@ -531,6 +541,10 @@ impl BatchOsnClient for SimulatedBatchOsn {
 
     fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
         self.inner.peek_attribute(u, name)
+    }
+
+    fn is_cached(&self, u: NodeId) -> bool {
+        self.inner.is_cached(u)
     }
 }
 

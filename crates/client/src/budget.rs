@@ -106,6 +106,10 @@ impl<C: OsnClient> OsnClient for BudgetedClient<C> {
     fn remaining_budget(&self) -> Option<u64> {
         Some(self.budget - self.used)
     }
+
+    fn is_cached(&self, u: NodeId) -> bool {
+        self.inner.is_cached(u)
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,15 @@ pub trait OsnClient {
     fn remaining_budget(&self) -> Option<u64> {
         None
     }
+
+    /// Whether `u`'s neighbor list has already been fetched through this
+    /// client — i.e. a further [`neighbors`](Self::neighbors) call for it is
+    /// free. Advisory: the restart policies of the walk orchestrator use it
+    /// to prefer relocation targets that cost nothing to re-query. The
+    /// default `false` is always safe; caching implementations override it.
+    fn is_cached(&self, _u: NodeId) -> bool {
+        false
+    }
 }
 
 /// In-memory simulation of an OSN's restricted interface over an
@@ -156,6 +165,10 @@ impl OsnClient for SimulatedOsn {
     fn stats(&self) -> QueryStats {
         self.stats
     }
+
+    fn is_cached(&self, u: NodeId) -> bool {
+        SimulatedOsn::is_cached(self, u)
+    }
 }
 
 // Allow `&mut C` to be used wherever an `OsnClient` is expected, so drivers
@@ -175,6 +188,9 @@ impl<C: OsnClient + ?Sized> OsnClient for &mut C {
     }
     fn remaining_budget(&self) -> Option<u64> {
         (**self).remaining_budget()
+    }
+    fn is_cached(&self, u: NodeId) -> bool {
+        (**self).is_cached(u)
     }
 }
 

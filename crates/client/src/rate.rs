@@ -157,6 +157,10 @@ impl<C: OsnClient> OsnClient for RateLimitedOsn<C> {
     fn remaining_budget(&self) -> Option<u64> {
         self.inner.remaining_budget()
     }
+
+    fn is_cached(&self, u: NodeId) -> bool {
+        self.inner.is_cached(u)
+    }
 }
 
 #[cfg(test)]

@@ -415,6 +415,14 @@ impl OsnClient for SharedOsn {
             .as_ref()
             .map(|b| b.remaining.load(Ordering::Relaxed))
     }
+
+    fn is_cached(&self, u: NodeId) -> bool {
+        // Observation lock: cache probes must not inflate the
+        // walker-vs-walker contention metric.
+        self.observe_stripe(self.stripe_of(u))
+            .queried
+            .contains(&u.0)
+    }
 }
 
 #[cfg(test)]

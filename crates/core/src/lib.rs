@@ -52,11 +52,18 @@
 //! (stationary distributions, asymptotic variance via the fundamental
 //! matrix) used to validate the walkers against theory.
 //!
-//! For **parallel sampling**, [`multiwalk`] drives many walkers at once:
-//! [`MultiWalkSession`] round-robins them on one thread, while
-//! [`MultiWalkRunner`] schedules one OS thread per walker against a shared
-//! lock-striped cache (`osn_client::SharedOsn`) with deterministic
-//! per-walker RNG streams and estimator merging.
+//! ## One execution core
+//!
+//! Every run mode funnels through the unified [`orchestrator`]:
+//! [`WalkOrchestrator`] owns the step loop, the SplitMix64 per-walker RNG
+//! streams, budget cut-off, and stop bookkeeping, parameterized by an
+//! execution backend (serial round-robin, one OS thread per walker over
+//! `osn_client::SharedOsn`, or coalesced batches over
+//! `osn_client::BatchOsnClient`) and a [`RestartPolicy`] — [`Never`] for
+//! bit-exact classic runs, [`WorkStealing`] for frontier restarts of
+//! stalled walkers driven by the online windowed split-R̂. The historical
+//! drivers ([`WalkSession`], [`MultiWalkSession`], [`MultiWalkRunner`],
+//! [`CoalescingDispatcher`]) remain as thin bit-compatible wrappers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,16 +76,21 @@ pub mod grouping;
 pub mod history;
 pub mod markov;
 pub mod multiwalk;
+pub mod orchestrator;
 mod session;
 mod walker;
 pub mod walkers;
 
 pub use circulation::HistoryBackend;
-pub use frontier::FrontierSampler;
+pub use frontier::{FrontierEntry, FrontierSampler, SharedFrontier};
 pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
 pub use multiwalk::{
     BatchDispatchReport, CoalescingDispatcher, MultiWalkReport, MultiWalkRunner, MultiWalkSession,
     MultiWalkTrace,
+};
+pub use orchestrator::{
+    Never, OrchestratorReport, RestartEvent, RestartPolicy, RestartReason, WalkOrchestrator,
+    WorkStealing,
 };
 pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
 pub use walker::RandomWalk;

@@ -7,49 +7,52 @@
 //! others — `k` walkers cover ground faster *without* multiplying the
 //! unique-query bill.
 //!
-//! Three drivers implement the pattern:
+//! Since PR 5 the actual step loops live in **one place**, the unified
+//! [`crate::orchestrator`] ([`WalkOrchestrator`]) — this module keeps the
+//! established driver entry points as thin, bit-compatible wrappers over
+//! it, all running under [`crate::orchestrator::Never`]:
 //!
 //! * [`MultiWalkSession`] steps `k` walkers **round-robin on one thread**
-//!   against one client until the shared budget runs out, interleaving their
-//!   traces — fully deterministic, ideal for experiments that must replay
-//!   bit-identically.
+//!   against one client until the shared budget runs out, interleaving
+//!   their traces — the orchestrator's serial driver with this type's
+//!   historical per-walker seeds.
 //! * [`MultiWalkRunner`] runs `k` walkers on **`k` scoped OS threads**
 //!   against cloned handles of a thread-safe client (one
-//!   [`osn_client::SharedOsn`] handle per walker). Each walker owns a
-//!   deterministic RNG stream derived from the run seed by SplitMix64, so
-//!   per-walker traces are independent of thread scheduling; per-walker
-//!   [`osn_estimate::RatioEstimator`]s are merged in walker-index order, so
-//!   the pooled estimate is bit-stable too (absent a shared budget, which
-//!   makes cut-off timing scheduling-dependent by nature).
+//!   [`osn_client::SharedOsn`] handle per walker) — the orchestrator's
+//!   threaded driver. Per-walker traces are independent of thread
+//!   scheduling; per-walker [`osn_estimate::RatioEstimator`]s are merged in
+//!   walker-index order, so the pooled estimate is bit-stable too (absent a
+//!   shared budget, which makes cut-off timing scheduling-dependent by
+//!   nature).
 //! * [`CoalescingDispatcher`] (also reachable as
 //!   [`MultiWalkRunner::run_batched`]) drives `k` walkers against a
-//!   **batch endpoint** ([`osn_client::BatchOsnClient`]): each round it
-//!   parks every walker's pending neighbor request in a queue, **dedups**
-//!   the node ids across walkers, fans the unique ids out in batches of at
-//!   most `B` within the endpoint's in-flight window, and only then lets
-//!   each walker step — from its own RNG stream, so per-walker traces are
-//!   bit-identical to the serial replay while the interface sees each node
-//!   at most once. This is the paper's unique-query cost model pushed down
-//!   into the I/O layer: `k` walkers share one request stream the way they
-//!   already share one cache.
+//!   **batch endpoint** ([`osn_client::BatchOsnClient`]) — the
+//!   orchestrator's coalesced driver: rounds of queue → dedup → charge →
+//!   fan-out, per-walker traces bit-identical to the serial replay while
+//!   the interface sees each node at most once.
+//!
+//! New code should prefer [`WalkOrchestrator`] directly: it exposes the
+//! same three backends *plus* the [`crate::orchestrator::RestartPolicy`]
+//! parameter (work-stealing frontier restarts) these compatibility wrappers
+//! pin to `Never`. See `ARCHITECTURE.md` for the migration table.
 //!
 //! Because the walkers are independent chains with the same stationary
 //! distribution, the pooled samples feed the usual estimators unchanged, and
 //! multi-chain diagnostics (`osn_estimate::diagnostics::split_rhat`) become
 //! applicable.
 
-use std::collections::VecDeque;
-
-use osn_client::batch::{BatchNodeError, BatchOsnClient};
-use osn_client::{BudgetExhausted, OsnClient, QueryStats};
+use osn_client::batch::BatchOsnClient;
+use osn_client::{OsnClient, QueryStats};
 use osn_estimate::RatioEstimator;
 use osn_graph::NodeId;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
 use crate::circulation::HistoryBackend;
-use crate::fnv::{FnvHashMap, FnvHashSet};
+use crate::orchestrator::{drive_coalesced, drive_round_robin, Never, WalkOrchestrator};
 use crate::walker::RandomWalk;
+
+pub use crate::orchestrator::DEFAULT_NODE_ATTEMPT_CAP;
 
 /// Outcome of a multi-walker run.
 #[derive(Clone, Debug)]
@@ -72,7 +75,9 @@ impl MultiWalkTrace {
     }
 
     /// Per-walker traces as `f64` sequences of `f(node)` — the shape the
-    /// multi-chain diagnostics expect.
+    /// multi-chain diagnostics expect. Note `osn_estimate::split_rhat`
+    /// requires equal-length chains; truncate explicitly when some walkers
+    /// stopped early.
     pub fn chains<F: Fn(NodeId) -> f64>(&self, f: F) -> Vec<Vec<f64>> {
         self.per_walker
             .iter()
@@ -105,31 +110,25 @@ impl MultiWalkSession {
         walkers: &mut [Box<dyn RandomWalk + Send>],
         client: &mut C,
     ) -> MultiWalkTrace {
+        // Historical seeding of this driver, preserved for replayability
+        // (predates the SplitMix64 streams of `WalkOrchestrator`).
         let mut rngs: Vec<ChaCha12Rng> = (0..walkers.len())
             .map(|i| ChaCha12Rng::seed_from_u64(self.seed.wrapping_add(i as u64 * 0x9e37)))
             .collect();
-        let mut traces: Vec<Vec<NodeId>> = vec![Vec::new(); walkers.len()];
-        let mut live: Vec<bool> = vec![true; walkers.len()];
-        for _ in 0..self.max_steps_per_walker {
-            let mut any = false;
-            for (i, walker) in walkers.iter_mut().enumerate() {
-                if !live[i] {
-                    continue;
-                }
-                match walker.step(&mut *client, &mut rngs[i]) {
-                    Ok(v) => {
-                        traces[i].push(v);
-                        any = true;
-                    }
-                    Err(_) => live[i] = false,
-                }
-            }
-            if !any {
-                break;
-            }
-        }
+        let mut refs: Vec<&mut dyn RandomWalk> = walkers
+            .iter_mut()
+            .map(|w| w.as_mut() as &mut dyn RandomWalk)
+            .collect();
+        let outcome = drive_round_robin(
+            client,
+            &mut refs,
+            &mut rngs,
+            self.max_steps_per_walker,
+            None::<&fn(NodeId) -> f64>,
+            &Never,
+        );
         MultiWalkTrace {
-            per_walker: traces,
+            per_walker: outcome.cells.into_iter().map(|c| c.trace).collect(),
             stats: client.stats(),
         }
     }
@@ -155,7 +154,9 @@ pub struct MultiWalkReport {
 }
 
 /// Schedules `k` seeded walkers over `k` scoped OS threads against cloned
-/// handles of one thread-safe client.
+/// handles of one thread-safe client — the compatibility wrapper over
+/// [`WalkOrchestrator::run_threaded`] with the
+/// [`Never`] restart policy.
 ///
 /// Built for [`osn_client::SharedOsn`]: every clone shares the snapshot,
 /// the lock-striped cache, the global accounting, and (optionally) an atomic
@@ -217,6 +218,15 @@ impl MultiWalkRunner {
         stream_seed(self.seed, i as u64)
     }
 
+    /// The equivalent unified-API handle: same fleet, step cap, seed
+    /// derivation, and history backend. `runner.run(c, w, f)` is
+    /// `runner.orchestrator().run_threaded(c, w, f, &Never)` minus the
+    /// restart/stop reporting.
+    pub fn orchestrator(&self) -> WalkOrchestrator {
+        WalkOrchestrator::new(self.walkers, self.max_steps_per_walker, self.seed)
+            .with_backend(self.backend)
+    }
+
     /// Run all walkers to their step cap (or until a shared budget refuses
     /// further queries), then merge the per-walker estimates.
     ///
@@ -238,60 +248,15 @@ impl MultiWalkRunner {
         W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send> + Sync,
         F: Fn(NodeId) -> f64 + Sync,
     {
-        let max_steps = self.max_steps_per_walker;
-        let backend = self.backend;
-        let (per_walker, estimate) = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.walkers)
-                .map(|i| {
-                    let mut client = client.clone();
-                    let make_walker = &make_walker;
-                    let value = &value;
-                    let rng_seed = self.walker_seed(i);
-                    scope.spawn(move || {
-                        let mut walker = make_walker(i, backend);
-                        let mut rng = ChaCha12Rng::seed_from_u64(rng_seed);
-                        let mut trace = Vec::new();
-                        let mut est = RatioEstimator::new();
-                        for _ in 0..max_steps {
-                            match walker.step(&mut client, &mut rng) {
-                                Ok(v) => {
-                                    est.push(value(v), client.peek_degree(v));
-                                    trace.push(v);
-                                }
-                                Err(_) => break,
-                            }
-                        }
-                        (trace, est)
-                    })
-                })
-                .collect();
-            // Join in walker-index order: the merge order (and therefore the
-            // merged floating-point sums) never depends on which thread
-            // finished first.
-            let mut per_walker = Vec::with_capacity(self.walkers);
-            let mut merged = RatioEstimator::new();
-            for handle in handles {
-                let (trace, est) = handle.join().expect("walker thread panicked");
-                merged.merge(&est);
-                per_walker.push(trace);
-            }
-            (per_walker, merged)
-        });
+        let report = self
+            .orchestrator()
+            .run_threaded(client, make_walker, value, &Never);
         MultiWalkReport {
-            trace: MultiWalkTrace {
-                per_walker,
-                stats: client.stats(),
-            },
-            estimate,
+            trace: report.trace,
+            estimate: report.estimate,
         }
     }
 }
-
-/// Dispatcher-level cap on resubmissions of a node whose requests keep
-/// coming back permanently dropped. Past it the node is abandoned and the
-/// walkers waiting on it terminate (with a budget-style error) instead of
-/// spinning forever against a dead interface.
-pub const DEFAULT_NODE_ATTEMPT_CAP: u32 = 32;
 
 /// Outcome of a batched ([`CoalescingDispatcher`]) run.
 #[derive(Clone, Debug)]
@@ -320,8 +285,9 @@ pub struct BatchDispatchReport {
     pub abandoned_nodes: usize,
 }
 
-/// Drives `k` walkers against a batch endpoint through a coalescing queue
-/// (see the module docs).
+/// Drives `k` walkers against a batch endpoint through a coalescing queue —
+/// the compatibility wrapper over the orchestrator's coalesced driver with
+/// the [`Never`] restart policy.
 ///
 /// Each **round**:
 ///
@@ -369,61 +335,6 @@ impl CoalescingDispatcher {
         self.node_attempt_cap
     }
 
-    /// Fetch every id in `pending` through the batch endpoint: fan out in
-    /// window-respecting batches, resubmit drops (bounded per node), and
-    /// record deliveries into the state's cache / refusals into its
-    /// refused-set.
-    fn fetch_all<B: BatchOsnClient>(
-        &self,
-        client: &mut B,
-        mut pending: VecDeque<NodeId>,
-        state: &mut DispatchState,
-    ) {
-        let limits = client.limits();
-        let mut batch: Vec<NodeId> = Vec::with_capacity(limits.max_batch_size);
-        while !pending.is_empty() || client.in_flight() > 0 {
-            // Fill the in-flight window with max-size batches.
-            while client.in_flight() < limits.max_in_flight && !pending.is_empty() {
-                batch.clear();
-                while batch.len() < limits.max_batch_size {
-                    let Some(u) = pending.pop_front() else { break };
-                    batch.push(u);
-                }
-                client.submit(&batch).expect("window and size checked");
-            }
-            let Some(outcome) = client.poll() else { break };
-            for (u, result) in outcome.per_node {
-                match result {
-                    Ok(neighbors) => {
-                        state.cache.insert(u.0, neighbors);
-                    }
-                    Err(BatchNodeError::Budget(e)) => {
-                        // Remember the budget in force so walker-facing
-                        // errors report the same value a serial
-                        // `BudgetedClient` would.
-                        state.budget_in_force = Some(e.budget);
-                        if state.refused.insert(u.0) {
-                            state.refused_nodes += 1;
-                        }
-                    }
-                    Err(BatchNodeError::Dropped) => {
-                        let attempts = state.node_attempts.entry(u.0).or_insert(0);
-                        *attempts += 1;
-                        if *attempts >= self.node_attempt_cap {
-                            // Dead interface for this node: give up so the
-                            // walkers parked on it terminate cleanly.
-                            if state.refused.insert(u.0) {
-                                state.abandoned_nodes += 1;
-                            }
-                        } else {
-                            pending.push_back(u);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     /// Run all walkers to their step cap (or until the budget/interface
     /// refuses the node they are parked on), merging per-walker estimates
     /// in walker-index order. `rngs[i]` is walker `i`'s private stream;
@@ -443,165 +354,36 @@ impl CoalescingDispatcher {
         R: RngCore,
         F: Fn(NodeId) -> f64,
     {
-        assert_eq!(walkers.len(), rngs.len(), "one RNG stream per walker");
-        let k = walkers.len();
-        let interface_before = client.stats();
-        let mut state = DispatchState::default();
-        let mut traces: Vec<Vec<NodeId>> = vec![Vec::new(); k];
-        let mut estimators: Vec<RatioEstimator> = (0..k).map(|_| RatioEstimator::new()).collect();
-        let mut stops: Vec<crate::WalkStop> = vec![crate::WalkStop::MaxSteps; k];
-        let mut live: Vec<bool> = vec![true; k];
-        let mut rounds = 0usize;
-
-        loop {
-            let active: Vec<usize> = (0..k)
-                .filter(|&i| live[i] && traces[i].len() < self.max_steps_per_walker)
-                .collect();
-            if active.is_empty() {
-                break;
-            }
-            rounds += 1;
-            // Gather + dedup: the node each active walker is parked on, in
-            // walker order, minus ids already cached or refused.
-            let mut pending: VecDeque<NodeId> = VecDeque::new();
-            let mut queued: FnvHashSet<u32> = FnvHashSet::default();
-            for &i in &active {
-                let u = walkers[i].current();
-                if !state.cache.contains_key(&u.0)
-                    && !state.refused.contains(&u.0)
-                    && queued.insert(u.0)
-                {
-                    pending.push_back(u);
-                }
-            }
-            // Charge: fan the deduped ids out through the batch endpoint.
-            self.fetch_all(client, pending, &mut state);
-            // Fan-out: step every active walker from its own RNG stream.
-            for &i in &active {
-                if state.refused.contains(&walkers[i].current().0) {
-                    // The node this walker needs was refused (budget) or
-                    // abandoned (dead interface): terminate it, exactly as
-                    // a serial walk ends on its first refused query.
-                    stops[i] = crate::WalkStop::BudgetExhausted;
-                    live[i] = false;
-                    continue;
-                }
-                let mut view = PrefetchedClient {
-                    client: &mut *client,
-                    dispatcher: self,
-                    state: &mut state,
-                };
-                match walkers[i].step(&mut view, &mut rngs[i]) {
-                    Ok(v) => {
-                        estimators[i].push(value(v), client.peek_degree(v));
-                        traces[i].push(v);
-                    }
-                    Err(_) => {
-                        stops[i] = crate::WalkStop::BudgetExhausted;
-                        live[i] = false;
-                    }
-                }
-            }
-        }
-
-        let mut merged = RatioEstimator::new();
-        for est in &estimators {
-            merged.merge(est);
-        }
-        let mut interface = client.stats();
-        interface.issued -= interface_before.issued;
-        interface.unique -= interface_before.unique;
-        interface.cache_hits -= interface_before.cache_hits;
+        let mut refs: Vec<&mut dyn RandomWalk> = walkers
+            .iter_mut()
+            .map(|w| w.as_mut() as &mut dyn RandomWalk)
+            .collect();
+        let outcome = drive_coalesced(
+            client,
+            &mut refs,
+            rngs,
+            self.max_steps_per_walker,
+            self.node_attempt_cap,
+            Some(&value),
+            &Never,
+        );
+        // One fold for cells -> (traces, merged estimate, stops) across the
+        // whole workspace: reuse the orchestrator's, then reshape.
+        let report = crate::orchestrator::OrchestratorReport::from_cells(
+            outcome.cells,
+            outcome.restarts,
+            outcome.rounds,
+            outcome.state.stats,
+        );
         BatchDispatchReport {
-            trace: MultiWalkTrace {
-                per_walker: traces,
-                stats: state.stats,
-            },
-            estimate: merged,
-            stops,
-            rounds,
-            interface,
-            refused_nodes: state.refused_nodes,
-            abandoned_nodes: state.abandoned_nodes,
+            trace: report.trace,
+            estimate: report.estimate,
+            stops: report.stops,
+            rounds: report.rounds,
+            interface: outcome.interface,
+            refused_nodes: outcome.state.refused_nodes,
+            abandoned_nodes: outcome.state.abandoned_nodes,
         }
-    }
-}
-
-/// Mutable bookkeeping shared by the dispatcher loop and the per-walker
-/// [`PrefetchedClient`] views of one run.
-#[derive(Default)]
-struct DispatchState {
-    /// Neighbor lists fetched so far (the dispatcher's shared cache).
-    cache: FnvHashMap<u32, Vec<NodeId>>,
-    /// Nodes the run will never deliver: budget-refused or abandoned.
-    refused: FnvHashSet<u32>,
-    /// Dispatcher-level resubmission counts for dropped nodes.
-    node_attempts: FnvHashMap<u32, u32>,
-    /// Nodes ever queried by any walker (walker-side unique/hit split).
-    seen: FnvHashSet<u32>,
-    /// Walker-side accounting (serial-shaped `issued`/`unique`/`hits`).
-    stats: QueryStats,
-    /// Distinct budget-refused nodes.
-    refused_nodes: usize,
-    /// Distinct nodes abandoned after the resubmission cap.
-    abandoned_nodes: usize,
-    /// The budget limit observed in refusals, so walker-facing errors
-    /// report the same value a serial `BudgetedClient` would.
-    budget_in_force: Option<u64>,
-}
-
-/// The per-step client view the dispatcher hands each walker: neighbor
-/// lists come from the dispatcher cache (walker-side accounting recorded),
-/// metadata peeks pass through to the endpoint for free. A query for a node
-/// that was *not* prefetched (no walker in this crate issues one, but the
-/// [`RandomWalk`] trait allows it) falls back to an on-demand synchronous
-/// batch of one, with the same refusal/abandon bookkeeping.
-struct PrefetchedClient<'a, B: BatchOsnClient> {
-    client: &'a mut B,
-    dispatcher: &'a CoalescingDispatcher,
-    state: &'a mut DispatchState,
-}
-
-impl<B: BatchOsnClient> OsnClient for PrefetchedClient<'_, B> {
-    fn neighbors(&mut self, u: NodeId) -> Result<&[NodeId], BudgetExhausted> {
-        if !self.state.cache.contains_key(&u.0) && !self.state.refused.contains(&u.0) {
-            // Off-protocol query: fetch on demand through the endpoint.
-            self.dispatcher
-                .fetch_all(self.client, VecDeque::from([u]), self.state);
-        }
-        match self.state.cache.get(&u.0) {
-            Some(neighbors) => {
-                self.state.stats.record(self.state.seen.insert(u.0));
-                Ok(neighbors)
-            }
-            // Refused: report the budget a serial `BudgetedClient` would
-            // name. Abandoned nodes on an unbudgeted client have no honest
-            // value for the trait's error type; fall back to the remaining
-            // budget (0 for "the interface gave this up").
-            None => Err(BudgetExhausted {
-                budget: self
-                    .state
-                    .budget_in_force
-                    .or(self.client.remaining_budget())
-                    .unwrap_or(0),
-            }),
-        }
-    }
-
-    fn peek_degree(&self, u: NodeId) -> usize {
-        self.client.peek_degree(u)
-    }
-
-    fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
-        self.client.peek_attribute(u, name)
-    }
-
-    fn stats(&self) -> QueryStats {
-        self.state.stats
-    }
-
-    fn remaining_budget(&self) -> Option<u64> {
-        self.client.remaining_budget()
     }
 }
 

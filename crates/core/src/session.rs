@@ -1,10 +1,16 @@
 //! The walk driver: runs any walker against any client, recording the trace.
+//!
+//! Since PR 5 the step loop itself lives in the unified
+//! [`crate::orchestrator`] core — [`WalkSession`] is its single-walker
+//! serial entry point with the classic raw-seed RNG construction, so every
+//! historical trace replays bit-identically.
 
 use osn_client::{OsnClient, QueryStats};
 use osn_graph::NodeId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+use crate::orchestrator::{drive_round_robin, Never};
 use crate::walker::RandomWalk;
 
 /// Configuration of a single walk run.
@@ -159,23 +165,24 @@ impl WalkSession {
     /// Run `walker` against `client` until the step cap or the query budget
     /// is hit, whichever comes first.
     pub fn run<C: OsnClient>(&self, walker: &mut dyn RandomWalk, client: &mut C) -> WalkTrace {
-        let mut rng = ChaCha12Rng::seed_from_u64(self.config.seed);
         let start = walker.current();
-        let mut nodes = Vec::with_capacity(self.config.max_steps.min(1 << 20));
-        let mut stop = WalkStop::MaxSteps;
-        for _ in 0..self.config.max_steps {
-            match walker.step(&mut *client, &mut rng) {
-                Ok(v) => nodes.push(v),
-                Err(_) => {
-                    stop = WalkStop::BudgetExhausted;
-                    break;
-                }
-            }
-        }
+        // The session's historical contract: the RNG is seeded directly
+        // from the config (not a derived stream).
+        let mut rngs = [ChaCha12Rng::seed_from_u64(self.config.seed)];
+        let mut walkers: [&mut dyn RandomWalk; 1] = [walker];
+        let outcome = drive_round_robin(
+            client,
+            &mut walkers,
+            &mut rngs,
+            self.config.max_steps,
+            None::<&fn(NodeId) -> f64>,
+            &Never,
+        );
+        let cell = outcome.cells.into_iter().next().expect("one walker");
         WalkTrace {
             start,
-            nodes,
-            stop,
+            nodes: cell.trace,
+            stop: cell.stop.unwrap_or(WalkStop::MaxSteps),
             stats: client.stats(),
             burn_in: self.config.burn_in,
             thinning: self.config.thinning.max(1),

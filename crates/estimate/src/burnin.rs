@@ -26,7 +26,12 @@ pub struct BurnInAdvice {
 /// smallest one whose post-burn-in Geweke |z| falls below `z_threshold`
 /// (2.0 is the conventional choice).
 ///
-/// Returns `None` for traces too short to diagnose (< 200 samples).
+/// Returns `None` when no candidate can be diagnosed: traces shorter than
+/// 200 samples, or traces where every candidate's [`geweke_z`] is
+/// undefined — notably **constant (zero-variance) traces**, for which the
+/// z-score is 0/0 (see the degenerate-input rules in
+/// [`crate::diagnostics`]). A constant trace usually means the walker
+/// never left one node; there is no meaningful burn-in to suggest.
 ///
 /// ```
 /// use osn_estimate::burnin::suggest_burn_in;
@@ -114,6 +119,14 @@ mod tests {
     #[test]
     fn short_traces_rejected() {
         assert_eq!(suggest_burn_in(&[1.0; 50], 2.0), None);
+    }
+
+    #[test]
+    fn constant_traces_rejected_not_blessed() {
+        // A long zero-variance trace has an undefined z-score at every
+        // candidate (see diagnostics' degenerate-input rules): the scan
+        // must report "cannot diagnose", not "converged at burn-in 0".
+        assert_eq!(suggest_burn_in(&[3.5; 1_000], 2.0), None);
     }
 
     #[test]

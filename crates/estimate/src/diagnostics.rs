@@ -4,12 +4,37 @@
 //! cost. These diagnostics quantify, from traces alone, whether a walk has
 //! burned in — the practical tool a user of this library needs to decide how
 //! much prefix to discard.
+//!
+//! Two forms are provided:
+//!
+//! * the **post-hoc** functions [`geweke_z`] and [`split_rhat`], applied to
+//!   complete traces after a run;
+//! * the **online** [`WindowedSplitRhat`], a ring-buffered incremental
+//!   variant of the split-R̂ statistic over each chain's most recent window,
+//!   cheap enough to consult *during* a run — the trigger the multi-walker
+//!   orchestrator's work-stealing restart policy checks every few steps.
+//!
+//! ## Degenerate inputs
+//!
+//! Both post-hoc diagnostics return `None` — never a fabricated number —
+//! when the input cannot support the statistic:
+//!
+//! * [`geweke_z`]: traces shorter than 100 samples, window fractions
+//!   outside `[0, 1]` or overlapping, segments too short for batch means,
+//!   or **zero-variance segments** (both standard errors zero — the z-score
+//!   is undefined, not 0).
+//! * [`split_rhat`]: fewer than 2 chains, any chain shorter than 8,
+//!   **unequal chain lengths** (truncating silently would hide starved
+//!   chains — truncate explicitly at the call site if that is intended),
+//!   or **zero within-half variance** (constant chains carry no evidence
+//!   of mixing; R̂ is undefined on them).
 
 /// Geweke z-score: compares the mean of the first `first_frac` of a trace
 /// against the mean of the last `last_frac`, normalized by their (batch-mean
 /// estimated) standard errors. |z| ≲ 2 is consistent with convergence.
 ///
-/// Returns `None` for traces too short to split meaningfully.
+/// Returns `None` for degenerate inputs (see the module docs): traces too
+/// short to split meaningfully, bad fractions, or zero-variance segments.
 pub fn geweke_z(xs: &[f64], first_frac: f64, last_frac: f64) -> Option<f64> {
     let n = xs.len();
     if n < 100 || !(0.0..=1.0).contains(&first_frac) || !(0.0..=1.0).contains(&last_frac) {
@@ -33,7 +58,9 @@ pub fn geweke_z(xs: &[f64], first_frac: f64, last_frac: f64) -> Option<f64> {
     let se2 = se(last)?;
     let denom = (se1 * se1 + se2 * se2).sqrt();
     if denom == 0.0 {
-        return Some(0.0);
+        // Both segments have zero batch-means variance: the z-score is
+        // undefined (0/0), not evidence of convergence.
+        return None;
     }
     Some((m1 - m2) / denom)
 }
@@ -44,22 +71,30 @@ pub fn geweke_z(xs: &[f64], first_frac: f64, last_frac: f64) -> Option<f64> {
 /// indicates the chains agree. Values above ~1.05 mean more burn-in is
 /// needed.
 ///
-/// Returns `None` with fewer than 2 chains or chains shorter than 8.
+/// Returns `None` for degenerate inputs (see the module docs): fewer than
+/// 2 chains, chains shorter than 8, **unequal chain lengths**, or zero
+/// within-half variance. Chains of equal odd length drop their last sample
+/// so the halves split evenly.
 pub fn split_rhat(chains: &[Vec<f64>]) -> Option<f64> {
     if chains.len() < 2 || chains.iter().any(|c| c.len() < 8) {
         return None;
     }
-    // Truncate to the shortest even length and split each chain in two.
-    let min_len = chains.iter().map(Vec::len).min().unwrap() & !1;
+    let len = chains[0].len();
+    if chains.iter().any(|c| c.len() != len) {
+        // Unequal chains: refuse rather than silently truncate — a starved
+        // chain is exactly the situation the caller must handle explicitly.
+        return None;
+    }
+    let even = len & !1;
     let halves: Vec<&[f64]> = chains
         .iter()
         .flat_map(|c| {
-            let c = &c[..min_len];
-            [&c[..min_len / 2], &c[min_len / 2..]]
+            let c = &c[..even];
+            [&c[..even / 2], &c[even / 2..]]
         })
         .collect();
     let m = halves.len() as f64;
-    let n = (min_len / 2) as f64;
+    let n = (even / 2) as f64;
 
     let means: Vec<f64> = halves.iter().map(|h| h.iter().sum::<f64>() / n).collect();
     let grand = means.iter().sum::<f64>() / m;
@@ -75,11 +110,203 @@ pub fn split_rhat(chains: &[Vec<f64>]) -> Option<f64> {
         .sum::<f64>()
         / m;
     if w == 0.0 {
-        // All halves constant: identical chains -> perfectly converged.
-        return Some(1.0);
+        // Zero within-half variance: constant chains carry no mixing
+        // evidence, so the statistic is undefined on them.
+        return None;
     }
     let var_plus = (n - 1.0) / n * w + b / n;
     Some((var_plus / w).sqrt())
+}
+
+/// What [`WindowedSplitRhat::evaluate`] reports about the current windows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowVerdict {
+    /// Split-R̂ over the full-window chains.
+    pub rhat: f64,
+    /// Index of the full-window chain whose window mean deviates most from
+    /// the grand window mean — the chain to suspect (and, in the
+    /// work-stealing restart policy, the walker to relocate) when
+    /// [`rhat`](Self::rhat) flags disagreement.
+    pub most_deviant: usize,
+}
+
+/// Incremental windowed split-R̂ over the most recent `window` samples of
+/// each chain.
+///
+/// The post-hoc [`split_rhat`] needs the whole trace after the run; this
+/// variant maintains one fixed-size ring buffer per chain so diagnostics can
+/// run **online**, while the chains are still being extended:
+///
+/// * [`push`](Self::push) is `O(1)` and allocation-free after construction;
+/// * [`evaluate`](Self::evaluate) is `O(chains × window)` and
+///   allocation-free — cheap enough to consult every few steps of a walk.
+///
+/// Only chains whose window has completely filled participate (a chain that
+/// has not yet produced `window` samples carries no windowed evidence);
+/// `evaluate` returns `None` until at least two windows are full. On full
+/// equal windows the statistic is **exactly** [`split_rhat`] applied to the
+/// last `window` samples of each participating chain.
+#[derive(Clone, Debug)]
+pub struct WindowedSplitRhat {
+    window: usize,
+    rings: Vec<ChainRing>,
+}
+
+/// One chain's ring buffer: the last `capacity` pushed values in arrival
+/// order (`head` is the next write slot, so the oldest retained sample
+/// lives at `head` once the ring has wrapped).
+#[derive(Clone, Debug)]
+struct ChainRing {
+    slots: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl ChainRing {
+    fn new(capacity: usize) -> Self {
+        ChainRing {
+            slots: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        self.slots[self.head] = value;
+        self.head = (self.head + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// The retained sample `i` steps into the window (0 = oldest), assuming
+    /// the ring is full.
+    fn at(&self, i: usize) -> f64 {
+        self.slots[(self.head + i) % self.slots.len()]
+    }
+}
+
+impl WindowedSplitRhat {
+    /// Diagnostic over `chains` ring buffers of `window` samples each.
+    /// `window` is clamped to at least 8 and rounded down to even so each
+    /// window splits into two equal halves.
+    pub fn new(chains: usize, window: usize) -> Self {
+        let window = window.max(8) & !1;
+        WindowedSplitRhat {
+            window,
+            rings: (0..chains).map(|_| ChainRing::new(window)).collect(),
+        }
+    }
+
+    /// Number of chains tracked.
+    pub fn chains(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The window length (even, at least 8).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Append one sample to `chain`'s window, evicting its oldest retained
+    /// sample once full. `O(1)`.
+    ///
+    /// # Panics
+    /// If `chain` is out of range.
+    pub fn push(&mut self, chain: usize, value: f64) {
+        self.rings[chain].push(value);
+    }
+
+    /// Forget everything `chain` has accumulated — called after a restart
+    /// relocates a walker, so samples from its abandoned position do not
+    /// pollute the post-restart window.
+    ///
+    /// # Panics
+    /// If `chain` is out of range.
+    pub fn clear_chain(&mut self, chain: usize) {
+        self.rings[chain].clear();
+    }
+
+    /// Whether `chain`'s window has filled (and therefore participates in
+    /// [`evaluate`](Self::evaluate)).
+    pub fn is_full(&self, chain: usize) -> bool {
+        self.rings.get(chain).is_some_and(ChainRing::is_full)
+    }
+
+    /// Split-R̂ over the full-window chains, plus which of them deviates
+    /// most (see [`WindowVerdict`]). `None` with fewer than two full
+    /// windows, or when every window half is constant (the same degenerate
+    /// rule as [`split_rhat`]).
+    pub fn evaluate(&self) -> Option<WindowVerdict> {
+        let full: Vec<usize> = (0..self.rings.len())
+            .filter(|&i| self.rings[i].is_full())
+            .collect();
+        if full.len() < 2 {
+            return None;
+        }
+        let half = self.window / 2;
+        let n = half as f64;
+        let m = (full.len() * 2) as f64;
+
+        // Per-half means and within-half variances, in the same order
+        // `split_rhat` iterates: chain's first half, then its second.
+        let mut half_means = Vec::new();
+        let mut chain_means = Vec::new();
+        let mut w_sum = 0.0;
+        for &c in &full {
+            let ring = &self.rings[c];
+            for h in 0..2 {
+                let base = h * half;
+                let mut sum = 0.0;
+                for i in 0..half {
+                    sum += ring.at(base + i);
+                }
+                let mean = sum / n;
+                let mut sq = 0.0;
+                for i in 0..half {
+                    let d = ring.at(base + i) - mean;
+                    sq += d * d;
+                }
+                w_sum += sq / (n - 1.0);
+                half_means.push(mean);
+            }
+            let a = half_means[half_means.len() - 2];
+            let b = half_means[half_means.len() - 1];
+            chain_means.push((a + b) / 2.0);
+        }
+        let grand = half_means.iter().sum::<f64>() / m;
+        let b = n / (m - 1.0)
+            * half_means
+                .iter()
+                .map(|&x| (x - grand) * (x - grand))
+                .sum::<f64>();
+        let w = w_sum / m;
+        if w == 0.0 {
+            return None;
+        }
+        let var_plus = (n - 1.0) / n * w + b / n;
+        let rhat = (var_plus / w).sqrt();
+
+        let chain_grand = chain_means.iter().sum::<f64>() / full.len() as f64;
+        let most_deviant = full
+            .iter()
+            .zip(&chain_means)
+            .max_by(|(_, a), (_, b)| {
+                (*a - chain_grand)
+                    .abs()
+                    .total_cmp(&(*b - chain_grand).abs())
+            })
+            .map(|(&c, _)| c)
+            .expect("at least two full chains");
+        Some(WindowVerdict { rhat, most_deviant })
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +344,15 @@ mod tests {
     }
 
     #[test]
+    fn geweke_zero_variance_trace_is_none() {
+        // A constant trace has zero batch-means variance in both segments:
+        // the z-score is 0/0, and the diagnostic must say so, not claim
+        // convergence with a fabricated 0.
+        let xs = vec![3.5; 1000];
+        assert_eq!(geweke_z(&xs, 0.1, 0.5), None);
+    }
+
+    #[test]
     fn rhat_near_one_for_agreeing_chains() {
         let chains: Vec<Vec<f64>> = (0..4).map(|s| noise(5000, s, 0.0)).collect();
         let r = split_rhat(&chains).unwrap();
@@ -133,13 +369,113 @@ mod tests {
 
     #[test]
     fn rhat_rejects_degenerate_input() {
+        // Fewer than 2 chains.
         assert_eq!(split_rhat(&[vec![1.0; 100]]), None);
+        assert_eq!(split_rhat(&[]), None);
+        // Chains shorter than 8.
         assert_eq!(split_rhat(&[vec![1.0; 4], vec![1.0; 4]]), None);
     }
 
     #[test]
-    fn rhat_constant_chains_is_one() {
+    fn rhat_unequal_chain_lengths_is_none() {
+        // A starved chain must not be silently truncated away.
+        let chains = vec![noise(100, 1, 0.0), noise(60, 2, 0.0)];
+        assert_eq!(split_rhat(&chains), None);
+        // Truncating explicitly at the call site works.
+        let truncated: Vec<Vec<f64>> = chains.iter().map(|c| c[..60].to_vec()).collect();
+        assert!(split_rhat(&truncated).is_some());
+    }
+
+    #[test]
+    fn rhat_zero_variance_chains_is_none() {
+        // Constant chains carry no mixing evidence: undefined, not 1.0.
         let chains = vec![vec![2.0; 100], vec![2.0; 100]];
-        assert_eq!(split_rhat(&chains), Some(1.0));
+        assert_eq!(split_rhat(&chains), None);
+        // Even when the constants differ between chains (b > 0, w == 0).
+        let chains = vec![vec![2.0; 100], vec![5.0; 100]];
+        assert_eq!(split_rhat(&chains), None);
+    }
+
+    #[test]
+    fn rhat_equal_odd_lengths_drop_last_sample() {
+        let a = noise(101, 3, 0.0);
+        let b = noise(101, 4, 0.0);
+        let odd = split_rhat(&[a.clone(), b.clone()]).unwrap();
+        let even = split_rhat(&[a[..100].to_vec(), b[..100].to_vec()]).unwrap();
+        assert_eq!(odd, even);
+    }
+
+    #[test]
+    fn windowed_matches_posthoc_on_last_window() {
+        let window = 64;
+        let chains: Vec<Vec<f64>> = (0..3).map(|s| noise(300, s + 10, s as f64)).collect();
+        let mut online = WindowedSplitRhat::new(3, window);
+        for (c, chain) in chains.iter().enumerate() {
+            for &x in chain {
+                online.push(c, x);
+            }
+        }
+        let verdict = online.evaluate().unwrap();
+        let tails: Vec<Vec<f64>> = chains
+            .iter()
+            .map(|c| c[c.len() - window..].to_vec())
+            .collect();
+        let posthoc = split_rhat(&tails).unwrap();
+        assert!(
+            (verdict.rhat - posthoc).abs() < 1e-12,
+            "online {} vs post-hoc {posthoc}",
+            verdict.rhat
+        );
+        // Chain 2 is offset by +2: by far the most deviant window mean.
+        assert_eq!(verdict.most_deviant, 2);
+    }
+
+    #[test]
+    fn windowed_needs_two_full_windows() {
+        let mut online = WindowedSplitRhat::new(3, 8);
+        for i in 0..8 {
+            online.push(0, i as f64);
+        }
+        // Only chain 0 is full.
+        assert!(online.is_full(0));
+        assert!(!online.is_full(1));
+        assert_eq!(online.evaluate(), None);
+        for i in 0..8 {
+            online.push(1, (i * 2) as f64);
+        }
+        assert!(online.evaluate().is_some());
+    }
+
+    #[test]
+    fn windowed_clear_chain_removes_it_from_evaluation() {
+        let mut online = WindowedSplitRhat::new(2, 8);
+        for i in 0..8 {
+            online.push(0, i as f64);
+            online.push(1, (8 - i) as f64);
+        }
+        assert!(online.evaluate().is_some());
+        online.clear_chain(1);
+        assert!(!online.is_full(1));
+        assert_eq!(online.evaluate(), None);
+    }
+
+    #[test]
+    fn windowed_constant_windows_are_none() {
+        let mut online = WindowedSplitRhat::new(2, 8);
+        for _ in 0..8 {
+            online.push(0, 1.0);
+            online.push(1, 4.0);
+        }
+        // Same degenerate rule as the post-hoc statistic: w == 0 -> None.
+        assert_eq!(online.evaluate(), None);
+    }
+
+    #[test]
+    fn windowed_clamps_tiny_and_odd_windows() {
+        let online = WindowedSplitRhat::new(2, 3);
+        assert_eq!(online.window(), 8);
+        let online = WindowedSplitRhat::new(2, 11);
+        assert_eq!(online.window(), 10);
+        assert_eq!(online.chains(), 2);
     }
 }

@@ -16,7 +16,8 @@
 //!   (batch means / overlapping batch means), the empirical counterpart of
 //!   Definition 3.
 //! * [`diagnostics`] — convergence diagnostics (Geweke z-score, multi-chain
-//!   split R-hat);
+//!   split R-hat, and the incremental windowed split-R̂ the multi-walker
+//!   orchestrator consults online);
 //! * [`burnin`] — automatic burn-in selection built on the diagnostics.
 
 #![forbid(unsafe_code)]
@@ -29,6 +30,7 @@ pub mod metrics;
 pub mod variance;
 
 pub use burnin::{suggest_burn_in, BurnInAdvice};
+pub use diagnostics::{WindowVerdict, WindowedSplitRhat};
 pub use estimators::{RatioEstimator, UniformMeanEstimator};
 pub use metrics::{
     kl_divergence, l2_distance, relative_error, symmetric_kl, total_variation,

@@ -12,6 +12,7 @@
 //! | [`fig6`] | Figure 6 — Google Plus: avg-degree relative error vs query cost, 5 algorithms |
 //! | [`fig6_parallel`] | Figure 6, parallel variant — k concurrent CNRW walkers on one shared budget |
 //! | [`fig6_batch`] | Figure 6, batched variant — coalescing batch dispatcher vs independent walkers |
+//! | [`fig6_steal`] | Figure 6, work-stealing variant — frontier restarts vs never, NRMSE at fixed budget |
 //! | [`fig7`] | Figure 7 — Facebook KL / ℓ2 / error vs cost; Youtube error vs cost |
 //! | [`fig8`] | Figure 8 — sampling distribution vs theoretical, nodes ordered by degree |
 //! | [`fig9`] | Figure 9 — Yelp: GNRW grouping strategies per aggregate |
@@ -36,6 +37,7 @@ pub mod fig11;
 pub mod fig6;
 pub mod fig6_batch;
 pub mod fig6_parallel;
+pub mod fig6_steal;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
@@ -47,4 +49,4 @@ pub mod theorem3;
 
 pub use algorithms::{Algorithm, GroupingSpec};
 pub use output::{ExperimentResult, Series};
-pub use runner::{parallel_map, trial_seed, TrialPlan};
+pub use runner::{parallel_map, trial_seed, Deadline, TrialPlan};

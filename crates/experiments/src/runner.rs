@@ -20,6 +20,14 @@ pub fn trial_seed(experiment_seed: u64, trial: u64) -> u64 {
 }
 
 /// The plan for one budget-limited walk trial over a shared snapshot.
+///
+/// Both dispatch modes execute on the unified orchestrator core of
+/// `osn-walks` (PR 5): the synchronous path through [`WalkSession`] (the
+/// orchestrator's single-walker serial entry point) and the batched path
+/// through the [`CoalescingDispatcher`] (its coalesced driver), both under
+/// the `Never` restart policy — which is what keeps the two modes
+/// bit-identical per seed. Multi-walker experiments with restart policies
+/// (e.g. `fig6_steal`) use `osn_walks::WalkOrchestrator` directly.
 #[derive(Clone)]
 pub struct TrialPlan {
     /// The snapshot every trial runs against (shared, never copied).
@@ -205,6 +213,50 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A soft wall-clock guard for long sweep schedules (the `repro --full`
+/// runs): construct with a limit, poll [`exceeded`](Self::exceeded) between
+/// units of work, and stop scheduling new ones once it fires. The guard
+/// never interrupts a unit mid-flight — `Scale::Full` sweeps stay
+/// internally consistent; only *remaining* targets are skipped.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    started: std::time::Instant,
+    limit: Option<std::time::Duration>,
+}
+
+impl Deadline {
+    /// A guard that never fires.
+    pub fn unlimited() -> Self {
+        Deadline {
+            started: std::time::Instant::now(),
+            limit: None,
+        }
+    }
+
+    /// A guard firing `secs` seconds from now.
+    pub fn after_secs(secs: u64) -> Self {
+        Deadline {
+            started: std::time::Instant::now(),
+            limit: Some(std::time::Duration::from_secs(secs)),
+        }
+    }
+
+    /// Whether the limit has passed.
+    pub fn exceeded(&self) -> bool {
+        self.limit.is_some_and(|l| self.started.elapsed() > l)
+    }
+
+    /// Time since the guard was armed.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<std::time::Duration> {
+        self.limit
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +329,19 @@ mod tests {
             .map(|t| plan.start_node(trial_seed(3, t)).0)
             .collect();
         assert!(starts.len() > 5, "starts not spread: {starts:?}");
+    }
+
+    #[test]
+    fn deadline_guard_fires_only_past_its_limit() {
+        let never = Deadline::unlimited();
+        assert!(!never.exceeded());
+        assert_eq!(never.limit(), None);
+        let generous = Deadline::after_secs(3600);
+        assert!(!generous.exceeded());
+        let immediate = Deadline::after_secs(0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(immediate.exceeded());
+        assert!(immediate.elapsed() >= std::time::Duration::from_millis(5));
     }
 
     #[test]

@@ -38,8 +38,18 @@
 //! bounded retry, budget charged once per unique node) and
 //! [`walks::CoalescingDispatcher`] parks walker requests in a queue, dedups
 //! ids across walkers, and fans them out in batches, with per-walker traces
-//! bit-identical to serial replay. See `ARCHITECTURE.md` for the
-//! paper-concept → code map.
+//! bit-identical to serial replay.
+//!
+//! All three run modes execute on **one unified core**,
+//! [`walks::WalkOrchestrator`]: serial, threaded, and coalesced backends
+//! share the step loop, the per-walker RNG streams, and the stop
+//! bookkeeping, parameterized by a [`walks::RestartPolicy`] —
+//! [`walks::Never`] replays the classic runs bit-identically, while
+//! [`walks::WorkStealing`] restarts stalled or budget-refused walkers from
+//! a lock-striped [`walks::SharedFrontier`] of territory other walkers
+//! discovered, triggered by an online windowed split-R̂
+//! ([`estimate::WindowedSplitRhat`]). See `ARCHITECTURE.md` for the
+//! paper-concept → code map and the backend × policy matrix.
 //!
 //! ## Quickstart
 //!
@@ -93,7 +103,9 @@ pub mod prelude {
     pub use osn_walks::{
         ByAttribute, ByDegree, ByHash, Cnrw, CoalescingDispatcher, FrontierSampler, Gnrw,
         HistoryBackend, Mhrw, MultiWalkReport, MultiWalkRunner, MultiWalkSession, NbCnrw, NbSrw,
-        NodeCnrw, RandomWalk, Srw, WalkConfig, WalkSession,
+        Never, NodeCnrw, OrchestratorReport, RandomWalk, RestartEvent, RestartPolicy,
+        RestartReason, SharedFrontier, Srw, WalkConfig, WalkOrchestrator, WalkSession,
+        WorkStealing,
     };
 }
 
