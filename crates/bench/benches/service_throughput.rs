@@ -1,0 +1,110 @@
+//! Microbenchmark: session-server scheduling overhead.
+//!
+//! The grid runs one generated multi-tenant workload to completion at
+//! several `rounds_per_slice` settings. Small slices maximize fairness
+//! granularity but pay the scheduler (tenant pick, cursor rotation, stats
+//! deltas, estimand closure rebuild) once per slice; large slices amortize
+//! it toward the bare orchestrator cost. Throughput is walker steps/sec
+//! across the whole fleet, so the spread between `slice_1` and `slice_64`
+//! *is* the scheduling tax. A second group prices the snapshot/resume path:
+//! serialize a mid-flight server to the osn-serde text form and restore it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use osn_client::{BatchConfig, SimulatedBatchOsn, SimulatedOsn};
+use osn_datasets::{gplus_like, Scale};
+use osn_serde::Value;
+use osn_service::traffic::{populate, TrafficConfig};
+use osn_service::{ServerConfig, SessionServer};
+
+const TENANTS: usize = 12;
+const JOBS_PER_TENANT: usize = 2;
+const BUDGET: u64 = 1_500;
+
+fn endpoint(network: &std::sync::Arc<osn_graph::attributes::AttributedGraph>) -> SimulatedBatchOsn {
+    SimulatedBatchOsn::configured(
+        SimulatedOsn::new_shared(network.clone()),
+        BatchConfig::new(8).with_in_flight(4),
+        Some(BUDGET),
+    )
+}
+
+fn server(
+    network: &std::sync::Arc<osn_graph::attributes::AttributedGraph>,
+    rounds_per_slice: usize,
+    seed: u64,
+) -> SessionServer {
+    let mut server = SessionServer::new(
+        endpoint(network),
+        ServerConfig::new().with_rounds_per_slice(rounds_per_slice),
+    );
+    populate(
+        &mut server,
+        &TrafficConfig::new(TENANTS, JOBS_PER_TENANT).with_seed(seed),
+    );
+    server
+}
+
+fn total_steps(server: &SessionServer) -> u64 {
+    (0..server.tenants().len())
+        .map(|t| server.tenant_stats(t).steps)
+        .sum()
+}
+
+fn service_throughput(c: &mut Criterion) {
+    let network = std::sync::Arc::new(gplus_like(Scale::Test, 2).network);
+
+    // Steps per completed workload are slice-size-independent only in
+    // aggregate spirit, not exactly (the budget lands on different walks),
+    // so measure each cell's own step count once for the throughput unit.
+    let mut group = c.benchmark_group("service_throughput");
+    for &rounds in &[1usize, 8, 64] {
+        let mut probe = server(&network, rounds, 7);
+        probe.run_to_completion();
+        group.throughput(Throughput::Elements(total_steps(&probe).max(1)));
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("slice_{rounds}")),
+            |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut s = server(&network, rounds, seed);
+                    s.run_to_completion();
+                    total_steps(&s)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Snapshot/resume round-trip of a mid-flight server (the kill/resume
+    // path the service soak exercises for correctness, priced here).
+    let mut mid = server(&network, 8, 7);
+    for _ in 0..30 {
+        if !mid.step() {
+            break;
+        }
+    }
+    let text = mid.snapshot().expect("snapshot").to_pretty();
+    let mut group = c.benchmark_group("service_snapshot");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("snapshot_to_text"), |b| {
+        b.iter(|| mid.snapshot().expect("snapshot").to_pretty().len());
+    });
+    group.bench_function(BenchmarkId::from_parameter("parse_and_resume"), |b| {
+        b.iter(|| {
+            let parsed = Value::parse(&text).expect("parse");
+            SessionServer::resume(
+                endpoint(&network),
+                ServerConfig::new().with_rounds_per_slice(8),
+                &parsed,
+            )
+            .expect("resume")
+            .job_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] [--baseline PATH]
-//!       [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|perf|all]
+//!       [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|
+//!        fig_service|perf|all]
 //! ```
 //!
 //! Each experiment prints its markdown table to stdout and, with `--out`,
@@ -27,8 +28,8 @@ use std::path::PathBuf;
 use osn_bench::perf;
 use osn_datasets::Scale;
 use osn_experiments::{
-    ablation, fig10, fig11, fig6, fig6_batch, fig6_parallel, fig6_steal, fig7, fig8, fig9, table1,
-    theorem3, Deadline, ExperimentResult,
+    ablation, fig10, fig11, fig6, fig6_batch, fig6_parallel, fig6_steal, fig7, fig8, fig9,
+    fig_service, table1, theorem3, Deadline, ExperimentResult,
 };
 
 struct Options {
@@ -105,7 +106,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] \
                      [--baseline PATH] [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|\
-                     fig9|fig10|fig11|theorem3|ablation|perf|all]..."
+                     fig9|fig10|fig11|theorem3|ablation|fig_service|perf|all]..."
                 );
                 std::process::exit(0);
             }
@@ -130,6 +131,7 @@ fn parse_args() -> Options {
             "fig11",
             "theorem3",
             "ablation",
+            "fig_service",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -411,6 +413,17 @@ fn main() {
                     Default::default()
                 };
                 emit(&theorem3::run(&config), &opts.out);
+            }
+            "fig_service" | "figservice" => {
+                let config = if opts.quick {
+                    fig_service::FigServiceConfig::quick()
+                } else {
+                    fig_service::FigServiceConfig {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
+                };
+                emit(&fig_service::run(&config), &opts.out);
             }
             "perf" => {
                 let result = run_perf(&opts);

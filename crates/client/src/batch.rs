@@ -37,13 +37,23 @@
 //! retried internally up to [`BatchConfig::max_retries`] times — each retry
 //! consumes a fresh rate token and a fresh latency sample — before the
 //! request surfaces as a permanent failure ([`BatchNodeError::Dropped`] for
-//! every id in it). Per-request latency is `base_latency_secs` plus a
-//! SplitMix64-seeded jitter in `[0, jitter_secs)`, so completion *order* is
-//! reproducible for a given seed.
+//! every id in it). Real batch endpoints additionally fail **per id**: one
+//! user of a `users/lookup` batch is suspended or transiently unreadable
+//! while the batch-mates deliver fine. With
+//! [`BatchConfig::drop_node_every`]` = Some(j)`, every `j`-th delivered id
+//! (globally numbered across delivered requests) surfaces as
+//! [`BatchNodeError::Dropped`] on its own — uncharged, resubmittable —
+//! while the rest of its request succeeds.
+//!
+//! Per-request latency is `base_latency_secs` plus
+//! `per_id_latency_secs × ids` (bigger batches take longer — heterogeneous
+//! per-batch latency) plus a SplitMix64-seeded jitter in `[0,
+//! jitter_secs)`, so completion *order* is reproducible for a given seed.
 
 use std::fmt;
 
 use osn_graph::NodeId;
+use osn_serde::Value;
 
 use crate::budget::BudgetExhausted;
 use crate::client::{OsnClient, SimulatedOsn};
@@ -71,11 +81,19 @@ pub struct BatchConfig {
     pub rate_limit: Option<RateLimitConfig>,
     /// Base virtual latency of one request, in seconds.
     pub base_latency_secs: f64,
+    /// Additional virtual latency per id in the request, in seconds —
+    /// bigger batches take longer (heterogeneous per-batch latency).
+    pub per_id_latency_secs: f64,
     /// Uniform seeded jitter added to each attempt's latency, `[0, jitter)`.
     pub jitter_secs: f64,
     /// Drop every `k`-th request attempt (globally numbered, 1-based);
     /// `None` disables failure injection.
     pub failure_every: Option<u64>,
+    /// Drop every `j`-th *delivered id* (globally numbered, 1-based) on its
+    /// own while its batch-mates succeed — the per-id partial-failure mode
+    /// of real batch endpoints. The id charges nothing and may be
+    /// resubmitted. `None` disables per-id failures.
+    pub drop_node_every: Option<u64>,
     /// Internal retries per request before it surfaces as permanently
     /// dropped.
     pub max_retries: u32,
@@ -92,8 +110,10 @@ impl BatchConfig {
             max_in_flight: 4,
             rate_limit: None,
             base_latency_secs: 0.0,
+            per_id_latency_secs: 0.0,
             jitter_secs: 0.0,
             failure_every: None,
+            drop_node_every: None,
             max_retries: 2,
             seed: 0,
         }
@@ -121,10 +141,26 @@ impl BatchConfig {
         self
     }
 
+    /// Add per-id latency: each request takes `secs × ids` longer, so
+    /// bigger batches complete later (heterogeneous per-batch latency).
+    #[must_use]
+    pub fn with_per_id_latency(mut self, secs: f64) -> Self {
+        self.per_id_latency_secs = secs.max(0.0);
+        self
+    }
+
     /// Drop every `k`-th request attempt (deterministic failure injection).
     #[must_use]
     pub fn with_failure_every(mut self, k: u64) -> Self {
         self.failure_every = Some(k.max(1));
+        self
+    }
+
+    /// Drop every `j`-th delivered id individually while its batch-mates
+    /// succeed (deterministic per-id partial failures).
+    #[must_use]
+    pub fn with_drop_node_every(mut self, j: u64) -> Self {
+        self.drop_node_every = Some(j.max(1));
         self
     }
 
@@ -292,6 +328,9 @@ pub struct BatchStats {
     pub retries: u64,
     /// Requests that surfaced as permanently dropped.
     pub dropped: u64,
+    /// Individual ids dropped by per-id failure injection while the rest of
+    /// their request delivered (see [`BatchConfig::drop_node_every`]).
+    pub node_drops: u64,
 }
 
 /// One outstanding request of a [`SimulatedBatchOsn`].
@@ -321,6 +360,7 @@ pub struct SimulatedBatchOsn {
     in_flight: Vec<InFlight>,
     next_ticket: u64,
     attempt_counter: u64,
+    delivery_counter: u64,
     batch_stats: BatchStats,
 }
 
@@ -351,6 +391,7 @@ impl SimulatedBatchOsn {
             in_flight: Vec::new(),
             next_ticket: 0,
             attempt_counter: 0,
+            delivery_counter: 0,
             batch_stats: BatchStats::default(),
         }
     }
@@ -380,6 +421,157 @@ impl SimulatedBatchOsn {
     /// rate-limited platform (0 when no rate limit is configured).
     pub fn clock(&self) -> VirtualClock {
         self.clock
+    }
+
+    /// Advance the virtual clock to absolute time `secs`; a no-op when the
+    /// clock is already past it. The job server uses this to realize tenant
+    /// arrival times: when every admitted job is done and the next
+    /// submission lies in the future, virtual time jumps forward to it.
+    pub fn advance_clock_to(&mut self, secs: f64) {
+        let now = self.clock.elapsed_secs();
+        if secs > now {
+            self.clock.advance(secs - now);
+        }
+    }
+
+    /// Serialize the endpoint's dynamic state — cache membership, query and
+    /// batch accounting, remaining budget, virtual clock, and the rate-token
+    /// bucket — as an [`osn_serde::Value`]. Construction-time spec (the
+    /// graph snapshot and the [`BatchConfig`]) is *not* serialized;
+    /// [`Self::import_state`] validates against it instead.
+    ///
+    /// # Errors
+    /// When requests are still in flight: snapshots are taken at quiescent
+    /// boundaries only, so poll everything out first.
+    pub fn export_state(&self) -> Result<Value, String> {
+        if !self.in_flight.is_empty() {
+            return Err(format!(
+                "cannot snapshot a batch endpoint with {} request(s) in flight",
+                self.in_flight.len()
+            ));
+        }
+        let cached: Vec<Value> = self
+            .inner
+            .queried_flags()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| q)
+            .map(|(i, _)| Value::Uint(i as u64))
+            .collect();
+        let s = self.inner.stats();
+        let bs = self.batch_stats;
+        Ok(Value::obj([
+            ("cached", Value::Arr(cached)),
+            (
+                "stats",
+                Value::obj([
+                    ("issued", Value::Uint(s.issued)),
+                    ("unique", Value::Uint(s.unique)),
+                    ("cache_hits", Value::Uint(s.cache_hits)),
+                ]),
+            ),
+            (
+                "budget",
+                match self.budget_remaining {
+                    Some(b) => Value::Uint(b),
+                    None => Value::Null,
+                },
+            ),
+            ("clock_secs", Value::Num(self.clock.elapsed_secs())),
+            ("tokens", Value::Uint(self.tokens)),
+            ("window_started", Value::Num(self.window_started)),
+            ("next_ticket", Value::Uint(self.next_ticket)),
+            ("attempt_counter", Value::Uint(self.attempt_counter)),
+            ("delivery_counter", Value::Uint(self.delivery_counter)),
+            (
+                "batch_stats",
+                Value::obj([
+                    ("attempts", Value::Uint(bs.attempts)),
+                    ("submitted", Value::Uint(bs.submitted)),
+                    ("submitted_ids", Value::Uint(bs.submitted_ids)),
+                    ("retries", Value::Uint(bs.retries)),
+                    ("dropped", Value::Uint(bs.dropped)),
+                    ("node_drops", Value::Uint(bs.node_drops)),
+                ]),
+            ),
+        ]))
+    }
+
+    /// Restore state exported by [`Self::export_state`] into an endpoint
+    /// built over the same graph snapshot, [`BatchConfig`], and budget
+    /// shape. After a successful import the endpoint continues the original
+    /// workload bit-identically: cache hits, budget charges, rate windows,
+    /// and failure injection all pick up where the exporter left off.
+    ///
+    /// # Errors
+    /// When requests are in flight, a cached node id is out of range or
+    /// duplicated, or the budget shape (limited vs unlimited) disagrees
+    /// with construction. `self` is unchanged on error.
+    pub fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        if !self.in_flight.is_empty() {
+            return Err(format!(
+                "cannot restore over a batch endpoint with {} request(s) in flight",
+                self.in_flight.len()
+            ));
+        }
+        let n = self.inner.network().graph.node_count();
+        let mut queried = vec![false; n];
+        for v in state.field("cached")?.as_array()? {
+            let i = v.decode::<u64>()? as usize;
+            let slot = queried
+                .get_mut(i)
+                .ok_or_else(|| format!("cached node {i} out of range for a {n}-node snapshot"))?;
+            if *slot {
+                return Err(format!("duplicate cached node {i}"));
+            }
+            *slot = true;
+        }
+        let sv = state.field("stats")?;
+        let stats = QueryStats {
+            issued: sv.field("issued")?.decode()?,
+            unique: sv.field("unique")?.decode()?,
+            cache_hits: sv.field("cache_hits")?.decode()?,
+        };
+        let budget = match state.field("budget")? {
+            Value::Null => None,
+            other => Some(other.decode::<u64>()?),
+        };
+        if budget.is_some() != self.budget_remaining.is_some() {
+            return Err(
+                "budget mismatch: snapshot and endpoint disagree on whether a \
+                 unique-query budget is in force"
+                    .into(),
+            );
+        }
+        let clock_secs: f64 = state.field("clock_secs")?.decode()?;
+        let tokens: u64 = state.field("tokens")?.decode()?;
+        let window_started: f64 = state.field("window_started")?.decode()?;
+        let next_ticket: u64 = state.field("next_ticket")?.decode()?;
+        let attempt_counter: u64 = state.field("attempt_counter")?.decode()?;
+        let delivery_counter: u64 = state.field("delivery_counter")?.decode()?;
+        let bv = state.field("batch_stats")?;
+        let batch_stats = BatchStats {
+            attempts: bv.field("attempts")?.decode()?,
+            submitted: bv.field("submitted")?.decode()?,
+            submitted_ids: bv.field("submitted_ids")?.decode()?,
+            retries: bv.field("retries")?.decode()?,
+            dropped: bv.field("dropped")?.decode()?,
+            node_drops: bv.field("node_drops")?.decode()?,
+        };
+
+        self.inner.restore_accounting(queried, stats);
+        self.budget_remaining = budget;
+        self.clock = VirtualClock::default();
+        if clock_secs > 0.0 {
+            self.clock.advance(clock_secs);
+        }
+        self.tokens = tokens;
+        self.window_started = window_started;
+        self.next_ticket = next_ticket;
+        self.attempt_counter = attempt_counter;
+        self.delivery_counter = delivery_counter;
+        self.batch_stats = batch_stats;
+        Ok(())
     }
 
     /// Consume one rate token for a request attempt, advancing the virtual
@@ -417,7 +609,10 @@ impl SimulatedBatchOsn {
         } else {
             0.0
         };
-        let completes_at = self.clock.elapsed_secs() + self.config.base_latency_secs + jitter;
+        let completes_at = self.clock.elapsed_secs()
+            + self.config.base_latency_secs
+            + self.config.per_id_latency_secs * ids.len() as f64
+            + jitter;
         self.in_flight.push(InFlight {
             ticket,
             ids,
@@ -518,7 +713,26 @@ impl BatchOsnClient for SimulatedBatchOsn {
                         .collect(),
                 });
             }
-            let per_node = req.ids.into_iter().map(|u| (u, self.resolve(u))).collect();
+            let per_node = req
+                .ids
+                .into_iter()
+                .map(|u| {
+                    // Per-id partial failure: this id drops on its own
+                    // (uncharged, resubmittable) while its batch-mates
+                    // resolve normally.
+                    self.delivery_counter += 1;
+                    let dropped = self
+                        .config
+                        .drop_node_every
+                        .is_some_and(|j| self.delivery_counter.is_multiple_of(j));
+                    if dropped {
+                        self.batch_stats.node_drops += 1;
+                        (u, Err(BatchNodeError::Dropped))
+                    } else {
+                        (u, self.resolve(u))
+                    }
+                })
+                .collect();
             return Some(BatchOutcome {
                 ticket: req.ticket,
                 attempts: req.attempts,
@@ -724,6 +938,139 @@ mod tests {
         assert_eq!(c.peek_degree(NodeId(0)), 5);
         assert_eq!(c.peek_attribute(NodeId(0), "nope"), None);
         assert_eq!(c.stats().issued, 0);
+    }
+
+    #[test]
+    fn per_id_drops_spare_batch_mates_and_charge_nothing() {
+        // Every 3rd delivered id drops on its own: in a 4-id batch the 3rd
+        // position fails while positions 1, 2, and 4 resolve normally.
+        let config = BatchConfig::new(4).with_drop_node_every(3);
+        let mut c = SimulatedBatchOsn::new(star_osn(6), config);
+        c.submit(&ids(1..5)).unwrap();
+        let outcome = c.poll().unwrap();
+        let oks: Vec<bool> = outcome.per_node.iter().map(|(_, r)| r.is_ok()).collect();
+        assert_eq!(oks, vec![true, true, false, true]);
+        assert!(matches!(
+            outcome.per_node[2].1,
+            Err(BatchNodeError::Dropped)
+        ));
+        // The dropped id charged nothing and stays resubmittable.
+        assert_eq!(c.stats().unique, 3);
+        assert_eq!(c.batch_stats().node_drops, 1);
+        c.submit(&[NodeId(3)]).unwrap(); // delivery 5: succeeds
+        let again = c.poll().unwrap();
+        assert!(again.per_node[0].1.is_ok());
+        assert_eq!(c.stats().unique, 4);
+        // The whole-request counter is untouched by per-id failures.
+        assert_eq!(c.batch_stats().dropped, 0);
+    }
+
+    #[test]
+    fn per_id_latency_makes_bigger_batches_slower() {
+        // base 1s + 0.5s per id: a 1-id and a 3-id request submitted
+        // together complete at t = 1.5 and t = 2.5 respectively.
+        let config = BatchConfig::new(3)
+            .with_latency(1.0, 0.0)
+            .with_per_id_latency(0.5)
+            .with_in_flight(2);
+        let mut c = SimulatedBatchOsn::new(star_osn(6), config);
+        c.submit(&ids(1..4)).unwrap();
+        c.submit(&[NodeId(4)]).unwrap();
+        // The small batch finishes first despite being submitted second.
+        let first = c.poll().unwrap();
+        assert_eq!(first.per_node[0].0, NodeId(4));
+        assert_eq!(c.clock().elapsed_secs(), 1.5);
+        let second = c.poll().unwrap();
+        assert_eq!(second.per_node.len(), 3);
+        assert_eq!(c.clock().elapsed_secs(), 2.5);
+    }
+
+    #[test]
+    fn advance_clock_to_is_monotone() {
+        let mut c = SimulatedBatchOsn::new(star_osn(4), BatchConfig::new(2));
+        c.advance_clock_to(5.0);
+        assert_eq!(c.clock().elapsed_secs(), 5.0);
+        c.advance_clock_to(3.0); // already past: no-op
+        assert_eq!(c.clock().elapsed_secs(), 5.0);
+    }
+
+    #[test]
+    fn export_import_round_trips_through_text() {
+        // A workload with every knob active: rate limit, latency, whole-
+        // request failures, per-id drops, a hard budget.
+        let config = BatchConfig::new(3)
+            .with_rate_limit(RateLimitConfig {
+                calls_per_window: 4,
+                window_secs: 10.0,
+            })
+            .with_latency(0.25, 0.1)
+            .with_per_id_latency(0.05)
+            .with_failure_every(5)
+            .with_drop_node_every(7)
+            .with_seed(11);
+        let fresh = || SimulatedBatchOsn::configured(star_osn(12), config.clone(), Some(9));
+        let drive = |c: &mut SimulatedBatchOsn, batches: std::ops::Range<u32>| {
+            for lo in batches {
+                c.submit(&[NodeId(lo % 12), NodeId((lo + 1) % 12)]).unwrap();
+                c.poll().unwrap();
+            }
+        };
+
+        // Reference: one uninterrupted endpoint.
+        let mut reference = fresh();
+        drive(&mut reference, 0..9);
+
+        // Kill after 4 batches, persist through the text form, restore into
+        // a cold endpoint, and finish the workload.
+        let mut first = fresh();
+        drive(&mut first, 0..4);
+        let text = first.export_state().unwrap().to_pretty();
+        let mut resumed = fresh();
+        resumed
+            .import_state(&Value::parse(&text).map_err(|e| e.to_string()).unwrap())
+            .unwrap();
+        drive(&mut resumed, 4..9);
+
+        assert_eq!(resumed.stats(), reference.stats());
+        assert_eq!(resumed.batch_stats(), reference.batch_stats());
+        assert_eq!(resumed.remaining_budget(), reference.remaining_budget());
+        assert_eq!(
+            resumed.clock().elapsed_secs().to_bits(),
+            reference.clock().elapsed_secs().to_bits()
+        );
+        assert_eq!(
+            resumed.export_state().unwrap().to_pretty(),
+            reference.export_state().unwrap().to_pretty(),
+            "full state must round-trip bit-identically"
+        );
+    }
+
+    #[test]
+    fn export_refuses_in_flight_and_import_validates() {
+        let mut c = SimulatedBatchOsn::new(star_osn(4), BatchConfig::new(2));
+        c.submit(&[NodeId(4)]).unwrap();
+        assert!(c.export_state().unwrap_err().contains("in flight"));
+        c.poll().unwrap();
+        let snap = c.export_state().unwrap();
+
+        // Budget shape must match construction.
+        let mut budgeted = SimulatedBatchOsn::configured(star_osn(4), BatchConfig::new(2), Some(3));
+        assert!(budgeted
+            .import_state(&snap)
+            .unwrap_err()
+            .contains("budget mismatch"));
+
+        // A smaller snapshot rejects out-of-range cached ids.
+        let mut tiny = SimulatedBatchOsn::new(star_osn(2), BatchConfig::new(2));
+        assert!(tiny
+            .import_state(&snap)
+            .unwrap_err()
+            .contains("out of range"));
+
+        // The matching shape restores fine.
+        let mut ok = SimulatedBatchOsn::new(star_osn(4), BatchConfig::new(2));
+        ok.import_state(&snap).unwrap();
+        assert_eq!(ok.stats(), c.stats());
     }
 
     #[test]

@@ -106,6 +106,13 @@ impl SimulatedOsn {
         &self.network
     }
 
+    /// A shared handle to the snapshot (no copy) — lets drivers build
+    /// value functions or ground truths over the same graph without
+    /// borrowing the client.
+    pub fn network_shared(&self) -> Arc<AttributedGraph> {
+        Arc::clone(&self.network)
+    }
+
     /// Reset all accounting, keeping the snapshot. Lets one loaded graph
     /// serve many independent trials without rebuilding.
     pub fn reset(&mut self) {
@@ -122,6 +129,20 @@ impl SimulatedOsn {
     /// batch endpoint uses this to decide budget charging *before* a fetch.
     pub fn is_cached(&self, u: NodeId) -> bool {
         self.queried.get(u.index()).copied().unwrap_or(false)
+    }
+
+    /// The per-node queried flags (cache membership) — used by the batch
+    /// endpoint's snapshot export.
+    pub(crate) fn queried_flags(&self) -> &[bool] {
+        &self.queried
+    }
+
+    /// Overwrite the accounting state — the restore side of the batch
+    /// endpoint's snapshot import. `queried` must be node-count sized.
+    pub(crate) fn restore_accounting(&mut self, queried: Vec<bool>, stats: QueryStats) {
+        debug_assert_eq!(queried.len(), self.network.graph.node_count());
+        self.queried = queried;
+        self.stats = stats;
     }
 
     /// Decompose into `(snapshot, queried flags, stats)` — used by

@@ -62,6 +62,7 @@
 //! permutation.
 
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::Rng;
 
 use crate::fnv::{FnvHashMap, FnvHashSet};
@@ -278,6 +279,140 @@ impl CirculationEngine {
         self.arena.capacity()
     }
 
+    /// Serialize the engine's full state to a [`Value`] tree for
+    /// snapshot/resume.
+    ///
+    /// Arena contents and promoted cursors are exported **verbatim** — the
+    /// slice permutation determines every future draw, so a resumed engine
+    /// continues bit-identically on the same RNG stream. Spill sets are
+    /// membership-only and serialize sorted; slots are sorted by key, making
+    /// the export a deterministic function of the engine state.
+    pub fn export_state(&self) -> Value {
+        let mut slots: Vec<(u64, &Slot)> = self.slots.iter().map(|(&k, s)| (k, s)).collect();
+        slots.sort_unstable_by_key(|&(k, _)| k);
+        let slots: Vec<Value> = slots
+            .into_iter()
+            .map(|(key, slot)| match slot {
+                Slot::Inline { used, len } => Value::obj([
+                    ("key", Value::Uint(key)),
+                    ("kind", Value::Str("inline".into())),
+                    (
+                        "used",
+                        Value::Arr(
+                            used[..usize::from(*len)]
+                                .iter()
+                                .map(|n| Value::Uint(u64::from(n.0)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+                Slot::Spill(set) => {
+                    let mut used: Vec<u64> = set.iter().map(|n| u64::from(n.0)).collect();
+                    used.sort_unstable();
+                    Value::obj([
+                        ("key", Value::Uint(key)),
+                        ("kind", Value::Str("spill".into())),
+                        (
+                            "used",
+                            Value::Arr(used.into_iter().map(Value::Uint).collect()),
+                        ),
+                    ])
+                }
+                Slot::Promoted { start, len, cursor } => Value::obj([
+                    ("key", Value::Uint(key)),
+                    ("kind", Value::Str("promoted".into())),
+                    ("start", Value::Uint(u64::from(*start))),
+                    ("len", Value::Uint(u64::from(*len))),
+                    ("cursor", Value::Uint(u64::from(*cursor))),
+                ]),
+            })
+            .collect();
+        Value::obj([
+            ("threshold", Value::Uint(self.promotion_threshold as u64)),
+            (
+                "arena",
+                Value::Arr(
+                    self.arena
+                        .iter()
+                        .map(|n| Value::Uint(u64::from(n.0)))
+                        .collect(),
+                ),
+            ),
+            ("slots", Value::Arr(slots)),
+        ])
+    }
+
+    /// Rebuild an engine from [`export_state`](Self::export_state) output.
+    ///
+    /// # Errors
+    /// Returns a message when the tree is malformed or internally
+    /// inconsistent (slice out of arena bounds, oversized inline set, …).
+    pub fn import_state(state: &Value) -> Result<Self, String> {
+        let threshold: usize = state.field("threshold")?.decode()?;
+        if !(1..=INLINE_CAP).contains(&threshold) {
+            return Err(format!("promotion threshold {threshold} out of range"));
+        }
+        let arena: Vec<NodeId> = state
+            .field("arena")?
+            .decode::<Vec<u32>>()?
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        let mut slots = FnvHashMap::default();
+        for entry in state.field("slots")?.as_array()? {
+            let key: u64 = entry.field("key")?.decode()?;
+            let kind: String = entry.field("kind")?.decode()?;
+            let slot = match kind.as_str() {
+                "inline" => {
+                    let ids: Vec<u32> = entry.field("used")?.decode()?;
+                    if ids.len() > INLINE_CAP {
+                        return Err(format!("inline slot holds {} > {INLINE_CAP}", ids.len()));
+                    }
+                    let mut used = [NodeId(0); INLINE_CAP];
+                    for (dst, id) in used.iter_mut().zip(&ids) {
+                        *dst = NodeId(*id);
+                    }
+                    Slot::Inline {
+                        used,
+                        len: ids.len() as u8,
+                    }
+                }
+                "spill" => Slot::Spill(
+                    entry
+                        .field("used")?
+                        .decode::<Vec<u32>>()?
+                        .into_iter()
+                        .map(NodeId)
+                        .collect(),
+                ),
+                "promoted" => {
+                    let start: u32 = entry.field("start")?.decode()?;
+                    let len: u32 = entry.field("len")?.decode()?;
+                    let cursor: u32 = entry.field("cursor")?.decode()?;
+                    if (start as usize) + (len as usize) > arena.len() {
+                        return Err(format!(
+                            "promoted slice {start}+{len} exceeds arena of {}",
+                            arena.len()
+                        ));
+                    }
+                    if len == 0 || cursor >= len {
+                        return Err(format!("promoted cursor {cursor} out of slice of {len}"));
+                    }
+                    Slot::Promoted { start, len, cursor }
+                }
+                other => return Err(format!("unknown slot kind `{other}`")),
+            };
+            if slots.insert(key, slot).is_some() {
+                return Err(format!("duplicate slot key {key}"));
+            }
+        }
+        Ok(CirculationEngine {
+            slots,
+            arena,
+            promotion_threshold: threshold,
+        })
+    }
+
     /// Draw uniformly at random from `population \ used(key)`, record the
     /// draw, and reset the cycle once the population is exhausted (the
     /// completing draw triggers the reset, so the *next* draw sees the full
@@ -490,6 +625,116 @@ impl GroupEngine {
     /// mirrors it). Survives [`Self::clear`] unchanged.
     pub fn arena_capacity(&self) -> usize {
         self.items.capacity()
+    }
+
+    /// Serialize the engine's full state to a [`Value`] tree for
+    /// snapshot/resume. Arena slices, inverse permutations, cursors, and
+    /// group-attempt *order* are exported verbatim (they shape future
+    /// behavior); the small-stage used sets are membership-only and
+    /// serialize sorted. Slots are sorted by key.
+    pub fn export_state(&self) -> Value {
+        let mut slots: Vec<(u64, &GroupSlot)> = self.slots.iter().map(|(&k, s)| (k, s)).collect();
+        slots.sort_unstable_by_key(|&(k, _)| k);
+        let groups_value =
+            |groups: &[u64]| Value::Arr(groups.iter().map(|&g| Value::Uint(g)).collect());
+        let slots: Vec<Value> = slots
+            .into_iter()
+            .map(|(key, slot)| match slot {
+                GroupSlot::Small { used, used_groups } => {
+                    let mut used: Vec<u32> = used.iter().copied().collect();
+                    used.sort_unstable();
+                    Value::obj([
+                        ("key", Value::Uint(key)),
+                        ("kind", Value::Str("small".into())),
+                        (
+                            "used",
+                            Value::Arr(
+                                used.into_iter()
+                                    .map(|i| Value::Uint(u64::from(i)))
+                                    .collect(),
+                            ),
+                        ),
+                        ("groups", groups_value(used_groups)),
+                    ])
+                }
+                GroupSlot::Sliced {
+                    start,
+                    len,
+                    cursor,
+                    used_groups,
+                } => Value::obj([
+                    ("key", Value::Uint(key)),
+                    ("kind", Value::Str("sliced".into())),
+                    ("start", Value::Uint(u64::from(*start))),
+                    ("len", Value::Uint(u64::from(*len))),
+                    ("cursor", Value::Uint(u64::from(*cursor))),
+                    ("groups", groups_value(used_groups)),
+                ]),
+            })
+            .collect();
+        Value::obj([
+            ("items", Value::arr(&self.items)),
+            ("pos", Value::arr(&self.pos)),
+            ("slots", Value::Arr(slots)),
+        ])
+    }
+
+    /// Rebuild an engine from [`export_state`](Self::export_state) output.
+    ///
+    /// # Errors
+    /// Returns a message when the tree is malformed or internally
+    /// inconsistent (mismatched arenas, slice out of bounds, …).
+    pub fn import_state(state: &Value) -> Result<Self, String> {
+        let items: Vec<u32> = state.field("items")?.decode()?;
+        let pos: Vec<u32> = state.field("pos")?.decode()?;
+        if items.len() != pos.len() {
+            return Err(format!(
+                "items/pos arena length mismatch: {} vs {}",
+                items.len(),
+                pos.len()
+            ));
+        }
+        let mut slots = FnvHashMap::default();
+        for entry in state.field("slots")?.as_array()? {
+            let key: u64 = entry.field("key")?.decode()?;
+            let kind: String = entry.field("kind")?.decode()?;
+            let used_groups: Vec<u64> = entry.field("groups")?.decode()?;
+            let slot = match kind.as_str() {
+                "small" => GroupSlot::Small {
+                    used: entry
+                        .field("used")?
+                        .decode::<Vec<u32>>()?
+                        .into_iter()
+                        .collect(),
+                    used_groups,
+                },
+                "sliced" => {
+                    let start: u32 = entry.field("start")?.decode()?;
+                    let len: u32 = entry.field("len")?.decode()?;
+                    let cursor: u32 = entry.field("cursor")?.decode()?;
+                    if (start as usize) + (len as usize) > items.len() {
+                        return Err(format!(
+                            "sliced state {start}+{len} exceeds arena of {}",
+                            items.len()
+                        ));
+                    }
+                    if len == 0 || cursor >= len {
+                        return Err(format!("sliced cursor {cursor} out of slice of {len}"));
+                    }
+                    GroupSlot::Sliced {
+                        start,
+                        len,
+                        cursor,
+                        used_groups,
+                    }
+                }
+                other => return Err(format!("unknown slot kind `{other}`")),
+            };
+            if slots.insert(key, slot).is_some() {
+                return Err(format!("duplicate slot key {key}"));
+            }
+        }
+        Ok(GroupEngine { slots, items, pos })
     }
 
     /// Mutable view of `key`'s state, created on first touch and promoted

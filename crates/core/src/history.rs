@@ -43,6 +43,7 @@
 //! backend-independent.
 
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::Rng;
 
 use crate::circulation::{CirculationEngine, GroupEngine, MAX_REJECTION_ITERS};
@@ -234,6 +235,72 @@ impl EdgeHistory {
             EdgeBackend::Arena(engine) => Some(engine.arena_capacity()),
         }
     }
+
+    /// Serialize the full history (backend tag + per-edge state) to a
+    /// [`Value`] tree. [`import_state`](Self::import_state) restores it
+    /// exactly, so a resumed walker continues **bit-identically** on the
+    /// same RNG stream. Edges are sorted by key; legacy used-sets are
+    /// membership-only and serialize sorted.
+    pub fn export_state(&self) -> Value {
+        match &self.backend {
+            EdgeBackend::Legacy(map) => {
+                let mut edges: Vec<(u64, &CirculationSet)> =
+                    map.iter().map(|(&k, s)| (k, s)).collect();
+                edges.sort_unstable_by_key(|&(k, _)| k);
+                let edges: Vec<Value> = edges
+                    .into_iter()
+                    .map(|(key, set)| {
+                        let mut used: Vec<u64> = set.used.iter().map(|n| u64::from(n.0)).collect();
+                        used.sort_unstable();
+                        Value::obj([
+                            ("key", Value::Uint(key)),
+                            (
+                                "used",
+                                Value::Arr(used.into_iter().map(Value::Uint).collect()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Value::obj([
+                    ("backend", Value::Str("legacy".into())),
+                    ("edges", Value::Arr(edges)),
+                ])
+            }
+            EdgeBackend::Arena(engine) => Value::obj([
+                ("backend", Value::Str("arena".into())),
+                ("engine", engine.export_state()),
+            ]),
+        }
+    }
+
+    /// Rebuild a history from [`export_state`](Self::export_state) output.
+    ///
+    /// # Errors
+    /// Returns a message when the tree is malformed, names an unknown
+    /// backend, or fails the engine's consistency checks.
+    pub fn import_state(state: &Value) -> Result<Self, String> {
+        let backend = match state.field("backend")?.as_str()? {
+            "legacy" => {
+                let mut map: FnvHashMap<u64, CirculationSet> = FnvHashMap::default();
+                for entry in state.field("edges")?.as_array()? {
+                    let key: u64 = entry.field("key")?.decode()?;
+                    let used: FnvHashSet<NodeId> = entry
+                        .field("used")?
+                        .decode::<Vec<u32>>()?
+                        .into_iter()
+                        .map(NodeId)
+                        .collect();
+                    if map.insert(key, CirculationSet { used }).is_some() {
+                        return Err(format!("duplicate edge key {key}"));
+                    }
+                }
+                EdgeBackend::Legacy(map)
+            }
+            "arena" => EdgeBackend::Arena(CirculationEngine::import_state(state.field("engine")?)?),
+            other => return Err(format!("unknown history backend `{other}`")),
+        };
+        Ok(EdgeHistory { backend })
+    }
 }
 
 /// Per-edge GNRW state on the **legacy** backend (paper Algorithm 2 / §4.1
@@ -374,6 +441,86 @@ impl GroupHistory {
             GroupBackend::Legacy(_) => None,
             GroupBackend::Arena(engine) => Some(engine.arena_capacity()),
         }
+    }
+
+    /// Serialize the full history (backend tag + per-edge state) to a
+    /// [`Value`] tree; the [`EdgeHistory::export_state`] contract (sorted
+    /// keys, bit-identical resume) applies.
+    pub fn export_state(&self) -> Value {
+        match &self.backend {
+            GroupBackend::Legacy(map) => {
+                let mut edges: Vec<(u64, &GnrwEdgeState)> =
+                    map.iter().map(|(&k, s)| (k, s)).collect();
+                edges.sort_unstable_by_key(|&(k, _)| k);
+                let edges: Vec<Value> = edges
+                    .into_iter()
+                    .map(|(key, state)| {
+                        let mut nodes: Vec<u64> =
+                            state.used_nodes.iter().map(|n| u64::from(n.0)).collect();
+                        nodes.sort_unstable();
+                        let mut groups: Vec<u64> = state.used_groups.iter().copied().collect();
+                        groups.sort_unstable();
+                        Value::obj([
+                            ("key", Value::Uint(key)),
+                            (
+                                "nodes",
+                                Value::Arr(nodes.into_iter().map(Value::Uint).collect()),
+                            ),
+                            (
+                                "groups",
+                                Value::Arr(groups.into_iter().map(Value::Uint).collect()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Value::obj([
+                    ("backend", Value::Str("legacy".into())),
+                    ("edges", Value::Arr(edges)),
+                ])
+            }
+            GroupBackend::Arena(engine) => Value::obj([
+                ("backend", Value::Str("arena".into())),
+                ("engine", engine.export_state()),
+            ]),
+        }
+    }
+
+    /// Rebuild a history from [`export_state`](Self::export_state) output.
+    ///
+    /// # Errors
+    /// Returns a message when the tree is malformed, names an unknown
+    /// backend, or fails the engine's consistency checks.
+    pub fn import_state(state: &Value) -> Result<Self, String> {
+        let backend = match state.field("backend")?.as_str()? {
+            "legacy" => {
+                let mut map: FnvHashMap<u64, GnrwEdgeState> = FnvHashMap::default();
+                for entry in state.field("edges")?.as_array()? {
+                    let key: u64 = entry.field("key")?.decode()?;
+                    let used_nodes: FnvHashSet<NodeId> = entry
+                        .field("nodes")?
+                        .decode::<Vec<u32>>()?
+                        .into_iter()
+                        .map(NodeId)
+                        .collect();
+                    let used_groups: FnvHashSet<u64> = entry
+                        .field("groups")?
+                        .decode::<Vec<u64>>()?
+                        .into_iter()
+                        .collect();
+                    let state = GnrwEdgeState {
+                        used_nodes,
+                        used_groups,
+                    };
+                    if map.insert(key, state).is_some() {
+                        return Err(format!("duplicate edge key {key}"));
+                    }
+                }
+                GroupBackend::Legacy(map)
+            }
+            "arena" => GroupBackend::Arena(GroupEngine::import_state(state.field("engine")?)?),
+            other => return Err(format!("unknown history backend `{other}`")),
+        };
+        Ok(GroupHistory { backend })
     }
 }
 

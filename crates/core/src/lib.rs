@@ -89,8 +89,8 @@ pub use multiwalk::{
     MultiWalkTrace,
 };
 pub use orchestrator::{
-    Never, OrchestratorReport, RestartEvent, RestartPolicy, RestartReason, WalkOrchestrator,
-    WorkStealing,
+    CoalescedWalkRun, Never, OrchestratorReport, RestartEvent, RestartPolicy, RestartReason,
+    SerialWalkRun, WalkOrchestrator, WorkStealing,
 };
 pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
 pub use walker::RandomWalk;

@@ -52,6 +52,7 @@ use osn_client::batch::{BatchNodeError, BatchOsnClient};
 use osn_client::{BudgetExhausted, OsnClient, QueryStats};
 use osn_estimate::{RatioEstimator, WindowedSplitRhat};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -581,57 +582,93 @@ where
         };
     }
     let mut active: Vec<usize> = (0..k).collect();
-    loop {
-        active.retain(|&i| cells[i].live(max_steps));
-        if active.is_empty() {
-            break;
-        }
+    while serial_round(
+        client,
+        walkers,
+        rngs,
+        max_steps,
+        value,
+        policy,
+        &mut cells,
+        &mut restarts,
+        &mut active,
+    ) {
         rounds += 1;
-        if policy.enabled() {
-            for &i in &active {
-                let cached = |u: NodeId| client.is_cached(u);
-                let degree_of = |u: NodeId| client.peek_degree(u);
-                maybe_restart(
-                    i,
-                    &mut *walkers[i],
-                    &cells[i],
-                    policy,
-                    &degree_of,
-                    &cached,
-                    &mut restarts,
-                );
-            }
-        }
-        for &i in &active {
-            advance_walker(
-                i,
-                &mut *walkers[i],
-                &mut rngs[i],
-                client,
-                value,
-                policy,
-                &mut cells[i],
-            );
-            if policy.enabled() && cells[i].stop.is_some() {
-                // Refused step (no transition performed): offer a rescue —
-                // the walker resumes from the next round if relocated.
-                let cached = |u: NodeId| client.is_cached(u);
-                maybe_rescue(
-                    i,
-                    &mut *walkers[i],
-                    &mut cells[i],
-                    policy,
-                    &cached,
-                    &mut restarts,
-                );
-            }
-        }
     }
     RoundOutcome {
         cells,
         restarts,
         rounds,
     }
+}
+
+/// One scheduling wave of the serial driver: retain the live walkers,
+/// consult the policy, step each live walker once. Returns `false` (doing
+/// nothing) once every walker is done. Shared by [`drive_round_robin`] and
+/// the resumable [`SerialWalkRun`], so the sliced execution path cannot
+/// drift from the one-shot driver.
+#[allow(clippy::too_many_arguments)]
+fn serial_round<C, R, F, P>(
+    client: &mut C,
+    walkers: &mut [&mut dyn RandomWalk],
+    rngs: &mut [R],
+    max_steps: usize,
+    value: Option<&F>,
+    policy: &P,
+    cells: &mut [Cell],
+    restarts: &mut Vec<RestartEvent>,
+    active: &mut Vec<usize>,
+) -> bool
+where
+    C: OsnClient,
+    R: RngCore,
+    F: Fn(NodeId) -> f64 + ?Sized,
+    P: RestartPolicy + ?Sized,
+{
+    active.retain(|&i| cells[i].live(max_steps));
+    if active.is_empty() {
+        return false;
+    }
+    if policy.enabled() {
+        for &i in &*active {
+            let cached = |u: NodeId| client.is_cached(u);
+            let degree_of = |u: NodeId| client.peek_degree(u);
+            maybe_restart(
+                i,
+                &mut *walkers[i],
+                &cells[i],
+                policy,
+                &degree_of,
+                &cached,
+                restarts,
+            );
+        }
+    }
+    for &i in &*active {
+        advance_walker(
+            i,
+            &mut *walkers[i],
+            &mut rngs[i],
+            client,
+            value,
+            policy,
+            &mut cells[i],
+        );
+        if policy.enabled() && cells[i].stop.is_some() {
+            // Refused step (no transition performed): offer a rescue —
+            // the walker resumes from the next round if relocated.
+            let cached = |u: NodeId| client.is_cached(u);
+            maybe_rescue(
+                i,
+                &mut *walkers[i],
+                &mut cells[i],
+                policy,
+                &cached,
+                restarts,
+            );
+        }
+    }
+    true
 }
 
 /// Dispatcher-level cap on resubmissions of a node whose requests keep
@@ -821,95 +858,20 @@ where
     let mut rounds = 0usize;
     let mut active: Vec<usize> = (0..k).collect();
 
-    loop {
-        active.retain(|&i| cells[i].live(max_steps));
-        if active.is_empty() {
-            break;
-        }
+    while coalesced_round(
+        client,
+        walkers,
+        rngs,
+        max_steps,
+        node_attempt_cap,
+        value,
+        policy,
+        &mut state,
+        &mut cells,
+        &mut restarts,
+        &mut active,
+    ) {
         rounds += 1;
-        // Policy: restart decisions happen *before* the gather, so a
-        // relocated walker's new position joins this round's batch.
-        if policy.enabled() {
-            for &i in &active {
-                let cached = |u: NodeId| state.cache.contains_key(&u.0) || client.is_cached(u);
-                let degree_of = |u: NodeId| client.peek_degree(u);
-                maybe_restart(
-                    i,
-                    &mut *walkers[i],
-                    &cells[i],
-                    policy,
-                    &degree_of,
-                    &cached,
-                    &mut restarts,
-                );
-            }
-        }
-        // Gather + dedup: the node each active walker is parked on, in
-        // walker order, minus ids already cached or refused.
-        let mut pending: VecDeque<NodeId> = VecDeque::new();
-        let mut queued: FnvHashSet<u32> = FnvHashSet::default();
-        for &i in &active {
-            let u = walkers[i].current();
-            if !state.cache.contains_key(&u.0)
-                && !state.refused.contains(&u.0)
-                && queued.insert(u.0)
-            {
-                pending.push_back(u);
-            }
-        }
-        // Charge: fan the deduped ids out through the batch endpoint.
-        fetch_all(client, pending, &mut state, node_attempt_cap);
-        // Fan-out: step every active walker from its own RNG stream.
-        for &i in &active {
-            if state.refused.contains(&walkers[i].current().0) {
-                // The node this walker needs was refused (budget) or
-                // abandoned (dead interface): terminate it, exactly as a
-                // serial walk ends on its first refused query — unless the
-                // policy rescues it, in which case it resumes from the
-                // next round (the serial driver also charges a refusal one
-                // lost step, keeping the two schedules aligned) and its
-                // new position rides the next round's batch.
-                cells[i].stop = Some(WalkStop::BudgetExhausted);
-                if policy.enabled() {
-                    let cached = |u: NodeId| state.cache.contains_key(&u.0) || client.is_cached(u);
-                    maybe_rescue(
-                        i,
-                        &mut *walkers[i],
-                        &mut cells[i],
-                        policy,
-                        &cached,
-                        &mut restarts,
-                    );
-                }
-                continue;
-            }
-            let mut view = PrefetchedClient {
-                client: &mut *client,
-                state: &mut state,
-                node_attempt_cap,
-            };
-            advance_walker(
-                i,
-                &mut *walkers[i],
-                &mut rngs[i],
-                &mut view,
-                value,
-                policy,
-                &mut cells[i],
-            );
-            if policy.enabled() && cells[i].stop.is_some() {
-                // Off-protocol refusal surfaced mid-step: same rescue offer.
-                let cached = |u: NodeId| state.cache.contains_key(&u.0) || client.is_cached(u);
-                maybe_rescue(
-                    i,
-                    &mut *walkers[i],
-                    &mut cells[i],
-                    policy,
-                    &cached,
-                    &mut restarts,
-                );
-            }
-        }
     }
 
     let mut interface = client.stats();
@@ -923,6 +885,118 @@ where
         state,
         interface,
     }
+}
+
+/// One deterministic round of the coalesced driver: **policy → gather →
+/// dedup → charge → fan-out**. Returns `false` (doing nothing) once every
+/// walker is done. Shared by [`drive_coalesced`] and the resumable
+/// [`CoalescedWalkRun`], so the sliced execution path cannot drift from
+/// the one-shot driver.
+#[allow(clippy::too_many_arguments)]
+fn coalesced_round<B, R, F, P>(
+    client: &mut B,
+    walkers: &mut [&mut dyn RandomWalk],
+    rngs: &mut [R],
+    max_steps: usize,
+    node_attempt_cap: u32,
+    value: Option<&F>,
+    policy: &P,
+    state: &mut DispatchState,
+    cells: &mut [Cell],
+    restarts: &mut Vec<RestartEvent>,
+    active: &mut Vec<usize>,
+) -> bool
+where
+    B: BatchOsnClient,
+    R: RngCore,
+    F: Fn(NodeId) -> f64 + ?Sized,
+    P: RestartPolicy + ?Sized,
+{
+    active.retain(|&i| cells[i].live(max_steps));
+    if active.is_empty() {
+        return false;
+    }
+    // Policy: restart decisions happen *before* the gather, so a
+    // relocated walker's new position joins this round's batch.
+    if policy.enabled() {
+        for &i in &*active {
+            let cached = |u: NodeId| state.cache.contains_key(&u.0) || client.is_cached(u);
+            let degree_of = |u: NodeId| client.peek_degree(u);
+            maybe_restart(
+                i,
+                &mut *walkers[i],
+                &cells[i],
+                policy,
+                &degree_of,
+                &cached,
+                restarts,
+            );
+        }
+    }
+    // Gather + dedup: the node each active walker is parked on, in
+    // walker order, minus ids already cached or refused.
+    let mut pending: VecDeque<NodeId> = VecDeque::new();
+    let mut queued: FnvHashSet<u32> = FnvHashSet::default();
+    for &i in &*active {
+        let u = walkers[i].current();
+        if !state.cache.contains_key(&u.0) && !state.refused.contains(&u.0) && queued.insert(u.0) {
+            pending.push_back(u);
+        }
+    }
+    // Charge: fan the deduped ids out through the batch endpoint.
+    fetch_all(client, pending, state, node_attempt_cap);
+    // Fan-out: step every active walker from its own RNG stream.
+    for &i in &*active {
+        if state.refused.contains(&walkers[i].current().0) {
+            // The node this walker needs was refused (budget) or
+            // abandoned (dead interface): terminate it, exactly as a
+            // serial walk ends on its first refused query — unless the
+            // policy rescues it, in which case it resumes from the
+            // next round (the serial driver also charges a refusal one
+            // lost step, keeping the two schedules aligned) and its
+            // new position rides the next round's batch.
+            cells[i].stop = Some(WalkStop::BudgetExhausted);
+            if policy.enabled() {
+                let cached = |u: NodeId| state.cache.contains_key(&u.0) || client.is_cached(u);
+                maybe_rescue(
+                    i,
+                    &mut *walkers[i],
+                    &mut cells[i],
+                    policy,
+                    &cached,
+                    restarts,
+                );
+            }
+            continue;
+        }
+        let mut view = PrefetchedClient {
+            client: &mut *client,
+            state: &mut *state,
+            node_attempt_cap,
+        };
+        advance_walker(
+            i,
+            &mut *walkers[i],
+            &mut rngs[i],
+            &mut view,
+            value,
+            policy,
+            &mut cells[i],
+        );
+        if policy.enabled() && cells[i].stop.is_some() {
+            // Off-protocol refusal surfaced mid-step: same rescue offer.
+            let cached = |u: NodeId| state.cache.contains_key(&u.0) || client.is_cached(u);
+            maybe_rescue(
+                i,
+                &mut *walkers[i],
+                &mut cells[i],
+                policy,
+                &cached,
+                restarts,
+            );
+        }
+    }
+    true
 }
 
 /// Outcome of an orchestrated run, uniform across backends.
@@ -1242,6 +1316,640 @@ impl WalkOrchestrator {
         report.interface = Some(outcome.interface);
         report.refused_nodes = outcome.state.refused_nodes;
         report.abandoned_nodes = outcome.state.abandoned_nodes;
+        report
+    }
+
+    /// The snapshot-embedded description of this orchestrator's
+    /// construction-time spec, checked (not restored) at resume time:
+    /// resuming requires reconstructing the *same* run.
+    fn spec_value(&self) -> Value {
+        Value::obj([
+            ("walkers", Value::Uint(self.walkers as u64)),
+            ("max_steps", Value::Uint(self.max_steps_per_walker as u64)),
+            ("seed", Value::Uint(self.seed)),
+            ("backend", Value::Str(self.backend.label().into())),
+        ])
+    }
+
+    fn check_spec(&self, spec: &Value) -> Result<(), String> {
+        let walkers: usize = spec.field("walkers")?.decode()?;
+        let max_steps: usize = spec.field("max_steps")?.decode()?;
+        let seed: u64 = spec.field("seed")?.decode()?;
+        let backend = spec.field("backend")?.as_str()?;
+        if walkers != self.walkers {
+            return Err(format!(
+                "orchestrator spec mismatch: snapshot has {walkers} walkers, this orchestrator {}",
+                self.walkers
+            ));
+        }
+        if max_steps != self.max_steps_per_walker {
+            return Err(format!(
+                "orchestrator spec mismatch: snapshot caps walkers at {max_steps} steps, this orchestrator at {}",
+                self.max_steps_per_walker
+            ));
+        }
+        if seed != self.seed {
+            return Err(format!(
+                "orchestrator spec mismatch: snapshot seed {seed}, this orchestrator {}",
+                self.seed
+            ));
+        }
+        if backend != self.backend.label() {
+            return Err(format!(
+                "orchestrator spec mismatch: snapshot backend `{backend}`, this orchestrator `{}`",
+                self.backend.label()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Begin a pausable serial run (see [`SerialWalkRun`]). Driving it to
+    /// completion is bit-identical to [`Self::run_serial`] under [`Never`].
+    pub fn start_serial<W>(&self, make_walker: W) -> SerialWalkRun
+    where
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+    {
+        let (fleet, rngs) = self.build_fleet(make_walker);
+        SerialWalkRun {
+            spec: *self,
+            fleet,
+            rngs,
+            cells: (0..self.walkers).map(|_| Cell::new(0)).collect(),
+            rounds: 0,
+            active: (0..self.walkers).collect(),
+        }
+    }
+
+    /// Restore a [`SerialWalkRun`] from a [`SerialWalkRun::snapshot`]
+    /// value. The orchestrator spec (fleet size, step cap, seed, history
+    /// backend) must match the one that produced the snapshot, and
+    /// `make_walker` must rebuild walkers of the same algorithm/strategy —
+    /// walker state import fails loudly on backend mismatches, but the
+    /// algorithm itself is the caller's contract, exactly as for
+    /// [`RandomWalk::import_state`].
+    pub fn resume_serial<W>(&self, state: &Value, make_walker: W) -> Result<SerialWalkRun, String>
+    where
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+    {
+        let (fleet, rngs, cells, rounds) = self.resume_fleet(state, "serial", make_walker)?;
+        Ok(SerialWalkRun {
+            spec: *self,
+            fleet,
+            rngs,
+            cells,
+            rounds,
+            active: (0..self.walkers).collect(),
+        })
+    }
+
+    /// Begin a pausable coalesced run against a batch endpoint (see
+    /// [`CoalescedWalkRun`]). Driving it to completion is bit-identical to
+    /// [`Self::run_coalesced`] under [`Never`].
+    pub fn start_coalesced<W>(&self, make_walker: W) -> CoalescedWalkRun
+    where
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+    {
+        let (fleet, rngs) = self.build_fleet(make_walker);
+        CoalescedWalkRun {
+            spec: *self,
+            fleet,
+            rngs,
+            cells: (0..self.walkers).map(|_| Cell::new(0)).collect(),
+            rounds: 0,
+            active: (0..self.walkers).collect(),
+            state: DispatchState::default(),
+            node_attempt_cap: DEFAULT_NODE_ATTEMPT_CAP,
+            interface_base: None,
+        }
+    }
+
+    /// Restore a [`CoalescedWalkRun`] from a [`CoalescedWalkRun::snapshot`]
+    /// value — including the dispatcher cache, so already-fetched neighbor
+    /// lists are not re-charged after resume. Spec and walker contracts are
+    /// as for [`Self::resume_serial`].
+    pub fn resume_coalesced<W>(
+        &self,
+        state: &Value,
+        make_walker: W,
+    ) -> Result<CoalescedWalkRun, String>
+    where
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+    {
+        let (fleet, rngs, cells, rounds) = self.resume_fleet(state, "coalesced", make_walker)?;
+        let dispatch = dispatch_from_value(state.field("dispatch")?)?;
+        let node_attempt_cap: u32 = state.field("attempt_cap")?.decode()?;
+        Ok(CoalescedWalkRun {
+            spec: *self,
+            fleet,
+            rngs,
+            cells,
+            rounds,
+            active: (0..self.walkers).collect(),
+            state: dispatch,
+            node_attempt_cap,
+            interface_base: None,
+        })
+    }
+
+    /// The fleet-restoration core shared by both resume entry points.
+    #[allow(clippy::type_complexity)]
+    fn resume_fleet<W>(
+        &self,
+        state: &Value,
+        kind: &str,
+        make_walker: W,
+    ) -> Result<
+        (
+            Vec<Box<dyn RandomWalk + Send>>,
+            Vec<ChaCha12Rng>,
+            Vec<Cell>,
+            usize,
+        ),
+        String,
+    >
+    where
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+    {
+        let found = state.field("kind")?.as_str()?;
+        if found != kind {
+            return Err(format!(
+                "snapshot kind mismatch: `{found}`, expected `{kind}`"
+            ));
+        }
+        self.check_spec(state.field("spec")?)?;
+        let rounds: usize = state.field("rounds")?.decode()?;
+        let walker_states = state.field("walkers")?.as_array()?;
+        let rng_states = state.field("rngs")?.as_array()?;
+        let cell_states = state.field("cells")?.as_array()?;
+        if walker_states.len() != self.walkers
+            || rng_states.len() != self.walkers
+            || cell_states.len() != self.walkers
+        {
+            return Err(format!(
+                "snapshot fleet size mismatch: {} walker / {} rng / {} cell states for a {}-walker run",
+                walker_states.len(),
+                rng_states.len(),
+                cell_states.len(),
+                self.walkers
+            ));
+        }
+        let mut fleet = Vec::with_capacity(self.walkers);
+        for (i, ws) in walker_states.iter().enumerate() {
+            let mut walker = make_walker(i, self.backend);
+            walker
+                .import_state(ws)
+                .map_err(|e| format!("walker {i}: {e}"))?;
+            fleet.push(walker);
+        }
+        let rngs = rng_states
+            .iter()
+            .map(rng_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let cells = cell_states
+            .iter()
+            .map(cell_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((fleet, rngs, cells, rounds))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resumable runs: pause between rounds, snapshot the whole run to an
+// `osn-serde` [`Value`], resume bit-identically — the execution substrate
+// of the `osn-service` job server.
+// ---------------------------------------------------------------------------
+
+fn nodes_to_value(nodes: &[NodeId]) -> Value {
+    Value::Arr(nodes.iter().map(|n| Value::Uint(u64::from(n.0))).collect())
+}
+
+fn nodes_from_value(value: &Value) -> Result<Vec<NodeId>, String> {
+    value
+        .as_array()?
+        .iter()
+        .map(|v| Ok(NodeId(v.decode::<u32>()?)))
+        .collect()
+}
+
+/// Hash sets hold membership only — serialize sorted so snapshots are
+/// byte-deterministic.
+fn sorted_set_value(set: &FnvHashSet<u32>) -> Value {
+    let mut ids: Vec<u32> = set.iter().copied().collect();
+    ids.sort_unstable();
+    Value::Arr(ids.into_iter().map(|u| Value::Uint(u64::from(u))).collect())
+}
+
+fn set_from_value(value: &Value) -> Result<FnvHashSet<u32>, String> {
+    let mut set = FnvHashSet::default();
+    for v in value.as_array()? {
+        if !set.insert(v.decode::<u32>()?) {
+            return Err("duplicate id in serialized set".into());
+        }
+    }
+    Ok(set)
+}
+
+fn rng_to_value(rng: &ChaCha12Rng) -> Value {
+    Value::Arr(rng.get_state().iter().map(|&w| Value::Uint(w)).collect())
+}
+
+fn rng_from_value(value: &Value) -> Result<ChaCha12Rng, String> {
+    let words = value.as_array()?;
+    if words.len() != 4 {
+        return Err(format!("RNG state must hold 4 words, got {}", words.len()));
+    }
+    let mut state = [0u64; 4];
+    for (slot, word) in state.iter_mut().zip(words) {
+        *slot = word.decode()?;
+    }
+    Ok(ChaCha12Rng::from_state(state))
+}
+
+fn stop_to_value(stop: Option<WalkStop>) -> Value {
+    match stop {
+        None => Value::Null,
+        Some(WalkStop::MaxSteps) => Value::Str("max-steps".into()),
+        Some(WalkStop::BudgetExhausted) => Value::Str("budget-exhausted".into()),
+    }
+}
+
+fn stop_from_value(value: &Value) -> Result<Option<WalkStop>, String> {
+    match value {
+        Value::Null => Ok(None),
+        other => match other.as_str()? {
+            "max-steps" => Ok(Some(WalkStop::MaxSteps)),
+            "budget-exhausted" => Ok(Some(WalkStop::BudgetExhausted)),
+            unknown => Err(format!("unknown walk stop `{unknown}`")),
+        },
+    }
+}
+
+fn cell_to_value(cell: &Cell) -> Value {
+    let (weighted_sum, weight_total, count) = cell.est.parts();
+    Value::obj([
+        ("trace", nodes_to_value(&cell.trace)),
+        (
+            "est",
+            Value::obj([
+                ("weighted_sum", Value::Num(weighted_sum)),
+                ("weight_total", Value::Num(weight_total)),
+                ("count", Value::Uint(count as u64)),
+            ]),
+        ),
+        ("stop", stop_to_value(cell.stop)),
+    ])
+}
+
+fn cell_from_value(value: &Value) -> Result<Cell, String> {
+    let est = value.field("est")?;
+    Ok(Cell {
+        trace: nodes_from_value(value.field("trace")?)?,
+        est: RatioEstimator::from_parts(
+            est.field("weighted_sum")?.decode()?,
+            est.field("weight_total")?.decode()?,
+            est.field("count")?.decode()?,
+        ),
+        stop: stop_from_value(value.field("stop")?)?,
+    })
+}
+
+fn stats_to_value(stats: QueryStats) -> Value {
+    Value::obj([
+        ("issued", Value::Uint(stats.issued)),
+        ("unique", Value::Uint(stats.unique)),
+        ("cache_hits", Value::Uint(stats.cache_hits)),
+    ])
+}
+
+fn stats_from_value(value: &Value) -> Result<QueryStats, String> {
+    Ok(QueryStats {
+        issued: value.field("issued")?.decode()?,
+        unique: value.field("unique")?.decode()?,
+        cache_hits: value.field("cache_hits")?.decode()?,
+    })
+}
+
+fn dispatch_to_value(state: &DispatchState) -> Value {
+    let mut cache: Vec<(&u32, &Vec<NodeId>)> = state.cache.iter().collect();
+    cache.sort_unstable_by_key(|(u, _)| **u);
+    let mut attempts: Vec<(&u32, &u32)> = state.node_attempts.iter().collect();
+    attempts.sort_unstable_by_key(|(u, _)| **u);
+    Value::obj([
+        (
+            "cache",
+            Value::Arr(
+                cache
+                    .into_iter()
+                    .map(|(u, neighbors)| {
+                        Value::obj([
+                            ("node", Value::Uint(u64::from(*u))),
+                            ("neighbors", nodes_to_value(neighbors)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("refused", sorted_set_value(&state.refused)),
+        (
+            "attempts",
+            Value::Arr(
+                attempts
+                    .into_iter()
+                    .map(|(u, n)| {
+                        Value::obj([
+                            ("node", Value::Uint(u64::from(*u))),
+                            ("count", Value::Uint(u64::from(*n))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("seen", sorted_set_value(&state.seen)),
+        ("stats", stats_to_value(state.stats)),
+        ("refused_nodes", Value::Uint(state.refused_nodes as u64)),
+        ("abandoned_nodes", Value::Uint(state.abandoned_nodes as u64)),
+        (
+            "budget",
+            match state.budget_in_force {
+                Some(b) => Value::Uint(b),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn dispatch_from_value(value: &Value) -> Result<DispatchState, String> {
+    let mut cache = FnvHashMap::default();
+    for entry in value.field("cache")?.as_array()? {
+        let node: u32 = entry.field("node")?.decode()?;
+        let neighbors = nodes_from_value(entry.field("neighbors")?)?;
+        if cache.insert(node, neighbors).is_some() {
+            return Err(format!("duplicate cache entry for node {node}"));
+        }
+    }
+    let mut node_attempts = FnvHashMap::default();
+    for entry in value.field("attempts")?.as_array()? {
+        let node: u32 = entry.field("node")?.decode()?;
+        let count: u32 = entry.field("count")?.decode()?;
+        if node_attempts.insert(node, count).is_some() {
+            return Err(format!("duplicate attempt entry for node {node}"));
+        }
+    }
+    Ok(DispatchState {
+        cache,
+        refused: set_from_value(value.field("refused")?)?,
+        node_attempts,
+        seen: set_from_value(value.field("seen")?)?,
+        stats: stats_from_value(value.field("stats")?)?,
+        refused_nodes: value.field("refused_nodes")?.decode()?,
+        abandoned_nodes: value.field("abandoned_nodes")?.decode()?,
+        budget_in_force: match value.field("budget")? {
+            Value::Null => None,
+            other => Some(other.decode()?),
+        },
+    })
+}
+
+/// A serial orchestrated run that pauses between scheduling rounds,
+/// snapshots to an `osn-serde` [`Value`], and resumes **bit-identically** —
+/// the execution substrate of the `osn-service` job server, where many
+/// concurrent jobs advance in interleaved round slices and a killed server
+/// must restore every job mid-walk.
+///
+/// Semantically this is [`WalkOrchestrator::run_serial`] under the
+/// [`Never`] policy, sliced: driving a run to completion produces the
+/// identical traces, estimate, and stops (pinned by the facade-level
+/// resume suite). Restart policies are intentionally **not** supported on
+/// the resumable path — [`WorkStealing`] keeps non-serializable interior
+/// diagnostics (the windowed split-R̂ accumulators, per-walker visit
+/// filters, the lock-striped frontier), so a mid-run snapshot could not
+/// restore the restart schedule. Use [`WalkOrchestrator::run_serial`] for
+/// policy-driven runs.
+pub struct SerialWalkRun {
+    spec: WalkOrchestrator,
+    fleet: Vec<Box<dyn RandomWalk + Send>>,
+    rngs: Vec<ChaCha12Rng>,
+    cells: Vec<Cell>,
+    rounds: usize,
+    active: Vec<usize>,
+}
+
+impl SerialWalkRun {
+    /// Whether every walker has finished (step cap reached or budget
+    /// refused). Further [`Self::run_rounds`] calls are no-ops.
+    pub fn done(&self) -> bool {
+        let max = self.spec.max_steps_per_walker;
+        self.cells.iter().all(|c| !c.live(max))
+    }
+
+    /// Scheduling rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total transitions performed across the fleet so far.
+    pub fn steps_taken(&self) -> usize {
+        self.cells.iter().map(|c| c.trace.len()).sum()
+    }
+
+    /// Advance up to `rounds` scheduling waves against `client`, returning
+    /// the number actually executed (fewer once the fleet finishes).
+    /// `value` must be the same function across slices for the estimate to
+    /// mean anything; pass `usize::MAX` to drive the run to completion.
+    pub fn run_rounds<C, F>(&mut self, client: &mut C, value: &F, rounds: usize) -> usize
+    where
+        C: OsnClient,
+        F: Fn(NodeId) -> f64 + ?Sized,
+    {
+        let mut refs: Vec<&mut dyn RandomWalk> =
+            self.fleet.iter_mut().map(|w| w.as_mut() as _).collect();
+        let mut no_restarts = Vec::new();
+        let mut executed = 0;
+        while executed < rounds
+            && serial_round(
+                client,
+                &mut refs,
+                &mut self.rngs,
+                self.spec.max_steps_per_walker,
+                Some(value),
+                &Never,
+                &mut self.cells,
+                &mut no_restarts,
+                &mut self.active,
+            )
+        {
+            executed += 1;
+            self.rounds += 1;
+        }
+        executed
+    }
+
+    /// Serialize the complete run state — walker positions and circulation
+    /// histories, RNG stream words, per-walker traces, estimator
+    /// accumulators, stop flags, round counter — as a byte-deterministic
+    /// [`Value`]. Restore with [`WalkOrchestrator::resume_serial`].
+    pub fn snapshot(&self) -> Value {
+        Value::obj([
+            ("kind", Value::Str("serial".into())),
+            ("spec", self.spec.spec_value()),
+            ("rounds", Value::Uint(self.rounds as u64)),
+            (
+                "walkers",
+                Value::Arr(self.fleet.iter().map(|w| w.export_state()).collect()),
+            ),
+            (
+                "rngs",
+                Value::Arr(self.rngs.iter().map(rng_to_value).collect()),
+            ),
+            (
+                "cells",
+                Value::Arr(self.cells.iter().map(cell_to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Fold the run into the uniform report shape. `stats` is the client's
+    /// accounting (the serial backend's walker-side stats *are* the
+    /// interface stats, exactly as in [`WalkOrchestrator::run_serial`]).
+    pub fn into_report(self, stats: QueryStats) -> OrchestratorReport {
+        OrchestratorReport::from_cells(self.cells, Vec::new(), self.rounds, stats)
+    }
+}
+
+/// A coalesced orchestrated run that pauses between rounds and snapshots —
+/// the batched sibling of [`SerialWalkRun`], carrying the dispatcher state
+/// (shared cache, refusals, resubmission counts, walker-side accounting)
+/// through the snapshot so a resumed run re-charges nothing it already
+/// paid for. Driving it to completion is bit-identical to
+/// [`WalkOrchestrator::run_coalesced`] under [`Never`].
+pub struct CoalescedWalkRun {
+    spec: WalkOrchestrator,
+    fleet: Vec<Box<dyn RandomWalk + Send>>,
+    rngs: Vec<ChaCha12Rng>,
+    cells: Vec<Cell>,
+    rounds: usize,
+    active: Vec<usize>,
+    state: DispatchState,
+    node_attempt_cap: u32,
+    /// Endpoint accounting at the first `run_rounds` call of this process
+    /// lifetime, so [`Self::into_report`] reports the interface delta this
+    /// run (segment) caused. Not serialized: endpoint counters do not
+    /// survive the process, so a resumed segment's delta starts fresh.
+    interface_base: Option<QueryStats>,
+}
+
+impl CoalescedWalkRun {
+    /// Whether every walker has finished.
+    pub fn done(&self) -> bool {
+        let max = self.spec.max_steps_per_walker;
+        self.cells.iter().all(|c| !c.live(max))
+    }
+
+    /// Scheduling rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total transitions performed across the fleet so far.
+    pub fn steps_taken(&self) -> usize {
+        self.cells.iter().map(|c| c.trace.len()).sum()
+    }
+
+    /// Walker-side accounting so far (the serial-shaped `issued` /
+    /// `unique` / `cache_hits` view over the dispatcher cache).
+    pub fn walker_stats(&self) -> QueryStats {
+        self.state.stats
+    }
+
+    /// Cap on dispatcher-level resubmissions of a permanently-dropped node
+    /// (default [`DEFAULT_NODE_ATTEMPT_CAP`]).
+    #[must_use]
+    pub fn with_node_attempt_cap(mut self, cap: u32) -> Self {
+        self.node_attempt_cap = cap.max(1);
+        self
+    }
+
+    /// Advance up to `rounds` deterministic **policy-free** rounds of
+    /// gather → dedup → charge → fan-out against `client`, returning the
+    /// number actually executed. Pass `usize::MAX` to drive to completion.
+    pub fn run_rounds<B, F>(&mut self, client: &mut B, value: &F, rounds: usize) -> usize
+    where
+        B: BatchOsnClient,
+        F: Fn(NodeId) -> f64 + ?Sized,
+    {
+        if self.interface_base.is_none() {
+            self.interface_base = Some(client.stats());
+        }
+        let mut refs: Vec<&mut dyn RandomWalk> =
+            self.fleet.iter_mut().map(|w| w.as_mut() as _).collect();
+        let mut no_restarts = Vec::new();
+        let mut executed = 0;
+        while executed < rounds
+            && coalesced_round(
+                client,
+                &mut refs,
+                &mut self.rngs,
+                self.spec.max_steps_per_walker,
+                self.node_attempt_cap,
+                Some(value),
+                &Never,
+                &mut self.state,
+                &mut self.cells,
+                &mut no_restarts,
+                &mut self.active,
+            )
+        {
+            executed += 1;
+            self.rounds += 1;
+        }
+        executed
+    }
+
+    /// Serialize the complete run state — fleet as in
+    /// [`SerialWalkRun::snapshot`], plus the dispatcher cache/refusals/
+    /// attempt counts/accounting. Restore with
+    /// [`WalkOrchestrator::resume_coalesced`].
+    pub fn snapshot(&self) -> Value {
+        Value::obj([
+            ("kind", Value::Str("coalesced".into())),
+            ("spec", self.spec.spec_value()),
+            ("rounds", Value::Uint(self.rounds as u64)),
+            (
+                "walkers",
+                Value::Arr(self.fleet.iter().map(|w| w.export_state()).collect()),
+            ),
+            (
+                "rngs",
+                Value::Arr(self.rngs.iter().map(rng_to_value).collect()),
+            ),
+            (
+                "cells",
+                Value::Arr(self.cells.iter().map(cell_to_value).collect()),
+            ),
+            ("dispatch", dispatch_to_value(&self.state)),
+            ("attempt_cap", Value::Uint(u64::from(self.node_attempt_cap))),
+        ])
+    }
+
+    /// Fold the run into the uniform report shape, reading the endpoint's
+    /// interface-side accounting delta for this process lifetime from
+    /// `client` (deltas are measured from the first `run_rounds` call
+    /// after construction or resume; endpoint counters do not survive the
+    /// process).
+    pub fn into_report<B: BatchOsnClient>(self, client: &B) -> OrchestratorReport {
+        let refused_nodes = self.state.refused_nodes;
+        let abandoned_nodes = self.state.abandoned_nodes;
+        let mut report =
+            OrchestratorReport::from_cells(self.cells, Vec::new(), self.rounds, self.state.stats);
+        let mut interface = client.stats();
+        if let Some(base) = self.interface_base {
+            interface.issued -= base.issued;
+            interface.unique -= base.unique;
+            interface.cache_hits -= base.cache_hits;
+        }
+        report.interface = Some(interface);
+        report.refused_nodes = refused_nodes;
+        report.abandoned_nodes = abandoned_nodes;
         report
     }
 }

@@ -2,6 +2,7 @@
 
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::RngCore;
 
 /// A random walk over an online social network accessed through the
@@ -38,6 +39,27 @@ pub trait RandomWalk {
     /// Restart the walk at `start`, clearing **all** history (for CNRW/GNRW
     /// this resets every `b(u,v)` / `S(u,v)` map — a fresh walk).
     fn restart(&mut self, start: NodeId);
+
+    /// Serialize the walker's resumable state (position, predecessor,
+    /// circulation history) to a [`Value`] tree.
+    ///
+    /// Construction-time configuration — the algorithm, grouping strategy,
+    /// history backend choice — is **not** part of the state: the
+    /// [`import_state`](Self::import_state) contract is that the receiver
+    /// was constructed from the same spec. Given that, a snapshot taken
+    /// after `k` steps and restored into a fresh walker continues
+    /// **bit-identically** with the original on the same RNG stream.
+    fn export_state(&self) -> Value;
+
+    /// Restore state captured by [`export_state`](Self::export_state) into
+    /// this walker (which must have been constructed from the same spec —
+    /// same algorithm, same history backend).
+    ///
+    /// # Errors
+    /// Returns a message when the tree is malformed or does not match this
+    /// walker's configuration (e.g. a history-backend mismatch). The walker
+    /// is left unchanged on error.
+    fn import_state(&mut self, state: &Value) -> Result<(), String>;
 }
 
 /// Shared helper: uniform choice from a non-empty slice.
@@ -45,6 +67,40 @@ pub trait RandomWalk {
 pub(crate) fn uniform_pick<R: rand::Rng + ?Sized>(items: &[NodeId], rng: &mut R) -> NodeId {
     debug_assert!(!items.is_empty());
     items[rng.gen_range(0..items.len())]
+}
+
+/// Encode an optional predecessor node (`prev` of order-2 walkers): the
+/// node id, or [`Value::Null`] before the first step.
+pub(crate) fn prev_to_value(prev: Option<NodeId>) -> Value {
+    match prev {
+        Some(n) => Value::Uint(u64::from(n.0)),
+        None => Value::Null,
+    }
+}
+
+/// Decode [`prev_to_value`] output.
+pub(crate) fn prev_from_value(value: &Value) -> Result<Option<NodeId>, String> {
+    match value {
+        Value::Null => Ok(None),
+        other => Ok(Some(NodeId(other.decode::<u32>()?))),
+    }
+}
+
+/// Check that an imported history tree names the backend the walker was
+/// constructed with — the mismatch guard every historied walker applies
+/// before touching its own state.
+pub(crate) fn check_backend(
+    state: &Value,
+    expected: crate::history::HistoryBackend,
+) -> Result<(), String> {
+    let named = state.field("backend")?.as_str()?;
+    if named != expected.label() {
+        return Err(format!(
+            "history backend mismatch: snapshot is `{named}`, walker runs `{}`",
+            expected.label()
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -2,10 +2,11 @@
 
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::RngCore;
 
 use crate::history::{EdgeHistory, HistoryBackend};
-use crate::walker::{uniform_pick, RandomWalk};
+use crate::walker::{check_backend, prev_from_value, prev_to_value, uniform_pick, RandomWalk};
 
 /// Circulated Neighbors Random Walk (paper §3, Algorithm 1).
 ///
@@ -114,6 +115,26 @@ impl RandomWalk for Cnrw {
         self.prev = None;
         self.current = start;
         self.history.clear();
+    }
+
+    fn export_state(&self) -> Value {
+        Value::obj([
+            ("prev", prev_to_value(self.prev)),
+            ("current", Value::Uint(u64::from(self.current.0))),
+            ("history", self.history.export_state()),
+        ])
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        let history_state = state.field("history")?;
+        check_backend(history_state, self.backend())?;
+        let prev = prev_from_value(state.field("prev")?)?;
+        let current = NodeId(state.field("current")?.decode()?);
+        let history = EdgeHistory::import_state(history_state)?;
+        self.prev = prev;
+        self.current = current;
+        self.history = history;
+        Ok(())
     }
 }
 

@@ -2,12 +2,13 @@
 
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::{Rng, RngCore};
 
 use crate::fnv::FnvHashMap;
 use crate::grouping::GroupingStrategy;
 use crate::history::{GroupEdgeView, GroupHistory, HistoryBackend};
-use crate::walker::{uniform_pick, RandomWalk};
+use crate::walker::{check_backend, prev_from_value, prev_to_value, uniform_pick, RandomWalk};
 
 /// GroupBy Neighbors Random Walk (paper §4, Algorithm 2).
 ///
@@ -245,6 +246,29 @@ impl RandomWalk for Gnrw {
         self.prev = None;
         self.current = start;
         self.history.clear();
+    }
+
+    fn export_state(&self) -> Value {
+        // The grouping strategy and label are construction-time spec, and
+        // all `scratch_*` fields are per-step transients — only the walk
+        // position and the circulation history are resumable state.
+        Value::obj([
+            ("prev", prev_to_value(self.prev)),
+            ("current", Value::Uint(u64::from(self.current.0))),
+            ("history", self.history.export_state()),
+        ])
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        let history_state = state.field("history")?;
+        check_backend(history_state, self.backend())?;
+        let prev = prev_from_value(state.field("prev")?)?;
+        let current = NodeId(state.field("current")?.decode()?);
+        let history = GroupHistory::import_state(history_state)?;
+        self.prev = prev;
+        self.current = current;
+        self.history = history;
+        Ok(())
     }
 }
 

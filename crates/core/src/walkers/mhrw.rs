@@ -2,6 +2,7 @@
 
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::{Rng, RngCore};
 
 use crate::walker::{uniform_pick, RandomWalk};
@@ -61,6 +62,15 @@ impl RandomWalk for Mhrw {
 
     fn restart(&mut self, start: NodeId) {
         self.current = start;
+    }
+
+    fn export_state(&self) -> Value {
+        Value::obj([("current", Value::Uint(u64::from(self.current.0)))])
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        self.current = NodeId(state.field("current")?.decode()?);
+        Ok(())
     }
 }
 

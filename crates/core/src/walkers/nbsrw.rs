@@ -2,9 +2,10 @@
 
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::{Rng, RngCore};
 
-use crate::walker::{uniform_pick, RandomWalk};
+use crate::walker::{prev_from_value, prev_to_value, uniform_pick, RandomWalk};
 
 /// Non-backtracking simple random walk (Lee, Xu, Eun \[11\]): an order-2
 /// Markov chain that never returns to the immediately previous node unless
@@ -78,6 +79,20 @@ impl RandomWalk for NbSrw {
     fn restart(&mut self, start: NodeId) {
         self.prev = None;
         self.current = start;
+    }
+
+    fn export_state(&self) -> Value {
+        Value::obj([
+            ("prev", prev_to_value(self.prev)),
+            ("current", Value::Uint(u64::from(self.current.0))),
+        ])
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        let prev = prev_from_value(state.field("prev")?)?;
+        self.current = NodeId(state.field("current")?.decode()?);
+        self.prev = prev;
+        Ok(())
     }
 }
 

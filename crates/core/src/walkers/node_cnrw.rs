@@ -17,10 +17,11 @@
 
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::RngCore;
 
 use crate::history::{EdgeHistory, HistoryBackend};
-use crate::walker::RandomWalk;
+use crate::walker::{check_backend, RandomWalk};
 
 /// CNRW variant with **node-keyed** history `b(v)` (ablation of §3.2's
 /// edge-based design decision).
@@ -88,6 +89,23 @@ impl RandomWalk for NodeCnrw {
     fn restart(&mut self, start: NodeId) {
         self.current = start;
         self.history.clear();
+    }
+
+    fn export_state(&self) -> Value {
+        Value::obj([
+            ("current", Value::Uint(u64::from(self.current.0))),
+            ("history", self.history.export_state()),
+        ])
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        let history_state = state.field("history")?;
+        check_backend(history_state, self.backend())?;
+        let current = NodeId(state.field("current")?.decode()?);
+        let history = EdgeHistory::import_state(history_state)?;
+        self.current = current;
+        self.history = history;
+        Ok(())
     }
 }
 

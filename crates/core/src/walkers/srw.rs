@@ -2,6 +2,7 @@
 
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
+use osn_serde::Value;
 use rand::RngCore;
 
 use crate::walker::{uniform_pick, RandomWalk};
@@ -50,6 +51,15 @@ impl RandomWalk for Srw {
 
     fn restart(&mut self, start: NodeId) {
         self.current = start;
+    }
+
+    fn export_state(&self) -> Value {
+        Value::obj([("current", Value::Uint(u64::from(self.current.0)))])
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        self.current = NodeId(state.field("current")?.decode()?);
+        Ok(())
     }
 }
 

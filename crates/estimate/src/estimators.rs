@@ -99,6 +99,22 @@ impl RatioEstimator {
         self.weight_total += other.weight_total;
         self.count += other.count;
     }
+
+    /// Export the raw accumulators `(Σ f/k, Σ 1/k, count)` for
+    /// snapshot/resume; [`from_parts`](Self::from_parts) restores them
+    /// exactly, so a resumed estimator continues bit-identically.
+    pub fn parts(&self) -> (f64, f64, usize) {
+        (self.weighted_sum, self.weight_total, self.count)
+    }
+
+    /// Rebuild from [`parts`](Self::parts) output.
+    pub fn from_parts(weighted_sum: f64, weight_total: f64, count: usize) -> Self {
+        RatioEstimator {
+            weighted_sum,
+            weight_total,
+            count,
+        }
+    }
 }
 
 /// Plain mean estimator for uniform samples (MHRW).
@@ -134,6 +150,17 @@ impl UniformMeanEstimator {
     pub fn merge(&mut self, other: &UniformMeanEstimator) {
         self.sum += other.sum;
         self.count += other.count;
+    }
+
+    /// Export the raw accumulators `(Σ f, count)` for snapshot/resume;
+    /// [`from_parts`](Self::from_parts) restores them exactly.
+    pub fn parts(&self) -> (f64, usize) {
+        (self.sum, self.count)
+    }
+
+    /// Rebuild from [`parts`](Self::parts) output.
+    pub fn from_parts(sum: f64, count: usize) -> Self {
+        UniformMeanEstimator { sum, count }
     }
 }
 

@@ -20,6 +20,7 @@
 //! | [`fig11`] | Figure 11 — barbell sweep: KL / ℓ2 / error vs graph size |
 //! | [`theorem3`] | Theorem 3 — barbell escape: hitting times and bound |
 //! | [`ablation`] | §3.2 ablation — edge-keyed vs node-keyed circulation |
+//! | [`fig_service`] | Service extension — multi-tenant fair-share scheduling vs sequential at one shared budget |
 //!
 //! All runs are seeded and deterministic (including under parallelism: trial
 //! seeds are derived, not scheduler-dependent). The one exception is
@@ -41,6 +42,7 @@ pub mod fig6_steal;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_service;
 pub mod output;
 pub mod runner;
 pub mod sweeps;

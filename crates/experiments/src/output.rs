@@ -1,9 +1,13 @@
 //! Experiment result containers and renderers (markdown / CSV / JSON).
 //!
-//! JSON encoding/decoding is hand-rolled for the two fixed container shapes
-//! below — the build environment has no registry access for `serde`, and the
-//! schema (strings + `f64` arrays) is small enough that a bespoke
-//! writer/parser is simpler than vendoring a serialization framework.
+//! JSON encoding/decoding rides the workspace serialization layer
+//! ([`osn_serde`]): the containers implement [`ToValue`] / [`FromValue`]
+//! and render through the pretty writer, whose layout is byte-identical to
+//! the hand-rolled writer that used to live in this module — existing
+//! artifacts (`BENCH_walkers.json`, recorded `repro` baselines) parse and
+//! re-emit unchanged.
+
+use osn_serde::{FromValue, ToValue, Value};
 
 /// One labeled curve: `(x, y)` pairs (a line in one of the paper's plots,
 /// or a column group in a table).
@@ -182,43 +186,11 @@ impl ExperimentResult {
         out
     }
 
-    /// Serialize to pretty JSON.
+    /// Serialize to pretty JSON (via [`osn_serde`]'s pretty writer, whose
+    /// layout matches this module's historical hand-rolled format byte for
+    /// byte).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"id\": {},\n", json::string(&self.id)));
-        out.push_str(&format!("  \"title\": {},\n", json::string(&self.title)));
-        out.push_str(&format!(
-            "  \"x_label\": {},\n",
-            json::string(&self.x_label)
-        ));
-        out.push_str(&format!(
-            "  \"y_label\": {},\n",
-            json::string(&self.y_label)
-        ));
-        out.push_str("  \"series\": [");
-        for (i, s) in self.series.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    {\n");
-            out.push_str(&format!("      \"label\": {},\n", json::string(&s.label)));
-            out.push_str(&format!("      \"x\": {},\n", json::numbers(&s.x)));
-            out.push_str(&format!("      \"y\": {}\n", json::numbers(&s.y)));
-            out.push_str("    }");
-        }
-        if !self.series.is_empty() {
-            out.push_str("\n  ");
-        }
-        out.push_str("],\n");
-        out.push_str("  \"notes\": [");
-        for (i, n) in self.notes.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&json::string(n));
-        }
-        out.push_str("]\n}");
-        out
+        self.to_value().to_pretty()
     }
 
     /// Parse the JSON produced by [`to_json`](Self::to_json).
@@ -227,336 +199,59 @@ impl ExperimentResult {
     /// Returns a human-readable message when `input` is not a well-formed
     /// experiment-result document.
     pub fn from_json(input: &str) -> Result<Self, String> {
-        let value = json::parse(input)?;
-        let obj = value.as_object()?;
-        let series_values = json::get(obj, "series")?.as_array()?;
-        let mut series = Vec::with_capacity(series_values.len());
-        for sv in series_values {
-            let so = sv.as_object()?;
-            let x = json::get(so, "x")?.as_numbers()?;
-            let y = json::get(so, "y")?.as_numbers()?;
-            if x.len() != y.len() {
-                return Err("series coordinate length mismatch".into());
-            }
-            series.push(Series {
-                label: json::get(so, "label")?.as_string()?,
-                x,
-                y,
-            });
+        let value = Value::parse(input).map_err(|e| e.to_string())?;
+        Self::from_value(&value)
+    }
+}
+
+impl ToValue for Series {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("label", self.label.to_value()),
+            ("x", self.x.to_value()),
+            ("y", self.y.to_value()),
+        ])
+    }
+}
+
+impl FromValue for Series {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let x: Vec<f64> = value.field("x")?.decode()?;
+        let y: Vec<f64> = value.field("y")?.decode()?;
+        if x.len() != y.len() {
+            return Err("series coordinate length mismatch".into());
         }
-        let notes = json::get(obj, "notes")?
-            .as_array()?
-            .iter()
-            .map(|v| v.as_string())
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(ExperimentResult {
-            id: json::get(obj, "id")?.as_string()?,
-            title: json::get(obj, "title")?.as_string()?,
-            x_label: json::get(obj, "x_label")?.as_string()?,
-            y_label: json::get(obj, "y_label")?.as_string()?,
-            series,
-            notes,
+        Ok(Series {
+            label: value.field("label")?.decode()?,
+            x,
+            y,
         })
     }
 }
 
-/// Minimal JSON writer/parser covering exactly the document shape
-/// [`ExperimentResult::to_json`] emits (objects, arrays, strings, finite
-/// and non-finite `f64`s).
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub(super) enum Value {
-        /// String scalar.
-        Str(String),
-        /// Number scalar (non-finite values round-trip via string forms).
-        Num(f64),
-        /// Array of values.
-        Arr(Vec<Value>),
-        /// Object as ordered key/value pairs (no duplicate-key handling).
-        Obj(Vec<(String, Value)>),
+impl ToValue for ExperimentResult {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("id", self.id.to_value()),
+            ("title", self.title.to_value()),
+            ("x_label", self.x_label.to_value()),
+            ("y_label", self.y_label.to_value()),
+            ("series", self.series.to_value()),
+            ("notes", self.notes.to_value()),
+        ])
     }
+}
 
-    impl Value {
-        pub(super) fn as_object(&self) -> Result<&[(String, Value)], String> {
-            match self {
-                Value::Obj(fields) => Ok(fields),
-                other => Err(format!("expected object, got {other:?}")),
-            }
-        }
-
-        pub(super) fn as_array(&self) -> Result<&[Value], String> {
-            match self {
-                Value::Arr(items) => Ok(items),
-                other => Err(format!("expected array, got {other:?}")),
-            }
-        }
-
-        pub(super) fn as_string(&self) -> Result<String, String> {
-            match self {
-                Value::Str(s) => Ok(s.clone()),
-                other => Err(format!("expected string, got {other:?}")),
-            }
-        }
-
-        pub(super) fn as_numbers(&self) -> Result<Vec<f64>, String> {
-            self.as_array()?
-                .iter()
-                .map(|v| match v {
-                    Value::Num(n) => Ok(*n),
-                    // `numbers` encodes non-finite values as strings.
-                    Value::Str(s) => s
-                        .parse::<f64>()
-                        .map_err(|_| format!("expected number, got string `{s}`")),
-                    other => Err(format!("expected number, got {other:?}")),
-                })
-                .collect()
-        }
-    }
-
-    /// Fetch a required object field.
-    pub(super) fn get<'v>(obj: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
-        obj.iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field `{key}`"))
-    }
-
-    /// Encode a string with JSON escaping.
-    pub(super) fn string(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
-
-    /// Encode an `f64` array. Non-finite values (possible for diverging
-    /// estimators) are encoded as strings, which [`parse`] maps back.
-    pub(super) fn numbers(xs: &[f64]) -> String {
-        let mut out = String::from("[");
-        for (i, x) in xs.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            if x.is_finite() {
-                out.push_str(&format_number(*x));
-            } else {
-                out.push_str(&format!("\"{x}\""));
-            }
-        }
-        out.push(']');
-        out
-    }
-
-    /// Shortest round-trip decimal form, always with a decimal point or
-    /// exponent so the value reads as a float.
-    fn format_number(x: f64) -> String {
-        let s = format!("{x}");
-        if s.contains('.') || s.contains('e') || s.contains('E') {
-            s
-        } else {
-            format!("{s}.0")
-        }
-    }
-
-    /// Parse a JSON document (the subset emitted by this module).
-    pub(super) fn parse(input: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing input at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&mut self) -> Result<u8, String> {
-            self.skip_ws();
-            self.bytes
-                .get(self.pos)
-                .copied()
-                .ok_or_else(|| "unexpected end of input".to_string())
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            let got = self.peek()?;
-            if got != b {
-                return Err(format!(
-                    "expected `{}` at byte {}, got `{}`",
-                    b as char, self.pos, got as char
-                ));
-            }
-            self.pos += 1;
-            Ok(())
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek()? {
-                b'{' => self.object(),
-                b'[' => self.array(),
-                b'"' => Ok(self.string_value()?),
-                _ => self.number(),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            if self.peek()? == b'}' {
-                self.pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                let key = match self.string_value()? {
-                    Value::Str(s) => s,
-                    _ => unreachable!("string_value returns Str"),
-                };
-                self.expect(b':')?;
-                let val = self.value()?;
-                fields.push((key, val));
-                match self.peek()? {
-                    b',' => self.pos += 1,
-                    b'}' => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            if self.peek()? == b']' {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                items.push(self.value()?);
-                match self.peek()? {
-                    b',' => self.pos += 1,
-                    b']' => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
-                }
-            }
-        }
-
-        fn string_value(&mut self) -> Result<Value, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                let b = *self
-                    .bytes
-                    .get(self.pos)
-                    .ok_or_else(|| "unterminated string".to_string())?;
-                self.pos += 1;
-                match b {
-                    b'"' => break,
-                    b'\\' => {
-                        let esc = *self
-                            .bytes
-                            .get(self.pos)
-                            .ok_or_else(|| "unterminated escape".to_string())?;
-                        self.pos += 1;
-                        match esc {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'/' => out.push('/'),
-                            b'n' => out.push('\n'),
-                            b'r' => out.push('\r'),
-                            b't' => out.push('\t'),
-                            b'u' => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos..self.pos + 4)
-                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
-                                let hex = std::str::from_utf8(hex)
-                                    .map_err(|_| "non-utf8 \\u escape".to_string())?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                                self.pos += 4;
-                                out.push(
-                                    char::from_u32(code)
-                                        .ok_or_else(|| format!("invalid codepoint {code}"))?,
-                                );
-                            }
-                            other => return Err(format!("bad escape `\\{}`", other as char)),
-                        }
-                    }
-                    _ => {
-                        // Re-decode multi-byte UTF-8 sequences from the raw
-                        // byte stream.
-                        let start = self.pos - 1;
-                        let width = utf8_width(b);
-                        let end = start + width;
-                        let chunk = self
-                            .bytes
-                            .get(start..end)
-                            .ok_or_else(|| "truncated utf-8 sequence".to_string())?;
-                        let s = std::str::from_utf8(chunk)
-                            .map_err(|_| "invalid utf-8 in string".to_string())?;
-                        out.push_str(s);
-                        self.pos = end;
-                    }
-                }
-            }
-            Ok(Value::Str(out))
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            self.skip_ws();
-            let start = self.pos;
-            while matches!(
-                self.bytes.get(self.pos),
-                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            ) {
-                self.pos += 1;
-            }
-            let text =
-                std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
-            text.parse::<f64>()
-                .map(Value::Num)
-                .map_err(|_| format!("bad number `{text}` at byte {start}"))
-        }
-    }
-
-    fn utf8_width(first: u8) -> usize {
-        match first {
-            0x00..=0x7F => 1,
-            0xC0..=0xDF => 2,
-            0xE0..=0xEF => 3,
-            _ => 4,
-        }
+impl FromValue for ExperimentResult {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        Ok(ExperimentResult {
+            id: value.field("id")?.decode()?,
+            title: value.field("title")?.decode()?,
+            x_label: value.field("x_label")?.decode()?,
+            y_label: value.field("y_label")?.decode()?,
+            series: value.field("series")?.decode()?,
+            notes: value.field("notes")?.decode()?,
+        })
     }
 }
 

@@ -7,7 +7,8 @@ use osn_client::{BatchConfig, BudgetedClient, SimulatedBatchOsn, SimulatedOsn};
 use osn_graph::attributes::AttributedGraph;
 use osn_graph::NodeId;
 use osn_walks::{
-    CoalescingDispatcher, HistoryBackend, RandomWalk, WalkConfig, WalkSession, WalkTrace,
+    CoalescingDispatcher, HistoryBackend, OrchestratorReport, RandomWalk, RestartPolicy,
+    WalkConfig, WalkOrchestrator, WalkSession, WalkTrace,
 };
 
 use crate::algorithms::Algorithm;
@@ -21,13 +22,23 @@ pub fn trial_seed(experiment_seed: u64, trial: u64) -> u64 {
 
 /// The plan for one budget-limited walk trial over a shared snapshot.
 ///
+/// [`TrialPlan::new`] is the canonical entry point: every knob — budget,
+/// step cap, history backend, dispatch mode, restart policy — is a
+/// `with_*` builder on the same surface. [`TrialPlan::budgeted`] and
+/// [`TrialPlan::steps`] remain as documented shorthands that forward to
+/// the builder; nothing is deprecated.
+///
 /// Both dispatch modes execute on the unified orchestrator core of
 /// `osn-walks` (PR 5): the synchronous path through [`WalkSession`] (the
 /// orchestrator's single-walker serial entry point) and the batched path
 /// through the [`CoalescingDispatcher`] (its coalesced driver), both under
 /// the `Never` restart policy — which is what keeps the two modes
-/// bit-identical per seed. Multi-walker experiments with restart policies
-/// (e.g. `fig6_steal`) use `osn_walks::WalkOrchestrator` directly.
+/// bit-identical per seed. [`TrialPlan::with_restarts`] opts a plan into a
+/// [`RestartPolicy`] instead (single-walker steal ablations); that path
+/// runs on [`WalkOrchestrator`] and its derived per-walker RNG stream, so
+/// it matches orchestrator runs rather than the policy-free session
+/// stream. Multi-walker experiments with restart policies (e.g.
+/// `fig6_steal`) use [`WalkOrchestrator`] directly.
 #[derive(Clone)]
 pub struct TrialPlan {
     /// The snapshot every trial runs against (shared, never copied).
@@ -47,34 +58,58 @@ pub struct TrialPlan {
     /// stream, so traces are bit-identical — the cross-mode equivalence
     /// `tests/batch_client_props.rs` pins.
     pub batch: Option<BatchConfig>,
+    /// Restart policy for single-walker steal ablations (`None` = the
+    /// policy-free fast path). Set via [`Self::with_restarts`].
+    pub restarts: Option<Arc<dyn RestartPolicy + Send + Sync>>,
 }
 
 impl TrialPlan {
-    /// Plan over a snapshot with a budget and a step cap proportional to it.
+    /// The canonical constructor: an unbudgeted plan over a snapshot with
+    /// the default step cap, history backend, synchronous dispatch, and no
+    /// restart policy. Layer knobs on with the `with_*` builders.
+    pub fn new(network: Arc<AttributedGraph>) -> Self {
+        TrialPlan {
+            network,
+            budget: None,
+            max_steps: 10_000,
+            backend: HistoryBackend::default(),
+            batch: None,
+            restarts: None,
+        }
+    }
+
+    /// Shorthand for a budget-limited plan; forwards to
+    /// [`new`](Self::new)`.`[`with_budget`](Self::with_budget)`.`[`with_max_steps`](Self::with_max_steps)
+    /// with a step cap proportional to the budget.
     pub fn budgeted(network: Arc<AttributedGraph>, budget: u64) -> Self {
         // Once the budget is exhausted a walk can only revisit cached nodes;
         // the paper's samplers stop there. A generous multiple bounds the
         // tail where the walk bounces among cached nodes before touching a
         // new one.
         let max_steps = (budget as usize).saturating_mul(50).max(10_000);
-        TrialPlan {
-            network,
-            budget: Some(budget),
-            max_steps,
-            backend: HistoryBackend::default(),
-            batch: None,
-        }
+        Self::new(network)
+            .with_budget(budget)
+            .with_max_steps(max_steps)
     }
 
-    /// Plan with no budget, only a step count (Figure 8-style runs).
+    /// Shorthand for a step-count plan (Figure 8-style runs); forwards to
+    /// [`new`](Self::new)`.`[`with_max_steps`](Self::with_max_steps).
     pub fn steps(network: Arc<AttributedGraph>, max_steps: usize) -> Self {
-        TrialPlan {
-            network,
-            budget: None,
-            max_steps,
-            backend: HistoryBackend::default(),
-            batch: None,
-        }
+        Self::new(network).with_max_steps(max_steps)
+    }
+
+    /// Same plan under a unique-query budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Same plan with an explicit hard step cap.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
     }
 
     /// Same plan on an explicit history backend.
@@ -92,6 +127,18 @@ impl TrialPlan {
         self
     }
 
+    /// Same plan under a [`RestartPolicy`] (single-walker steal ablations).
+    ///
+    /// Trials run on [`WalkOrchestrator`] — serial or coalesced per
+    /// [`Self::batch`] — with the walker consuming the orchestrator's
+    /// derived RNG stream. Use [`Self::run_report`] to see restart
+    /// diagnostics; [`Self::run`] flattens to the walker's trace.
+    #[must_use]
+    pub fn with_restarts(mut self, policy: impl RestartPolicy + Send + 'static) -> Self {
+        self.restarts = Some(Arc::new(policy));
+        self
+    }
+
     /// Uniformly random start node for the given trial seed.
     pub fn start_node(&self, seed: u64) -> NodeId {
         let n = self.network.graph.node_count() as u64;
@@ -106,6 +153,16 @@ impl TrialPlan {
     /// (budget cut-off included).
     pub fn run(&self, algorithm: &Algorithm, seed: u64) -> WalkTrace {
         let start = self.start_node(seed);
+        if self.restarts.is_some() {
+            let report = self.run_report(algorithm, seed);
+            let nodes = report
+                .trace
+                .per_walker
+                .into_iter()
+                .next()
+                .unwrap_or_default();
+            return WalkTrace::from_parts(start, nodes, report.stops[0], report.trace.stats);
+        }
         let mut walker = algorithm.make_with_backend(start, self.backend);
         if let Some(batch) = &self.batch {
             return self.run_batched(walker, start, batch.clone(), seed);
@@ -157,6 +214,44 @@ impl TrialPlan {
             .next()
             .unwrap_or_default();
         WalkTrace::from_parts(start, nodes, report.stops[0], report.trace.stats)
+    }
+
+    /// Run one trial on the [`WalkOrchestrator`] engine and return the full
+    /// [`OrchestratorReport`] — restart diagnostics included. This is the
+    /// path [`Self::run`] takes when [`Self::with_restarts`] set a policy
+    /// (without one, the report is a policy-free `Never` run); the walker
+    /// consumes the orchestrator's derived RNG stream for `seed`.
+    pub fn run_report(&self, algorithm: &Algorithm, seed: u64) -> OrchestratorReport {
+        let start = self.start_node(seed);
+        let policy: &(dyn RestartPolicy + Send + Sync) = match &self.restarts {
+            Some(p) => p.as_ref(),
+            None => &osn_walks::Never,
+        };
+        let orchestrator =
+            WalkOrchestrator::new(1, self.max_steps, seed).with_backend(self.backend);
+        let make = |_i: usize, backend: HistoryBackend| algorithm.make_with_backend(start, backend);
+        match &self.batch {
+            Some(batch) => {
+                let mut client = SimulatedBatchOsn::configured(
+                    SimulatedOsn::new_shared(self.network.clone()),
+                    batch.clone(),
+                    self.budget,
+                );
+                orchestrator.run_coalesced(&mut client, make, |_| 1.0, policy)
+            }
+            None => match self.budget {
+                Some(b) => {
+                    let inner = SimulatedOsn::new_shared(self.network.clone());
+                    let n = self.network.graph.node_count();
+                    let mut client = BudgetedClient::new(inner, b, n);
+                    orchestrator.run_serial(&mut client, make, |_| 1.0, policy)
+                }
+                None => {
+                    let mut client = SimulatedOsn::new_shared(self.network.clone());
+                    orchestrator.run_serial(&mut client, make, |_| 1.0, policy)
+                }
+            },
+        }
     }
 }
 
@@ -312,6 +407,89 @@ mod tests {
                 assert_eq!(serial.stats, batched.stats);
             }
         }
+    }
+
+    #[test]
+    fn builder_surface_matches_the_shorthands() {
+        // The documented shorthands forward to the canonical builder: a
+        // hand-assembled plan replays the shorthand's traces bit-for-bit.
+        let net = shared_net();
+        let short = TrialPlan::budgeted(net.clone(), 30);
+        let built = TrialPlan::new(net.clone())
+            .with_budget(30)
+            .with_max_steps(short.max_steps);
+        assert_eq!(
+            short.run(&Algorithm::Cnrw, 4).nodes(),
+            built.run(&Algorithm::Cnrw, 4).nodes()
+        );
+        let short = TrialPlan::steps(net.clone(), 120);
+        let built = TrialPlan::new(net).with_max_steps(120);
+        assert_eq!(
+            short.run(&Algorithm::Srw, 4).nodes(),
+            built.run(&Algorithm::Srw, 4).nodes()
+        );
+    }
+
+    /// A deliberately simple policy for exercising the hook: teleport home
+    /// on a fixed step cadence.
+    struct TeleportEvery {
+        cadence: usize,
+        home: NodeId,
+    }
+
+    impl osn_walks::RestartPolicy for TeleportEvery {
+        fn restart_target(
+            &self,
+            _walker: usize,
+            steps_done: usize,
+            current: NodeId,
+            _current_degree: usize,
+            _cached: &dyn Fn(NodeId) -> bool,
+        ) -> Option<(NodeId, osn_walks::RestartReason)> {
+            (steps_done.is_multiple_of(self.cadence) && current != self.home)
+                .then_some((self.home, osn_walks::RestartReason::Exhausted))
+        }
+    }
+
+    #[test]
+    fn restart_hook_relocates_and_reports() {
+        let plan = TrialPlan::steps(shared_net(), 200).with_restarts(TeleportEvery {
+            cadence: 25,
+            home: NodeId(0),
+        });
+        let report = plan.run_report(&Algorithm::Srw, 13);
+        assert!(!report.restarts.is_empty(), "the policy never fired");
+        for e in &report.restarts {
+            assert_eq!(e.to, NodeId(0));
+        }
+        // `run` flattens the same orchestrated trace.
+        let trace = plan.run(&Algorithm::Srw, 13);
+        assert_eq!(trace.nodes(), &report.trace.per_walker[0][..]);
+        // And the hook stays deterministic per seed.
+        let again = plan.run_report(&Algorithm::Srw, 13);
+        assert_eq!(report.restarts, again.restarts);
+        assert_eq!(report.trace.per_walker, again.trace.per_walker);
+    }
+
+    #[test]
+    fn restart_hook_supports_work_stealing() {
+        // Single-walker WorkStealing: its own-territory filter means it
+        // rarely (often never) fires, but the hook must run it cleanly in
+        // both dispatch modes and stay deterministic.
+        use osn_walks::{SharedFrontier, WorkStealing};
+        let serial = TrialPlan::budgeted(shared_net(), 40).with_restarts(WorkStealing::new(
+            1.05,
+            8,
+            SharedFrontier::new(),
+        ));
+        let a = serial.run(&Algorithm::Cnrw, 9);
+        let b = serial.run(&Algorithm::Cnrw, 9);
+        assert_eq!(a.nodes(), b.nodes());
+        let batched = serial
+            .clone()
+            .with_batch(osn_client::BatchConfig::new(4).with_in_flight(2));
+        let c = batched.run(&Algorithm::Cnrw, 9);
+        assert!(!c.is_empty());
     }
 
     #[test]

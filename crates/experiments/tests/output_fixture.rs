@@ -1,0 +1,65 @@
+//! Pin the serialization port: existing artifacts written by the historical
+//! hand-rolled JSON writer must parse and re-emit **byte-identically**
+//! through the `osn-serde`-backed [`ExperimentResult`] implementation.
+
+use osn_experiments::ExperimentResult;
+
+#[test]
+fn bench_walkers_fixture_roundtrips_byte_identically() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_walkers.json");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        // The perf baseline is re-recordable and may be absent on a fresh
+        // checkout; the synthetic fixture below still pins the format.
+        return;
+    };
+    let parsed = ExperimentResult::from_json(&text).expect("fixture parses");
+    assert_eq!(parsed.to_json(), text.trim_end(), "byte-identical re-emit");
+}
+
+#[test]
+fn historical_layout_is_pinned() {
+    use osn_experiments::Series;
+    let r = ExperimentResult::new("figX", "Demo", "Query Cost", "Relative Error")
+        .with_series(Series::new("SRW", vec![20.0, 40.0], vec![0.5, 0.25]))
+        .with_series(Series::new("odd", vec![1e-9], vec![f64::INFINITY]))
+        .with_note("synthetic demo data");
+    let expected = concat!(
+        "{\n",
+        "  \"id\": \"figX\",\n",
+        "  \"title\": \"Demo\",\n",
+        "  \"x_label\": \"Query Cost\",\n",
+        "  \"y_label\": \"Relative Error\",\n",
+        "  \"series\": [\n",
+        "    {\n",
+        "      \"label\": \"SRW\",\n",
+        "      \"x\": [20.0, 40.0],\n",
+        "      \"y\": [0.5, 0.25]\n",
+        "    },\n",
+        "    {\n",
+        "      \"label\": \"odd\",\n",
+        "      \"x\": [0.000000001],\n",
+        "      \"y\": [\"inf\"]\n",
+        "    }\n",
+        "  ],\n",
+        "  \"notes\": [\"synthetic demo data\"]\n",
+        "}",
+    );
+    assert_eq!(r.to_json(), expected);
+    assert_eq!(ExperimentResult::from_json(expected).unwrap(), r);
+}
+
+#[test]
+fn empty_series_layout_is_pinned() {
+    let r = ExperimentResult::new("e", "E", "x", "y");
+    let expected = concat!(
+        "{\n",
+        "  \"id\": \"e\",\n",
+        "  \"title\": \"E\",\n",
+        "  \"x_label\": \"x\",\n",
+        "  \"y_label\": \"y\",\n",
+        "  \"series\": [],\n",
+        "  \"notes\": []\n",
+        "}",
+    );
+    assert_eq!(r.to_json(), expected);
+}

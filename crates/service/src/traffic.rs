@@ -1,0 +1,137 @@
+//! Seeded closed-loop traffic generation: many simulated tenants with
+//! randomized arrival processes and mixed job shapes.
+//!
+//! The generator is a pure function of its seed: tenant weights cycle
+//! through [`WEIGHT_CYCLE`], per-tenant arrivals follow a seeded
+//! exponential interarrival process on the server's virtual clock, and job
+//! shapes (algorithm, fleet size, step cap, start node, estimand) are drawn
+//! from one ChaCha12 stream. Two servers populated with the same
+//! [`TrafficConfig`] therefore execute bit-identical workloads — the soak
+//! test and the `fig_service` experiment both lean on this.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use osn_graph::NodeId;
+
+use crate::job::{Algorithm, Estimand, JobSpec};
+use crate::server::SessionServer;
+
+/// Fair-share weights assigned round-robin to generated tenants.
+pub const WEIGHT_CYCLE: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// Shape of a generated workload.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficConfig {
+    /// Tenants to register.
+    pub tenants: usize,
+    /// Jobs submitted per tenant.
+    pub jobs_per_tenant: usize,
+    /// Seed of the generator stream.
+    pub seed: u64,
+    /// Mean of the exponential interarrival time between one tenant's
+    /// consecutive jobs, in virtual seconds. `0.0` makes every job
+    /// admissible immediately (a fully backlogged fleet).
+    pub mean_interarrival_secs: f64,
+    /// Upper bound of the per-walker step cap; generated jobs draw from
+    /// `[max_steps/2, max_steps]`.
+    pub max_steps: usize,
+    /// Upper bound of the fleet size; generated jobs draw from
+    /// `[1, max_walkers]`.
+    pub max_walkers: usize,
+}
+
+impl TrafficConfig {
+    /// A workload of `tenants` × `jobs_per_tenant` jobs with library
+    /// defaults: seed 0, backlogged arrivals, up to 400 steps, up to 3
+    /// walkers.
+    pub fn new(tenants: usize, jobs_per_tenant: usize) -> Self {
+        TrafficConfig {
+            tenants: tenants.max(1),
+            jobs_per_tenant: jobs_per_tenant.max(1),
+            seed: 0,
+            mean_interarrival_secs: 0.0,
+            max_steps: 400,
+            max_walkers: 3,
+        }
+    }
+
+    /// Seed the generator stream.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the mean interarrival time (seconds of virtual time).
+    #[must_use]
+    pub fn with_mean_interarrival(mut self, secs: f64) -> Self {
+        self.mean_interarrival_secs = secs.max(0.0);
+        self
+    }
+
+    /// Set the step-cap upper bound (clamped to at least 2).
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps.max(2);
+        self
+    }
+
+    /// Set the fleet-size upper bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_walkers(mut self, max_walkers: usize) -> Self {
+        self.max_walkers = max_walkers.max(1);
+        self
+    }
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of one RNG word.
+fn unit(rng: &mut ChaCha12Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Register `config.tenants` weighted tenants and submit their seeded job
+/// mix to `server`; returns the tenant indices.
+///
+/// # Panics
+/// When the server's snapshot is empty (no nodes to start walks at).
+pub fn populate(server: &mut SessionServer, config: &TrafficConfig) -> Vec<usize> {
+    let n = server.network().graph.node_count();
+    assert!(n > 0, "cannot generate traffic over an empty snapshot");
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let mut tenant_ids = Vec::with_capacity(config.tenants);
+    for t in 0..config.tenants {
+        let weight = WEIGHT_CYCLE[t % WEIGHT_CYCLE.len()];
+        tenant_ids.push(server.add_tenant(format!("tenant-{t:03}"), weight));
+    }
+    for &tenant in &tenant_ids {
+        let mut arrival = 0.0f64;
+        for _ in 0..config.jobs_per_tenant {
+            if config.mean_interarrival_secs > 0.0 {
+                // Exponential interarrival via inverse transform; 1 - u
+                // keeps the logarithm finite.
+                arrival += -(1.0 - unit(&mut rng)).ln() * config.mean_interarrival_secs;
+            }
+            let algorithm = Algorithm::ALL[(rng.next_u64() % Algorithm::ALL.len() as u64) as usize];
+            let estimand = if rng.next_u64() % 4 == 0 {
+                Estimand::MeanNodeIndex
+            } else {
+                Estimand::AverageDegree
+            };
+            let walkers = 1 + (rng.next_u64() % config.max_walkers as u64) as usize;
+            let half = (config.max_steps / 2).max(1);
+            let max_steps = half + (rng.next_u64() % (config.max_steps - half + 1) as u64) as usize;
+            let start = NodeId((rng.next_u64() % n as u64) as u32);
+            let spec = JobSpec::new(tenant, algorithm, start)
+                .with_estimand(estimand)
+                .with_walkers(walkers)
+                .with_max_steps(max_steps)
+                .with_seed(rng.next_u64())
+                .with_arrival(arrival);
+            server
+                .submit(spec)
+                .expect("generated specs always name valid tenants and nodes");
+        }
+    }
+    tenant_ids
+}

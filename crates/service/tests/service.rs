@@ -1,0 +1,241 @@
+//! Integration tests of the session server: weighted fair-share
+//! proportionality under contention, admission refusals, cross-tenant
+//! cache synergy, traffic-generator determinism, and kill-at-slice-k
+//! snapshot/resume bit-identity.
+
+use proptest::prelude::*;
+
+use osn_client::{BatchConfig, RateLimitConfig, SimulatedBatchOsn, SimulatedOsn};
+use osn_graph::{CsrGraph, GraphBuilder, NodeId};
+use osn_serde::Value;
+use osn_service::traffic::{populate, TrafficConfig};
+use osn_service::{Algorithm, JobSpec, JobState, ServerConfig, SessionServer};
+
+/// A connected `n`-node graph: ring, chords, and a hub over the even
+/// nodes — enough structure that walks spread and caches overlap.
+fn test_graph(n: u32) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.push_edge(i, (i + 1) % n);
+        b.push_edge(i, (i * 11 + 5) % n);
+    }
+    for i in (2..n).step_by(2) {
+        b.push_edge(0, i);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn fair_share_tracks_weights_under_contention() {
+    // Three backlogged tenants with weights 1:2:4 fight over a budget far
+    // below their demand. The scheduler equalizes charged/weight, so each
+    // tenant's share of charged queries must land within 10% relative of
+    // its weight share.
+    let weights = [1.0, 2.0, 4.0];
+    let endpoint = SimulatedBatchOsn::configured(
+        SimulatedOsn::from_graph(test_graph(2000)),
+        BatchConfig::new(8).with_in_flight(4),
+        Some(600),
+    );
+    let mut server = SessionServer::new(endpoint, ServerConfig::new().with_rounds_per_slice(4));
+    for (t, &w) in weights.iter().enumerate() {
+        assert_eq!(server.add_tenant(format!("w{w}"), w), t);
+    }
+    for t in 0..weights.len() {
+        for j in 0..4 {
+            let alg = Algorithm::ALL[(t * 4 + j) % Algorithm::ALL.len()];
+            let start = NodeId(((t * 4 + j) * 97) as u32 % 2000);
+            server
+                .submit(
+                    JobSpec::new(t, alg, start)
+                        .with_walkers(2)
+                        .with_max_steps(1500)
+                        .with_seed((t * 4 + j) as u64 + 1),
+                )
+                .unwrap();
+        }
+    }
+    server.run_to_completion();
+    assert!(server.done());
+    assert_eq!(server.remaining_budget(), Some(0), "budget must contend");
+
+    let charged: Vec<u64> = (0..weights.len())
+        .map(|t| server.tenant_stats(t).charged)
+        .collect();
+    let total: u64 = charged.iter().sum();
+    let weight_total: f64 = weights.iter().sum();
+    for (t, &w) in weights.iter().enumerate() {
+        let share = charged[t] as f64 / total as f64;
+        let target = w / weight_total;
+        let rel = (share - target).abs() / target;
+        assert!(
+            rel <= 0.10,
+            "tenant {t}: charged share {share:.3} vs weight share {target:.3} \
+             (relative error {rel:.3})"
+        );
+        // Every tenant also rode the shared cache.
+        assert!(server.tenant_stats(t).cache_hits > 0, "tenant {t}");
+    }
+}
+
+#[test]
+fn jobs_arriving_after_exhaustion_are_refused() {
+    let endpoint = SimulatedBatchOsn::configured(
+        SimulatedOsn::from_graph(test_graph(300)),
+        BatchConfig::new(4),
+        Some(25),
+    );
+    let mut server = SessionServer::new(endpoint, ServerConfig::new());
+    let t0 = server.add_tenant("early", 1.0);
+    let t1 = server.add_tenant("late", 1.0);
+    let early = server
+        .submit(
+            JobSpec::new(t0, Algorithm::Cnrw, NodeId(0))
+                .with_walkers(2)
+                .with_max_steps(500)
+                .with_seed(3),
+        )
+        .unwrap();
+    // Arrives long after the early job has drained the budget.
+    let late = server
+        .submit(
+            JobSpec::new(t1, Algorithm::Srw, NodeId(7))
+                .with_seed(4)
+                .with_arrival(1e6),
+        )
+        .unwrap();
+    server.run_to_completion();
+    assert_eq!(server.job_state(early), JobState::Done);
+    assert_eq!(server.job_state(late), JobState::Refused);
+    assert!(server.job_result(late).is_none());
+    assert_eq!(server.tenant_stats(t1).jobs_refused, 1);
+    assert_eq!(server.tenant_stats(t0).jobs_completed, 1);
+    // The virtual clock jumped to the late arrival before refusing it.
+    assert!(server.elapsed_secs() >= 1e6);
+}
+
+#[test]
+fn submit_validates_tenant_and_start() {
+    let endpoint = SimulatedBatchOsn::new(
+        SimulatedOsn::from_graph(test_graph(50)),
+        BatchConfig::new(4),
+    );
+    let mut server = SessionServer::new(endpoint, ServerConfig::new());
+    let t = server.add_tenant("only", 1.0);
+    assert!(server
+        .submit(JobSpec::new(t + 1, Algorithm::Srw, NodeId(0)))
+        .unwrap_err()
+        .contains("tenant"));
+    assert!(server
+        .submit(JobSpec::new(t, Algorithm::Srw, NodeId(50)))
+        .unwrap_err()
+        .contains("outside"));
+    assert!(server
+        .submit(JobSpec::new(t, Algorithm::Srw, NodeId(49)))
+        .is_ok());
+}
+
+/// The endpoint used by the traffic and resume tests: every realism knob
+/// on — rate limit, heterogeneous latency, whole-request failures, per-id
+/// partial drops — plus a shared budget.
+fn soak_endpoint(n: u32, budget: Option<u64>) -> SimulatedBatchOsn {
+    let config = BatchConfig::new(6)
+        .with_in_flight(3)
+        .with_rate_limit(RateLimitConfig {
+            calls_per_window: 50,
+            window_secs: 1.0,
+        })
+        .with_latency(0.002, 0.001)
+        .with_per_id_latency(0.0005)
+        .with_failure_every(11)
+        .with_drop_node_every(13)
+        .with_seed(5);
+    SimulatedBatchOsn::configured(SimulatedOsn::from_graph(test_graph(n)), config, budget)
+}
+
+fn soak_server(seed: u64) -> SessionServer {
+    let mut server = SessionServer::new(
+        soak_endpoint(400, Some(900)),
+        ServerConfig::new().with_rounds_per_slice(6),
+    );
+    let traffic = TrafficConfig::new(6, 3)
+        .with_seed(seed)
+        .with_mean_interarrival(0.05)
+        .with_max_steps(250)
+        .with_max_walkers(3);
+    populate(&mut server, &traffic);
+    server
+}
+
+#[test]
+fn generated_workloads_replay_bit_identically() {
+    let run = |seed| {
+        let mut server = soak_server(seed);
+        server.run_to_completion();
+        server.snapshot().unwrap().to_pretty()
+    };
+    assert_eq!(run(42), run(42), "same seed, same final server state");
+    assert_ne!(run(42), run(43), "different seeds, different workloads");
+}
+
+#[test]
+fn traffic_exercises_per_id_drops_and_retries() {
+    let mut server = soak_server(7);
+    server.run_to_completion();
+    let snap = server.snapshot().unwrap();
+    let bs = snap
+        .field("endpoint")
+        .unwrap()
+        .field("batch_stats")
+        .unwrap();
+    let node_drops: u64 = bs.field("node_drops").unwrap().decode().unwrap();
+    let retries: u64 = bs.field("retries").unwrap().decode().unwrap();
+    assert!(node_drops > 0, "per-id partial failures never fired");
+    assert!(retries > 0, "whole-request failure injection never fired");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kill the server after `k` scheduling slices, persist the snapshot
+    /// through the text form, resume into a freshly constructed endpoint,
+    /// and finish: the final server state — every job's estimate, every
+    /// tenant's accounting, the endpoint's clock and cache — must be
+    /// byte-identical to the uninterrupted run's.
+    #[test]
+    fn kill_at_slice_k_resumes_bit_identically(k in 0usize..80, seed in 0u64..40) {
+        let mut reference = soak_server(seed);
+        reference.run_to_completion();
+        let reference_final = reference.snapshot().unwrap().to_pretty();
+
+        let mut killed = soak_server(seed);
+        for _ in 0..k {
+            if !killed.step() {
+                break;
+            }
+        }
+        let text = killed.snapshot().unwrap().to_pretty();
+        drop(killed);
+
+        let parsed = Value::parse(&text).map_err(|e| e.to_string())?;
+        let mut resumed = SessionServer::resume(
+            soak_endpoint(400, Some(900)),
+            ServerConfig::new().with_rounds_per_slice(6),
+            &parsed,
+        )
+        .map_err(|e| format!("resume failed: {e}"))?;
+        resumed.run_to_completion();
+        prop_assert_eq!(resumed.snapshot().unwrap().to_pretty(), reference_final);
+
+        // Estimates are bit-identical, job by job.
+        for id in 0..reference.job_count() {
+            prop_assert_eq!(reference.job_state(id), resumed.job_state(id));
+            let a = reference.job_result(id).map(|r| (r.estimate.map(f64::to_bits), r.steps, r.rounds));
+            let b = resumed.job_result(id).map(|r| (r.estimate.map(f64::to_bits), r.steps, r.rounds));
+            prop_assert_eq!(a, b, "job {}", id);
+        }
+        for t in 0..reference.tenants().len() {
+            prop_assert_eq!(reference.tenant_stats(t), resumed.tenant_stats(t));
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //! This crate is a facade re-exporting the workspace members:
 //!
 //! * [`graph`] (`osn-graph`) — CSR graph substrate, generators, analysis;
+//! * [`serde`] (`osn-serde`) — the dependency-free JSON [`serde::Value`]
+//!   tree with bit-exact float round-trips (the snapshot wire format);
 //! * [`client`] (`osn-client`) — the simulated restricted OSN interface
 //!   with unique-query accounting and rate-limit simulation;
 //! * [`walks`] (`osn-walks`) — SRW, MHRW, NB-SRW, **CNRW**, **GNRW**,
@@ -23,8 +25,11 @@
 //!   metrics, variance estimation, convergence diagnostics;
 //! * [`datasets`] (`osn-datasets`) — calibrated stand-ins for the paper's
 //!   evaluation datasets;
+//! * [`service`] (`osn-service`) — sampling as a service: the multi-tenant
+//!   [`service::SessionServer`] with weighted fair-share budget scheduling,
+//!   whole-server snapshot/resume, and seeded traffic generation;
 //! * [`experiments`] (`osn-experiments`) — the harness regenerating every
-//!   table and figure of the paper's evaluation.
+//!   table and figure of the paper's evaluation, plus the service figure.
 //!
 //! Beyond the paper, the workspace scales to **parallel multi-walker
 //! sampling**: [`client::SharedOsn`] is a lock-striped shared cache
@@ -48,8 +53,13 @@
 //! [`walks::WorkStealing`] restarts stalled or budget-refused walkers from
 //! a lock-striped [`walks::SharedFrontier`] of territory other walkers
 //! discovered, triggered by an online windowed split-R̂
-//! ([`estimate::WindowedSplitRhat`]). See `ARCHITECTURE.md` for the
-//! paper-concept → code map and the backend × policy matrix.
+//! ([`estimate::WindowedSplitRhat`]). On top of all of it sits the
+//! **service layer**: [`service::SessionServer`] multiplexes many tenants'
+//! jobs over one shared endpoint under deterministic weighted fair-share
+//! scheduling, and snapshots/resumes the entire mid-flight server
+//! byte-identically through [`serde::Value`]. See `ARCHITECTURE.md` for the
+//! paper-concept → code map, the backend × policy matrix, and the service
+//! layer's scheduler and snapshot format.
 //!
 //! ## Quickstart
 //!
@@ -89,6 +99,8 @@ pub use osn_datasets as datasets;
 pub use osn_estimate as estimate;
 pub use osn_experiments as experiments;
 pub use osn_graph as graph;
+pub use osn_serde as serde;
+pub use osn_service as service;
 pub use osn_walks as walks;
 
 /// The most common imports in one place.
@@ -100,12 +112,17 @@ pub mod prelude {
     pub use osn_datasets::{Dataset, Scale};
     pub use osn_estimate::{RatioEstimator, UniformMeanEstimator};
     pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use osn_serde::Value;
+    pub use osn_service::{
+        Estimand, JobResult, JobSpec, JobState, ServerConfig, SessionServer, TenantSpec,
+        TenantStats, TrafficConfig,
+    };
     pub use osn_walks::{
-        ByAttribute, ByDegree, ByHash, Cnrw, CoalescingDispatcher, FrontierSampler, Gnrw,
-        HistoryBackend, Mhrw, MultiWalkReport, MultiWalkRunner, MultiWalkSession, NbCnrw, NbSrw,
-        Never, NodeCnrw, OrchestratorReport, RandomWalk, RestartEvent, RestartPolicy,
-        RestartReason, SharedFrontier, Srw, WalkConfig, WalkOrchestrator, WalkSession,
-        WorkStealing,
+        ByAttribute, ByDegree, ByHash, Cnrw, CoalescedWalkRun, CoalescingDispatcher,
+        FrontierSampler, Gnrw, HistoryBackend, Mhrw, MultiWalkReport, MultiWalkRunner,
+        MultiWalkSession, NbCnrw, NbSrw, Never, NodeCnrw, OrchestratorReport, RandomWalk,
+        RestartEvent, RestartPolicy, RestartReason, SerialWalkRun, SharedFrontier, Srw, WalkConfig,
+        WalkOrchestrator, WalkSession, WorkStealing,
     };
 }
 

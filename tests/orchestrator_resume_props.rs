@@ -1,0 +1,211 @@
+//! Orchestrator-level snapshot/resume: pause a multi-walker run between
+//! scheduling rounds, serialize the **whole run** (walker circulation
+//! state, RNG stream words, traces, estimator accumulators, dispatcher
+//! cache) through the `osn-serde` text form, and resume — the completed
+//! run must be bit-identical to the uninterrupted one, on both the serial
+//! and coalesced execution backends across both history backends. This is
+//! the contract the `osn-service` job server's kill-and-resume story
+//! stands on.
+
+use proptest::prelude::*;
+
+use osn_sampling::prelude::*;
+use osn_sampling::serde::Value;
+
+/// An 80-node graph with a hub so circulation arenas grow past the inline
+/// stage within a few hundred steps.
+fn test_graph() -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..80u32 {
+        b.push_edge(i, (i + 1) % 80);
+        b.push_edge(i, (i * 11 + 5) % 80);
+    }
+    for i in (2..80u32).step_by(2) {
+        b.push_edge(0, i);
+    }
+    b.build().unwrap()
+}
+
+/// A mixed fleet: edge-circulation, group-circulation, and
+/// non-backtracking circulation walkers all ride the same snapshot.
+fn make_walker(i: usize, backend: HistoryBackend) -> Box<dyn RandomWalk + Send> {
+    match i % 3 {
+        0 => Box::new(Cnrw::with_backend(NodeId(i as u32), backend)),
+        1 => Box::new(Gnrw::with_backend(
+            NodeId(i as u32),
+            Box::new(ByDegree::log2()),
+            backend,
+        )),
+        _ => Box::new(NbCnrw::with_backend(NodeId(i as u32), backend)),
+    }
+}
+
+fn value_of(v: NodeId) -> f64 {
+    v.index() as f64
+}
+
+fn batch_endpoint() -> SimulatedBatchOsn {
+    SimulatedBatchOsn::new(
+        SimulatedOsn::from_graph(test_graph()),
+        BatchConfig::new(3).with_in_flight(2),
+    )
+}
+
+fn assert_matches_reference(report: &OrchestratorReport, reference: &OrchestratorReport) {
+    assert_eq!(report.trace.per_walker, reference.trace.per_walker);
+    assert_eq!(
+        report.estimate.mean().map(f64::to_bits),
+        reference.estimate.mean().map(f64::to_bits),
+        "estimator accumulators must survive resume bit-for-bit"
+    );
+    assert_eq!(report.estimate.count(), reference.estimate.count());
+    assert_eq!(report.stops, reference.stops);
+    assert_eq!(report.rounds, reference.rounds);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serial_resume_is_bit_identical(
+        backend_idx in 0usize..2,
+        pause in 0usize..300,
+        slice in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let backend = HistoryBackend::ALL[backend_idx];
+        let orch = WalkOrchestrator::new(4, 250, seed).with_backend(backend);
+
+        // Uninterrupted reference run.
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        let reference = orch.run_serial(&mut client, make_walker, value_of, &Never);
+
+        // Killed after `pause` rounds: snapshot through the text form (as
+        // the job server persists it), then resume against a cold client
+        // and drive to completion in `slice`-round increments.
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        let mut run = orch.start_serial(make_walker);
+        run.run_rounds(&mut client, &value_of, pause);
+        let text = run.snapshot().to_pretty();
+        drop(run);
+
+        let parsed = Value::parse(&text).map_err(|e| e.to_string())?;
+        let mut resumed = orch
+            .resume_serial(&parsed, make_walker)
+            .map_err(|e| format!("resume failed: {e}"))?;
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        while resumed.run_rounds(&mut client, &value_of, slice) > 0 {}
+        prop_assert!(resumed.done());
+        let report = resumed.into_report(client.stats());
+        assert_matches_reference(&report, &reference);
+    }
+
+    #[test]
+    fn coalesced_resume_is_bit_identical(
+        backend_idx in 0usize..2,
+        pause in 0usize..300,
+        slice in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let backend = HistoryBackend::ALL[backend_idx];
+        let orch = WalkOrchestrator::new(4, 250, seed).with_backend(backend);
+
+        let mut endpoint = batch_endpoint();
+        let reference = orch.run_coalesced(&mut endpoint, make_walker, value_of, &Never);
+
+        // Killed after `pause` rounds. The resumed segment runs against a
+        // *fresh* endpoint — the dispatcher cache rides the snapshot, so
+        // nothing already fetched is re-requested.
+        let mut endpoint = batch_endpoint();
+        let mut run = orch.start_coalesced(make_walker);
+        run.run_rounds(&mut endpoint, &value_of, pause);
+        let text = run.snapshot().to_pretty();
+        drop(run);
+
+        let parsed = Value::parse(&text).map_err(|e| e.to_string())?;
+        let mut resumed = orch
+            .resume_coalesced(&parsed, make_walker)
+            .map_err(|e| format!("resume failed: {e}"))?;
+        let mut endpoint = batch_endpoint();
+        while resumed.run_rounds(&mut endpoint, &value_of, slice) > 0 {}
+        prop_assert!(resumed.done());
+        let report = resumed.into_report(&endpoint);
+        assert_matches_reference(&report, &reference);
+        // Walker-side accounting also survives the snapshot.
+        prop_assert_eq!(report.trace.stats, reference.trace.stats);
+    }
+}
+
+#[test]
+fn sliced_serial_run_equals_one_shot() {
+    for backend in HistoryBackend::ALL {
+        let orch = WalkOrchestrator::new(5, 300, 17).with_backend(backend);
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        let reference = orch.run_serial(&mut client, make_walker, value_of, &Never);
+
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        let mut run = orch.start_serial(make_walker);
+        let mut slice = 1;
+        while run.run_rounds(&mut client, &value_of, slice) > 0 {
+            slice = slice % 7 + 1; // uneven slices: 1,2,…,7,1,…
+        }
+        let report = run.into_report(client.stats());
+        assert_matches_reference(&report, &reference);
+        assert_eq!(report.trace.stats, reference.trace.stats, "{backend}");
+    }
+}
+
+#[test]
+fn sliced_coalesced_run_equals_one_shot() {
+    for backend in HistoryBackend::ALL {
+        let orch = WalkOrchestrator::new(5, 300, 23).with_backend(backend);
+        let mut endpoint = batch_endpoint();
+        let reference = orch.run_coalesced(&mut endpoint, make_walker, value_of, &Never);
+
+        let mut endpoint = batch_endpoint();
+        let mut run = orch.start_coalesced(make_walker);
+        let mut slice = 1;
+        while run.run_rounds(&mut endpoint, &value_of, slice) > 0 {
+            slice = slice % 5 + 1;
+        }
+        let report = run.into_report(&endpoint);
+        assert_matches_reference(&report, &reference);
+        assert_eq!(report.trace.stats, reference.trace.stats, "{backend}");
+        assert_eq!(report.interface, reference.interface, "{backend}");
+    }
+}
+
+#[test]
+fn run_snapshots_are_byte_deterministic() {
+    let snap = || {
+        let orch = WalkOrchestrator::new(4, 200, 31);
+        let mut endpoint = batch_endpoint();
+        let mut run = orch.start_coalesced(make_walker);
+        run.run_rounds(&mut endpoint, &value_of, 120);
+        run.snapshot().to_pretty()
+    };
+    assert_eq!(snap(), snap(), "hash-map order leaked into a run snapshot");
+}
+
+#[test]
+fn resume_rejects_mismatched_spec() {
+    let orch = WalkOrchestrator::new(3, 100, 7);
+    let mut client = SimulatedOsn::from_graph(test_graph());
+    let mut run = orch.start_serial(make_walker);
+    run.run_rounds(&mut client, &value_of, 5);
+    let snap = run.snapshot();
+
+    for wrong in [
+        WalkOrchestrator::new(4, 100, 7), // fleet size
+        WalkOrchestrator::new(3, 101, 7), // step cap
+        WalkOrchestrator::new(3, 100, 8), // seed
+        WalkOrchestrator::new(3, 100, 7).with_backend(HistoryBackend::Legacy), // backend
+    ] {
+        let err = wrong.resume_serial(&snap, make_walker).err().unwrap();
+        assert!(err.contains("mismatch"), "unexpected error: {err}");
+    }
+    // A serial snapshot is not a coalesced one.
+    assert!(orch.resume_coalesced(&snap, make_walker).is_err());
+    // The matching spec resumes fine.
+    assert!(orch.resume_serial(&snap, make_walker).is_ok());
+}

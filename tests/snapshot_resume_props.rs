@@ -1,0 +1,180 @@
+//! Snapshot/resume round-trip property tests for every walker.
+//!
+//! The contract pinned here is the foundation of the service layer's
+//! kill-and-resume story: snapshot a walker at an **arbitrary** step `k`
+//! (serializing through the `osn-serde` text form, exactly as a server
+//! would persist it), restore into a freshly constructed walker plus a
+//! state-restored RNG, and the continued trace must be **bit-identical**
+//! to the uninterrupted run — for every algorithm and both history
+//! backends, including mid-cycle circulation state and promoted arena
+//! slices.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use osn_sampling::prelude::*;
+use osn_sampling::serde::Value;
+
+/// A 60-node graph with hubs (degree ≫ `INLINE_CAP`) so circulation
+/// states exercise all three arena stages (inline, spill, promoted)
+/// within a few hundred steps.
+fn test_graph() -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..60u32 {
+        b.push_edge(i, (i + 1) % 60);
+        b.push_edge(i, (i * 7 + 3) % 60);
+    }
+    // Hubs: node 0 reaches every third node, node 1 every fifth.
+    for i in (3..60u32).step_by(3) {
+        b.push_edge(0, i);
+    }
+    for i in (5..60u32).step_by(5) {
+        b.push_edge(1, i);
+    }
+    b.build().unwrap()
+}
+
+type Make = Box<dyn Fn() -> Box<dyn RandomWalk>>;
+
+/// Every walker × backend combination under test, with a stable label.
+fn walker_zoo() -> Vec<(String, Make)> {
+    let mut zoo: Vec<(String, Make)> = vec![
+        ("SRW".into(), Box::new(|| Box::new(Srw::new(NodeId(0))))),
+        ("MHRW".into(), Box::new(|| Box::new(Mhrw::new(NodeId(0))))),
+        (
+            "NB-SRW".into(),
+            Box::new(|| Box::new(NbSrw::new(NodeId(0)))),
+        ),
+    ];
+    for backend in HistoryBackend::ALL {
+        zoo.push((
+            format!("CNRW/{backend}"),
+            Box::new(move || Box::new(Cnrw::with_backend(NodeId(0), backend))),
+        ));
+        zoo.push((
+            format!("CNRW-node/{backend}"),
+            Box::new(move || Box::new(NodeCnrw::with_backend(NodeId(0), backend))),
+        ));
+        zoo.push((
+            format!("NB-CNRW/{backend}"),
+            Box::new(move || Box::new(NbCnrw::with_backend(NodeId(0), backend))),
+        ));
+        zoo.push((
+            format!("GNRW/{backend}"),
+            Box::new(move || {
+                Box::new(Gnrw::with_backend(
+                    NodeId(0),
+                    Box::new(ByDegree::log2()),
+                    backend,
+                ))
+            }),
+        ));
+    }
+    zoo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn resume_at_arbitrary_step_is_bit_identical(
+        w in 0usize..11,
+        k in 0usize..300,
+        seed in 0u64..5000,
+    ) {
+        let zoo = walker_zoo();
+        let (name, make) = &zoo[w];
+        let tail_len = 150usize;
+
+        // Uninterrupted reference run.
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut walker = make();
+        let mut full = Vec::with_capacity(k + tail_len);
+        for _ in 0..k + tail_len {
+            full.push(walker.step(&mut client, &mut rng).unwrap());
+        }
+
+        // Same run, killed at step k: snapshot through the serialized text
+        // form (as the job server persists it), then resume in a fresh
+        // walker + state-restored RNG and a cold client.
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut walker = make();
+        let mut trace = Vec::with_capacity(k + tail_len);
+        for _ in 0..k {
+            trace.push(walker.step(&mut client, &mut rng).unwrap());
+        }
+        let snapshot = walker.export_state().to_pretty();
+        let rng_words = rng.get_state();
+        drop(walker);
+
+        let parsed = Value::parse(&snapshot).map_err(|e| format!("{name}: {e}"))?;
+        let mut resumed = make();
+        resumed
+            .import_state(&parsed)
+            .map_err(|e| format!("{name}: import failed: {e}"))?;
+        prop_assert_eq!(
+            resumed.current(),
+            *full.get(k.wrapping_sub(1)).unwrap_or(&NodeId(0)),
+            "{}: position after import", name
+        );
+        let mut rng = ChaCha12Rng::from_state(rng_words);
+        let mut client = SimulatedOsn::from_graph(test_graph());
+        for _ in 0..tail_len {
+            trace.push(resumed.step(&mut client, &mut rng).unwrap());
+        }
+        prop_assert_eq!(&trace, &full, "{}: resumed trace diverged (k={})", name, k);
+    }
+}
+
+#[test]
+fn snapshot_text_is_deterministic() {
+    // Hash-map iteration order must never leak into the serialized form:
+    // two walkers driven identically export identical bytes.
+    for (name, make) in &walker_zoo() {
+        let run = || {
+            let mut client = SimulatedOsn::from_graph(test_graph());
+            let mut rng = ChaCha12Rng::seed_from_u64(11);
+            let mut walker = make();
+            for _ in 0..400 {
+                walker.step(&mut client, &mut rng).unwrap();
+            }
+            walker.export_state().to_pretty()
+        };
+        assert_eq!(run(), run(), "{name}: non-deterministic snapshot");
+    }
+}
+
+#[test]
+fn backend_mismatch_is_rejected() {
+    let arena_snap = Cnrw::with_backend(NodeId(0), HistoryBackend::Arena).export_state();
+    let mut legacy = Cnrw::with_backend(NodeId(0), HistoryBackend::Legacy);
+    let err = legacy.import_state(&arena_snap).unwrap_err();
+    assert!(err.contains("backend mismatch"), "unexpected error: {err}");
+
+    let legacy_snap = Gnrw::with_backend(
+        NodeId(0),
+        Box::new(ByDegree::log2()),
+        HistoryBackend::Legacy,
+    )
+    .export_state();
+    let mut arena = Gnrw::new(NodeId(0), Box::new(ByDegree::log2()));
+    assert!(arena.import_state(&legacy_snap).is_err());
+}
+
+#[test]
+fn malformed_snapshots_are_rejected_without_mutation() {
+    let mut w = Cnrw::new(NodeId(7));
+    let before = w.export_state().to_pretty();
+    assert!(w.import_state(&Value::Null).is_err());
+    assert!(w
+        .import_state(&Value::obj([("history", Value::Null)]))
+        .is_err());
+    assert_eq!(
+        w.export_state().to_pretty(),
+        before,
+        "walker mutated on error"
+    );
+}

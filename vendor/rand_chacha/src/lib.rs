@@ -23,6 +23,30 @@ macro_rules! chacha_standin {
             s: [u64; 4],
         }
 
+        impl $name {
+            /// Export the raw generator state for snapshot/resume.
+            ///
+            /// Stand-in extension (the real `rand_chacha` exposes
+            /// `get_seed`/`get_word_pos` instead): the four state words
+            /// fully determine the stream, so
+            /// [`from_state`](Self::from_state)`(get_state())` continues
+            /// bit-identically.
+            pub fn get_state(&self) -> [u64; 4] {
+                self.s
+            }
+
+            /// Rebuild a generator from [`get_state`](Self::get_state)
+            /// output, resuming its stream exactly. The all-zero state
+            /// (unreachable from any seeded generator) is mapped to the
+            /// same substitute constants as `from_seed`.
+            pub fn from_state(s: [u64; 4]) -> Self {
+                if s == [0; 4] {
+                    return Self::from_seed([0u8; 32]);
+                }
+                $name { s }
+            }
+        }
+
         impl RngCore for $name {
             #[inline]
             fn next_u32(&mut self) -> u32 {
@@ -109,6 +133,18 @@ mod tests {
         a.next_u64();
         let mut b = a.clone();
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = ChaCha12Rng::from_state(a.get_state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]
