@@ -289,6 +289,17 @@ pub trait BatchOsnClient {
     /// outcome; `None` when nothing is in flight.
     fn poll(&mut self) -> Option<BatchOutcome>;
 
+    /// Poll-readiness hook: the virtual-clock instant at which the
+    /// earliest-finishing in-flight request completes — i.e. when the next
+    /// [`Self::poll`] event fires — or `None` when nothing is in flight (or
+    /// the implementation does not model time). Event loops use this to
+    /// *observe* the completion-time order `poll` will deliver without
+    /// consuming the event; the reactor's determinism suites assert the
+    /// canonical schedule against it. The default `None` is always safe.
+    fn next_ready_at(&self) -> Option<f64> {
+        None
+    }
+
     /// Interface-side query accounting (unique = charged).
     fn stats(&self) -> QueryStats;
 
@@ -674,6 +685,21 @@ impl BatchOsnClient for SimulatedBatchOsn {
         self.batch_stats.submitted_ids += ids.len() as u64;
         self.launch(ticket, ids.to_vec(), 1);
         Ok(ticket)
+    }
+
+    fn next_ready_at(&self) -> Option<f64> {
+        // Mirror `poll`'s selection exactly: earliest completion, ties by
+        // ticket. A retry relaunched by `poll` may complete later than this
+        // instant, but the *request* selected here is the one `poll` will
+        // service next.
+        self.in_flight
+            .iter()
+            .min_by(|a, b| {
+                a.completes_at
+                    .total_cmp(&b.completes_at)
+                    .then(a.ticket.cmp(&b.ticket))
+            })
+            .map(|req| req.completes_at.max(self.clock.elapsed_secs()))
     }
 
     fn poll(&mut self) -> Option<BatchOutcome> {

@@ -77,6 +77,7 @@ pub mod history;
 pub mod markov;
 pub mod multiwalk;
 pub mod orchestrator;
+pub mod reactor;
 mod session;
 mod walker;
 pub mod walkers;
@@ -92,6 +93,7 @@ pub use orchestrator::{
     CoalescedWalkRun, Never, OrchestratorReport, RestartEvent, RestartPolicy, RestartReason,
     SerialWalkRun, WalkOrchestrator, WorkStealing,
 };
+pub use reactor::{ReactorStats, ReactorWalkRun, WalkerFsm};
 pub use session::{WalkConfig, WalkSession, WalkStop, WalkTrace};
 pub use walker::RandomWalk;
 pub use walkers::{Cnrw, Gnrw, Mhrw, NbCnrw, NbSrw, NodeCnrw, Srw};

@@ -15,6 +15,7 @@
 //! | **Serial** | [`WalkOrchestrator::run_serial`] | round-robin waves on the calling thread against any [`OsnClient`] |
 //! | **Threaded** | [`WalkOrchestrator::run_threaded`] | one scoped OS thread per walker over clones of a thread-safe client (built for [`osn_client::SharedOsn`]) |
 //! | **Coalesced** | [`WalkOrchestrator::run_coalesced`] | round-based queue → dedup → charge → fan-out against a [`BatchOsnClient`] |
+//! | **Reactor** | [`WalkOrchestrator::run_reactor`] | poll-driven event loop: walkers park as [`crate::reactor::WalkerFsm`] state machines on in-flight batches, one completion event at a time (see [`crate::reactor`]) |
 //!
 //! Every backend takes a [`RestartPolicy`]:
 //!
@@ -415,7 +416,7 @@ impl Cell {
     /// steps, so preallocating `max_steps` per walker would waste memory);
     /// the single-walker session path passes its step cap, as `WalkSession`
     /// always did.
-    fn new(capacity_hint: usize) -> Self {
+    pub(crate) fn new(capacity_hint: usize) -> Self {
         Cell {
             trace: Vec::with_capacity(capacity_hint.min(1 << 20)),
             est: RatioEstimator::new(),
@@ -423,7 +424,7 @@ impl Cell {
         }
     }
 
-    fn live(&self, max_steps: usize) -> bool {
+    pub(crate) fn live(&self, max_steps: usize) -> bool {
         self.stop.is_none() && self.trace.len() < max_steps
     }
 }
@@ -433,7 +434,7 @@ impl Cell {
 /// `value: None` skips estimator maintenance entirely (the trace-only
 /// drivers `WalkSession`/`MultiWalkSession` — SRW steps in a handful of
 /// nanoseconds, so even one spurious degree peek per step is measurable).
-fn advance_walker<C, R, F, P>(
+pub(crate) fn advance_walker<C, R, F, P>(
     i: usize,
     walker: &mut dyn RandomWalk,
     rng: &mut R,
@@ -468,7 +469,7 @@ fn advance_walker<C, R, F, P>(
 /// Consult the policy for walker `i` and perform the restart it requests,
 /// recording the event. `degree_of` supplies the walker's current degree
 /// (free listing metadata) for the policy's degree-ascending steal filter.
-fn maybe_restart<P>(
+pub(crate) fn maybe_restart<P>(
     i: usize,
     walker: &mut dyn RandomWalk,
     cell: &Cell,
@@ -499,7 +500,7 @@ fn maybe_restart<P>(
 /// stop is cleared, the relocation performed and recorded, and the walker
 /// steps again from the **next** scheduling wave (every backend charges a
 /// refusal one lost step, keeping the round-based schedules aligned).
-fn maybe_rescue<P>(
+pub(crate) fn maybe_rescue<P>(
     i: usize,
     walker: &mut dyn RandomWalk,
     cell: &mut Cell,
@@ -682,13 +683,13 @@ pub const DEFAULT_NODE_ATTEMPT_CAP: u32 = 32;
 #[derive(Default)]
 pub(crate) struct DispatchState {
     /// Neighbor lists fetched so far (the dispatcher's shared cache).
-    cache: FnvHashMap<u32, Vec<NodeId>>,
+    pub(crate) cache: FnvHashMap<u32, Vec<NodeId>>,
     /// Nodes the run will never deliver: budget-refused or abandoned.
-    refused: FnvHashSet<u32>,
+    pub(crate) refused: FnvHashSet<u32>,
     /// Dispatcher-level resubmission counts for dropped nodes.
-    node_attempts: FnvHashMap<u32, u32>,
+    pub(crate) node_attempts: FnvHashMap<u32, u32>,
     /// Nodes ever queried by any walker (walker-side unique/hit split).
-    seen: FnvHashSet<u32>,
+    pub(crate) seen: FnvHashSet<u32>,
     /// Walker-side accounting (serial-shaped `issued`/`unique`/`hits`).
     pub(crate) stats: QueryStats,
     /// Distinct budget-refused nodes.
@@ -697,14 +698,14 @@ pub(crate) struct DispatchState {
     pub(crate) abandoned_nodes: usize,
     /// The budget limit observed in refusals, so walker-facing errors
     /// report the same value a serial `BudgetedClient` would.
-    budget_in_force: Option<u64>,
+    pub(crate) budget_in_force: Option<u64>,
 }
 
 /// Fetch every id in `pending` through the batch endpoint: fan out in
 /// window-respecting batches, resubmit drops (bounded per node by
 /// `node_attempt_cap`), and record deliveries into the state's cache /
 /// refusals into its refused-set.
-fn fetch_all<B: BatchOsnClient>(
+pub(crate) fn fetch_all<B: BatchOsnClient>(
     client: &mut B,
     mut pending: VecDeque<NodeId>,
     state: &mut DispatchState,
@@ -760,10 +761,10 @@ fn fetch_all<B: BatchOsnClient>(
 /// for a node that was *not* prefetched (no walker in this crate issues
 /// one, but the [`RandomWalk`] trait allows it) falls back to an on-demand
 /// synchronous batch of one, with the same refusal/abandon bookkeeping.
-struct PrefetchedClient<'a, B: BatchOsnClient> {
-    client: &'a mut B,
-    state: &'a mut DispatchState,
-    node_attempt_cap: u32,
+pub(crate) struct PrefetchedClient<'a, B: BatchOsnClient> {
+    pub(crate) client: &'a mut B,
+    pub(crate) state: &'a mut DispatchState,
+    pub(crate) node_attempt_cap: u32,
 }
 
 impl<B: BatchOsnClient> OsnClient for PrefetchedClient<'_, B> {
@@ -1133,7 +1134,10 @@ impl WalkOrchestrator {
         osn_graph::mix::splitmix64_stream(self.seed, i as u64)
     }
 
-    fn build_fleet<W>(&self, make_walker: W) -> (Vec<Box<dyn RandomWalk + Send>>, Vec<ChaCha12Rng>)
+    pub(crate) fn build_fleet<W>(
+        &self,
+        make_walker: W,
+    ) -> (Vec<Box<dyn RandomWalk + Send>>, Vec<ChaCha12Rng>)
     where
         W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
     {
@@ -1322,7 +1326,7 @@ impl WalkOrchestrator {
     /// The snapshot-embedded description of this orchestrator's
     /// construction-time spec, checked (not restored) at resume time:
     /// resuming requires reconstructing the *same* run.
-    fn spec_value(&self) -> Value {
+    pub(crate) fn spec_value(&self) -> Value {
         Value::obj([
             ("walkers", Value::Uint(self.walkers as u64)),
             ("max_steps", Value::Uint(self.max_steps_per_walker as u64)),
@@ -1331,7 +1335,7 @@ impl WalkOrchestrator {
         ])
     }
 
-    fn check_spec(&self, spec: &Value) -> Result<(), String> {
+    pub(crate) fn check_spec(&self, spec: &Value) -> Result<(), String> {
         let walkers: usize = spec.field("walkers")?.decode()?;
         let max_steps: usize = spec.field("max_steps")?.decode()?;
         let seed: u64 = spec.field("seed")?.decode()?;
@@ -1391,7 +1395,8 @@ impl WalkOrchestrator {
     where
         W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
     {
-        let (fleet, rngs, cells, rounds) = self.resume_fleet(state, "serial", make_walker)?;
+        let (fleet, rngs, cells, rounds) =
+            self.resume_fleet(state, "serial", "rounds", make_walker)?;
         Ok(SerialWalkRun {
             spec: *self,
             fleet,
@@ -1435,7 +1440,8 @@ impl WalkOrchestrator {
     where
         W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
     {
-        let (fleet, rngs, cells, rounds) = self.resume_fleet(state, "coalesced", make_walker)?;
+        let (fleet, rngs, cells, rounds) =
+            self.resume_fleet(state, "coalesced", "rounds", make_walker)?;
         let dispatch = dispatch_from_value(state.field("dispatch")?)?;
         let node_attempt_cap: u32 = state.field("attempt_cap")?.decode()?;
         Ok(CoalescedWalkRun {
@@ -1453,10 +1459,11 @@ impl WalkOrchestrator {
 
     /// The fleet-restoration core shared by both resume entry points.
     #[allow(clippy::type_complexity)]
-    fn resume_fleet<W>(
+    pub(crate) fn resume_fleet<W>(
         &self,
         state: &Value,
         kind: &str,
+        counter: &str,
         make_walker: W,
     ) -> Result<
         (
@@ -1477,7 +1484,7 @@ impl WalkOrchestrator {
             ));
         }
         self.check_spec(state.field("spec")?)?;
-        let rounds: usize = state.field("rounds")?.decode()?;
+        let rounds: usize = state.field(counter)?.decode()?;
         let walker_states = state.field("walkers")?.as_array()?;
         let rng_states = state.field("rngs")?.as_array()?;
         let cell_states = state.field("cells")?.as_array()?;
@@ -1519,11 +1526,11 @@ impl WalkOrchestrator {
 // of the `osn-service` job server.
 // ---------------------------------------------------------------------------
 
-fn nodes_to_value(nodes: &[NodeId]) -> Value {
+pub(crate) fn nodes_to_value(nodes: &[NodeId]) -> Value {
     Value::Arr(nodes.iter().map(|n| Value::Uint(u64::from(n.0))).collect())
 }
 
-fn nodes_from_value(value: &Value) -> Result<Vec<NodeId>, String> {
+pub(crate) fn nodes_from_value(value: &Value) -> Result<Vec<NodeId>, String> {
     value
         .as_array()?
         .iter()
@@ -1549,11 +1556,11 @@ fn set_from_value(value: &Value) -> Result<FnvHashSet<u32>, String> {
     Ok(set)
 }
 
-fn rng_to_value(rng: &ChaCha12Rng) -> Value {
+pub(crate) fn rng_to_value(rng: &ChaCha12Rng) -> Value {
     Value::Arr(rng.get_state().iter().map(|&w| Value::Uint(w)).collect())
 }
 
-fn rng_from_value(value: &Value) -> Result<ChaCha12Rng, String> {
+pub(crate) fn rng_from_value(value: &Value) -> Result<ChaCha12Rng, String> {
     let words = value.as_array()?;
     if words.len() != 4 {
         return Err(format!("RNG state must hold 4 words, got {}", words.len()));
@@ -1584,7 +1591,7 @@ fn stop_from_value(value: &Value) -> Result<Option<WalkStop>, String> {
     }
 }
 
-fn cell_to_value(cell: &Cell) -> Value {
+pub(crate) fn cell_to_value(cell: &Cell) -> Value {
     let (weighted_sum, weight_total, count) = cell.est.parts();
     Value::obj([
         ("trace", nodes_to_value(&cell.trace)),
@@ -1600,7 +1607,7 @@ fn cell_to_value(cell: &Cell) -> Value {
     ])
 }
 
-fn cell_from_value(value: &Value) -> Result<Cell, String> {
+pub(crate) fn cell_from_value(value: &Value) -> Result<Cell, String> {
     let est = value.field("est")?;
     Ok(Cell {
         trace: nodes_from_value(value.field("trace")?)?,
@@ -1629,7 +1636,7 @@ fn stats_from_value(value: &Value) -> Result<QueryStats, String> {
     })
 }
 
-fn dispatch_to_value(state: &DispatchState) -> Value {
+pub(crate) fn dispatch_to_value(state: &DispatchState) -> Value {
     let mut cache: Vec<(&u32, &Vec<NodeId>)> = state.cache.iter().collect();
     cache.sort_unstable_by_key(|(u, _)| **u);
     let mut attempts: Vec<(&u32, &u32)> = state.node_attempts.iter().collect();
@@ -1678,7 +1685,7 @@ fn dispatch_to_value(state: &DispatchState) -> Value {
     ])
 }
 
-fn dispatch_from_value(value: &Value) -> Result<DispatchState, String> {
+pub(crate) fn dispatch_from_value(value: &Value) -> Result<DispatchState, String> {
     let mut cache = FnvHashMap::default();
     for entry in value.field("cache")?.as_array()? {
         let node: u32 = entry.field("node")?.decode()?;

@@ -1,0 +1,1037 @@
+//! The poll-driven reactor backend: **10k+ walkers as state machines on
+//! one loop, no threads, O(active batches) memory**.
+//!
+//! The threaded backend spends an OS thread (and a stack) per walker; the
+//! coalesced backend proved walkers can park on I/O but still marches the
+//! whole fleet through lock-step rounds. This module refactors the
+//! per-walker step into an explicit state machine ([`WalkerFsm`]) whose
+//! completion source is the [`BatchOsnClient`] `submit`/`poll` pair: one
+//! reactor loop parks tens of thousands of walkers on in-flight batches and
+//! advances exactly the walkers each completed batch unblocks. Memory
+//! beyond the fleet itself is bounded by the endpoint's in-flight window
+//! (tracked tickets × batch size) plus the queued-id backlog — there is no
+//! per-walker stack, thread, or round-robin wave slot
+//! ([`ReactorStats`] reports the observed peaks so soak tests can pin the
+//! bound).
+//!
+//! ## The event loop
+//!
+//! One **turn** of the reactor core processes one completion event in five
+//! phases, each deterministic:
+//!
+//! 1. **pump** — drain the retry/pending id queues into the endpoint's
+//!    in-flight window as max-size batches (retries first, FIFO otherwise).
+//! 2. **acquire** — `poll` the endpoint: the earliest-finishing in-flight
+//!    request completes (*completion-time-ordered event delivery on the
+//!    [`VirtualClock`]*, ties broken by ticket — see
+//!    [`BatchOsnClient::next_ready_at`]). When nothing is in flight the
+//!    turn is a *synthetic tick* driving walkers whose next neighbor list
+//!    was already cached.
+//! 3. **act** — the walkers unblocked by this event plus those left ready
+//!    by the previous one step **in walker-index order** (the tiebreak that
+//!    makes the schedule canonical). At most one step per walker per event,
+//!    so policy cadences stay aligned with the round-based backends.
+//! 4. **policy** — [`RestartPolicy`] checks run for every live walker in
+//!    walker-index order, exactly where the coalesced backend consults the
+//!    policy between rounds.
+//! 5. **classify** — every walker that stepped (or was relocated) is
+//!    parked on its new current node: already-cached or refused nodes make
+//!    it ready for the next event, anything else enqueues (deduplicated)
+//!    for the next pump.
+//!
+//! ## Determinism and equivalence
+//!
+//! Given a seed the whole schedule — traces, estimator pushes, charge
+//! order, restart schedule — is a pure function of the endpoint's
+//! completion times. When every wave fits one batch (`max_batch_size ≥`
+//! fleet size) the reactor's events coincide 1:1 with the coalesced
+//! backend's rounds and the two are **bit-identical** end to end: traces,
+//! estimates, stops, charges, and restart schedules (pinned by the
+//! `reactor_equivalence` suite). With smaller batches the reactor
+//! pipelines waves through the in-flight window; under [`Never`] with no
+//! budget the traces remain bit-identical (they are schedule-independent),
+//! while budget charge order may legitimately diverge — the documented
+//! boundary of the equivalence claim.
+//!
+//! [`VirtualClock`]: osn_client::VirtualClock
+
+use std::collections::VecDeque;
+
+use osn_client::batch::{BatchNodeError, BatchOsnClient, BatchOutcome, TicketId};
+use osn_client::QueryStats;
+use osn_graph::NodeId;
+use osn_serde::Value;
+use rand::RngCore;
+use rand_chacha::ChaCha12Rng;
+
+use crate::circulation::HistoryBackend;
+use crate::fnv::{FnvHashMap, FnvHashSet};
+use crate::orchestrator::{
+    advance_walker, cell_to_value, dispatch_from_value, dispatch_to_value, maybe_rescue,
+    maybe_restart, nodes_from_value, nodes_to_value, rng_to_value, Cell, DispatchState, Never,
+    OrchestratorReport, PrefetchedClient, RestartEvent, RestartPolicy, WalkOrchestrator,
+    DEFAULT_NODE_ATTEMPT_CAP,
+};
+use crate::walker::RandomWalk;
+use crate::WalkStop;
+
+/// The lifecycle of one walker inside the reactor loop.
+///
+/// ```text
+///             ┌────────────────┐  node uncached: enqueue + park
+///   start ──► │ NeedNeighbors  ├──────────────────┐
+///             └──────┬─────────┘                  ▼
+///                    │ node cached        ┌───────────────┐
+///                    │ (or refused)       │ AwaitingBatch │
+///                    ▼                    └──────┬────────┘
+///             ┌────────────┐    batch resolved   │
+///             │  Stepping  │ ◄───────────────────┘
+///             └──────┬─────┘
+///        step (act   │ phase, walker-index order)
+///            ┌───────┴────────┬──────────────────┐
+///            ▼                ▼                  ▼
+///     NeedNeighbors         Done             Refused
+///     (live: next wave)  (step cap)   (budget / dead interface;
+///                                      a policy rescue returns it
+///                                      to NeedNeighbors)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkerFsm {
+    /// Just stepped (or just started / just relocated): its current node
+    /// has not yet been classified against the dispatcher cache. Transient
+    /// — the classify phase immediately moves it on.
+    NeedNeighbors,
+    /// Parked: its current node's neighbor list is queued or in flight.
+    AwaitingBatch,
+    /// Its current node's neighbor list is resolved (delivered or refused);
+    /// the walker acts at the next event.
+    Stepping,
+    /// Terminated: the node it needed was budget-refused or abandoned.
+    Refused,
+    /// Finished its step cap.
+    Done,
+}
+
+/// Diagnostics of one reactor run — the memory-bound witnesses the soak
+/// suite asserts against (everything beyond the fleet itself is bounded by
+/// `peak_in_flight × max_batch_size + peak_queued + peak_parked` slots).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Completion events processed (synthetic ticks included). With
+    /// single-batch waves this equals the coalesced backend's round count.
+    pub events: usize,
+    /// Events with nothing in flight (walkers stepping through
+    /// already-cached territory).
+    pub synthetic_ticks: usize,
+    /// Most batches simultaneously in flight.
+    pub peak_in_flight: usize,
+    /// Most node ids simultaneously queued for fetch (pending + retry +
+    /// in flight).
+    pub peak_queued: usize,
+    /// Most walkers simultaneously parked on in-flight or queued batches.
+    pub peak_parked: usize,
+}
+
+/// The reactor's scheduling state: per-walker FSMs plus the queues that
+/// connect them to the batch endpoint. Owns no walkers, cells, or
+/// dispatcher cache — those stay in the same structures every other
+/// backend uses, which is what makes the backends bit-comparable.
+struct ReactorCore {
+    max_steps: usize,
+    node_attempt_cap: u32,
+    fsm: Vec<WalkerFsm>,
+    /// Walkers whose current node resolved, acting at the next event.
+    ready: Vec<usize>,
+    /// Walkers parked per node id they need.
+    waiters: FnvHashMap<u32, Vec<usize>>,
+    /// Ids awaiting first submission, FIFO.
+    pending: VecDeque<NodeId>,
+    /// Ids to resubmit after a per-id drop — drained before `pending`.
+    retry: VecDeque<NodeId>,
+    /// Every id currently in `pending`, `retry`, or in flight (dedup).
+    queued: FnvHashSet<u32>,
+    /// Tickets this reactor submitted, with their id lists — the repair
+    /// map for off-protocol synchronous fetches (see [`Self::repair`]).
+    inflight: Vec<(TicketId, Vec<NodeId>)>,
+    /// Currently parked walkers (incremental mirror of `waiters` totals).
+    parked: usize,
+    stats: ReactorStats,
+}
+
+impl ReactorCore {
+    fn new(walkers: usize, max_steps: usize, node_attempt_cap: u32) -> Self {
+        ReactorCore {
+            max_steps,
+            node_attempt_cap,
+            fsm: vec![WalkerFsm::NeedNeighbors; walkers],
+            ready: Vec::new(),
+            waiters: FnvHashMap::default(),
+            pending: VecDeque::new(),
+            retry: VecDeque::new(),
+            queued: FnvHashSet::default(),
+            inflight: Vec::new(),
+            parked: 0,
+            stats: ReactorStats::default(),
+        }
+    }
+
+    /// Nothing ready, parked, queued, or in flight: every walker is
+    /// terminal and the loop may stop.
+    fn idle(&self) -> bool {
+        self.ready.is_empty()
+            && self.waiters.is_empty()
+            && self.pending.is_empty()
+            && self.retry.is_empty()
+            && self.inflight.is_empty()
+    }
+
+    /// Park walker `i` on its current node `u`: ready now if `u` is
+    /// already resolved (cached or refused — the act phase turns refusals
+    /// into stops), otherwise a waiter, with `u` enqueued once.
+    fn classify(&mut self, i: usize, u: NodeId, state: &DispatchState) {
+        if state.cache.contains_key(&u.0) || state.refused.contains(&u.0) {
+            self.fsm[i] = WalkerFsm::Stepping;
+            self.ready.push(i);
+        } else {
+            self.fsm[i] = WalkerFsm::AwaitingBatch;
+            self.waiters.entry(u.0).or_default().push(i);
+            self.parked += 1;
+            self.stats.peak_parked = self.stats.peak_parked.max(self.parked);
+            if self.queued.insert(u.0) {
+                self.pending.push_back(u);
+                self.stats.peak_queued = self.stats.peak_queued.max(self.queued.len());
+            }
+        }
+    }
+
+    /// Seed the FSMs from the fleet's current state, walker-index order.
+    fn init(
+        &mut self,
+        current_of: &mut dyn FnMut(usize) -> NodeId,
+        cells: &[Cell],
+        state: &DispatchState,
+    ) {
+        for (i, cell) in cells.iter().enumerate() {
+            if cell.live(self.max_steps) {
+                self.classify(i, current_of(i), state);
+            } else {
+                self.fsm[i] = match cell.stop {
+                    Some(WalkStop::BudgetExhausted) => WalkerFsm::Refused,
+                    _ => WalkerFsm::Done,
+                };
+            }
+        }
+    }
+
+    /// Phase 1: fill the endpoint's in-flight window with max-size batches,
+    /// retries before first submissions, FIFO within each queue.
+    fn pump<B: BatchOsnClient>(&mut self, client: &mut B) {
+        let limits = client.limits();
+        while client.in_flight() < limits.max_in_flight
+            && (!self.retry.is_empty() || !self.pending.is_empty())
+        {
+            let mut batch: Vec<NodeId> = Vec::with_capacity(limits.max_batch_size);
+            while batch.len() < limits.max_batch_size {
+                let Some(u) = self.retry.pop_front().or_else(|| self.pending.pop_front()) else {
+                    break;
+                };
+                batch.push(u);
+            }
+            let ticket = client.submit(&batch).expect("window and size checked");
+            self.inflight.push((ticket, batch));
+            self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.inflight.len());
+        }
+    }
+
+    /// Move every walker parked on `u` to the act set of this event.
+    fn wake(&mut self, u: u32, acted: &mut Vec<usize>) {
+        if let Some(walkers) = self.waiters.remove(&u) {
+            self.parked -= walkers.len();
+            for i in walkers {
+                self.fsm[i] = WalkerFsm::Stepping;
+                acted.push(i);
+            }
+        }
+    }
+
+    /// Remove walker `i` from the waiters of node `u` (it was relocated by
+    /// the policy while parked). The id itself stays queued — the fetch may
+    /// already be in flight — and resolves into the cache with no waiters.
+    fn unpark(&mut self, i: usize, u: u32) {
+        if let Some(walkers) = self.waiters.get_mut(&u) {
+            if let Some(pos) = walkers.iter().position(|&w| w == i) {
+                walkers.swap_remove(pos);
+                self.parked -= 1;
+                if walkers.is_empty() {
+                    self.waiters.remove(&u);
+                }
+            }
+        }
+    }
+
+    /// Phase 2 bookkeeping: absorb one completed batch into the dispatcher
+    /// state — deliveries cache and wake, budget refusals refuse and wake,
+    /// per-id drops resubmit (bounded per node by the attempt cap, then
+    /// abandon and wake into the refusal path). The same accounting
+    /// `fetch_all` performs for the coalesced backend, event-at-a-time.
+    fn absorb(&mut self, outcome: BatchOutcome, state: &mut DispatchState, acted: &mut Vec<usize>) {
+        self.inflight
+            .retain(|(ticket, _)| *ticket != outcome.ticket);
+        for (u, result) in outcome.per_node {
+            match result {
+                Ok(neighbors) => {
+                    state.cache.insert(u.0, neighbors);
+                    self.queued.remove(&u.0);
+                    self.wake(u.0, acted);
+                }
+                Err(BatchNodeError::Budget(e)) => {
+                    state.budget_in_force = Some(e.budget);
+                    if state.refused.insert(u.0) {
+                        state.refused_nodes += 1;
+                    }
+                    self.queued.remove(&u.0);
+                    self.wake(u.0, acted);
+                }
+                Err(BatchNodeError::Dropped) => {
+                    let attempts = state.node_attempts.entry(u.0).or_insert(0);
+                    *attempts += 1;
+                    if *attempts >= self.node_attempt_cap {
+                        // Dead interface for this node: abandon it so the
+                        // walkers parked on it terminate cleanly.
+                        if state.refused.insert(u.0) {
+                            state.abandoned_nodes += 1;
+                        }
+                        self.queued.remove(&u.0);
+                        self.wake(u.0, acted);
+                    } else {
+                        self.retry.push_back(u);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Repair after an off-protocol query: a walker asked the
+    /// [`PrefetchedClient`] for a node nobody prefetched (no walker in this
+    /// crate does, but the [`RandomWalk`] trait allows it), and its
+    /// synchronous fallback drained *every* in-flight ticket into the
+    /// dispatcher state. Resolve our stranded tickets from that state so
+    /// their waiters wake (ready for the next event) instead of parking
+    /// forever on a poll that will never deliver.
+    fn repair(&mut self, client_in_flight: usize, state: &DispatchState) {
+        if client_in_flight == self.inflight.len() {
+            return;
+        }
+        let drained = std::mem::take(&mut self.inflight);
+        let mut woken = Vec::new();
+        for (_, ids) in drained {
+            for u in ids {
+                if state.cache.contains_key(&u.0) || state.refused.contains(&u.0) {
+                    self.queued.remove(&u.0);
+                    self.wake(u.0, &mut woken);
+                } else {
+                    // The side fetch ran to quiescence, so an unresolved id
+                    // should be impossible — requeue defensively.
+                    self.retry.push_back(u);
+                }
+            }
+        }
+        self.ready.append(&mut woken);
+    }
+
+    /// One turn of the loop — one completion event through the five phases
+    /// (pump → acquire → act → policy → classify). Returns `false` (doing
+    /// nothing) once the reactor is idle. `pump` disables phase 1 for the
+    /// drain turns that quiesce the endpoint before a snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn turn<B, R, F, P>(
+        &mut self,
+        client: &mut B,
+        walkers: &mut [&mut dyn RandomWalk],
+        rngs: &mut [R],
+        value: Option<&F>,
+        policy: &P,
+        state: &mut DispatchState,
+        cells: &mut [Cell],
+        restarts: &mut Vec<RestartEvent>,
+        pump: bool,
+    ) -> bool
+    where
+        B: BatchOsnClient,
+        R: RngCore,
+        F: Fn(NodeId) -> f64 + ?Sized,
+        P: RestartPolicy + ?Sized,
+    {
+        if self.idle() {
+            return false;
+        }
+        // Phase 1: pump submissions into the in-flight window.
+        if pump {
+            self.pump(client);
+        }
+        // Phase 2: acquire one completion event (or a synthetic tick when
+        // nothing is in flight and walkers are stepping through cache).
+        let mut acted = std::mem::take(&mut self.ready);
+        if self.inflight.is_empty() {
+            self.stats.synthetic_ticks += 1;
+        } else {
+            match client.poll() {
+                Some(outcome) => self.absorb(outcome, state, &mut acted),
+                None => self.stats.synthetic_ticks += 1,
+            }
+        }
+        // Phase 3: act — unblocked walkers step once each, in walker-index
+        // order (the canonical tiebreak). Walkers needing classification
+        // collect into `post` for phase 5: a stepped walker's new node
+        // joins the *next* wave only after the policy has had its say.
+        acted.sort_unstable();
+        acted.dedup();
+        let mut post: Vec<usize> = Vec::with_capacity(acted.len());
+        for &i in &acted {
+            if !cells[i].live(self.max_steps) {
+                self.fsm[i] = match cells[i].stop {
+                    Some(WalkStop::BudgetExhausted) => WalkerFsm::Refused,
+                    _ => WalkerFsm::Done,
+                };
+                continue;
+            }
+            let u = walkers[i].current();
+            if state.refused.contains(&u.0) {
+                // The node this walker needs was refused (budget) or
+                // abandoned (dead interface): terminate it — unless the
+                // policy rescues it, in which case it re-enters the next
+                // wave (a refusal costs one lost event, exactly as the
+                // round-based backends charge it one lost round).
+                cells[i].stop = Some(WalkStop::BudgetExhausted);
+                self.fsm[i] = WalkerFsm::Refused;
+                if policy.enabled() {
+                    let cached = |n: NodeId| state.cache.contains_key(&n.0) || client.is_cached(n);
+                    maybe_rescue(
+                        i,
+                        &mut *walkers[i],
+                        &mut cells[i],
+                        policy,
+                        &cached,
+                        restarts,
+                    );
+                    if cells[i].stop.is_none() {
+                        self.fsm[i] = WalkerFsm::NeedNeighbors;
+                        post.push(i);
+                    }
+                }
+                continue;
+            }
+            let mut view = PrefetchedClient {
+                client: &mut *client,
+                state: &mut *state,
+                node_attempt_cap: self.node_attempt_cap,
+            };
+            advance_walker(
+                i,
+                &mut *walkers[i],
+                &mut rngs[i],
+                &mut view,
+                value,
+                policy,
+                &mut cells[i],
+            );
+            if cells[i].stop.is_some() {
+                // Off-protocol refusal surfaced mid-step: same rescue offer.
+                self.fsm[i] = WalkerFsm::Refused;
+                if policy.enabled() {
+                    let cached = |n: NodeId| state.cache.contains_key(&n.0) || client.is_cached(n);
+                    maybe_rescue(
+                        i,
+                        &mut *walkers[i],
+                        &mut cells[i],
+                        policy,
+                        &cached,
+                        restarts,
+                    );
+                    if cells[i].stop.is_none() {
+                        self.fsm[i] = WalkerFsm::NeedNeighbors;
+                        post.push(i);
+                    }
+                }
+            } else if !cells[i].live(self.max_steps) {
+                self.fsm[i] = WalkerFsm::Done;
+            } else {
+                self.fsm[i] = WalkerFsm::NeedNeighbors;
+                post.push(i);
+            }
+        }
+        // Off-protocol side fetches drain the shared in-flight window;
+        // reconcile stranded tickets (a no-op for every walker this crate
+        // ships).
+        let now_in_flight = client.in_flight();
+        self.repair(now_in_flight, state);
+        // Phase 4: policy checks for every live walker, walker-index order
+        // — the coalesced backend's between-rounds boundary. A relocated
+        // walker abandons any stale wait and reclassifies in phase 5, so
+        // its new position rides the next wave's batch.
+        if policy.enabled() {
+            for i in 0..walkers.len() {
+                if !cells[i].live(self.max_steps) {
+                    continue;
+                }
+                let before = walkers[i].current();
+                let restarts_before = restarts.len();
+                {
+                    let cached = |n: NodeId| state.cache.contains_key(&n.0) || client.is_cached(n);
+                    let degree_of = |n: NodeId| client.peek_degree(n);
+                    maybe_restart(
+                        i,
+                        &mut *walkers[i],
+                        &cells[i],
+                        policy,
+                        &degree_of,
+                        &cached,
+                        restarts,
+                    );
+                }
+                if restarts.len() > restarts_before {
+                    match self.fsm[i] {
+                        WalkerFsm::AwaitingBatch => {
+                            self.unpark(i, before.0);
+                            self.fsm[i] = WalkerFsm::NeedNeighbors;
+                            post.push(i);
+                        }
+                        WalkerFsm::Stepping => {
+                            self.ready.retain(|&w| w != i);
+                            self.fsm[i] = WalkerFsm::NeedNeighbors;
+                            post.push(i);
+                        }
+                        // NeedNeighbors is already in `post`; phase 5 reads
+                        // the relocated position.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Phase 5: classify — park every walker that stepped or relocated
+        // on its (new) current node, walker-index order.
+        post.sort_unstable();
+        post.dedup();
+        for &i in &post {
+            if self.fsm[i] == WalkerFsm::NeedNeighbors {
+                self.classify(i, walkers[i].current(), state);
+            }
+        }
+        self.stats.events += 1;
+        true
+    }
+}
+
+/// Outcome of the reactor driver ([`drive_reactor`]).
+struct ReactorOutcome {
+    cells: Vec<Cell>,
+    restarts: Vec<RestartEvent>,
+    state: DispatchState,
+    interface: QueryStats,
+    stats: ReactorStats,
+}
+
+/// The one-shot reactor driver: init, then turns until idle.
+fn drive_reactor<B, R, F, P>(
+    client: &mut B,
+    walkers: &mut [&mut dyn RandomWalk],
+    rngs: &mut [R],
+    max_steps: usize,
+    node_attempt_cap: u32,
+    value: Option<&F>,
+    policy: &P,
+) -> ReactorOutcome
+where
+    B: BatchOsnClient,
+    R: RngCore,
+    F: Fn(NodeId) -> f64 + ?Sized,
+    P: RestartPolicy + ?Sized,
+{
+    let k = walkers.len();
+    assert_eq!(k, rngs.len(), "one RNG stream per walker");
+    policy.begin_run(k);
+    let interface_before = client.stats();
+    let mut state = DispatchState::default();
+    let mut cells: Vec<Cell> = (0..k).map(|_| Cell::new(0)).collect();
+    let mut restarts = Vec::new();
+    let mut core = ReactorCore::new(k, max_steps, node_attempt_cap);
+    core.init(&mut |i| walkers[i].current(), &cells, &state);
+    while core.turn(
+        client,
+        walkers,
+        rngs,
+        value,
+        policy,
+        &mut state,
+        &mut cells,
+        &mut restarts,
+        true,
+    ) {}
+    let mut interface = client.stats();
+    interface.issued -= interface_before.issued;
+    interface.unique -= interface_before.unique;
+    interface.cache_hits -= interface_before.cache_hits;
+    ReactorOutcome {
+        cells,
+        restarts,
+        state,
+        interface,
+        stats: core.stats,
+    }
+}
+
+impl WalkOrchestrator {
+    /// Run the fleet on the poll-driven reactor backend: one event loop
+    /// drives every walker as a [`WalkerFsm`] parked on in-flight batches
+    /// of `client` — no threads, no per-walker stack, memory bounded by
+    /// the in-flight window (see the [`crate::reactor`] module docs).
+    ///
+    /// Deterministic given the seed: events are delivered in completion-
+    /// time order with walker-index tiebreaks. With `max_batch_size ≥`
+    /// fleet size the result is bit-identical to [`Self::run_coalesced`] —
+    /// traces, estimate, stops, charges, and the restart schedule under
+    /// any [`RestartPolicy`]; with smaller batches waves pipeline and the
+    /// trace equivalence holds under [`Never`] absent a budget.
+    pub fn run_reactor<B, W, F, P>(
+        &self,
+        client: &mut B,
+        make_walker: W,
+        value: F,
+        policy: &P,
+    ) -> OrchestratorReport
+    where
+        B: BatchOsnClient,
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+        F: Fn(NodeId) -> f64,
+        P: RestartPolicy + ?Sized,
+    {
+        self.run_reactor_with_stats(client, make_walker, value, policy)
+            .0
+    }
+
+    /// [`Self::run_reactor`], also returning the loop's [`ReactorStats`]
+    /// (event counts and the peak in-flight / queued / parked witnesses
+    /// the soak suite asserts the memory bound against).
+    pub fn run_reactor_with_stats<B, W, F, P>(
+        &self,
+        client: &mut B,
+        make_walker: W,
+        value: F,
+        policy: &P,
+    ) -> (OrchestratorReport, ReactorStats)
+    where
+        B: BatchOsnClient,
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+        F: Fn(NodeId) -> f64,
+        P: RestartPolicy + ?Sized,
+    {
+        let (mut fleet, mut rngs) = self.build_fleet(make_walker);
+        let mut refs: Vec<&mut dyn RandomWalk> =
+            fleet.iter_mut().map(|w| w.as_mut() as _).collect();
+        let outcome = drive_reactor(
+            client,
+            &mut refs,
+            &mut rngs,
+            self.max_steps_per_walker(),
+            DEFAULT_NODE_ATTEMPT_CAP,
+            Some(&value),
+            policy,
+        );
+        let mut report = OrchestratorReport::from_cells(
+            outcome.cells,
+            outcome.restarts,
+            outcome.stats.events,
+            outcome.state.stats,
+        );
+        report.interface = Some(outcome.interface);
+        report.refused_nodes = outcome.state.refused_nodes;
+        report.abandoned_nodes = outcome.state.abandoned_nodes;
+        (report, outcome.stats)
+    }
+
+    /// Begin a pausable reactor run (see [`ReactorWalkRun`]). Driving it to
+    /// completion is bit-identical to [`Self::run_reactor`] under [`Never`]
+    /// absent a budget (slicing defers submissions across the pause, which
+    /// can reorder charges — traces are schedule-independent either way).
+    pub fn start_reactor<W>(&self, make_walker: W) -> ReactorWalkRun
+    where
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+    {
+        let (fleet, rngs) = self.build_fleet(make_walker);
+        let cells: Vec<Cell> = (0..self.walker_count()).map(|_| Cell::new(0)).collect();
+        let state = DispatchState::default();
+        let mut core = ReactorCore::new(
+            self.walker_count(),
+            self.max_steps_per_walker(),
+            DEFAULT_NODE_ATTEMPT_CAP,
+        );
+        {
+            let mut current_of = |i: usize| fleet[i].current();
+            core.init(&mut current_of, &cells, &state);
+        }
+        ReactorWalkRun {
+            spec: *self,
+            fleet,
+            rngs,
+            cells,
+            state,
+            core,
+            interface_base: None,
+        }
+    }
+
+    /// Restore a [`ReactorWalkRun`] from a [`ReactorWalkRun::snapshot`]
+    /// value — dispatcher cache and fetch queues included, so a resumed
+    /// run re-charges nothing and resubmits in the snapshot's queue order.
+    /// Spec and walker contracts are as for [`Self::resume_serial`].
+    pub fn resume_reactor<W>(&self, state: &Value, make_walker: W) -> Result<ReactorWalkRun, String>
+    where
+        W: Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send>,
+    {
+        let (fleet, rngs, cells, events) =
+            self.resume_fleet(state, "reactor", "events", make_walker)?;
+        let dispatch = dispatch_from_value(state.field("dispatch")?)?;
+        let node_attempt_cap: u32 = state.field("attempt_cap")?.decode()?;
+        let retry = nodes_from_value(state.field("retry")?)?;
+        let pending = nodes_from_value(state.field("pending")?)?;
+        let mut core = ReactorCore::new(
+            self.walker_count(),
+            self.max_steps_per_walker(),
+            node_attempt_cap,
+        );
+        core.stats.events = events;
+        // Seed the queues *before* classifying the fleet: classify dedups
+        // against `queued`, so the snapshot's submission order survives the
+        // index-order re-parking below.
+        for &u in retry.iter().chain(pending.iter()) {
+            if !core.queued.insert(u.0) {
+                return Err(format!("node {} queued twice in reactor snapshot", u.0));
+            }
+        }
+        core.retry.extend(retry);
+        core.pending.extend(pending);
+        {
+            let mut current_of = |i: usize| fleet[i].current();
+            core.init(&mut current_of, &cells, &dispatch);
+        }
+        Ok(ReactorWalkRun {
+            spec: *self,
+            fleet,
+            rngs,
+            cells,
+            state: dispatch,
+            core,
+            interface_base: None,
+        })
+    }
+}
+
+/// A reactor run that pauses between completion events and snapshots — the
+/// event-driven sibling of [`crate::CoalescedWalkRun`] and the job-slice
+/// engine of the `osn-service` session server: one slice advances a
+/// bounded number of events instead of whole fleet-wide rounds, so a
+/// 10k-walker job interleaves with its tenants at event granularity.
+///
+/// Policy-free ([`Never`]) like every resumable run: [`WorkStealing`]
+/// keeps non-serializable interior diagnostics, so a mid-run snapshot
+/// could not restore the restart schedule. Use
+/// [`WalkOrchestrator::run_reactor`] for policy-driven runs.
+///
+/// Every [`Self::run_events`] call leaves the endpoint **quiescent**
+/// (nothing in flight): trailing drain turns deliver outstanding batches
+/// without submitting new ones, so a snapshot never has to serialize
+/// half-completed requests — and endpoints like
+/// [`osn_client::batch::SimulatedBatchOsn`] that refuse to export in-flight
+/// state can snapshot right alongside the run.
+///
+/// [`WorkStealing`]: crate::WorkStealing
+pub struct ReactorWalkRun {
+    spec: WalkOrchestrator,
+    fleet: Vec<Box<dyn RandomWalk + Send>>,
+    rngs: Vec<ChaCha12Rng>,
+    cells: Vec<Cell>,
+    state: DispatchState,
+    core: ReactorCore,
+    /// Endpoint accounting at the first `run_events` call of this process
+    /// lifetime (see [`crate::CoalescedWalkRun`] for the delta contract).
+    interface_base: Option<QueryStats>,
+}
+
+impl ReactorWalkRun {
+    /// Whether every walker has finished (step cap reached or refused).
+    pub fn done(&self) -> bool {
+        let max = self.spec.max_steps_per_walker();
+        self.cells.iter().all(|c| !c.live(max))
+    }
+
+    /// Completion events processed so far (drain turns included).
+    pub fn events(&self) -> usize {
+        self.core.stats.events
+    }
+
+    /// Total transitions performed across the fleet so far.
+    pub fn steps_taken(&self) -> usize {
+        self.cells.iter().map(|c| c.trace.len()).sum()
+    }
+
+    /// Walker `i`'s trajectory so far — grows as completion events land,
+    /// so callers can feed event-granularity probes (e.g.
+    /// `osn_estimate::WindowedSplitRhat`) between [`Self::run_events`]
+    /// slices.
+    pub fn trace(&self, walker: usize) -> &[NodeId] {
+        &self.cells[walker].trace
+    }
+
+    /// Walker-side accounting so far (the serial-shaped `issued` /
+    /// `unique` / `cache_hits` view over the dispatcher cache).
+    pub fn walker_stats(&self) -> QueryStats {
+        self.state.stats
+    }
+
+    /// The loop's diagnostics (peaks are process-local: they restart from
+    /// zero after a resume).
+    pub fn reactor_stats(&self) -> ReactorStats {
+        self.core.stats
+    }
+
+    /// Cap on dispatcher-level resubmissions of a permanently-dropped node
+    /// (default [`DEFAULT_NODE_ATTEMPT_CAP`]).
+    #[must_use]
+    pub fn with_node_attempt_cap(mut self, cap: u32) -> Self {
+        self.core.node_attempt_cap = cap.max(1);
+        self
+    }
+
+    /// Advance up to `events` completion events with submissions enabled,
+    /// then drain (submissions off) until nothing is in flight, so the run
+    /// is snapshot-safe. Returns the events actually processed, drain
+    /// turns included. Pass `usize::MAX` to drive to completion.
+    pub fn run_events<B, F>(&mut self, client: &mut B, value: &F, events: usize) -> usize
+    where
+        B: BatchOsnClient,
+        F: Fn(NodeId) -> f64 + ?Sized,
+    {
+        if self.interface_base.is_none() {
+            self.interface_base = Some(client.stats());
+        }
+        let mut refs: Vec<&mut dyn RandomWalk> =
+            self.fleet.iter_mut().map(|w| w.as_mut() as _).collect();
+        let mut no_restarts = Vec::new();
+        let mut executed = 0;
+        while executed < events
+            && self.core.turn(
+                client,
+                &mut refs,
+                &mut self.rngs,
+                Some(value),
+                &Never,
+                &mut self.state,
+                &mut self.cells,
+                &mut no_restarts,
+                true,
+            )
+        {
+            executed += 1;
+        }
+        // Quiesce: each drain turn polls one outstanding batch and submits
+        // nothing, so the in-flight count strictly decreases.
+        while client.in_flight() > 0
+            && self.core.turn(
+                client,
+                &mut refs,
+                &mut self.rngs,
+                Some(value),
+                &Never,
+                &mut self.state,
+                &mut self.cells,
+                &mut no_restarts,
+                false,
+            )
+        {
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Serialize the complete run state — fleet, RNG streams, cells,
+    /// dispatcher state, and the reactor's fetch queues (in order) — as a
+    /// byte-deterministic [`Value`]. Restore with
+    /// [`WalkOrchestrator::resume_reactor`]. Only valid between
+    /// [`Self::run_events`] calls, where nothing is in flight.
+    pub fn snapshot(&self) -> Value {
+        debug_assert!(
+            self.core.inflight.is_empty(),
+            "snapshot with batches in flight"
+        );
+        let pending: Vec<NodeId> = self.core.pending.iter().copied().collect();
+        let retry: Vec<NodeId> = self.core.retry.iter().copied().collect();
+        Value::obj([
+            ("kind", Value::Str("reactor".into())),
+            ("spec", self.spec.spec_value()),
+            ("events", Value::Uint(self.core.stats.events as u64)),
+            (
+                "walkers",
+                Value::Arr(self.fleet.iter().map(|w| w.export_state()).collect()),
+            ),
+            (
+                "rngs",
+                Value::Arr(self.rngs.iter().map(rng_to_value).collect()),
+            ),
+            (
+                "cells",
+                Value::Arr(self.cells.iter().map(cell_to_value).collect()),
+            ),
+            ("dispatch", dispatch_to_value(&self.state)),
+            (
+                "attempt_cap",
+                Value::Uint(u64::from(self.core.node_attempt_cap)),
+            ),
+            ("pending", nodes_to_value(&pending)),
+            ("retry", nodes_to_value(&retry)),
+        ])
+    }
+
+    /// Fold the run into the uniform report shape (the `rounds` field
+    /// carries the event count), reading the endpoint's interface-side
+    /// accounting delta from `client` as [`crate::CoalescedWalkRun`] does.
+    pub fn into_report<B: BatchOsnClient>(self, client: &B) -> OrchestratorReport {
+        let refused_nodes = self.state.refused_nodes;
+        let abandoned_nodes = self.state.abandoned_nodes;
+        let mut report = OrchestratorReport::from_cells(
+            self.cells,
+            Vec::new(),
+            self.core.stats.events,
+            self.state.stats,
+        );
+        let mut interface = client.stats();
+        if let Some(base) = self.interface_base {
+            interface.issued -= base.issued;
+            interface.unique -= base.unique;
+            interface.cache_hits -= base.cache_hits;
+        }
+        report.interface = Some(interface);
+        report.refused_nodes = refused_nodes;
+        report.abandoned_nodes = abandoned_nodes;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::SharedFrontier;
+    use crate::walkers::Cnrw;
+    use crate::WorkStealing;
+    use osn_client::batch::{BatchConfig, SimulatedBatchOsn};
+    use osn_client::SimulatedOsn;
+    use osn_graph::generators::{clustered_cliques, ClusteredCliquesConfig};
+
+    fn clustered() -> SimulatedOsn {
+        SimulatedOsn::from_graph(
+            clustered_cliques(&ClusteredCliquesConfig::default()).expect("static config"),
+        )
+    }
+
+    fn make_cnrw(i: usize, backend: crate::HistoryBackend) -> Box<dyn RandomWalk + Send> {
+        Box::new(Cnrw::with_backend(
+            osn_graph::NodeId((i as u32 * 7) % 90),
+            backend,
+        )) as Box<dyn RandomWalk + Send>
+    }
+
+    #[test]
+    fn reactor_matches_coalesced_bit_identically_with_single_batch_waves() {
+        let orch = WalkOrchestrator::new(8, 120, 42);
+        let mut batch = SimulatedBatchOsn::new(
+            clustered(),
+            BatchConfig::new(16).with_latency(0.01, 0.002).with_seed(5),
+        );
+        let coalesced = orch.run_coalesced(&mut batch, make_cnrw, |v| v.index() as f64, &Never);
+        let mut batch2 = SimulatedBatchOsn::new(
+            clustered(),
+            BatchConfig::new(16).with_latency(0.01, 0.002).with_seed(5),
+        );
+        let (reactor, stats) =
+            orch.run_reactor_with_stats(&mut batch2, make_cnrw, |v| v.index() as f64, &Never);
+        assert_eq!(coalesced.trace.per_walker, reactor.trace.per_walker);
+        assert_eq!(coalesced.stops, reactor.stops);
+        assert_eq!(coalesced.trace.stats, reactor.trace.stats);
+        assert_eq!(coalesced.interface, reactor.interface);
+        assert_eq!(coalesced.estimate.mean(), reactor.estimate.mean());
+        assert_eq!(coalesced.rounds, stats.events);
+    }
+
+    #[test]
+    fn reactor_work_stealing_schedule_matches_coalesced() {
+        let orch = WalkOrchestrator::new(6, 200, 9);
+        let make = |i: usize, backend: crate::HistoryBackend| {
+            // Clumped starts inside one clique force restarts.
+            Box::new(Cnrw::with_backend(osn_graph::NodeId(i as u32), backend))
+                as Box<dyn RandomWalk + Send>
+        };
+        let mut batch = SimulatedBatchOsn::new(clustered(), BatchConfig::new(16));
+        let policy = WorkStealing::new(1.05, 16, SharedFrontier::with_stripes(8, 16));
+        let coalesced = orch.run_coalesced(&mut batch, make, |v| v.index() as f64, &policy);
+        let mut batch2 = SimulatedBatchOsn::new(clustered(), BatchConfig::new(16));
+        let policy2 = WorkStealing::new(1.05, 16, SharedFrontier::with_stripes(8, 16));
+        let reactor = orch.run_reactor(&mut batch2, make, |v| v.index() as f64, &policy2);
+        assert_eq!(coalesced.restarts, reactor.restarts);
+        assert_eq!(coalesced.trace.per_walker, reactor.trace.per_walker);
+        assert!(!coalesced.restarts.is_empty(), "fixture should restart");
+    }
+
+    #[test]
+    fn reactor_pipelines_small_batches_without_changing_traces() {
+        let orch = WalkOrchestrator::new(8, 100, 3);
+        let mut wide = SimulatedBatchOsn::new(clustered(), BatchConfig::new(64));
+        let baseline = orch.run_reactor(&mut wide, make_cnrw, |v| v.index() as f64, &Never);
+        let mut narrow = SimulatedBatchOsn::new(
+            clustered(),
+            BatchConfig::new(2)
+                .with_in_flight(3)
+                .with_latency(0.05, 0.01)
+                .with_per_id_latency(0.01),
+        );
+        let (piped, stats) =
+            orch.run_reactor_with_stats(&mut narrow, make_cnrw, |v| v.index() as f64, &Never);
+        assert_eq!(baseline.trace.per_walker, piped.trace.per_walker);
+        assert_eq!(baseline.stops, piped.stops);
+        assert!(stats.peak_in_flight > 1, "narrow window should pipeline");
+    }
+
+    #[test]
+    fn reactor_run_resumes_bit_identically_across_snapshot() {
+        let orch = WalkOrchestrator::new(5, 80, 17);
+        let value = |v: osn_graph::NodeId| v.index() as f64;
+
+        let mut solid = SimulatedBatchOsn::new(
+            clustered(),
+            BatchConfig::new(3).with_latency(0.02, 0.004).with_seed(2),
+        );
+        let mut whole = orch.start_reactor(make_cnrw);
+        while !whole.done() {
+            whole.run_events(&mut solid, &value, usize::MAX);
+        }
+        let whole_report = whole.into_report(&solid);
+
+        let mut endpoint = SimulatedBatchOsn::new(
+            clustered(),
+            BatchConfig::new(3).with_latency(0.02, 0.004).with_seed(2),
+        );
+        let mut run = orch.start_reactor(make_cnrw);
+        run.run_events(&mut endpoint, &value, 7);
+        let snap = run.snapshot();
+        let mut resumed = orch.resume_reactor(&snap, make_cnrw).unwrap();
+        assert_eq!(snap.to_compact(), resumed.snapshot().to_compact());
+        while !resumed.done() {
+            resumed.run_events(&mut endpoint, &value, 9);
+        }
+        let resumed_report = resumed.into_report(&endpoint);
+        assert_eq!(
+            whole_report.trace.per_walker,
+            resumed_report.trace.per_walker
+        );
+        assert_eq!(whole_report.stops, resumed_report.stops);
+        assert_eq!(whole_report.estimate.mean(), resumed_report.estimate.mean());
+    }
+}

@@ -198,7 +198,23 @@ impl WindowedSplitRhat {
     /// `window` is clamped to at least 8 and rounded down to even so each
     /// window splits into two equal halves.
     pub fn new(chains: usize, window: usize) -> Self {
-        let window = window.max(8) & !1;
+        Self::exact(chains, window.max(8))
+    }
+
+    /// Like [`Self::new`] but honoring `window` exactly (rounded down to
+    /// even, clamped to at least 2 so pushes stay well-defined) instead of
+    /// clamping it up to 8 — for probes at finer-than-cadence granularity,
+    /// e.g. the reactor's per-event mixing check, where the caller wants
+    /// the window to mirror its own (possibly tiny) event budget.
+    ///
+    /// A window this short may be **unable to ever evaluate**: each half
+    /// of a split window needs at least 2 samples for a within-half
+    /// variance, so windows shorter than 4 make
+    /// [`evaluate`](Self::evaluate) return `None` unconditionally — the
+    /// None-not-Some convention for "no evidence", never a fabricated
+    /// number.
+    pub fn exact(chains: usize, window: usize) -> Self {
+        let window = (window & !1).max(2);
         WindowedSplitRhat {
             window,
             rings: (0..chains).map(|_| ChainRing::new(window)).collect(),
@@ -245,6 +261,12 @@ impl WindowedSplitRhat {
     /// windows, or when every window half is constant (the same degenerate
     /// rule as [`split_rhat`]).
     pub fn evaluate(&self) -> Option<WindowVerdict> {
+        if self.window < 4 {
+            // Shorter than two half-splits: each half needs >= 2 samples
+            // for a within-half variance (n - 1 would be 0). No evidence,
+            // so no verdict — never a fabricated number.
+            return None;
+        }
         let full: Vec<usize> = (0..self.rings.len())
             .filter(|&i| self.rings[i].is_full())
             .collect();
@@ -477,5 +499,51 @@ mod tests {
         let online = WindowedSplitRhat::new(2, 11);
         assert_eq!(online.window(), 10);
         assert_eq!(online.chains(), 2);
+    }
+
+    #[test]
+    fn windowed_exact_keeps_small_windows() {
+        // `exact` rounds down to even but does not inflate to 8 — the
+        // event-granularity constructor must honor the caller's budget.
+        let online = WindowedSplitRhat::exact(2, 6);
+        assert_eq!(online.window(), 6);
+        let online = WindowedSplitRhat::exact(2, 5);
+        assert_eq!(online.window(), 4);
+        // Only the bare minimum for a well-defined ring is enforced.
+        let online = WindowedSplitRhat::exact(2, 0);
+        assert_eq!(online.window(), 2);
+    }
+
+    #[test]
+    fn windowed_shorter_than_two_half_splits_is_none() {
+        // A window of 2 splits into halves of a single sample each: the
+        // within-half variance is undefined (n - 1 == 0). Even with every
+        // ring full the verdict must be None, never a fabricated number.
+        let mut online = WindowedSplitRhat::exact(2, 2);
+        for i in 0..2 {
+            online.push(0, i as f64);
+            online.push(1, (i * 3) as f64);
+        }
+        assert!(online.is_full(0) && online.is_full(1));
+        assert_eq!(online.evaluate(), None);
+        // Window 4 is the shortest that can ever evaluate.
+        let mut online = WindowedSplitRhat::exact(2, 4);
+        for i in 0..4 {
+            online.push(0, i as f64);
+            online.push(1, (4 - i) as f64);
+        }
+        assert!(online.evaluate().is_some());
+    }
+
+    #[test]
+    fn windowed_all_parked_fleet_is_none() {
+        // A fleet whose walkers are all parked on in-flight batches pushes
+        // nothing: zero full windows, so there is no mixing evidence yet.
+        let online = WindowedSplitRhat::exact(4, 8);
+        assert_eq!(online.evaluate(), None);
+        // Still None after a partial trickle on a single chain.
+        let mut online = WindowedSplitRhat::exact(4, 8);
+        online.push(0, 1.0);
+        assert_eq!(online.evaluate(), None);
     }
 }

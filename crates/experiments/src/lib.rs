@@ -21,6 +21,7 @@
 //! | [`theorem3`] | Theorem 3 — barbell escape: hitting times and bound |
 //! | [`ablation`] | §3.2 ablation — edge-keyed vs node-keyed circulation |
 //! | [`fig_service`] | Service extension — multi-tenant fair-share scheduling vs sequential at one shared budget |
+//! | [`fig_reactor`] | Reactor extension — fleet size vs throughput/memory on the poll-driven backend, with an event-granularity mixing probe |
 //!
 //! All runs are seeded and deterministic (including under parallelism: trial
 //! seeds are derived, not scheduler-dependent). The one exception is
@@ -42,6 +43,7 @@ pub mod fig6_steal;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_reactor;
 pub mod fig_service;
 pub mod output;
 pub mod runner;

@@ -8,8 +8,10 @@
 //! passed, picks the tenant with the lowest charged-queries-to-weight ratio
 //! (classic max-min weighted fair share over the cumulative charge), picks
 //! that tenant's next running job round-robin, and grants it
-//! [`ServerConfig::rounds_per_slice`] coalesced scheduling rounds against
-//! the shared endpoint. Everything — tenant choice, job choice, walker
+//! [`ServerConfig::rounds_per_slice`] units of work against the shared
+//! endpoint — coalesced scheduling rounds under the default
+//! [`SliceEngine::Rounds`], reactor completion events under
+//! [`SliceEngine::Reactor`]. Everything — tenant choice, job choice, walker
 //! randomness, endpoint failures — is a deterministic function of specs and
 //! seeds, so a server run replays bit-identically.
 //!
@@ -36,7 +38,8 @@ use std::sync::Arc;
 use osn_client::{BatchOsnClient, QueryStats, SimulatedBatchOsn};
 use osn_graph::attributes::AttributedGraph;
 use osn_serde::Value;
-use osn_walks::CoalescedWalkRun;
+use osn_walks::orchestrator::OrchestratorReport;
+use osn_walks::{CoalescedWalkRun, ReactorWalkRun};
 
 use crate::job::{JobResult, JobSpec, JobState};
 
@@ -88,18 +91,45 @@ impl TenantStats {
     }
 }
 
+/// Which walk-run engine drives a job's scheduling slices.
+///
+/// Both engines funnel through the same [`osn_walks::WalkOrchestrator`]
+/// step core and are bit-compatible where their schedules coincide; they
+/// differ in how a slice's work is metered against the shared endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SliceEngine {
+    /// Lockstep coalesced rounds ([`CoalescedWalkRun`]): every walker in a
+    /// job steps once per round, one gather per round. The default, and
+    /// the engine all pre-existing pinned snapshots were taken under.
+    #[default]
+    Rounds,
+    /// Poll-driven reactor events ([`ReactorWalkRun`]): walkers park as
+    /// state machines on in-flight batches and a slice grants completion
+    /// *events* instead of rounds — see [`osn_walks::reactor`]. Scales to
+    /// 10k+ walkers per job with O(active batches) slice memory.
+    Reactor,
+}
+
 /// Server-wide configuration (construction-time spec, not serialized).
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Coalesced scheduling rounds granted per slice. Smaller slices track
-    /// the fair shares tighter at more scheduling overhead.
+    /// Work granted per slice: coalesced scheduling rounds under
+    /// [`SliceEngine::Rounds`], completion events under
+    /// [`SliceEngine::Reactor`]. Smaller slices track the fair shares
+    /// tighter at more scheduling overhead.
     pub rounds_per_slice: usize,
+    /// Engine newly admitted jobs run under. Resume keys each job off its
+    /// own run snapshot, so a server restored with a different engine
+    /// continues old runs unchanged and applies the new engine only to
+    /// jobs admitted afterwards.
+    pub engine: SliceEngine,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             rounds_per_slice: 8,
+            engine: SliceEngine::Rounds,
         }
     }
 }
@@ -116,13 +146,74 @@ impl ServerConfig {
         self.rounds_per_slice = rounds.max(1);
         self
     }
+
+    /// Select the engine newly admitted jobs run under.
+    #[must_use]
+    pub fn with_engine(mut self, engine: SliceEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// A job's in-progress walk, under whichever engine admitted it. Both
+/// variants are boxed: run state is hundreds of bytes and `Job` vectors
+/// should stay slim regardless of which engine a job runs under.
+enum JobRun {
+    Rounds(Box<CoalescedWalkRun>),
+    Reactor(Box<ReactorWalkRun>),
+}
+
+impl JobRun {
+    fn done(&self) -> bool {
+        match self {
+            JobRun::Rounds(run) => run.done(),
+            JobRun::Reactor(run) => run.done(),
+        }
+    }
+
+    fn steps_taken(&self) -> usize {
+        match self {
+            JobRun::Rounds(run) => run.steps_taken(),
+            JobRun::Reactor(run) => run.steps_taken(),
+        }
+    }
+
+    /// Grant one slice of work: `n` rounds or `n` completion events,
+    /// depending on the engine the job was admitted under.
+    fn run_slice<F>(&mut self, endpoint: &mut SimulatedBatchOsn, value: &F, n: usize)
+    where
+        F: Fn(osn_graph::NodeId) -> f64 + ?Sized,
+    {
+        match self {
+            JobRun::Rounds(run) => {
+                run.run_rounds(endpoint, value, n);
+            }
+            JobRun::Reactor(run) => {
+                run.run_events(endpoint, value, n);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Value {
+        match self {
+            JobRun::Rounds(run) => run.snapshot(),
+            JobRun::Reactor(run) => run.snapshot(),
+        }
+    }
+
+    fn into_report(self, endpoint: &SimulatedBatchOsn) -> OrchestratorReport {
+        match self {
+            JobRun::Rounds(run) => run.into_report(endpoint),
+            JobRun::Reactor(run) => run.into_report(endpoint),
+        }
+    }
 }
 
 /// One job's full server-side record.
 struct Job {
     spec: JobSpec,
     state: JobState,
-    run: Option<CoalescedWalkRun>,
+    run: Option<JobRun>,
     result: Option<JobResult>,
 }
 
@@ -265,11 +356,15 @@ impl SessionServer {
                 job.state = JobState::Refused;
                 self.stats[job.spec.tenant].jobs_refused += 1;
             } else {
-                job.run = Some(
-                    job.spec
-                        .orchestrator()
-                        .start_coalesced(job.spec.make_walker()),
-                );
+                let orch = job.spec.orchestrator();
+                job.run = Some(match self.config.engine {
+                    SliceEngine::Rounds => {
+                        JobRun::Rounds(Box::new(orch.start_coalesced(job.spec.make_walker())))
+                    }
+                    SliceEngine::Reactor => {
+                        JobRun::Reactor(Box::new(orch.start_reactor(job.spec.make_walker())))
+                    }
+                });
                 job.state = JobState::Running;
             }
         }
@@ -332,7 +427,7 @@ impl SessionServer {
         let run = job.run.as_mut().expect("running job has a live run");
         let steps_before = run.steps_taken();
         let value = job.spec.estimand.value_fn(&self.network);
-        run.run_rounds(&mut self.endpoint, &*value, self.config.rounds_per_slice);
+        run.run_slice(&mut self.endpoint, &*value, self.config.rounds_per_slice);
         let after = self.endpoint.stats();
 
         let stats = &mut self.stats[t];
@@ -458,11 +553,25 @@ impl SessionServer {
             let job_state = JobState::from_label(jv.field("state")?.as_str()?)
                 .map_err(|e| format!("job {id}: {e}"))?;
             let run = match job_state {
-                JobState::Running => Some(
-                    spec.orchestrator()
-                        .resume_coalesced(jv.field("run")?, spec.make_walker())
-                        .map_err(|e| format!("job {id}: {e}"))?,
-                ),
+                JobState::Running => {
+                    // Each run snapshot names its own engine: a server
+                    // resumed under a different `config.engine` continues
+                    // old runs with the engine that started them.
+                    let rv = jv.field("run")?;
+                    let run = match rv.field("kind")?.as_str()? {
+                        "reactor" => JobRun::Reactor(Box::new(
+                            spec.orchestrator()
+                                .resume_reactor(rv, spec.make_walker())
+                                .map_err(|e| format!("job {id}: {e}"))?,
+                        )),
+                        _ => JobRun::Rounds(Box::new(
+                            spec.orchestrator()
+                                .resume_coalesced(rv, spec.make_walker())
+                                .map_err(|e| format!("job {id}: {e}"))?,
+                        )),
+                    };
+                    Some(run)
+                }
                 _ => None,
             };
             let result = match job_state {

@@ -9,7 +9,7 @@ use osn_client::{BatchConfig, RateLimitConfig, SimulatedBatchOsn, SimulatedOsn};
 use osn_graph::{CsrGraph, GraphBuilder, NodeId};
 use osn_serde::Value;
 use osn_service::traffic::{populate, TrafficConfig};
-use osn_service::{Algorithm, JobSpec, JobState, ServerConfig, SessionServer};
+use osn_service::{Algorithm, JobSpec, JobState, ServerConfig, SessionServer, SliceEngine};
 
 /// A connected `n`-node graph: ring, chords, and a hub over the even
 /// nodes — enough structure that walks spread and caches overlap.
@@ -192,6 +192,111 @@ fn traffic_exercises_per_id_drops_and_retries() {
     let retries: u64 = bs.field("retries").unwrap().decode().unwrap();
     assert!(node_drops > 0, "per-id partial failures never fired");
     assert!(retries > 0, "whole-request failure injection never fired");
+}
+
+fn engine_server(engine: SliceEngine, budget: Option<u64>, seed: u64) -> SessionServer {
+    let mut server = SessionServer::new(
+        soak_endpoint(400, budget),
+        ServerConfig::new()
+            .with_rounds_per_slice(6)
+            .with_engine(engine),
+    );
+    let traffic = TrafficConfig::new(5, 3)
+        .with_seed(seed)
+        .with_mean_interarrival(0.05)
+        .with_max_steps(200)
+        .with_max_walkers(3);
+    populate(&mut server, &traffic);
+    server
+}
+
+#[test]
+fn reactor_engine_matches_rounds_estimates_without_budget() {
+    // Absent a budget, traces are schedule-independent: the reactor engine
+    // must reproduce the rounds engine's per-job estimates and step counts
+    // bit-for-bit even though its slices are metered in completion events.
+    let run = |engine| {
+        let mut server = engine_server(engine, None, 11);
+        server.run_to_completion();
+        assert!(server.done());
+        (0..server.job_count())
+            .map(|id| {
+                server
+                    .job_result(id)
+                    .map(|r| (r.estimate.map(f64::to_bits), r.steps))
+            })
+            .collect::<Vec<_>>()
+    };
+    let rounds = run(SliceEngine::Rounds);
+    assert!(rounds.iter().any(Option::is_some), "no job completed");
+    assert_eq!(rounds, run(SliceEngine::Reactor));
+}
+
+#[test]
+fn reactor_engine_kill_mid_slice_resumes_bit_identically() {
+    // Full-realism endpoint (rate limit, failures, drops, shared budget)
+    // under the reactor engine: kill after k slices, persist through text,
+    // resume, finish — byte-identical to the uninterrupted run. Once every
+    // job has been admitted, the resumed server is configured with the
+    // *Rounds* engine to prove resume keys each mid-walk job off its own
+    // run snapshot, not off the server config (the config engine only
+    // applies to jobs still queued at the kill).
+    let mut reference = engine_server(SliceEngine::Reactor, Some(700), 21);
+    reference.run_to_completion();
+    let reference_final = reference.snapshot().unwrap().to_pretty();
+
+    let mut saw_cross_engine_resume = false;
+    for k in [1usize, 7, 23] {
+        let mut killed = engine_server(SliceEngine::Reactor, Some(700), 21);
+        for _ in 0..k {
+            if !killed.step() {
+                break;
+            }
+        }
+        let snap = killed.snapshot().unwrap();
+        let jobs = snap.field("jobs").unwrap().as_array().unwrap();
+        // Mid-run jobs carry reactor-kind run snapshots.
+        let reactor_runs = jobs
+            .iter()
+            .filter_map(|jv| jv.field("run").ok())
+            .filter(|rv| rv.field("kind").unwrap().as_str().unwrap() == "reactor")
+            .count();
+        if k > 1 {
+            assert!(reactor_runs > 0, "k={k}: no mid-walk reactor run captured");
+        }
+        let queued = jobs
+            .iter()
+            .filter(|jv| jv.field("state").unwrap().as_str().unwrap() == "queued")
+            .count();
+        let resume_engine = if queued == 0 {
+            saw_cross_engine_resume = true;
+            SliceEngine::Rounds
+        } else {
+            SliceEngine::Reactor
+        };
+        let text = snap.to_pretty();
+        drop(killed);
+
+        let parsed = Value::parse(&text).unwrap();
+        let mut resumed = SessionServer::resume(
+            soak_endpoint(400, Some(700)),
+            ServerConfig::new()
+                .with_rounds_per_slice(6)
+                .with_engine(resume_engine),
+            &parsed,
+        )
+        .unwrap();
+        resumed.run_to_completion();
+        assert_eq!(
+            resumed.snapshot().unwrap().to_pretty(),
+            reference_final,
+            "k={k}"
+        );
+    }
+    assert!(
+        saw_cross_engine_resume,
+        "no kill point had every job admitted; cross-engine resume untested"
+    );
 }
 
 proptest! {

@@ -114,15 +114,15 @@ pub mod prelude {
     pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use osn_serde::Value;
     pub use osn_service::{
-        Estimand, JobResult, JobSpec, JobState, ServerConfig, SessionServer, TenantSpec,
-        TenantStats, TrafficConfig,
+        Estimand, JobResult, JobSpec, JobState, ServerConfig, SessionServer, SliceEngine,
+        TenantSpec, TenantStats, TrafficConfig,
     };
     pub use osn_walks::{
         ByAttribute, ByDegree, ByHash, Cnrw, CoalescedWalkRun, CoalescingDispatcher,
         FrontierSampler, Gnrw, HistoryBackend, Mhrw, MultiWalkReport, MultiWalkRunner,
         MultiWalkSession, NbCnrw, NbSrw, Never, NodeCnrw, OrchestratorReport, RandomWalk,
-        RestartEvent, RestartPolicy, RestartReason, SerialWalkRun, SharedFrontier, Srw, WalkConfig,
-        WalkOrchestrator, WalkSession, WorkStealing,
+        ReactorStats, ReactorWalkRun, RestartEvent, RestartPolicy, RestartReason, SerialWalkRun,
+        SharedFrontier, Srw, WalkConfig, WalkOrchestrator, WalkSession, WalkerFsm, WorkStealing,
     };
 }
 
