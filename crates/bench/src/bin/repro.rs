@@ -211,6 +211,31 @@ fn run_perf(opts: &Options) -> ExperimentResult {
                 );
             }
         }
+        // GNRW-specific callout: the plan-over-scratch ratio is the headline
+        // of the group-plan fast path. Print it every run (not only on
+        // regression) so the perf-smoke log always shows where GNRW stands,
+        // and warn when the within-run ratio falls below the baseline's.
+        let base_plan = perf::plan_speedups(&baseline);
+        for (label, current) in perf::plan_speedups(&result) {
+            match base_plan.iter().find(|(l, _)| *l == label) {
+                Some((_, base)) if current < base * (1.0 - perf::REGRESSION_TOLERANCE) => {
+                    println!(
+                        "::warning::perf: GNRW plan-over-scratch speedup for {label} fell to \
+                         {current:.2}x (baseline {base:.2}x) — the group-plan fast path regressed"
+                    );
+                }
+                Some((_, base)) => {
+                    eprintln!(
+                        "perf: GNRW plan-over-scratch {label}: {current:.2}x (baseline {base:.2}x)"
+                    );
+                }
+                None => {
+                    eprintln!(
+                        "perf: GNRW plan-over-scratch {label}: {current:.2}x (no baseline ratio)"
+                    );
+                }
+            }
+        }
         if regressions > deltas.len() / 2 && speedup_regressions == 0 {
             eprintln!(
                 "perf note: most absolute cells shifted together while every arena-over-legacy \
@@ -375,6 +400,15 @@ fn main() {
                 let r = fig9::run(&config);
                 emit(&r.average_degree, &opts.out);
                 emit(&r.average_reviews, &opts.out);
+                // Panel (c): the plan-vs-scratch NRMSE-at-equal-wall-clock
+                // arm — each execution path gets the steps it completes in
+                // the same time window.
+                let base_steps: &[usize] = if opts.quick {
+                    &[400, 1_200]
+                } else {
+                    &[10_000, 30_000]
+                };
+                emit(&fig9::plan_equal_walltime(&config, base_steps), &opts.out);
             }
             "fig10" => {
                 let config = if opts.quick {

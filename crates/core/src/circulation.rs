@@ -63,9 +63,10 @@
 
 use osn_graph::NodeId;
 use osn_serde::Value;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::fnv::{FnvHashMap, FnvHashSet};
+use crate::groupplan::{AliasTable, DrawBatch, NodeGroups};
 
 /// Which storage backs the per-edge circulation history of a walker.
 ///
@@ -558,6 +559,71 @@ enum GroupSlot {
         /// handful, so a linear-scan vec beats a hash set.
         used_groups: Vec<u64>,
     },
+    /// Plan-path pre-promotion stage: up to [`INLINE_CAP`] used member
+    /// indices in place — heap-free for the short-lived edges that dominate
+    /// a walk — plus the attempted-group bitmask (plan group ordinals are
+    /// dense `0..G`, `G ≤ 64`, so `S(u, v)` is one `u64`).
+    PlanInline {
+        used: [u32; INLINE_CAP],
+        len: u8,
+        attempted: u64,
+    },
+    /// Plan-path spill stage: used member indices in a hash set,
+    /// `O(draws)` memory for big populations that cannot promote yet.
+    PlanSpill {
+        used: FnvHashSet<u32>,
+        attempted: u64,
+    },
+    /// Plan-path promoted stage: `items[start..start+len]` holds the
+    /// node's plan permutation re-permuted in place, **group-major** — each
+    /// group's span has its used members in a prefix tracked by that
+    /// group's cursor. A member draw is one partial-Fisher–Yates step
+    /// inside the group span; remaining counts are `group_len − cursor`,
+    /// `O(1)` per group. (The `pos` arena is not used by plan slots: plan
+    /// draws never membership-test an arbitrary index.)
+    PlanSliced {
+        start: u32,
+        len: u32,
+        used_total: u32,
+        cursors: GroupCursors,
+        attempted: u64,
+    },
+}
+
+/// Per-group used-prefix cursors of a [`GroupSlot::PlanSliced`] edge:
+/// inline for the common ≤ [`INLINE_CAP`]-group nodes, heap otherwise.
+#[derive(Clone, Debug)]
+pub(crate) enum GroupCursors {
+    /// Cursor per group, in place (group count ≤ [`INLINE_CAP`]).
+    Inline([u32; INLINE_CAP]),
+    /// Cursor per group, heap-allocated.
+    Heap(Vec<u32>),
+}
+
+impl GroupCursors {
+    fn zeroed(group_count: usize) -> Self {
+        if group_count <= INLINE_CAP {
+            GroupCursors::Inline([0; INLINE_CAP])
+        } else {
+            GroupCursors::Heap(vec![0; group_count])
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self, group_count: usize) -> &[u32] {
+        match self {
+            GroupCursors::Inline(c) => &c[..group_count],
+            GroupCursors::Heap(c) => c,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self, group_count: usize) -> &mut [u32] {
+        match self {
+            GroupCursors::Inline(c) => &mut c[..group_count],
+            GroupCursors::Heap(c) => c,
+        }
+    }
 }
 
 impl GroupSlot {
@@ -565,6 +631,9 @@ impl GroupSlot {
         match self {
             GroupSlot::Small { used, .. } => used.len(),
             GroupSlot::Sliced { cursor, .. } => *cursor as usize,
+            GroupSlot::PlanInline { len, .. } => usize::from(*len),
+            GroupSlot::PlanSpill { used, .. } => used.len(),
+            GroupSlot::PlanSliced { used_total, .. } => *used_total as usize,
         }
     }
 
@@ -573,6 +642,9 @@ impl GroupSlot {
             GroupSlot::Small { used_groups, .. } | GroupSlot::Sliced { used_groups, .. } => {
                 used_groups.len()
             }
+            GroupSlot::PlanInline { attempted, .. }
+            | GroupSlot::PlanSpill { attempted, .. }
+            | GroupSlot::PlanSliced { attempted, .. } => attempted.count_ones() as usize,
         }
     }
 }
@@ -592,6 +664,11 @@ pub struct GroupEngine {
     slots: FnvHashMap<u64, GroupSlot>,
     items: Vec<u32>,
     pos: Vec<u32>,
+    /// Arena for [`GroupSlot::PlanSliced`] slices (group-major member
+    /// permutations). Separate from `items`/`pos` — plan slices have no
+    /// inverse permutation, so sharing the paired arenas would desync
+    /// their offsets.
+    plan_items: Vec<u32>,
 }
 
 impl GroupEngine {
@@ -619,12 +696,20 @@ impl GroupEngine {
         self.slots.clear();
         self.items.clear();
         self.pos.clear();
+        self.plan_items.clear();
     }
 
     /// Allocated capacity of the `items` arena, in entries (`pos` always
     /// mirrors it). Survives [`Self::clear`] unchanged.
     pub fn arena_capacity(&self) -> usize {
         self.items.capacity()
+    }
+
+    /// Allocated capacity of the plan-slice arena, in entries. Survives
+    /// [`Self::clear`] unchanged — the plan path honors the same
+    /// restart-reuse contract as the scratch path.
+    pub fn plan_arena_capacity(&self) -> usize {
+        self.plan_items.capacity()
     }
 
     /// Serialize the engine's full state to a [`Value`] tree for
@@ -670,11 +755,60 @@ impl GroupEngine {
                     ("cursor", Value::Uint(u64::from(*cursor))),
                     ("groups", groups_value(used_groups)),
                 ]),
+                GroupSlot::PlanInline {
+                    used,
+                    len,
+                    attempted,
+                } => {
+                    let mut used: Vec<u32> = used[..usize::from(*len)].to_vec();
+                    used.sort_unstable();
+                    Value::obj([
+                        ("key", Value::Uint(key)),
+                        ("kind", Value::Str("plan_inline".into())),
+                        ("used", Value::arr(&used)),
+                        ("attempted", Value::Uint(*attempted)),
+                    ])
+                }
+                GroupSlot::PlanSpill { used, attempted } => {
+                    let mut used: Vec<u32> = used.iter().copied().collect();
+                    used.sort_unstable();
+                    Value::obj([
+                        ("key", Value::Uint(key)),
+                        ("kind", Value::Str("plan_spill".into())),
+                        ("used", Value::arr(&used)),
+                        ("attempted", Value::Uint(*attempted)),
+                    ])
+                }
+                GroupSlot::PlanSliced {
+                    start,
+                    len,
+                    used_total,
+                    cursors,
+                    attempted,
+                } => {
+                    // Inline cursor arrays don't record their group count
+                    // (the plan owns it); exporting all INLINE_CAP entries
+                    // is lossless — trailing zeros are vacuous cursors.
+                    let cursors = match cursors {
+                        GroupCursors::Inline(c) => &c[..],
+                        GroupCursors::Heap(c) => &c[..],
+                    };
+                    Value::obj([
+                        ("key", Value::Uint(key)),
+                        ("kind", Value::Str("plan_sliced".into())),
+                        ("start", Value::Uint(u64::from(*start))),
+                        ("len", Value::Uint(u64::from(*len))),
+                        ("used_total", Value::Uint(u64::from(*used_total))),
+                        ("cursors", Value::arr(cursors)),
+                        ("attempted", Value::Uint(*attempted)),
+                    ])
+                }
             })
             .collect();
         Value::obj([
             ("items", Value::arr(&self.items)),
             ("pos", Value::arr(&self.pos)),
+            ("plan_items", Value::arr(&self.plan_items)),
             ("slots", Value::Arr(slots)),
         ])
     }
@@ -694,11 +828,15 @@ impl GroupEngine {
                 pos.len()
             ));
         }
+        // Absent in exports predating the plan path: read as empty.
+        let plan_items: Vec<u32> = match state.field("plan_items") {
+            Ok(v) => v.decode()?,
+            Err(_) => Vec::new(),
+        };
         let mut slots = FnvHashMap::default();
         for entry in state.field("slots")?.as_array()? {
             let key: u64 = entry.field("key")?.decode()?;
             let kind: String = entry.field("kind")?.decode()?;
-            let used_groups: Vec<u64> = entry.field("groups")?.decode()?;
             let slot = match kind.as_str() {
                 "small" => GroupSlot::Small {
                     used: entry
@@ -706,7 +844,7 @@ impl GroupEngine {
                         .decode::<Vec<u32>>()?
                         .into_iter()
                         .collect(),
-                    used_groups,
+                    used_groups: entry.field("groups")?.decode()?,
                 },
                 "sliced" => {
                     let start: u32 = entry.field("start")?.decode()?;
@@ -725,7 +863,70 @@ impl GroupEngine {
                         start,
                         len,
                         cursor,
-                        used_groups,
+                        used_groups: entry.field("groups")?.decode()?,
+                    }
+                }
+                "plan_inline" => {
+                    let ids: Vec<u32> = entry.field("used")?.decode()?;
+                    if ids.len() > INLINE_CAP {
+                        return Err(format!(
+                            "plan_inline slot holds {} > {INLINE_CAP}",
+                            ids.len()
+                        ));
+                    }
+                    let mut used = [0u32; INLINE_CAP];
+                    used[..ids.len()].copy_from_slice(&ids);
+                    GroupSlot::PlanInline {
+                        used,
+                        len: ids.len() as u8,
+                        attempted: entry.field("attempted")?.decode()?,
+                    }
+                }
+                "plan_spill" => GroupSlot::PlanSpill {
+                    used: entry
+                        .field("used")?
+                        .decode::<Vec<u32>>()?
+                        .into_iter()
+                        .collect(),
+                    attempted: entry.field("attempted")?.decode()?,
+                },
+                "plan_sliced" => {
+                    let start: u32 = entry.field("start")?.decode()?;
+                    let len: u32 = entry.field("len")?.decode()?;
+                    let used_total: u32 = entry.field("used_total")?.decode()?;
+                    let cursor_vals: Vec<u32> = entry.field("cursors")?.decode()?;
+                    if (start as usize) + (len as usize) > plan_items.len() {
+                        return Err(format!(
+                            "plan_sliced state {start}+{len} exceeds plan arena of {}",
+                            plan_items.len()
+                        ));
+                    }
+                    let sum: u64 = cursor_vals.iter().map(|&c| u64::from(c)).sum();
+                    if sum != u64::from(used_total) {
+                        return Err(format!(
+                            "plan_sliced cursors sum to {sum}, used_total is {used_total}"
+                        ));
+                    }
+                    if len == 0 || used_total >= len {
+                        return Err(format!(
+                            "plan_sliced used_total {used_total} out of slice of {len}"
+                        ));
+                    }
+                    // ≤ INLINE_CAP cursors pack inline; per-group bounds are
+                    // validated against the plan on first use.
+                    let cursors = if cursor_vals.len() <= INLINE_CAP {
+                        let mut c = [0u32; INLINE_CAP];
+                        c[..cursor_vals.len()].copy_from_slice(&cursor_vals);
+                        GroupCursors::Inline(c)
+                    } else {
+                        GroupCursors::Heap(cursor_vals)
+                    };
+                    GroupSlot::PlanSliced {
+                        start,
+                        len,
+                        used_total,
+                        cursors,
+                        attempted: entry.field("attempted")?.decode()?,
                     }
                 }
                 other => return Err(format!("unknown slot kind `{other}`")),
@@ -734,7 +935,12 @@ impl GroupEngine {
                 return Err(format!("duplicate slot key {key}"));
             }
         }
-        Ok(GroupEngine { slots, items, pos })
+        Ok(GroupEngine {
+            slots,
+            items,
+            pos,
+            plan_items,
+        })
     }
 
     /// Mutable view of `key`'s state, created on first touch and promoted
@@ -800,6 +1006,136 @@ impl GroupEngine {
                     items: &mut self.items[range.clone()],
                     pos: &mut self.pos[range],
                 })
+            }
+            GroupSlot::PlanInline { .. }
+            | GroupSlot::PlanSpill { .. }
+            | GroupSlot::PlanSliced { .. } => {
+                panic!("group-engine key {key} holds plan-path state; use plan_view")
+            }
+        }
+    }
+
+    /// Mutable plan-path view of `key`'s state (see [`PlanEdgeView`]),
+    /// created on first touch and promoted to a group-major arena slice
+    /// once it qualifies under the same [`PROMOTION_SPAN`] rule as the
+    /// scratch path. `groups` must be the plan slice of the edge's head
+    /// node, identical across visits.
+    ///
+    /// # Panics
+    /// Panics if `key` already holds scratch-path (non-plan) state — one
+    /// edge's history must be driven by exactly one of the two paths.
+    pub fn plan_view(&mut self, key: u64, groups: &NodeGroups<'_>) -> PlanEdgeView<'_> {
+        let plen = groups.len();
+        let group_count = groups.group_count();
+        debug_assert!(
+            group_count <= 64,
+            "plan path requires ≤ 64 groups per node (attempted-set bitmask)"
+        );
+        let slot = self.slots.entry(key).or_insert(GroupSlot::PlanInline {
+            used: [0; INLINE_CAP],
+            len: 0,
+            attempted: 0,
+        });
+        // Stage transitions first, exactly mirroring the scratch path: no
+        // RNG consumed, used set preserved, so per-cycle coverage never
+        // depends on when promotion happens.
+        let promote = match &*slot {
+            GroupSlot::PlanInline { len, .. } => promotable(usize::from(*len), plen, INLINE_CAP),
+            GroupSlot::PlanSpill { used, .. } => promotable(used.len(), plen, INLINE_CAP),
+            GroupSlot::PlanSliced { .. } => false,
+            GroupSlot::Small { .. } | GroupSlot::Sliced { .. } => {
+                panic!("group-engine key {key} holds scratch-path state; use view")
+            }
+        };
+        if promote {
+            let is_used = |idx: u32| match &*slot {
+                GroupSlot::PlanInline { used, len, .. } => used[..usize::from(*len)].contains(&idx),
+                GroupSlot::PlanSpill { used, .. } => used.contains(&idx),
+                _ => unreachable!("only pre-promotion slots promote"),
+            };
+            let start = self.plan_items.len();
+            self.plan_items.extend_from_slice(groups.members);
+            let slice = &mut self.plan_items[start..];
+            // Partition each group's used members into its prefix; the
+            // per-group cursor is the prefix length.
+            let mut cursors = GroupCursors::zeroed(group_count);
+            let mut used_total = 0u32;
+            for (g, cursor) in cursors.as_mut_slice(group_count).iter_mut().enumerate() {
+                let (gs, ge) = groups.bounds(g);
+                let mut c = 0usize;
+                for i in gs..ge {
+                    if is_used(slice[i]) {
+                        slice.swap(gs + c, i);
+                        c += 1;
+                    }
+                }
+                *cursor = c as u32;
+                used_total += c as u32;
+            }
+            let attempted = match &*slot {
+                GroupSlot::PlanInline { attempted, .. }
+                | GroupSlot::PlanSpill { attempted, .. } => *attempted,
+                _ => unreachable!("only pre-promotion slots promote"),
+            };
+            debug_assert_eq!(
+                used_total as usize,
+                slot.used_len(),
+                "used set ⊆ population"
+            );
+            let start = u32::try_from(start).expect("plan arena exceeds u32::MAX entries");
+            *slot = GroupSlot::PlanSliced {
+                start,
+                len: plen as u32,
+                used_total,
+                cursors,
+                attempted,
+            };
+        } else if let GroupSlot::PlanInline {
+            used,
+            len,
+            attempted,
+        } = slot
+        {
+            // Inline full but the population too large for the span guard:
+            // spill to a hash set that grows one entry per draw.
+            if usize::from(*len) == INLINE_CAP {
+                *slot = GroupSlot::PlanSpill {
+                    used: used.iter().copied().collect(),
+                    attempted: *attempted,
+                };
+            }
+        }
+        match slot {
+            GroupSlot::PlanInline {
+                used,
+                len,
+                attempted,
+            } => PlanEdgeView(PlanViewRepr::Inline {
+                used,
+                len,
+                attempted,
+            }),
+            GroupSlot::PlanSpill { used, attempted } => {
+                PlanEdgeView(PlanViewRepr::Spill { used, attempted })
+            }
+            GroupSlot::PlanSliced {
+                start,
+                len,
+                used_total,
+                cursors,
+                attempted,
+            } => {
+                debug_assert_eq!(*len as usize, plen, "population changed between visits");
+                let range = *start as usize..(*start + *len) as usize;
+                PlanEdgeView(PlanViewRepr::Sliced {
+                    used_total,
+                    cursors,
+                    attempted,
+                    items: &mut self.plan_items[range],
+                })
+            }
+            GroupSlot::Small { .. } | GroupSlot::Sliced { .. } => {
+                unreachable!("rejected before the stage transition")
             }
         }
     }
@@ -904,6 +1240,304 @@ impl ArenaGroupView<'_> {
             }
         }
     }
+}
+
+/// Borrowed plan-path view of one edge's [`GroupEngine`] state: the GNRW
+/// fast path. A [`draw`](Self::draw) performs the whole Algorithm-2 step —
+/// group sub-cycle bookkeeping, alias-table group proposal, within-group
+/// partial-Fisher–Yates member pick, super-cycle reset — against the
+/// immutable [`NodeGroups`] slice of a
+/// [`GroupPlan`](crate::groupplan::GroupPlan), consuming RNG only through a
+/// [`DrawBatch`].
+///
+/// Group selection proposes from the alias table (∝ **full** group size)
+/// and rejects attempted/exhausted groups, falling back to an exact
+/// remaining-weighted scan after [`MAX_REJECTION_ITERS`]. That reorders and
+/// re-weights draws relative to the scratch path (which scans un-attempted
+/// transitions) — equivalent in stationary distribution by the paper's
+/// Theorem 4 (per-super-cycle exact coverage is preserved verbatim), not in
+/// trace.
+pub struct PlanEdgeView<'a>(PlanViewRepr<'a>);
+
+enum PlanViewRepr<'a> {
+    Inline {
+        used: &'a mut [u32; INLINE_CAP],
+        len: &'a mut u8,
+        attempted: &'a mut u64,
+    },
+    Spill {
+        used: &'a mut FnvHashSet<u32>,
+        attempted: &'a mut u64,
+    },
+    Sliced {
+        used_total: &'a mut u32,
+        cursors: &'a mut GroupCursors,
+        attempted: &'a mut u64,
+        items: &'a mut [u32],
+    },
+}
+
+impl PlanEdgeView<'_> {
+    /// Nodes chosen so far in the current super-cycle.
+    pub fn used_count(&self) -> usize {
+        match &self.0 {
+            PlanViewRepr::Inline { len, .. } => usize::from(**len),
+            PlanViewRepr::Spill { used, .. } => used.len(),
+            PlanViewRepr::Sliced { used_total, .. } => **used_total as usize,
+        }
+    }
+
+    /// Has population index `idx` been chosen in the current super-cycle?
+    /// (`groups` locates `idx`'s group for the promoted representation.)
+    pub fn is_used(&self, idx: usize, groups: &NodeGroups<'_>) -> bool {
+        match &self.0 {
+            PlanViewRepr::Inline { used, len, .. } => {
+                used[..usize::from(**len)].contains(&(idx as u32))
+            }
+            PlanViewRepr::Spill { used, .. } => used.contains(&(idx as u32)),
+            PlanViewRepr::Sliced { cursors, items, .. } => {
+                // Promoted slices keep used members in each group's prefix;
+                // scan only idx's group span (draws never call this — it
+                // exists for tests and invariant checks).
+                let g = (0..groups.group_count())
+                    .find(|&g| groups.members_of(g).contains(&(idx as u32)))
+                    .expect("index belongs to some group");
+                let (gs, _) = groups.bounds(g);
+                let c = cursors.as_slice(groups.group_count())[g] as usize;
+                items[gs..gs + c].contains(&(idx as u32))
+            }
+        }
+    }
+
+    /// Groups attempted in the current sub-cycle, as a bitmask.
+    pub fn attempted_mask(&self) -> u64 {
+        match &self.0 {
+            PlanViewRepr::Inline { attempted, .. }
+            | PlanViewRepr::Spill { attempted, .. }
+            | PlanViewRepr::Sliced { attempted, .. } => **attempted,
+        }
+    }
+
+    /// Per-group not-yet-chosen counts for the current super-cycle, written
+    /// into `rem` (cleared first). `O(groups)` when promoted, `O(deg)`
+    /// before.
+    pub fn remaining_per_group(&self, groups: &NodeGroups<'_>, rem: &mut Vec<u32>) {
+        rem.clear();
+        let group_count = groups.group_count();
+        match &self.0 {
+            PlanViewRepr::Inline { used, len, .. } => {
+                let used = &used[..usize::from(**len)];
+                rem.extend((0..group_count).map(|g| {
+                    groups
+                        .members_of(g)
+                        .iter()
+                        .filter(|m| !used.contains(m))
+                        .count() as u32
+                }));
+            }
+            PlanViewRepr::Spill { used, .. } => {
+                rem.extend((0..group_count).map(|g| {
+                    groups
+                        .members_of(g)
+                        .iter()
+                        .filter(|m| !used.contains(m))
+                        .count() as u32
+                }));
+            }
+            PlanViewRepr::Sliced { cursors, .. } => {
+                let cursors = cursors.as_slice(group_count);
+                rem.extend((0..group_count).map(|g| groups.group_len(g) as u32 - cursors[g]));
+            }
+        }
+    }
+
+    /// One full GNRW transition on this edge: choose a group (un-attempted,
+    /// non-exhausted — resetting the sub-cycle when none qualifies), choose
+    /// an unvisited member uniformly within it, record both, and reset the
+    /// super-cycle when `N(v)` is covered. Returns the chosen **local
+    /// neighbor index**.
+    ///
+    /// `alias` is the node's table over full group sizes (`None` means a
+    /// single group). `rem` is caller-owned scratch for per-group remaining
+    /// counts.
+    pub fn draw(
+        &mut self,
+        groups: &NodeGroups<'_>,
+        alias: Option<&AliasTable>,
+        batch: &mut DrawBatch,
+        rng: &mut dyn RngCore,
+        rem: &mut Vec<u32>,
+    ) -> usize {
+        let group_count = groups.group_count();
+        debug_assert!((1..=64).contains(&group_count));
+        self.remaining_per_group(groups, rem);
+        debug_assert!(
+            rem.iter().map(|&r| u64::from(r)).sum::<u64>() > 0,
+            "draw on an exhausted super-cycle (reset happens at record time)"
+        );
+        let mut attempted = self.attempted_mask();
+        // Sub-cycle reset (Algorithm 2 step 2): no un-attempted group has
+        // unvisited members left.
+        let candidate =
+            |attempted: u64, g: usize, rem: &[u32]| rem[g] > 0 && attempted & (1 << g) == 0;
+        if !(0..group_count).any(|g| candidate(attempted, g, rem)) {
+            attempted = 0;
+            self.set_attempted(0);
+        }
+        // Group choice. A single candidate consumes no RNG; otherwise alias
+        // proposals ∝ full group size with rejection, then the exact
+        // remaining-weighted scan as a bounded fallback.
+        let mut candidates = (0..group_count).filter(|&g| candidate(attempted, g, rem));
+        let first = candidates.next().expect("some group has members left");
+        let chosen = if candidates.next().is_none() {
+            first
+        } else {
+            let mut pick = None;
+            if let Some(alias) = alias {
+                for _ in 0..MAX_REJECTION_ITERS {
+                    let g = alias.sample(batch.next_u64(rng));
+                    if candidate(attempted, g, rem) {
+                        pick = Some(g);
+                        break;
+                    }
+                }
+            }
+            pick.unwrap_or_else(|| {
+                let total: u64 = (0..group_count)
+                    .filter(|&g| candidate(attempted, g, rem))
+                    .map(|g| u64::from(rem[g]))
+                    .sum();
+                let mut target = batch.range(total as usize, rng) as u64;
+                (0..group_count)
+                    .filter(|&g| candidate(attempted, g, rem))
+                    .find(|&g| {
+                        if target < u64::from(rem[g]) {
+                            true
+                        } else {
+                            target -= u64::from(rem[g]);
+                            false
+                        }
+                    })
+                    .expect("target < total remaining")
+            })
+        };
+        // Member choice within the chosen group, then record + resets.
+        let remaining = rem[chosen] as usize;
+        let (gs, ge) = groups.bounds(chosen);
+        let population_len = groups.len();
+        match &mut self.0 {
+            PlanViewRepr::Sliced {
+                used_total,
+                cursors,
+                attempted,
+                items,
+            } => {
+                // Partial Fisher–Yates inside the group span: one draw, one
+                // swap, exactly O(1).
+                let c = cursors.as_slice(group_count)[chosen] as usize;
+                let j = if remaining == 1 {
+                    0
+                } else {
+                    batch.range(remaining, rng)
+                };
+                items.swap(gs + c, gs + c + j);
+                let pick = items[gs + c] as usize;
+                cursors.as_mut_slice(group_count)[chosen] += 1;
+                **used_total += 1;
+                **attempted |= 1 << chosen;
+                if **used_total as usize == population_len {
+                    // Super-cycle complete (Algorithm 2 step 4): cursor
+                    // rewind per group, groups forgotten.
+                    **used_total = 0;
+                    cursors.as_mut_slice(group_count).fill(0);
+                    **attempted = 0;
+                }
+                pick
+            }
+            PlanViewRepr::Inline {
+                used,
+                len,
+                attempted,
+            } => {
+                let members = &groups.members[gs..ge];
+                let used_slice = &used[..usize::from(**len)];
+                let pick =
+                    plan_member_pick(members, remaining, |m| used_slice.contains(&m), batch, rng);
+                **attempted |= 1 << chosen;
+                if usize::from(**len) + 1 == population_len {
+                    **len = 0; // super-cycle complete -> reset
+                    **attempted = 0;
+                } else {
+                    used[usize::from(**len)] = pick;
+                    **len += 1;
+                }
+                pick as usize
+            }
+            PlanViewRepr::Spill { used, attempted } => {
+                let members = &groups.members[gs..ge];
+                let pick = plan_member_pick(members, remaining, |m| used.contains(&m), batch, rng);
+                **attempted |= 1 << chosen;
+                if used.len() + 1 == population_len {
+                    used.clear();
+                    **attempted = 0;
+                } else {
+                    used.insert(pick);
+                }
+                pick as usize
+            }
+        }
+    }
+
+    fn set_attempted(&mut self, mask: u64) {
+        match &mut self.0 {
+            PlanViewRepr::Inline { attempted, .. }
+            | PlanViewRepr::Spill { attempted, .. }
+            | PlanViewRepr::Sliced { attempted, .. } => **attempted = mask,
+        }
+    }
+}
+
+/// Uniform pick among the unvisited `remaining` members of a group slice
+/// (pre-promotion stages): bounded rejection sampling over the group, then
+/// an exact rank scan — the plan-path twin of [`draw_excluding`], consuming
+/// RNG through the batch.
+fn plan_member_pick(
+    members: &[u32],
+    remaining: usize,
+    is_used: impl Fn(u32) -> bool,
+    batch: &mut DrawBatch,
+    rng: &mut dyn RngCore,
+) -> u32 {
+    debug_assert!(remaining > 0 && remaining <= members.len());
+    if remaining == 1 {
+        return *members
+            .iter()
+            .find(|&&m| !is_used(m))
+            .expect("one member remaining");
+    }
+    if remaining == members.len() {
+        // Untouched group: every member is valid, one direct draw.
+        return members[batch.range(members.len(), rng)];
+    }
+    for _ in 0..MAX_REJECTION_ITERS {
+        let cand = members[batch.range(members.len(), rng)];
+        if !is_used(cand) {
+            return cand;
+        }
+    }
+    let mut rank = batch.range(remaining, rng);
+    *members
+        .iter()
+        .filter(|&&m| !is_used(m))
+        .find(|_| {
+            if rank == 0 {
+                true
+            } else {
+                rank -= 1;
+                false
+            }
+        })
+        .expect("rank < remaining unused members")
 }
 
 #[cfg(test)]
@@ -1135,5 +1769,228 @@ mod tests {
         assert!(!engine.view(1, 3).is_used(1));
         assert!(engine.view(2, 5).is_used(4));
         assert!(!engine.view(2, 5).is_used(0));
+    }
+
+    // --- plan-path slots ---
+
+    use crate::groupplan::{AliasTable, DrawBatch, NodeGroups};
+
+    /// Three groups of sizes 5/4/3 over population 12 (indices in order).
+    fn plan_fixture() -> (Vec<u32>, Vec<u32>, Vec<u64>) {
+        ((0..12).collect(), vec![5, 9, 12], vec![10, 20, 30])
+    }
+
+    #[test]
+    fn plan_draws_cover_population_each_super_cycle() {
+        // Population 12 > INLINE_CAP: the first cycle crosses the
+        // PlanInline -> PlanSliced boundary mid-way; every cycle must still
+        // be a permutation of the population (Theorem 4's invariant).
+        let (members, ends, keys) = plan_fixture();
+        let groups = NodeGroups {
+            members: &members,
+            ends: &ends,
+            keys: &keys,
+        };
+        let alias = AliasTable::new(&[5, 4, 3]);
+        let mut engine = GroupEngine::default();
+        let mut batch = DrawBatch::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut rem = Vec::new();
+        for cycle in 0..5 {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..12 {
+                let idx = engine.plan_view(5, &groups).draw(
+                    &groups,
+                    Some(&alias),
+                    &mut batch,
+                    &mut rng,
+                    &mut rem,
+                );
+                assert!(seen.insert(idx), "repeat of {idx} in cycle {cycle}");
+            }
+            assert_eq!(seen.len(), 12, "cycle {cycle} incomplete");
+        }
+        // The slot must have promoted into the plan arena by now, and the
+        // completed super-cycle leaves zero recorded entries.
+        assert!(engine.plan_arena_capacity() >= 12);
+        assert_eq!(engine.total_entries(), 0);
+    }
+
+    #[test]
+    fn plan_draws_without_alias_fall_back_to_weighted_scan() {
+        // `alias: None` (single-group nodes or alias construction skipped)
+        // must preserve the same coverage invariant through the linear
+        // remaining-weighted fallback.
+        let (members, ends, keys) = plan_fixture();
+        let groups = NodeGroups {
+            members: &members,
+            ends: &ends,
+            keys: &keys,
+        };
+        let mut engine = GroupEngine::default();
+        let mut batch = DrawBatch::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        let mut rem = Vec::new();
+        for _ in 0..3 {
+            let seen: std::collections::HashSet<usize> = (0..12)
+                .map(|_| {
+                    engine
+                        .plan_view(5, &groups)
+                        .draw(&groups, None, &mut batch, &mut rng, &mut rem)
+                })
+                .collect();
+            assert_eq!(seen.len(), 12);
+        }
+    }
+
+    #[test]
+    fn plan_promotion_preserves_used_and_attempted_sets() {
+        // Drive a slot just past the promotion point and check membership
+        // and the attempted mask survive the inline -> sliced transition.
+        let (members, ends, keys) = plan_fixture();
+        let groups = NodeGroups {
+            members: &members,
+            ends: &ends,
+            keys: &keys,
+        };
+        let alias = AliasTable::new(&[5, 4, 3]);
+        let mut engine = GroupEngine::default();
+        let mut batch = DrawBatch::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let mut rem = Vec::new();
+        let mut drawn = Vec::new();
+        for _ in 0..7 {
+            drawn.push(engine.plan_view(5, &groups).draw(
+                &groups,
+                Some(&alias),
+                &mut batch,
+                &mut rng,
+                &mut rem,
+            ));
+        }
+        assert!(
+            engine.plan_arena_capacity() >= 12,
+            "7 of 12 used must have promoted"
+        );
+        let view = engine.plan_view(5, &groups);
+        assert_eq!(view.used_count(), 7);
+        for idx in 0..12usize {
+            assert_eq!(
+                view.is_used(idx, &groups),
+                drawn.contains(&idx),
+                "membership for {idx} changed across promotion"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_slots_roundtrip_through_export_import() {
+        // One slot per stage (inline, spill, sliced); the re-imported
+        // engine must agree on counts and membership, and continue to a
+        // full cover.
+        let (members, ends, keys) = plan_fixture();
+        let sliced_groups = NodeGroups {
+            members: &members,
+            ends: &ends,
+            keys: &keys,
+        };
+        let alias = AliasTable::new(&[5, 4, 3]);
+        // A wide population keeps its slot in the spill stage: the inline
+        // cap is exceeded but the slice would break the span bound.
+        let wide_members: Vec<u32> = (0..200).collect();
+        let wide_ends = vec![100, 160, 200];
+        let wide_keys = vec![1, 2, 3];
+        let wide_groups = NodeGroups {
+            members: &wide_members,
+            ends: &wide_ends,
+            keys: &wide_keys,
+        };
+        let wide_alias = AliasTable::new(&[100, 60, 40]);
+        let mut engine = GroupEngine::default();
+        let mut batch = DrawBatch::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(10);
+        let mut rem = Vec::new();
+        let mut draw = |engine: &mut GroupEngine,
+                        key: u64,
+                        groups: &NodeGroups<'_>,
+                        alias: &AliasTable,
+                        n: usize| {
+            for _ in 0..n {
+                engine.plan_view(key, groups).draw(
+                    groups,
+                    Some(alias),
+                    &mut batch,
+                    &mut rng,
+                    &mut rem,
+                );
+            }
+        };
+        draw(&mut engine, 1, &sliced_groups, &alias, 3); // inline
+        draw(&mut engine, 2, &sliced_groups, &alias, 9); // sliced
+        draw(&mut engine, 3, &wide_groups, &wide_alias, 10); // spill
+        let state = engine.export_state();
+        let mut imported = GroupEngine::import_state(&state).unwrap();
+        assert_eq!(imported.tracked(), engine.tracked());
+        assert_eq!(imported.total_entries(), engine.total_entries());
+        for key in [1u64, 2] {
+            let snapshot: Vec<bool> = {
+                let a = engine.plan_view(key, &sliced_groups);
+                (0..12).map(|idx| a.is_used(idx, &sliced_groups)).collect()
+            };
+            let b = imported.plan_view(key, &sliced_groups);
+            let original = engine.plan_view(key, &sliced_groups);
+            assert_eq!(original.used_count(), b.used_count(), "key {key}");
+            assert_eq!(original.attempted_mask(), b.attempted_mask(), "key {key}");
+            for (idx, &was) in snapshot.iter().enumerate() {
+                assert_eq!(b.is_used(idx, &sliced_groups), was, "key {key}/{idx}");
+            }
+        }
+        {
+            let spill = imported.plan_view(3, &wide_groups);
+            assert_eq!(spill.used_count(), 10);
+        }
+        // The imported sliced slot must finish its super-cycle cleanly: 3
+        // draws cover the remaining 3 members and rewind the cycle.
+        let mut batch2 = DrawBatch::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let idx = imported.plan_view(2, &sliced_groups).draw(
+                &sliced_groups,
+                Some(&alias),
+                &mut batch2,
+                &mut rng,
+                &mut rem,
+            );
+            assert!(seen.insert(idx), "repeat of {idx} closing the cycle");
+        }
+        assert_eq!(imported.plan_view(2, &sliced_groups).used_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan-path state")]
+    fn scratch_view_rejects_plan_slots() {
+        let (members, ends, keys) = plan_fixture();
+        let groups = NodeGroups {
+            members: &members,
+            ends: &ends,
+            keys: &keys,
+        };
+        let mut engine = GroupEngine::default();
+        let _ = engine.plan_view(5, &groups);
+        let _ = engine.view(5, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch-path state")]
+    fn plan_view_rejects_scratch_slots() {
+        let (members, ends, keys) = plan_fixture();
+        let groups = NodeGroups {
+            members: &members,
+            ends: &ends,
+            keys: &keys,
+        };
+        let mut engine = GroupEngine::default();
+        let _ = engine.view(5, 12);
+        let _ = engine.plan_view(5, &groups);
     }
 }

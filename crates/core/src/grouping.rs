@@ -12,7 +12,9 @@
 //!   attribute (visible as listing metadata, see `osn-client`);
 //! * [`ByHash`] — `GNRW_By_MD5`: pseudorandom attribute-independent groups
 //!   (our stand-in hashes ids with FNV-1a instead of MD5; only uniformity
-//!   matters).
+//!   matters);
+//! * [`ByNode`] — singleton groups, the degenerate extreme where GNRW
+//!   collapses to CNRW (§4.1).
 //!
 //! ## Balanced strata and the singleton-group transient
 //!
@@ -283,6 +285,34 @@ impl GroupingStrategy for ByHash {
     }
 }
 
+/// Every neighbor in its own group — the *other* extreme of the grouping
+/// design space (§4.1): the group pick is the member pick, so GNRW
+/// collapses to plain CNRW. Mostly useful as a degenerate-grouping probe
+/// (a [`GroupPlan`](crate::groupplan::GroupPlan) built over it reports
+/// [`Singletons`](crate::groupplan::DegenerateGrouping::Singletons) and the
+/// plan-backed walker delegates to the CNRW step, bit-identical to
+/// [`Cnrw`](crate::walkers::Cnrw)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ByNode;
+
+impl ByNode {
+    /// The singleton-groups strategy.
+    pub fn new() -> Self {
+        ByNode
+    }
+}
+
+impl GroupingStrategy for ByNode {
+    fn label(&self) -> String {
+        "GNRW_By_Node".to_string()
+    }
+
+    fn assign(&self, _client: &dyn OsnClient, nodes: &[NodeId], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(nodes.iter().map(|&n| u64::from(n.0)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +437,15 @@ mod tests {
         let a = groups_of(&s, &c, &[4, 3, 2, 1]);
         let b = groups_of(&s, &c, &[4, 3, 2, 1]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn by_node_assigns_singleton_groups() {
+        let c = client_with_reviews();
+        let s = ByNode::new();
+        let g = groups_of(&s, &c, &[4, 1, 2]);
+        assert_eq!(g, vec![4, 1, 2]);
+        assert_eq!(s.label(), "GNRW_By_Node");
     }
 
     #[test]

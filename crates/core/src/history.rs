@@ -47,8 +47,9 @@ use osn_serde::Value;
 use rand::Rng;
 
 use crate::circulation::{CirculationEngine, GroupEngine, MAX_REJECTION_ITERS};
-pub use crate::circulation::{HistoryBackend, INLINE_CAP};
+pub use crate::circulation::{HistoryBackend, PlanEdgeView, INLINE_CAP};
 use crate::fnv::{FnvHashMap, FnvHashSet};
+use crate::groupplan::DrawBatch;
 
 /// A without-replacement "circulation" over a fixed candidate population —
 /// the **legacy** per-edge state (one hash set of used items).
@@ -389,6 +390,30 @@ impl GroupHistory {
         }
     }
 
+    /// Mutable plan-path view of directed edge `(u, v)`'s state (the GNRW
+    /// fast path over a [`GroupPlan`](crate::groupplan::GroupPlan) —
+    /// see [`PlanEdgeView`]). `groups` must be the plan slice of `v`,
+    /// identical across visits.
+    ///
+    /// # Panics
+    /// Panics on the legacy backend (plan slots are an arena-engine
+    /// representation; the walker enforces Arena for alias mode) and if the
+    /// edge already holds scratch-path state.
+    pub fn plan_view(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        groups: &crate::groupplan::NodeGroups<'_>,
+    ) -> PlanEdgeView<'_> {
+        let key = edge_key(u, v);
+        match &mut self.backend {
+            GroupBackend::Legacy(_) => {
+                panic!("plan-path GNRW state requires the arena backend")
+            }
+            GroupBackend::Arena(engine) => engine.plan_view(key, groups),
+        }
+    }
+
     /// The state of `(u, v)` if it exists. Never creates state — use this
     /// (not [`edge_view`](Self::edge_view)) for read-only probes.
     pub fn get(&self, u: NodeId, v: NodeId) -> Option<GroupEdgeSnapshot> {
@@ -571,6 +596,41 @@ impl GroupEdgeView<'_> {
             GroupEdgeView::Legacy { state, .. } => state.used_groups.clear(),
             GroupEdgeView::Arena(view) => view.clear_attempted(),
         }
+    }
+
+    /// Pick the `rank`-th unvisited member of a group, where `members` are
+    /// local population indices and `nodes` the full `N(v)` slice, drawing
+    /// `rank` from `batch` over `remaining` candidates. Returns
+    /// `(local index, node)`.
+    ///
+    /// This is the member-selection step of plan-backed
+    /// [`PlanMode::Exact`](crate::groupplan::PlanMode::Exact) GNRW, shared
+    /// by both backends: each call consumes exactly one `u64` under the
+    /// same `gen_range` reduction as the scratch path's rank draw, so both
+    /// backends — and the scratch walker — see identical RNG streams.
+    pub fn pick_member(
+        &self,
+        members: &[u32],
+        nodes: &[NodeId],
+        remaining: usize,
+        batch: &mut DrawBatch,
+        rng: &mut dyn rand::RngCore,
+    ) -> (usize, NodeId) {
+        debug_assert!(remaining > 0);
+        let mut rank = batch.range(remaining, rng);
+        members
+            .iter()
+            .map(|&m| (m as usize, nodes[m as usize]))
+            .filter(|&(idx, node)| !self.is_used(idx, node))
+            .find(|_| {
+                if rank == 0 {
+                    true
+                } else {
+                    rank -= 1;
+                    false
+                }
+            })
+            .expect("rank < remaining unvisited members")
     }
 
     /// Record the choice of the neighbor at population index `idx` (node

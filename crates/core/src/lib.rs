@@ -32,6 +32,13 @@
 //! retained as [`HistoryBackend::Legacy`] for ablation (see the
 //! `walker_throughput` and `history_backends` benches).
 //!
+//! GNRW additionally accepts a precomputed [`GroupPlan`] ([`groupplan`]):
+//! the per-node neighbor partition is built once per graph+strategy and
+//! shared read-only across walkers, group selection becomes an `O(1)`
+//! alias-table draw, and RNG output is consumed in batches — removing all
+//! per-step hashing, allocation, and partition work from the hot loop (see
+//! the `gnrw_throughput` bench).
+//!
 //! ## Running a walk
 //!
 //! ```
@@ -73,6 +80,7 @@ pub use osn_graph::fnv;
 pub mod circulation;
 pub mod frontier;
 pub mod grouping;
+pub mod groupplan;
 pub mod history;
 pub mod markov;
 pub mod multiwalk;
@@ -84,7 +92,8 @@ pub mod walkers;
 
 pub use circulation::HistoryBackend;
 pub use frontier::{FrontierEntry, FrontierSampler, SharedFrontier};
-pub use grouping::{ByAttribute, ByDegree, ByHash, GroupingStrategy, ValueBucketing};
+pub use grouping::{ByAttribute, ByDegree, ByHash, ByNode, GroupingStrategy, ValueBucketing};
+pub use groupplan::{AliasTable, DegenerateGrouping, DrawBatch, GroupPlan, NodeGroups, PlanMode};
 pub use multiwalk::{
     BatchDispatchReport, CoalescingDispatcher, MultiWalkReport, MultiWalkRunner, MultiWalkSession,
     MultiWalkTrace,

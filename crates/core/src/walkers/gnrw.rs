@@ -1,5 +1,7 @@
 //! GroupBy Neighbors Random Walk (GNRW) — paper §4.
 
+use std::sync::Arc;
+
 use osn_client::{BudgetExhausted, OsnClient};
 use osn_graph::NodeId;
 use osn_serde::Value;
@@ -7,7 +9,8 @@ use rand::{Rng, RngCore};
 
 use crate::fnv::FnvHashMap;
 use crate::grouping::GroupingStrategy;
-use crate::history::{GroupEdgeView, GroupHistory, HistoryBackend};
+use crate::groupplan::{DrawBatch, GroupPlan, PlanMode};
+use crate::history::{EdgeHistory, GroupEdgeView, GroupHistory, HistoryBackend};
 use crate::walker::{check_backend, prev_from_value, prev_to_value, uniform_pick, RandomWalk};
 
 /// GroupBy Neighbors Random Walk (paper §4, Algorithm 2).
@@ -40,12 +43,35 @@ use crate::walker::{check_backend, prev_from_value, prev_to_value, uniform_pick,
 ///
 /// With per-node groups or a single group GNRW degenerates to CNRW. The
 /// interesting regime is a handful of value-homogeneous groups.
+///
+/// ## Execution paths
+///
+/// The walker runs in one of two configurations:
+///
+/// * **Scratch** ([`Gnrw::new`] / [`Gnrw::with_backend`]) — the partition
+///   of `N(v)` is re-derived on every historied step by calling the
+///   strategy and re-bucketing into a reused hash map. Always available;
+///   the reference implementation.
+/// * **Plan-backed** ([`Gnrw::with_plan`]) — the partition comes from a
+///   shared precomputed [`GroupPlan`], RNG is consumed in batches, and the
+///   step does zero hashing and zero allocation. [`PlanMode::Exact`]
+///   preserves the scratch path's RNG order (bit-identical traces);
+///   [`PlanMode::Alias`] adds `O(1)` alias-table group selection and
+///   within-group partial-Fisher–Yates member picks (equivalent in
+///   distribution by Theorem 4, not in trace). Degenerate groupings
+///   (single group / all singletons) are detected by the plan and the
+///   walker then delegates wholesale to the CNRW circulation —
+///   bit-identical to [`Cnrw`](crate::walkers::Cnrw) by construction.
 pub struct Gnrw {
     prev: Option<NodeId>,
     current: NodeId,
-    strategy: Box<dyn GroupingStrategy + Send>,
+    /// `None` for plan-backed walkers: the plan already materializes every
+    /// assignment the strategy would make.
+    strategy: Option<Box<dyn GroupingStrategy + Send>>,
+    strategy_label: String,
     history: GroupHistory,
     label: String,
+    plan: Option<PlanState>,
     // Reused scratch state (one allocation amortized over the walk).
     // Groups hold neighbor *indices* into `scratch_neighbors`, which is what
     // the arena backend's membership probes are keyed by.
@@ -54,6 +80,24 @@ pub struct Gnrw {
     scratch_groups: FnvHashMap<u64, Vec<u32>>,
     scratch_keys: Vec<u64>,
     scratch_candidates: Vec<(u64, usize)>,
+    /// Cleared member vectors recycled across `scratch_groups` evictions,
+    /// so steady-state steps never allocate (see
+    /// [`Self::fresh_group_allocs`]).
+    scratch_freelist: Vec<Vec<u32>>,
+    fresh_group_allocs: usize,
+}
+
+/// The plan-backed execution state: shared plan, effective mode, batched
+/// RNG buffer, and (for degenerate groupings) the CNRW delegate history.
+struct PlanState {
+    plan: Arc<GroupPlan>,
+    mode: PlanMode,
+    batch: DrawBatch,
+    /// `Some` when the plan detected a CNRW-degenerate grouping: the step
+    /// replicates `Cnrw::step` against this history verbatim.
+    cnrw: Option<EdgeHistory>,
+    /// Per-group remaining counts, reused across steps.
+    rem_scratch: Vec<u32>,
 }
 
 impl Gnrw {
@@ -70,18 +114,85 @@ impl Gnrw {
         strategy: Box<dyn GroupingStrategy + Send>,
         backend: HistoryBackend,
     ) -> Self {
-        let label = format!("GNRW[{}]", strategy.label());
+        let strategy_label = strategy.label();
+        Self::build(start, Some(strategy), strategy_label, backend, None)
+    }
+
+    /// Start a plan-backed walk at `start` on the default (arena) history
+    /// backend — the fast path. The plan is shared read-only; per-edge
+    /// circulation state stays in this walker.
+    ///
+    /// [`PlanMode::Alias`] silently downgrades to [`PlanMode::Exact`] when
+    /// the plan has a node with more than 64 groups (the attempted-set
+    /// bitmask bound); degenerate groupings delegate to CNRW regardless of
+    /// `mode`.
+    pub fn with_plan(start: NodeId, plan: Arc<GroupPlan>, mode: PlanMode) -> Self {
+        Self::with_plan_backend(start, plan, mode, HistoryBackend::default())
+    }
+
+    /// Plan-backed walk with an explicit history backend. Exists so
+    /// equivalence tests can pin `Exact` mode against the legacy backend
+    /// too; alias mode's per-edge state is an arena-engine representation.
+    ///
+    /// # Panics
+    /// Panics on `Alias` + [`HistoryBackend::Legacy`] (after the ≤ 64-group
+    /// downgrade and degenerate delegation are applied).
+    pub fn with_plan_backend(
+        start: NodeId,
+        plan: Arc<GroupPlan>,
+        mode: PlanMode,
+        backend: HistoryBackend,
+    ) -> Self {
+        let mode = match mode {
+            PlanMode::Alias if plan.max_groups() > 64 => PlanMode::Exact,
+            m => m,
+        };
+        let cnrw = plan
+            .degenerate()
+            .map(|_| EdgeHistory::with_backend(backend));
+        assert!(
+            !(mode == PlanMode::Alias && cnrw.is_none() && backend == HistoryBackend::Legacy),
+            "alias plan mode requires the arena history backend"
+        );
+        let strategy_label = plan.strategy_label().to_string();
+        Self::build(
+            start,
+            None,
+            strategy_label,
+            backend,
+            Some(PlanState {
+                plan,
+                mode,
+                batch: DrawBatch::new(),
+                cnrw,
+                rem_scratch: Vec::new(),
+            }),
+        )
+    }
+
+    fn build(
+        start: NodeId,
+        strategy: Option<Box<dyn GroupingStrategy + Send>>,
+        strategy_label: String,
+        backend: HistoryBackend,
+        plan: Option<PlanState>,
+    ) -> Self {
+        let label = format!("GNRW[{strategy_label}]");
         Gnrw {
             prev: None,
             current: start,
             strategy,
+            strategy_label,
             history: GroupHistory::with_backend(backend),
             label,
+            plan,
             scratch_neighbors: Vec::new(),
             scratch_assignments: Vec::new(),
             scratch_groups: FnvHashMap::default(),
             scratch_keys: Vec::new(),
             scratch_candidates: Vec::new(),
+            scratch_freelist: Vec::new(),
+            fresh_group_allocs: 0,
         }
     }
 
@@ -90,20 +201,39 @@ impl Gnrw {
         self.history.backend()
     }
 
+    /// The plan mode this walker effectively runs in (`None` on the scratch
+    /// path) — after the ≤ 64-group alias downgrade; degenerate plans
+    /// report their nominal mode while delegating to CNRW.
+    pub fn plan_mode(&self) -> Option<PlanMode> {
+        self.plan.as_ref().map(|p| p.mode)
+    }
+
+    /// Whether this walker delegates to the CNRW circulation because its
+    /// plan detected a degenerate grouping.
+    pub fn is_cnrw_degenerate(&self) -> bool {
+        self.plan.as_ref().is_some_and(|p| p.cnrw.is_some())
+    }
+
     /// The strategy's own label (e.g. `GNRW_By_Degree`), used by the
     /// Figure 9 experiment to distinguish variants.
     pub fn strategy_label(&self) -> String {
-        self.strategy.label()
+        self.strategy_label.clone()
     }
 
     /// Number of directed edges with live circulation state.
     pub fn tracked_edges(&self) -> usize {
-        self.history.tracked_edges()
+        match self.plan.as_ref().and_then(|p| p.cnrw.as_ref()) {
+            Some(cnrw) => cnrw.tracked_edges(),
+            None => self.history.tracked_edges(),
+        }
     }
 
     /// Total recorded history entries (memory-profile metric).
     pub fn history_entries(&self) -> usize {
-        self.history.total_entries()
+        match self.plan.as_ref().and_then(|p| p.cnrw.as_ref()) {
+            Some(cnrw) => cnrw.total_entries(),
+            None => self.history.total_entries(),
+        }
     }
 
     /// Allocated history-arena capacity in entries (`None` on the legacy
@@ -111,6 +241,124 @@ impl Gnrw {
     /// reused, not re-allocated.
     pub fn arena_capacity(&self) -> Option<usize> {
         self.history.arena_capacity()
+    }
+
+    /// How many group-member vectors the scratch path has allocated fresh
+    /// (rather than recycled from the eviction freelist). Plateaus once the
+    /// walk reaches steady state — the observable behind the
+    /// zero-allocation claim of the scratch hot loop. Always 0 on
+    /// plan-backed walkers.
+    pub fn fresh_group_allocs(&self) -> usize {
+        self.fresh_group_allocs
+    }
+
+    /// One plan-backed step (`self.plan` is `Some`). Split out of
+    /// [`RandomWalk::step`] to keep field borrows tractable.
+    fn plan_step(
+        &mut self,
+        client: &mut dyn OsnClient,
+        rng: &mut dyn RngCore,
+    ) -> Result<NodeId, BudgetExhausted> {
+        let v = self.current;
+        let PlanState {
+            plan,
+            mode,
+            batch,
+            cnrw,
+            rem_scratch,
+        } = self.plan.as_mut().expect("plan_step requires a plan");
+        let neighbors = client.neighbors(v)?;
+        if neighbors.is_empty() {
+            return Ok(v);
+        }
+        let next = if let Some(cnrw) = cnrw {
+            // Degenerate grouping: replicate `Cnrw::step` verbatim (same
+            // draws straight off `rng`), so traces are bit-identical to a
+            // CNRW walker on the same seed/backend.
+            match self.prev {
+                None => uniform_pick(neighbors, rng),
+                Some(u) => cnrw
+                    .draw(u, v, neighbors, rng)
+                    .expect("non-empty neighbor list"),
+            }
+        } else {
+            let groups = plan.groups(v);
+            debug_assert_eq!(
+                groups.len(),
+                neighbors.len(),
+                "plan built over a different snapshot"
+            );
+            match self.prev {
+                // No incoming edge yet: plain SRW step. Drawn through the
+                // batch — the k-th ranged draw consumes the k-th u64 of the
+                // stream exactly as `uniform_pick` would, keeping Exact
+                // mode bit-identical to the scratch walker.
+                None => neighbors[batch.range(neighbors.len(), rng)],
+                Some(u) => match mode {
+                    PlanMode::Alias => {
+                        let mut view = self.history.plan_view(u, v, &groups);
+                        let idx = view.draw(&groups, plan.alias(v), batch, rng, rem_scratch);
+                        neighbors[idx]
+                    }
+                    PlanMode::Exact => {
+                        // The scratch algorithm verbatim, with the partition
+                        // read from the plan (groups ascending by key,
+                        // members ascending by index — the same ordering the
+                        // scratch path derives) and draws through the batch.
+                        let mut view = self.history.edge_view(u, v, neighbors.len());
+                        rem_scratch.clear();
+                        rem_scratch.extend((0..groups.group_count()).map(|g| {
+                            groups
+                                .members_of(g)
+                                .iter()
+                                .filter(|&&i| !view.is_used(i as usize, neighbors[i as usize]))
+                                .count() as u32
+                        }));
+                        // Candidate groups: un-attempted with unvisited
+                        // members; if none, reset the group sub-cycle.
+                        let candidate = |view: &GroupEdgeView<'_>, g: usize| {
+                            rem_scratch[g] > 0 && !view.group_attempted(groups.keys[g])
+                        };
+                        let mut total: usize = (0..groups.group_count())
+                            .filter(|&g| candidate(&view, g))
+                            .map(|g| rem_scratch[g] as usize)
+                            .sum();
+                        if total == 0 {
+                            view.clear_attempted();
+                            total = rem_scratch.iter().map(|&r| r as usize).sum();
+                        }
+                        debug_assert!(total > 0, "global b(u,v) resets before covering N(v)");
+                        // Group chosen with probability proportional to its
+                        // not-yet-attempted transitions (Figure 4).
+                        let mut pick = batch.range(total, rng);
+                        let chosen = (0..groups.group_count())
+                            .filter(|&g| candidate(&view, g))
+                            .find(|&g| {
+                                if pick < rem_scratch[g] as usize {
+                                    true
+                                } else {
+                                    pick -= rem_scratch[g] as usize;
+                                    false
+                                }
+                            })
+                            .expect("pick < total remaining");
+                        // Uniform among the chosen group's unvisited members.
+                        let (idx, node) = view.pick_member(
+                            groups.members_of(chosen),
+                            neighbors,
+                            rem_scratch[chosen] as usize,
+                            batch,
+                            rng,
+                        );
+                        view.record(idx, node, groups.keys[chosen]);
+                        node
+                    }
+                },
+            }
+        };
+        self.prev = Some(v);
+        self.current = next;
+        Ok(next)
     }
 }
 
@@ -128,6 +376,9 @@ impl RandomWalk for Gnrw {
         client: &mut dyn OsnClient,
         rng: &mut dyn RngCore,
     ) -> Result<NodeId, BudgetExhausted> {
+        if self.plan.is_some() {
+            return self.plan_step(client, rng);
+        }
         let v = self.current;
         {
             let neighbors = client.neighbors(v)?;
@@ -143,21 +394,40 @@ impl RandomWalk for Gnrw {
             None => uniform_pick(&self.scratch_neighbors, rng),
             Some(u) => {
                 // Partition N(v) into groups (metadata peeks are free).
-                self.strategy.assign(
-                    &*client,
-                    &self.scratch_neighbors,
-                    &mut self.scratch_assignments,
-                );
+                self.strategy
+                    .as_ref()
+                    .expect("scratch walker keeps its strategy")
+                    .assign(
+                        &*client,
+                        &self.scratch_neighbors,
+                        &mut self.scratch_assignments,
+                    );
                 // The scratch map is reused across steps; under `Exact`
                 // bucketing distinct value keys could otherwise accumulate
-                // without bound, so shed stale capacity when it balloons.
+                // without bound, so shed stale *entries* when the map
+                // balloons — parking the cleared member vectors on a
+                // freelist so their buffers are recycled, not re-allocated.
                 if self.scratch_groups.len() > 64 {
-                    self.scratch_groups.clear();
+                    self.scratch_freelist
+                        .extend(self.scratch_groups.drain().map(|(_, mut members)| {
+                            members.clear();
+                            members
+                        }));
                 } else {
                     self.scratch_groups.values_mut().for_each(Vec::clear);
                 }
+                let freelist = &mut self.scratch_freelist;
+                let fresh = &mut self.fresh_group_allocs;
                 for (i, &key) in self.scratch_assignments.iter().enumerate() {
-                    self.scratch_groups.entry(key).or_default().push(i as u32);
+                    self.scratch_groups
+                        .entry(key)
+                        .or_insert_with(|| {
+                            freelist.pop().unwrap_or_else(|| {
+                                *fresh += 1;
+                                Vec::new()
+                            })
+                        })
+                        .push(i as u32);
                 }
                 // Deterministic group ordering (sorted keys) so RNG
                 // consumption does not depend on hash-map iteration order.
@@ -246,17 +516,35 @@ impl RandomWalk for Gnrw {
         self.prev = None;
         self.current = start;
         self.history.clear();
+        if let Some(ps) = &mut self.plan {
+            // Discarding buffered draws is part of the restart contract (a
+            // documented equivalence boundary: the fresh walk re-fills from
+            // the live RNG position, as an unbatched walker would).
+            ps.batch.clear();
+            if let Some(cnrw) = &mut ps.cnrw {
+                cnrw.clear();
+            }
+        }
     }
 
     fn export_state(&self) -> Value {
-        // The grouping strategy and label are construction-time spec, and
-        // all `scratch_*` fields are per-step transients — only the walk
-        // position and the circulation history are resumable state.
-        Value::obj([
+        // The grouping strategy/plan and label are construction-time spec,
+        // and all `scratch_*` fields are per-step transients — the walk
+        // position, the circulation history, and (plan path) the buffered
+        // RNG draws are the resumable state.
+        let history = match self.plan.as_ref().and_then(|p| p.cnrw.as_ref()) {
+            Some(cnrw) => cnrw.export_state(),
+            None => self.history.export_state(),
+        };
+        let mut fields = vec![
             ("prev", prev_to_value(self.prev)),
             ("current", Value::Uint(u64::from(self.current.0))),
-            ("history", self.history.export_state()),
-        ])
+            ("history", history),
+        ];
+        if let Some(ps) = &self.plan {
+            fields.push(("draws", Value::arr(ps.batch.pending())));
+        }
+        Value::obj(fields)
     }
 
     fn import_state(&mut self, state: &Value) -> Result<(), String> {
@@ -264,10 +552,29 @@ impl RandomWalk for Gnrw {
         check_backend(history_state, self.backend())?;
         let prev = prev_from_value(state.field("prev")?)?;
         let current = NodeId(state.field("current")?.decode()?);
-        let history = GroupHistory::import_state(history_state)?;
+        // Restore the pending draw buffer first (absent in scratch-walker
+        // exports: resume with an empty buffer).
+        let draws: Vec<u64> = match state.field("draws") {
+            Ok(v) => v.decode()?,
+            Err(_) => Vec::new(),
+        };
+        match &mut self.plan {
+            Some(ps) => {
+                ps.batch = DrawBatch::restore(&draws)?;
+                match &mut ps.cnrw {
+                    Some(cnrw) => *cnrw = EdgeHistory::import_state(history_state)?,
+                    None => self.history = GroupHistory::import_state(history_state)?,
+                }
+            }
+            None => {
+                if !draws.is_empty() {
+                    return Err("scratch GNRW cannot resume buffered draws".into());
+                }
+                self.history = GroupHistory::import_state(history_state)?;
+            }
+        }
         self.prev = prev;
         self.current = current;
-        self.history = history;
         Ok(())
     }
 }
@@ -275,14 +582,15 @@ impl RandomWalk for Gnrw {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grouping::{ByAttribute, ByDegree, ByHash};
+    use crate::grouping::{ByAttribute, ByDegree, ByHash, ByNode, ValueBucketing};
+    use crate::walkers::Cnrw;
     use osn_client::SimulatedOsn;
     use osn_graph::attributes::{AttributedGraph, NodeAttributes};
     use osn_graph::GraphBuilder;
     use rand::SeedableRng;
     use rand_chacha::ChaCha12Rng;
 
-    fn two_community_client() -> SimulatedOsn {
+    fn two_community_network() -> AttributedGraph {
         // Two K4 cliques bridged; attribute = community id.
         let mut b = GraphBuilder::new();
         for i in 0..4u32 {
@@ -297,7 +605,11 @@ mod tests {
         attrs
             .insert_uint("community", vec![0, 0, 0, 0, 1, 1, 1, 1])
             .unwrap();
-        SimulatedOsn::new(AttributedGraph::new(g, attrs).unwrap())
+        AttributedGraph::new(g, attrs).unwrap()
+    }
+
+    fn two_community_client() -> SimulatedOsn {
+        SimulatedOsn::new(two_community_network())
     }
 
     #[test]
@@ -335,6 +647,39 @@ mod tests {
         for (i, &c) in visits.iter().enumerate() {
             let freq = c as f64 / steps as f64;
             assert!((freq - pi[i]).abs() < 0.015, "node {i}");
+        }
+    }
+
+    #[test]
+    fn plan_alias_stationary_matches_srw_target() {
+        // The alias path reorders draws; its per-node visit frequencies must
+        // still converge to the SRW target (Theorem 4 — the super-cycle
+        // coverage is untouched). Exact value bucketing keeps the plan
+        // non-degenerate (the default quantile bucketing splits these small
+        // neighborhoods into singletons, which would delegate to CNRW).
+        let network = two_community_network();
+        let plan = Arc::new(GroupPlan::build(
+            &network,
+            &ByAttribute::with_bucketing("community", ValueBucketing::Exact),
+        ));
+        assert_eq!(plan.degenerate(), None);
+        let mut client = SimulatedOsn::new(network);
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut w = Gnrw::with_plan(NodeId(0), plan, PlanMode::Alias);
+        assert_eq!(w.plan_mode(), Some(PlanMode::Alias));
+        let steps = 150_000;
+        let mut visits = vec![0usize; client.graph().node_count()];
+        for _ in 0..steps {
+            visits[w.step(&mut client, &mut rng).unwrap().index()] += 1;
+        }
+        let pi = client.graph().degree_stationary_distribution();
+        for (i, &c) in visits.iter().enumerate() {
+            let freq = c as f64 / steps as f64;
+            assert!(
+                (freq - pi[i]).abs() < 0.015,
+                "node {i}: freq {freq} vs pi {}",
+                pi[i]
+            );
         }
     }
 
@@ -399,6 +744,60 @@ mod tests {
     }
 
     #[test]
+    fn alias_path_preserves_super_cycle_coverage() {
+        // Same pinned topology as `group_circulation_alternates_groups`,
+        // driven through the alias plan path: windows of |N(1)| choices
+        // after each 0->1 transit must still cover N(1) exactly once
+        // (Theorem 4's invariant — what the alias path must NOT change),
+        // and the sub-cycle alternation must still touch all three groups.
+        let mut b = GraphBuilder::new();
+        b.push_edge(0, 1);
+        b.push_edge(1, 2);
+        b.push_edge(1, 3);
+        b.push_edge(1, 4);
+        for i in 5..12 {
+            b.push_edge(4, i);
+        }
+        b.push_edge(2, 0);
+        b.push_edge(3, 0);
+        b.push_edge(4, 0);
+        let network = AttributedGraph::bare(b.build().unwrap());
+        let plan = Arc::new(GroupPlan::build(&network, &ByDegree::log2()));
+        assert_eq!(plan.degenerate(), None);
+        let mut client = SimulatedOsn::new(network);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut w = Gnrw::with_plan(NodeId(0), plan, PlanMode::Alias);
+        let mut after = Vec::new();
+        let mut prev = w.current();
+        for _ in 0..6000 {
+            let curr = w.step(&mut client, &mut rng).unwrap();
+            if prev == NodeId(0) && curr == NodeId(1) {
+                let nxt = w.step(&mut client, &mut rng).unwrap();
+                after.push(nxt);
+                prev = nxt;
+                continue;
+            }
+            prev = curr;
+        }
+        assert!(after.len() > 20);
+        let group = |n: NodeId| match n.0 {
+            0 => 0,
+            2 | 3 => 1,
+            4 => 2,
+            _ => unreachable!(),
+        };
+        for win in after.chunks_exact(4) {
+            let mut ids: Vec<u32> = win.iter().map(|n| n.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 2, 3, 4], "super-cycle {win:?} not a cover");
+            let mut gs: Vec<u32> = win[..3].iter().map(|&n| group(n)).collect();
+            gs.sort_unstable();
+            gs.dedup();
+            assert_eq!(gs.len(), 3, "first 3 of {win:?} repeat a group");
+        }
+    }
+
+    #[test]
     fn restart_clears_group_history() {
         let mut client = two_community_client();
         let mut rng = ChaCha12Rng::seed_from_u64(3);
@@ -433,10 +832,185 @@ mod tests {
     }
 
     #[test]
+    fn plan_exact_is_bit_identical_to_scratch() {
+        // The keystone of the Exact mode: plan-provided groups + batched
+        // draws consume the same u64 stream in the same order as the
+        // per-step scratch derivation, on both backends. Exact value
+        // bucketing keeps the plan non-degenerate so the comparison
+        // exercises the real group circulation, not the CNRW delegate.
+        let network = two_community_network();
+        let plan = Arc::new(GroupPlan::build(
+            &network,
+            &ByAttribute::with_bucketing("community", ValueBucketing::Exact),
+        ));
+        assert_eq!(plan.degenerate(), None);
+        for backend in HistoryBackend::ALL {
+            let scratch = {
+                let mut client = two_community_client();
+                let mut rng = ChaCha12Rng::seed_from_u64(21);
+                let mut w = Gnrw::with_backend(
+                    NodeId(0),
+                    Box::new(ByAttribute::with_bucketing(
+                        "community",
+                        ValueBucketing::Exact,
+                    )),
+                    backend,
+                );
+                (0..3000)
+                    .map(|_| w.step(&mut client, &mut rng).unwrap())
+                    .collect::<Vec<_>>()
+            };
+            let planned = {
+                let mut client = two_community_client();
+                let mut rng = ChaCha12Rng::seed_from_u64(21);
+                let mut w =
+                    Gnrw::with_plan_backend(NodeId(0), Arc::clone(&plan), PlanMode::Exact, backend);
+                (0..3000)
+                    .map(|_| w.step(&mut client, &mut rng).unwrap())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(scratch, planned, "trace diverged on {backend}");
+        }
+    }
+
+    #[test]
+    fn degenerate_plans_are_bit_identical_to_cnrw() {
+        // Singleton groups (ByNode) and a single group (ByHash(1)) both
+        // collapse GNRW to CNRW; the plan detects it and the walker must
+        // delegate, making traces bit-identical to a CNRW walker — the
+        // scratch path is NOT (it burns two draws per step to CNRW's one),
+        // so delegation is what delivers the paper's §4.1 equivalence.
+        let network = two_community_network();
+        let cnrw_trace = {
+            let mut client = SimulatedOsn::new(two_community_network());
+            let mut rng = ChaCha12Rng::seed_from_u64(33);
+            let mut w = Cnrw::new(NodeId(0));
+            (0..3000)
+                .map(|_| w.step(&mut client, &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        for strategy in [
+            Box::new(ByNode::new()) as Box<dyn GroupingStrategy>,
+            Box::new(ByHash::new(1)),
+        ] {
+            let plan = Arc::new(GroupPlan::build(&network, strategy.as_ref()));
+            assert!(plan.degenerate().is_some(), "{}", strategy.label());
+            let mut client = SimulatedOsn::new(two_community_network());
+            let mut rng = ChaCha12Rng::seed_from_u64(33);
+            let mut w = Gnrw::with_plan(NodeId(0), plan, PlanMode::Alias);
+            assert!(w.is_cnrw_degenerate());
+            let trace: Vec<NodeId> = (0..3000)
+                .map(|_| w.step(&mut client, &mut rng).unwrap())
+                .collect();
+            assert_eq!(trace, cnrw_trace, "{} diverged from CNRW", strategy.label());
+        }
+    }
+
+    #[test]
+    fn alias_downgrades_when_groups_exceed_bitmask() {
+        // A grouping with more than 64 groups on some node cannot use the
+        // u64 attempted-set; the walker must fall back to Exact silently.
+        let mut b = GraphBuilder::new();
+        for i in 1..=80u32 {
+            b.push_edge(0, i);
+            // Give every spoke a second edge so degrees differ from 1 and
+            // the walk can leave.
+            b.push_edge(i, if i == 80 { 1 } else { i + 1 });
+        }
+        let network = AttributedGraph::bare(b.build().unwrap());
+        let plan = Arc::new(GroupPlan::build(&network, &ByNode::new()));
+        // ByNode is degenerate — use a quantile strategy with many strata
+        // to exceed 64 groups without degenerating.
+        let plan_many = Arc::new(GroupPlan::build(&network, &ByDegree::quantile(80)));
+        if plan_many.max_groups() > 64 {
+            let w = Gnrw::with_plan(NodeId(0), plan_many, PlanMode::Alias);
+            assert_eq!(w.plan_mode(), Some(PlanMode::Exact));
+        }
+        // The degenerate singleton plan stays whatever mode it was given
+        // but delegates to CNRW.
+        let w = Gnrw::with_plan(NodeId(0), plan, PlanMode::Alias);
+        assert!(w.is_cnrw_degenerate());
+    }
+
+    #[test]
+    fn scratch_freelist_recycles_group_vectors() {
+        // Exact bucketing over a high-cardinality attribute churns >64
+        // distinct group keys through the scratch map, forcing evictions;
+        // the freelist must recycle the member vectors so fresh allocations
+        // plateau instead of growing with the walk.
+        let mut b = GraphBuilder::new();
+        let n = 120u32;
+        for i in 0..n {
+            b.push_edge(i, (i + 1) % n);
+            b.push_edge(i, (i + 7) % n);
+        }
+        let g = b.build().unwrap();
+        let mut attrs = NodeAttributes::for_graph(&g);
+        attrs
+            .insert_uint("id", (0..u64::from(n)).collect())
+            .unwrap();
+        let mut client = SimulatedOsn::new(AttributedGraph::new(g, attrs).unwrap());
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let mut w = Gnrw::new(
+            NodeId(0),
+            Box::new(ByAttribute::with_bucketing("id", ValueBucketing::Exact)),
+        );
+        for _ in 0..2000 {
+            w.step(&mut client, &mut rng).unwrap();
+        }
+        let warm = w.fresh_group_allocs();
+        assert!(warm > 0, "churn must have allocated something to recycle");
+        for _ in 0..4000 {
+            w.step(&mut client, &mut rng).unwrap();
+        }
+        assert_eq!(
+            w.fresh_group_allocs(),
+            warm,
+            "steady-state steps allocated fresh group vectors"
+        );
+    }
+
+    #[test]
+    fn plan_walker_state_roundtrips_mid_batch() {
+        // Export after an odd number of steps (draw buffer partially
+        // consumed), import into a fresh walker, and check the two continue
+        // bit-identically on the same RNG stream.
+        let network = two_community_network();
+        let plan = Arc::new(GroupPlan::build(
+            &network,
+            &ByAttribute::with_bucketing("community", ValueBucketing::Exact),
+        ));
+        assert_eq!(plan.degenerate(), None);
+        for mode in [PlanMode::Exact, PlanMode::Alias] {
+            let mut client = two_community_client();
+            let mut rng = ChaCha12Rng::seed_from_u64(77);
+            let mut w = Gnrw::with_plan(NodeId(0), Arc::clone(&plan), mode);
+            for _ in 0..501 {
+                w.step(&mut client, &mut rng).unwrap();
+            }
+            let state = w.export_state();
+            let mut w2 = Gnrw::with_plan(NodeId(3), Arc::clone(&plan), mode);
+            w2.import_state(&state).unwrap();
+            let mut rng2 = rng.clone();
+            for i in 0..500 {
+                let a = w.step(&mut client, &mut rng).unwrap();
+                let b = w2.step(&mut client, &mut rng2).unwrap();
+                assert_eq!(a, b, "diverged at step {i} ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
     fn labels() {
         let w = Gnrw::new(NodeId(0), Box::new(ByDegree::new()));
         assert_eq!(w.name(), "GNRW[GNRW_By_Degree]");
         assert_eq!(w.strategy_label(), "GNRW_By_Degree");
+        let network = two_community_network();
+        let plan = Arc::new(GroupPlan::build(&network, &ByDegree::new()));
+        let w = Gnrw::with_plan(NodeId(0), plan, PlanMode::Alias);
+        assert_eq!(w.name(), "GNRW[GNRW_By_Degree]");
+        assert_eq!(w.strategy_label(), "GNRW_By_Degree");
+        assert_eq!(w.fresh_group_allocs(), 0);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Algorithm selection: a serializable description of every sampler under
 //! test, and the factory turning it into a live walker.
 
+use std::sync::Arc;
+
+use osn_graph::attributes::AttributedGraph;
 use osn_graph::NodeId;
 use osn_walks::{
-    ByAttribute, ByDegree, ByHash, Cnrw, Gnrw, HistoryBackend, Mhrw, NbCnrw, NbSrw, RandomWalk, Srw,
+    ByAttribute, ByDegree, ByHash, Cnrw, Gnrw, GroupPlan, HistoryBackend, Mhrw, NbCnrw, NbSrw,
+    PlanMode, RandomWalk, Srw,
 };
 
 /// Which grouping GNRW uses (mirrors the paper's Figure 9 variants).
@@ -15,6 +19,17 @@ pub enum GroupingSpec {
     ByHash(u64),
     /// `GNRW_By_<attribute>`.
     ByAttribute(String),
+}
+
+impl GroupingSpec {
+    /// Instantiate the live grouping strategy this spec describes.
+    pub fn strategy(&self) -> Box<dyn osn_walks::GroupingStrategy + Send> {
+        match self {
+            GroupingSpec::ByDegree => Box::new(ByDegree::new()),
+            GroupingSpec::ByHash(groups) => Box::new(ByHash::new(*groups)),
+            GroupingSpec::ByAttribute(name) => Box::new(ByAttribute::new(name.clone())),
+        }
+    }
 }
 
 /// A sampler under test.
@@ -68,15 +83,41 @@ impl Algorithm {
             Algorithm::Mhrw => Box::new(Mhrw::new(start)),
             Algorithm::NbSrw => Box::new(NbSrw::new(start)),
             Algorithm::Cnrw => Box::new(Cnrw::with_backend(start, backend)),
-            Algorithm::Gnrw(spec) => {
-                let strategy: Box<dyn osn_walks::GroupingStrategy + Send> = match spec {
-                    GroupingSpec::ByDegree => Box::new(ByDegree::new()),
-                    GroupingSpec::ByHash(groups) => Box::new(ByHash::new(*groups)),
-                    GroupingSpec::ByAttribute(name) => Box::new(ByAttribute::new(name.clone())),
-                };
-                Box::new(Gnrw::with_backend(start, strategy, backend))
-            }
+            Algorithm::Gnrw(spec) => Box::new(Gnrw::with_backend(start, spec.strategy(), backend)),
             Algorithm::NbCnrw => Box::new(NbCnrw::with_backend(start, backend)),
+        }
+    }
+
+    /// Precompute the [`GroupPlan`] for a GNRW algorithm over `network`
+    /// (`None` for every other sampler — they have no grouping to plan).
+    /// Build once per graph, share via `Arc` across trials and walkers.
+    pub fn build_group_plan(&self, network: &AttributedGraph) -> Option<GroupPlan> {
+        match self {
+            Algorithm::Gnrw(spec) => Some(GroupPlan::build(network, spec.strategy().as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Instantiate a walker like [`Self::make_with_backend`], but with GNRW
+    /// running plan-backed against the shared `plan` in the given mode.
+    /// Non-GNRW samplers ignore the plan.
+    pub fn make_planned(
+        &self,
+        start: NodeId,
+        plan: Arc<GroupPlan>,
+        mode: PlanMode,
+        backend: HistoryBackend,
+    ) -> Box<dyn RandomWalk + Send> {
+        match self {
+            Algorithm::Gnrw(_) => {
+                debug_assert_eq!(
+                    plan.strategy_label(),
+                    self.label(),
+                    "group plan built for a different grouping"
+                );
+                Box::new(Gnrw::with_plan_backend(start, plan, mode, backend))
+            }
+            _ => self.make_with_backend(start, backend),
         }
     }
 

@@ -61,6 +61,10 @@ pub struct TrialPlan {
     /// Restart policy for single-walker steal ablations (`None` = the
     /// policy-free fast path). Set via [`Self::with_restarts`].
     pub restarts: Option<Arc<dyn RestartPolicy + Send + Sync>>,
+    /// Precomputed group plan for GNRW trials (`None` = the scratch
+    /// per-step partition). Set via [`Self::with_group_plan`]; non-GNRW
+    /// algorithms ignore it.
+    pub group_plan: Option<(Arc<osn_walks::GroupPlan>, osn_walks::PlanMode)>,
 }
 
 impl TrialPlan {
@@ -75,6 +79,7 @@ impl TrialPlan {
             backend: HistoryBackend::default(),
             batch: None,
             restarts: None,
+            group_plan: None,
         }
     }
 
@@ -139,6 +144,35 @@ impl TrialPlan {
         self
     }
 
+    /// Same plan with GNRW trials running against a shared precomputed
+    /// [`osn_walks::GroupPlan`] in the given [`osn_walks::PlanMode`]
+    /// (`Exact` replays the scratch path's traces bit-for-bit; `Alias` is
+    /// the fast path, equivalent in distribution). Build the plan once via
+    /// [`Algorithm::build_group_plan`] over [`Self::network`] and share it
+    /// across trials.
+    #[must_use]
+    pub fn with_group_plan(
+        mut self,
+        plan: Arc<osn_walks::GroupPlan>,
+        mode: osn_walks::PlanMode,
+    ) -> Self {
+        self.group_plan = Some((plan, mode));
+        self
+    }
+
+    /// Construct the walker for one trial, honoring [`Self::group_plan`].
+    fn make_walker(
+        &self,
+        algorithm: &Algorithm,
+        start: NodeId,
+        backend: HistoryBackend,
+    ) -> Box<dyn RandomWalk + Send> {
+        match &self.group_plan {
+            Some((plan, mode)) => algorithm.make_planned(start, Arc::clone(plan), *mode, backend),
+            None => algorithm.make_with_backend(start, backend),
+        }
+    }
+
     /// Uniformly random start node for the given trial seed.
     pub fn start_node(&self, seed: u64) -> NodeId {
         let n = self.network.graph.node_count() as u64;
@@ -163,7 +197,7 @@ impl TrialPlan {
                 .unwrap_or_default();
             return WalkTrace::from_parts(start, nodes, report.stops[0], report.trace.stats);
         }
-        let mut walker = algorithm.make_with_backend(start, self.backend);
+        let mut walker = self.make_walker(algorithm, start, self.backend);
         if let Some(batch) = &self.batch {
             return self.run_batched(walker, start, batch.clone(), seed);
         }
@@ -229,7 +263,7 @@ impl TrialPlan {
         };
         let orchestrator =
             WalkOrchestrator::new(1, self.max_steps, seed).with_backend(self.backend);
-        let make = |_i: usize, backend: HistoryBackend| algorithm.make_with_backend(start, backend);
+        let make = |_i: usize, backend: HistoryBackend| self.make_walker(algorithm, start, backend);
         match &self.batch {
             Some(batch) => {
                 let mut client = SimulatedBatchOsn::configured(
@@ -490,6 +524,48 @@ mod tests {
             .with_batch(osn_client::BatchConfig::new(4).with_in_flight(2));
         let c = batched.run(&Algorithm::Cnrw, 9);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn plan_backed_trial_matches_scratch_in_exact_mode() {
+        use crate::algorithms::GroupingSpec;
+        use osn_walks::PlanMode;
+        let net = shared_net();
+        let alg = Algorithm::Gnrw(GroupingSpec::ByDegree);
+        let plan = Arc::new(alg.build_group_plan(&net).unwrap());
+        assert!(
+            plan.degenerate().is_none(),
+            "fixture grouping must be non-degenerate for this comparison"
+        );
+        let scratch = TrialPlan::steps(net.clone(), 400).run(&alg, 17);
+        let exact = TrialPlan::steps(net.clone(), 400)
+            .with_group_plan(Arc::clone(&plan), PlanMode::Exact)
+            .run(&alg, 17);
+        assert_eq!(scratch.nodes(), exact.nodes());
+        // Alias mode reorders draws; the trial still runs to the step cap
+        // and stays deterministic per seed.
+        let alias_plan = TrialPlan::steps(net, 400).with_group_plan(plan, PlanMode::Alias);
+        let a = alias_plan.run(&alg, 17);
+        let b = alias_plan.run(&alg, 17);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn group_plan_is_ignored_by_planless_samplers() {
+        use crate::algorithms::GroupingSpec;
+        use osn_walks::PlanMode;
+        let net = shared_net();
+        let plan = Arc::new(
+            Algorithm::Gnrw(GroupingSpec::ByDegree)
+                .build_group_plan(&net)
+                .unwrap(),
+        );
+        let bare = TrialPlan::steps(net.clone(), 200).run(&Algorithm::Cnrw, 8);
+        let planned = TrialPlan::steps(net, 200)
+            .with_group_plan(plan, PlanMode::Alias)
+            .run(&Algorithm::Cnrw, 8);
+        assert_eq!(bare.nodes(), planned.nodes());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   counts, connected components (Table 1 statistics).
 //! * [`attributes`] — typed per-node attribute columns (e.g. `reviews_count`)
 //!   used by GNRW grouping and aggregate estimation.
+//! * [`partition`] — flat stable partitions of index ranges by key, the
+//!   storage contract behind the GNRW group-plan precomputation.
 //! * [`io`] — plain-text edge-list reading/writing.
 //! * [`fnv`] — deterministic FNV-1a hashing, shared by the walkers' history
 //!   maps and the client's lock-striped cache (stripe = `fnv(node) % N`).
@@ -54,6 +56,7 @@ pub mod generators;
 mod ids;
 pub mod io;
 pub mod mix;
+pub mod partition;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;

@@ -119,8 +119,8 @@ pub mod prelude {
     };
     pub use osn_walks::{
         ByAttribute, ByDegree, ByHash, Cnrw, CoalescedWalkRun, CoalescingDispatcher,
-        FrontierSampler, Gnrw, HistoryBackend, Mhrw, MultiWalkReport, MultiWalkRunner,
-        MultiWalkSession, NbCnrw, NbSrw, Never, NodeCnrw, OrchestratorReport, RandomWalk,
+        FrontierSampler, Gnrw, GroupPlan, HistoryBackend, Mhrw, MultiWalkReport, MultiWalkRunner,
+        MultiWalkSession, NbCnrw, NbSrw, Never, NodeCnrw, OrchestratorReport, PlanMode, RandomWalk,
         ReactorStats, ReactorWalkRun, RestartEvent, RestartPolicy, RestartReason, SerialWalkRun,
         SharedFrontier, Srw, WalkConfig, WalkOrchestrator, WalkSession, WalkerFsm, WorkStealing,
     };

@@ -36,6 +36,17 @@ pub trait RngCore {
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
     }
+    /// Fill `dest` with consecutive [`next_u64`](Self::next_u64) outputs.
+    ///
+    /// Semantically identical to calling `next_u64` once per slot (callers
+    /// can rely on that for reproducibility), but overridable so a concrete
+    /// generator behind a `&mut dyn RngCore` can amortize per-draw dispatch
+    /// into one virtual call per batch.
+    fn fill_u64s(&mut self, dest: &mut [u64]) {
+        for slot in dest {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -48,6 +59,9 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         (**self).fill_bytes(dest)
     }
+    fn fill_u64s(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64s(dest)
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for Box<R> {
@@ -59,6 +73,73 @@ impl<R: RngCore + ?Sized> RngCore for Box<R> {
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         (**self).fill_bytes(dest)
+    }
+    fn fill_u64s(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64s(dest)
+    }
+}
+
+/// The SplitMix64 generator (Steele, Lea & Flood): one 64-bit word of
+/// state, an add-and-mix step per output. The workspace already uses the
+/// same recurrence inside [`SeedableRng::seed_from_u64`]; exposing it as a
+/// first-class generator gives batched consumers ([`RngCore::fill_u64s`])
+/// the cheapest possible per-draw cost for non-cryptographic streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Expose the raw state word (the next draw is fully determined by it).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild from [`state`](Self::state) output, resuming the stream.
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn fill_u64s(&mut self, dest: &mut [u64]) {
+        // Monomorphic copy of the default loop: one virtual call per batch
+        // when reached through `&mut dyn RngCore`.
+        for slot in dest {
+            *slot = self.next_u64();
+        }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SplitMix64 {
+            state: u64::from_le_bytes(seed),
+        }
+    }
+
+    /// The seed *is* the state: `seed_from_u64(s)` starts the canonical
+    /// SplitMix64 stream at `s`, matching the expansion used by every other
+    /// generator's `seed_from_u64`.
+    fn seed_from_u64(state: u64) -> Self {
+        SplitMix64 { state }
     }
 }
 
@@ -295,7 +376,7 @@ pub mod prelude {
     //! Convenience re-exports mirroring `rand::prelude`.
     pub use super::distributions::Distribution;
     pub use super::seq::SliceRandom;
-    pub use super::{Rng, RngCore, SampleRange, SeedableRng};
+    pub use super::{Rng, RngCore, SampleRange, SeedableRng, SplitMix64};
 }
 
 #[cfg(test)]

@@ -69,6 +69,16 @@ macro_rules! chacha_standin {
                 self.s[3] = self.s[3].rotate_left(45);
                 result
             }
+
+            #[inline]
+            fn fill_u64s(&mut self, dest: &mut [u64]) {
+                // Monomorphic loop: callers behind `&mut dyn RngCore` pay
+                // one virtual call per batch instead of one per draw. Same
+                // stream as repeated `next_u64` (guaranteed by the trait).
+                for slot in dest {
+                    *slot = self.next_u64();
+                }
+            }
         }
 
         impl SeedableRng for $name {
