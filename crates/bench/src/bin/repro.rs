@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] [--baseline PATH]
 //!       [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|
-//!        fig_service|fig_reactor|perf|all]
+//!        fig_service|fig_reactor|fig_evolving|perf|all]
 //! ```
 //!
 //! Each experiment prints its markdown table to stdout and, with `--out`,
@@ -29,7 +29,7 @@ use osn_bench::perf;
 use osn_datasets::Scale;
 use osn_experiments::{
     ablation, fig10, fig11, fig6, fig6_batch, fig6_parallel, fig6_steal, fig7, fig8, fig9,
-    fig_reactor, fig_service, table1, theorem3, Deadline, ExperimentResult,
+    fig_evolving, fig_reactor, fig_service, table1, theorem3, Deadline, ExperimentResult,
 };
 
 struct Options {
@@ -106,7 +106,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] \
                      [--baseline PATH] [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|\
-                     fig9|fig10|fig11|theorem3|ablation|fig_service|fig_reactor|perf|all]..."
+                     fig9|fig10|fig11|theorem3|ablation|fig_service|fig_reactor|fig_evolving|perf|all]..."
                 );
                 std::process::exit(0);
             }
@@ -133,6 +133,7 @@ fn parse_args() -> Options {
             "ablation",
             "fig_service",
             "fig_reactor",
+            "fig_evolving",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -470,6 +471,17 @@ fn main() {
                     }
                 };
                 emit(&fig_reactor::run(&config), &opts.out);
+            }
+            "fig_evolving" | "figevolving" => {
+                let config = if opts.quick {
+                    fig_evolving::FigEvolvingConfig::quick()
+                } else {
+                    fig_evolving::FigEvolvingConfig {
+                        scale: opts.scale(),
+                        ..Default::default()
+                    }
+                };
+                emit(&fig_evolving::run(&config), &opts.out);
             }
             "perf" => {
                 let result = run_perf(&opts);

@@ -52,7 +52,7 @@
 
 use std::fmt;
 
-use osn_graph::NodeId;
+use osn_graph::{EdgeMutation, MutationOp, NodeId};
 use osn_serde::Value;
 
 use crate::budget::BudgetExhausted;
@@ -423,6 +423,24 @@ impl SimulatedBatchOsn {
         &self.config
     }
 
+    /// Record one edge mutation against the wrapped simulator (see
+    /// [`SimulatedOsn::apply_mutation`]): queries read through the delta
+    /// overlay from now on, and an effective mutation evicts both endpoints
+    /// from the cache so their next delivery is re-charged. Requests
+    /// already in flight resolve at delivery time, so they observe the
+    /// post-mutation listing — apply mutations at quiescent boundaries for
+    /// deterministic replay.
+    pub fn apply_mutation(&mut self, m: EdgeMutation) -> bool {
+        self.inner.apply_mutation(m)
+    }
+
+    /// Record a batch of mutations, returning the sorted, deduplicated
+    /// nodes whose neighbor lists changed (see
+    /// [`SimulatedOsn::apply_mutations`]).
+    pub fn apply_mutations(&mut self, ms: &[EdgeMutation]) -> Vec<NodeId> {
+        self.inner.apply_mutations(ms)
+    }
+
     /// Request-level counters (attempts, retries, drops).
     pub fn batch_stats(&self) -> BatchStats {
         self.batch_stats
@@ -471,8 +489,31 @@ impl SimulatedBatchOsn {
             .collect();
         let s = self.inner.stats();
         let bs = self.batch_stats;
+        let mutations: Vec<Value> = self
+            .inner
+            .mutation_log()
+            .iter()
+            .map(|m| {
+                Value::obj([
+                    ("at", Value::Num(m.at)),
+                    ("u", Value::Uint(u64::from(m.u.0))),
+                    ("v", Value::Uint(u64::from(m.v.0))),
+                    (
+                        "op",
+                        Value::Str(
+                            match m.op {
+                                MutationOp::Insert => "insert",
+                                MutationOp::Delete => "delete",
+                            }
+                            .into(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
         Ok(Value::obj([
             ("cached", Value::Arr(cached)),
+            ("mutations", Value::Arr(mutations)),
             (
                 "stats",
                 Value::obj([
@@ -569,7 +610,23 @@ impl SimulatedBatchOsn {
             dropped: bv.field("dropped")?.decode()?,
             node_drops: bv.field("node_drops")?.decode()?,
         };
+        // Absent in snapshots taken before evolving-graph support: an empty
+        // log restores a pristine overlay.
+        let mut mutations = Vec::new();
+        if let Ok(list) = state.field("mutations") {
+            for mv in list.as_array()? {
+                let at: f64 = mv.field("at")?.decode()?;
+                let u = NodeId(mv.field("u")?.decode()?);
+                let v = NodeId(mv.field("v")?.decode()?);
+                mutations.push(match mv.field("op")?.as_str()? {
+                    "insert" => EdgeMutation::insert(at, u, v),
+                    "delete" => EdgeMutation::delete(at, u, v),
+                    other => return Err(format!("unknown mutation op `{other}`")),
+                });
+            }
+        }
 
+        self.inner.restore_overlay(&mutations)?;
         self.inner.restore_accounting(queried, stats);
         self.budget_remaining = budget;
         self.clock = VirtualClock::default();
@@ -842,6 +899,39 @@ mod tests {
         c.submit(&[NodeId(2)]).unwrap();
         c.poll().unwrap();
         assert_eq!(c.stats().unique, 2);
+    }
+
+    #[test]
+    fn mutations_survive_snapshot_round_trip() {
+        let mut c = SimulatedBatchOsn::new(star_osn(5), BatchConfig::new(4));
+        c.submit(&[NodeId(0), NodeId(1)]).unwrap();
+        c.poll().unwrap();
+        assert!(c.apply_mutation(EdgeMutation::insert(1.0, NodeId(1), NodeId(2))));
+        assert!(c.apply_mutation(EdgeMutation::delete(2.0, NodeId(0), NodeId(3))));
+        let snap = c.export_state().unwrap();
+
+        // A fresh endpoint over the same base snapshot restores the overlay
+        // and serves the post-mutation listings.
+        let mut fresh = SimulatedBatchOsn::new(star_osn(5), BatchConfig::new(4));
+        fresh.import_state(&snap).unwrap();
+        assert_eq!(fresh.inner().mutation_log(), c.inner().mutation_log());
+        fresh.submit(&[NodeId(1)]).unwrap();
+        let out = fresh.poll().unwrap();
+        assert_eq!(
+            out.per_node[0].1.as_ref().unwrap(),
+            &vec![NodeId(0), NodeId(2)]
+        );
+        assert_eq!(fresh.peek_degree(NodeId(0)), 4);
+
+        // Pre-evolving snapshots (no `mutations` field) restore cleanly: a
+        // mutated endpoint rolls back to a pristine overlay.
+        let pristine = SimulatedBatchOsn::new(star_osn(5), BatchConfig::new(4))
+            .export_state()
+            .unwrap();
+        assert!(pristine.field("mutations").is_ok());
+        c.import_state(&pristine).unwrap();
+        assert!(c.inner().mutation_log().is_empty());
+        assert_eq!(c.peek_degree(NodeId(0)), 5);
     }
 
     #[test]

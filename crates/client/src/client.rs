@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use osn_graph::attributes::AttributedGraph;
-use osn_graph::{CsrGraph, NodeId};
+use osn_graph::{AdjacencySnapshot, CsrGraph, DeltaOverlay, EdgeMutation, NodeId};
 
 use crate::budget::BudgetExhausted;
 use crate::stats::QueryStats;
@@ -67,9 +67,22 @@ pub trait OsnClient {
 /// building many from [`SimulatedOsn::new_shared`]) shares the graph memory:
 /// experiment harnesses run thousands of independent trials against one
 /// loaded snapshot without duplication.
+/// ### Evolving graphs
+///
+/// The simulated network can evolve mid-walk: [`Self::apply_mutation`] /
+/// [`Self::apply_mutations`] record timestamped edge insertions and
+/// deletions in a [`DeltaOverlay`] over the shared snapshot (which stays
+/// immutable — other clients on the same `Arc` are unaffected). Every
+/// neighbor query and degree peek reads through the overlay, and a mutated
+/// node's cached flag is cleared so its next query is **re-charged** as a
+/// fresh unique query — a real interface would have to be re-asked for the
+/// changed listing.
 #[derive(Clone, Debug)]
 pub struct SimulatedOsn {
     network: Arc<AttributedGraph>,
+    /// Live edge mutations over the immutable snapshot (empty until the
+    /// driver applies a mutation schedule).
+    overlay: DeltaOverlay,
     queried: Vec<bool>,
     stats: QueryStats,
 }
@@ -85,6 +98,7 @@ impl SimulatedOsn {
         let n = network.graph.node_count();
         SimulatedOsn {
             network,
+            overlay: DeltaOverlay::new(),
             queried: vec![false; n],
             stats: QueryStats::default(),
         }
@@ -95,10 +109,86 @@ impl SimulatedOsn {
         Self::new(AttributedGraph::bare(graph))
     }
 
-    /// The underlying topology (ground-truth side of experiments; a real
-    /// third party would not have this).
+    /// The underlying **base** topology (ground-truth side of experiments; a
+    /// real third party would not have this). Pre-mutation: when an overlay
+    /// is live, [`Self::rebuilt_graph`] materializes the current topology.
     pub fn graph(&self) -> &CsrGraph {
         &self.network.graph
+    }
+
+    /// Record one edge mutation in the client's [`DeltaOverlay`], returning
+    /// whether it was effective (inserting an existing edge or deleting an
+    /// absent one is a no-op). An effective mutation clears both endpoints'
+    /// queried flags: their neighbor lists changed, so the next query is
+    /// re-charged as a fresh unique query.
+    pub fn apply_mutation(&mut self, m: EdgeMutation) -> bool {
+        let effective = self.overlay.apply(&self.network.graph, m);
+        if effective {
+            self.uncache(m.u);
+            self.uncache(m.v);
+        }
+        effective
+    }
+
+    /// Record a batch of mutations (e.g. one
+    /// [`osn_graph::MutationSchedule`] drain), returning the sorted,
+    /// deduplicated nodes whose neighbor lists changed — the list drivers
+    /// feed to the walk backends' `invalidate_nodes`.
+    pub fn apply_mutations(&mut self, ms: &[EdgeMutation]) -> Vec<NodeId> {
+        let touched = self.overlay.apply_batch(&self.network.graph, ms);
+        for &v in &touched {
+            self.uncache(v);
+        }
+        touched
+    }
+
+    fn uncache(&mut self, v: NodeId) {
+        if let Some(flag) = self.queried.get_mut(v.index()) {
+            *flag = false;
+        }
+    }
+
+    /// Replace the overlay by replaying `log` over the base snapshot — the
+    /// restore side of the batch endpoint's snapshot import. Queried flags
+    /// are untouched: the snapshot's `cached` set already reflects the
+    /// evictions performed when the log was recorded live.
+    ///
+    /// # Errors
+    /// When some logged mutation does not replay effectively over the base
+    /// snapshot (a snapshot/graph mismatch). `self` is unchanged on error.
+    pub(crate) fn restore_overlay(&mut self, log: &[EdgeMutation]) -> Result<(), String> {
+        let overlay = DeltaOverlay::from_log(&self.network.graph, log);
+        if overlay.log().len() != log.len() {
+            return Err(format!(
+                "mutation log does not replay over this snapshot: {} of {} effective",
+                overlay.log().len(),
+                log.len()
+            ));
+        }
+        self.overlay = overlay;
+        Ok(())
+    }
+
+    /// The live mutation overlay (empty until a mutation is applied).
+    pub fn overlay(&self) -> &DeltaOverlay {
+        &self.overlay
+    }
+
+    /// The effective mutations applied so far, in application order — the
+    /// batch endpoint serializes this in its snapshot export.
+    pub fn mutation_log(&self) -> &[EdgeMutation] {
+        self.overlay.log()
+    }
+
+    /// Materialize the **current** topology (base snapshot plus overlay) as
+    /// a fresh CSR — the ground truth an evolving-graph experiment compares
+    /// its estimates against, and what the differential tests walk to check
+    /// overlay reads are exact.
+    pub fn rebuilt_graph(&self) -> CsrGraph {
+        self.network
+            .graph
+            .rebuilt(&self.overlay)
+            .expect("mutations were validated when applied")
     }
 
     /// The underlying attributes (ground-truth side of experiments).
@@ -113,8 +203,9 @@ impl SimulatedOsn {
         Arc::clone(&self.network)
     }
 
-    /// Reset all accounting, keeping the snapshot. Lets one loaded graph
-    /// serve many independent trials without rebuilding.
+    /// Reset all accounting, keeping the snapshot **and** any applied
+    /// mutations (the overlay is world state, not accounting). Lets one
+    /// loaded graph serve many independent trials without rebuilding.
     pub fn reset(&mut self) {
         self.queried.iter_mut().for_each(|q| *q = false);
         self.stats = QueryStats::default();
@@ -147,8 +238,25 @@ impl SimulatedOsn {
 
     /// Decompose into `(snapshot, queried flags, stats)` — used by
     /// [`crate::SharedOsn`] to distribute the cache state over lock stripes.
+    /// A live overlay is **folded** into a rebuilt snapshot first (the
+    /// striped client reads topology lock-free from the shared `Arc`, so it
+    /// cannot consult a per-handle overlay).
     pub(crate) fn into_parts(self) -> (Arc<AttributedGraph>, Vec<bool>, QueryStats) {
-        (self.network, self.queried, self.stats)
+        let network = if self.overlay.is_empty() {
+            self.network
+        } else {
+            let graph = self
+                .network
+                .graph
+                .rebuilt(&self.overlay)
+                .expect("mutations were validated when applied");
+            let attributes = self.network.attributes.clone();
+            Arc::new(
+                AttributedGraph::new(graph, attributes)
+                    .expect("mutations never change the node count"),
+            )
+        };
+        (network, self.queried, self.stats)
     }
 
     /// Rebuild from parts — the inverse of [`Self::into_parts`], used when a
@@ -161,6 +269,7 @@ impl SimulatedOsn {
         debug_assert_eq!(queried.len(), network.graph.node_count());
         SimulatedOsn {
             network,
+            overlay: DeltaOverlay::new(),
             queried,
             stats,
         }
@@ -172,11 +281,11 @@ impl OsnClient for SimulatedOsn {
         let seen = &mut self.queried[u.index()];
         self.stats.record(!*seen);
         *seen = true;
-        Ok(self.network.graph.neighbors(u))
+        Ok(self.overlay.neighbors(&self.network.graph, u))
     }
 
     fn peek_degree(&self, u: NodeId) -> usize {
-        self.network.graph.degree(u)
+        self.overlay.degree(&self.network.graph, u)
     }
 
     fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
@@ -275,6 +384,48 @@ mod tests {
         assert_eq!(c.stats(), QueryStats::default());
         c.neighbors(NodeId(0)).unwrap();
         assert_eq!(c.stats().unique, 1);
+    }
+
+    #[test]
+    fn mutations_read_through_and_recharge() {
+        let mut c = triangle_client();
+        c.neighbors(NodeId(0)).unwrap();
+        c.neighbors(NodeId(1)).unwrap();
+        assert_eq!(c.stats().unique, 2);
+
+        // Delete 0-1: both endpoints drop out of the cache and re-charge.
+        assert!(c.apply_mutation(EdgeMutation::delete(1.0, NodeId(0), NodeId(1))));
+        assert!(!c.is_cached(NodeId(0)) && !c.is_cached(NodeId(1)));
+        assert_eq!(c.neighbors(NodeId(0)).unwrap(), &[NodeId(2)]);
+        assert_eq!(c.neighbors(NodeId(1)).unwrap(), &[NodeId(2)]);
+        assert_eq!(c.stats().unique, 4, "mutated endpoints re-charge");
+        assert_eq!(c.peek_degree(NodeId(0)), 1);
+
+        // Re-deleting is ineffective: no cache eviction, no log growth.
+        c.neighbors(NodeId(0)).unwrap();
+        assert!(!c.apply_mutation(EdgeMutation::delete(2.0, NodeId(1), NodeId(0))));
+        assert!(c.is_cached(NodeId(0)));
+        assert_eq!(c.mutation_log().len(), 1);
+
+        // The base snapshot is untouched; the rebuilt graph reflects the
+        // overlay and matches what queries see.
+        assert_eq!(c.graph().degree(NodeId(0)), 2);
+        let rebuilt = c.rebuilt_graph();
+        assert_eq!(rebuilt.neighbors(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(rebuilt.edge_count(), 2);
+    }
+
+    #[test]
+    fn apply_mutations_returns_touched_nodes() {
+        let mut c = triangle_client();
+        let batch = [
+            EdgeMutation::delete(0.5, NodeId(0), NodeId(1)),
+            EdgeMutation::insert(0.7, NodeId(0), NodeId(1)), // net no-op, still touches
+            EdgeMutation::delete(0.9, NodeId(1), NodeId(2)),
+        ];
+        let touched = c.apply_mutations(&batch);
+        assert_eq!(touched, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(c.peek_degree(NodeId(2)), 1);
     }
 
     #[test]

@@ -280,6 +280,24 @@ impl CirculationEngine {
         self.arena.capacity()
     }
 
+    /// Drop every slot whose circulation population is the neighbor list of
+    /// `target` — the evolving-graph invalidation hook. Keys pack the
+    /// circulated node in the **low 32 bits** (`edge_key(u, v)` draws from
+    /// `N(v)`; the node-keyed ablation packs `(v, v)`), so a mutation at
+    /// `v` invalidates exactly the keys with low word `v`. Dropping (rather
+    /// than rewinding) is required for correctness: a promoted slot's arena
+    /// permutation materializes the *old* population, and both its length
+    /// and contents are stale after the mutation. Returns the number of
+    /// slots dropped. Arena slices of dropped promoted slots leak until the
+    /// next [`Self::clear`] — bounded by [`PROMOTION_SPAN`], same as
+    /// re-promotion churn.
+    pub fn invalidate_target(&mut self, target: u32) -> usize {
+        let before = self.slots.len();
+        self.slots
+            .retain(|&key, _| (key & 0xFFFF_FFFF) as u32 != target);
+        before - self.slots.len()
+    }
+
     /// Serialize the engine's full state to a [`Value`] tree for
     /// snapshot/resume.
     ///
@@ -710,6 +728,22 @@ impl GroupEngine {
     /// restart-reuse contract as the scratch path.
     pub fn plan_arena_capacity(&self) -> usize {
         self.plan_items.capacity()
+    }
+
+    /// Drop every slot keyed on `target` as the circulated node (low 32
+    /// bits of the packed edge key) — the evolving-graph invalidation hook,
+    /// mirroring [`CirculationEngine::invalidate_target`]. This is how
+    /// "`GroupPlan` slots for `v` rebuild lazily": the per-edge plan state
+    /// (`GroupSlot::PlanInline`/`GroupSlot::PlanSpill`/
+    /// `GroupSlot::PlanSliced`) is dropped here and re-created from the
+    /// plan on the next visit. Arena slices of dropped sliced slots leak
+    /// until the next [`Self::clear`] — bounded, same as re-promotion
+    /// churn. Returns the number of slots dropped.
+    pub fn invalidate_target(&mut self, target: u32) -> usize {
+        let before = self.slots.len();
+        self.slots
+            .retain(|&key, _| (key & 0xFFFF_FFFF) as u32 != target);
+        before - self.slots.len()
     }
 
     /// Serialize the engine's full state to a [`Value`] tree for

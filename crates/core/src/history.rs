@@ -237,6 +237,24 @@ impl EdgeHistory {
         }
     }
 
+    /// Drop the circulation state of every directed edge `(*, target)` —
+    /// every key whose population is `N(target)`. The evolving-graph
+    /// invalidation rule: after a mutation at `target`, the old
+    /// circulations tracked subsets of a population that no longer exists,
+    /// so they are dropped and Theorem 4's exactly-once coverage restarts
+    /// on the post-mutation neighborhood. Returns the number of edges
+    /// dropped.
+    pub fn invalidate_target(&mut self, target: NodeId) -> usize {
+        match &mut self.backend {
+            EdgeBackend::Legacy(map) => {
+                let before = map.len();
+                map.retain(|&key, _| (key & 0xFFFF_FFFF) as u32 != target.0);
+                before - map.len()
+            }
+            EdgeBackend::Arena(engine) => engine.invalidate_target(target.0),
+        }
+    }
+
     /// Serialize the full history (backend tag + per-edge state) to a
     /// [`Value`] tree. [`import_state`](Self::import_state) restores it
     /// exactly, so a resumed walker continues **bit-identically** on the
@@ -465,6 +483,22 @@ impl GroupHistory {
         match &self.backend {
             GroupBackend::Legacy(_) => None,
             GroupBackend::Arena(engine) => Some(engine.arena_capacity()),
+        }
+    }
+
+    /// Drop the state of every directed edge `(*, target)` — the
+    /// evolving-graph invalidation rule, mirroring
+    /// [`EdgeHistory::invalidate_target`]. Plan-backed slots for `target`
+    /// are dropped here and lazily rebuilt from the plan on the next visit.
+    /// Returns the number of edges dropped.
+    pub fn invalidate_target(&mut self, target: NodeId) -> usize {
+        match &mut self.backend {
+            GroupBackend::Legacy(map) => {
+                let before = map.len();
+                map.retain(|&key, _| (key & 0xFFFF_FFFF) as u32 != target.0);
+                before - map.len()
+            }
+            GroupBackend::Arena(engine) => engine.invalidate_target(target.0),
         }
     }
 

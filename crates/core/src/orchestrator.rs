@@ -1791,6 +1791,23 @@ impl SerialWalkRun {
         executed
     }
 
+    /// Notify the fleet that each node in `nodes` had an incident edge
+    /// inserted or deleted (through an [`osn_graph::DeltaOverlay`] applied
+    /// to the client): every walker drops the circulation state keyed by
+    /// that node, so coverage restarts on the post-mutation neighborhood.
+    /// The serial backend holds no dispatcher cache — the client itself is
+    /// the source of truth for neighbor lists. Returns the total number of
+    /// per-edge histories dropped across the fleet.
+    pub fn invalidate_nodes(&mut self, nodes: &[NodeId]) -> usize {
+        let mut dropped = 0;
+        for w in &mut self.fleet {
+            for &v in nodes {
+                dropped += w.invalidate_node(v);
+            }
+        }
+        dropped
+    }
+
     /// Serialize the complete run state — walker positions and circulation
     /// histories, RNG stream words, per-walker traces, estimator
     /// accumulators, stop flags, round counter — as a byte-deterministic
@@ -1910,6 +1927,25 @@ impl CoalescedWalkRun {
             self.rounds += 1;
         }
         executed
+    }
+
+    /// Notify the fleet that each node in `nodes` had an incident edge
+    /// inserted or deleted (through an [`osn_graph::DeltaOverlay`] applied
+    /// to the endpoint): every walker drops the circulation state keyed by
+    /// that node, and the dispatcher cache evicts the node's neighbor list
+    /// (plus its `seen` mark) so the next visit re-fetches — and re-charges
+    /// — the post-mutation list honestly. Returns the total number of
+    /// per-edge histories dropped across the fleet.
+    pub fn invalidate_nodes(&mut self, nodes: &[NodeId]) -> usize {
+        let mut dropped = 0;
+        for &v in nodes {
+            self.state.cache.remove(&v.0);
+            self.state.seen.remove(&v.0);
+            for w in &mut self.fleet {
+                dropped += w.invalidate_node(v);
+            }
+        }
+        dropped
     }
 
     /// Serialize the complete run state — fleet as in

@@ -853,6 +853,28 @@ impl ReactorWalkRun {
         executed
     }
 
+    /// Notify the fleet that each node in `nodes` had an incident edge
+    /// inserted or deleted (through an [`osn_graph::DeltaOverlay`] applied
+    /// to the endpoint): every walker drops the circulation state keyed by
+    /// that node, and the dispatcher cache evicts the node's neighbor list
+    /// (plus its `seen` mark) so the next visit re-fetches — and re-charges
+    /// — the post-mutation list honestly. Call between [`Self::run_events`]
+    /// slices (the endpoint is quiescent there); a ready walker whose node
+    /// was evicted re-fetches it on demand through the endpoint's
+    /// synchronous fallback at its next act. Returns the total number of
+    /// per-edge histories dropped across the fleet.
+    pub fn invalidate_nodes(&mut self, nodes: &[NodeId]) -> usize {
+        let mut dropped = 0;
+        for &v in nodes {
+            self.state.cache.remove(&v.0);
+            self.state.seen.remove(&v.0);
+            for w in &mut self.fleet {
+                dropped += w.invalidate_node(v);
+            }
+        }
+        dropped
+    }
+
     /// Serialize the complete run state — fleet, RNG streams, cells,
     /// dispatcher state, and the reactor's fetch queues (in order) — as a
     /// byte-deterministic [`Value`]. Restore with

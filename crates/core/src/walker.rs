@@ -60,6 +60,18 @@ pub trait RandomWalk {
     /// walker's configuration (e.g. a history-backend mismatch). The walker
     /// is left unchanged on error.
     fn import_state(&mut self, state: &Value) -> Result<(), String>;
+
+    /// Notify the walker that `node`'s neighbor list changed (an edge
+    /// incident to it was inserted or deleted through a
+    /// [`osn_graph::DeltaOverlay`]). History-keeping walkers drop the
+    /// circulation state of every edge that draws from `N(node)`, so
+    /// Theorem 4's exactly-once coverage restarts on the post-mutation
+    /// neighborhood; memoryless walkers (SRW, MHRW, NB-SRW) need no action
+    /// — the default is a no-op. Returns the number of per-edge histories
+    /// dropped.
+    fn invalidate_node(&mut self, _node: NodeId) -> usize {
+        0
+    }
 }
 
 /// Shared helper: uniform choice from a non-empty slice.

@@ -136,6 +136,10 @@ impl RandomWalk for Cnrw {
         self.history = history;
         Ok(())
     }
+
+    fn invalidate_node(&mut self, node: NodeId) -> usize {
+        self.history.invalidate_target(node)
+    }
 }
 
 #[cfg(test)]

@@ -577,6 +577,19 @@ impl RandomWalk for Gnrw {
         self.current = current;
         Ok(())
     }
+
+    fn invalidate_node(&mut self, node: NodeId) -> usize {
+        // Both the group circulation `S(u, node)` and the global set
+        // `b(u, node)` are populations derived from `N(node)`; on the
+        // degenerate plan path the state lives in the CNRW delegate instead.
+        let mut dropped = self.history.invalidate_target(node);
+        if let Some(ps) = &mut self.plan {
+            if let Some(cnrw) = &mut ps.cnrw {
+                dropped += cnrw.invalidate_target(node);
+            }
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]

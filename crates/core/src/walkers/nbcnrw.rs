@@ -120,6 +120,12 @@ impl RandomWalk for NbCnrw {
         self.history = history;
         Ok(())
     }
+
+    fn invalidate_node(&mut self, node: NodeId) -> usize {
+        // The circulated population for `(u, node)` is `N(node) \ {u}` — a
+        // function of `N(node)`, so the same target rule applies.
+        self.history.invalidate_target(node)
+    }
 }
 
 #[cfg(test)]

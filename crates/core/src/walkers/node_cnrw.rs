@@ -107,6 +107,11 @@ impl RandomWalk for NodeCnrw {
         self.history = history;
         Ok(())
     }
+
+    fn invalidate_node(&mut self, node: NodeId) -> usize {
+        // Node-keyed history packs `(v, v)`, so the low-word rule matches.
+        self.history.invalidate_target(node)
+    }
 }
 
 #[cfg(test)]

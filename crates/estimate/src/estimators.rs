@@ -117,6 +117,145 @@ impl RatioEstimator {
     }
 }
 
+/// Per-node bookkeeping of a [`DeltaCorrectedEstimator`]: how many visits
+/// were recorded with which `(f, k)` pair, so a later degree change can
+/// re-weight them in `O(1)`.
+#[derive(Clone, Copy, Debug)]
+struct NodeRecord {
+    visits: u64,
+    k: usize,
+    f: f64,
+}
+
+/// Ratio estimator that survives **graph mutations** without discarding
+/// samples.
+///
+/// The plain [`RatioEstimator`] weights every sample by `1 / k_v` with the
+/// degree *at visit time*. When an edge incident to `v` is inserted or
+/// deleted mid-walk (an [`osn_graph::DeltaOverlay`] mutation), those past
+/// weights are wrong for the post-mutation stationary distribution
+/// `π(v) ∝ k_v` — the restart-from-scratch baseline throws the whole walk
+/// away and re-pays its query budget. This estimator instead keeps a
+/// per-visited-node record of `(visits, k, f)` and, on
+/// [`apply_degree_delta`](Self::apply_degree_delta), retracts the node's
+/// accumulated contribution and re-adds it under the new degree (and new
+/// value, for degree-dependent `f`) — an `O(1)` correction per mutated
+/// node, touching none of the other samples.
+///
+/// [`push`](Self::push) also **self-heals**: if a sample arrives for a node
+/// whose recorded degree disagrees (a mutation the driver forgot to
+/// report), the history is re-weighted to the freshly observed degree
+/// before the new sample lands.
+///
+/// Memory is `O(distinct visited nodes)` — strictly less than the walk's
+/// query cache, which already holds every visited neighbor list.
+///
+/// ```
+/// use osn_estimate::DeltaCorrectedEstimator;
+/// use osn_graph::NodeId;
+/// let mut est = DeltaCorrectedEstimator::new();
+/// est.push(NodeId(0), 10.0, 2);
+/// est.push(NodeId(0), 10.0, 2);
+/// est.push(NodeId(1), 40.0, 1);
+/// assert_eq!(est.mean(), Some(25.0));
+/// // An edge lands on node 0: degree 2 -> 3 (f unchanged here). Both past
+/// // visits re-weight from 1/2 to 1/3.
+/// est.apply_degree_delta(NodeId(0), 10.0, 3);
+/// let m = est.mean().unwrap();
+/// assert!((m - (2.0 * 10.0 / 3.0 + 40.0) / (2.0 / 3.0 + 1.0)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DeltaCorrectedEstimator {
+    weighted_sum: f64, // Σ f(v)/k_v over live samples
+    weight_total: f64, // Σ 1/k_v over live samples
+    count: usize,
+    per_node: osn_graph::fnv::FnvHashMap<u32, NodeRecord>,
+}
+
+impl DeltaCorrectedEstimator {
+    /// New empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one visit of `v` with value `f_v` and degree `k_v`, healing
+    /// any stale history for `v` first. Zero-degree samples are ignored
+    /// (unreachable under any SRW-family stationary distribution).
+    pub fn push(&mut self, v: NodeId, f_v: f64, k_v: usize) {
+        if k_v == 0 {
+            return;
+        }
+        self.reweight(v, f_v, k_v);
+        let w = 1.0 / k_v as f64;
+        self.weighted_sum += f_v * w;
+        self.weight_total += w;
+        self.count += 1;
+        let rec = self.per_node.entry(v.0).or_insert(NodeRecord {
+            visits: 0,
+            k: k_v,
+            f: f_v,
+        });
+        rec.visits += 1;
+    }
+
+    /// Re-weight `v`'s past samples to its post-mutation value and degree.
+    /// A `new_k` of zero retires the node entirely: an isolated node has no
+    /// stationary probability, so its history can no longer be corrected —
+    /// the samples are dropped (the only place this estimator discards
+    /// anything). No-op for nodes never visited.
+    pub fn apply_degree_delta(&mut self, v: NodeId, new_f: f64, new_k: usize) {
+        if new_k == 0 {
+            if let Some(rec) = self.per_node.remove(&v.0) {
+                let w = 1.0 / rec.k as f64;
+                self.weighted_sum -= rec.visits as f64 * rec.f * w;
+                self.weight_total -= rec.visits as f64 * w;
+                self.count -= rec.visits as usize;
+            }
+            return;
+        }
+        self.reweight(v, new_f, new_k);
+    }
+
+    /// Move `v`'s accumulated contribution from its recorded `(f, k)` to
+    /// `(new_f, new_k)`, if it has one and they differ.
+    fn reweight(&mut self, v: NodeId, new_f: f64, new_k: usize) {
+        let Some(rec) = self.per_node.get_mut(&v.0) else {
+            return;
+        };
+        if rec.k == new_k && rec.f == new_f {
+            return;
+        }
+        let n = rec.visits as f64;
+        let old_w = 1.0 / rec.k as f64;
+        let new_w = 1.0 / new_k as f64;
+        self.weighted_sum += n * (new_f * new_w - rec.f * old_w);
+        self.weight_total += n * (new_w - old_w);
+        rec.k = new_k;
+        rec.f = new_f;
+    }
+
+    /// Live samples (visits retired by zero-degree corrections excluded).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Distinct nodes with live history.
+    pub fn tracked_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// The delta-corrected population-mean estimate; `None` before any
+    /// live sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.weight_total > 0.0).then(|| self.weighted_sum / self.weight_total)
+    }
+
+    /// Estimated average degree from the same samples: `count / Σ(1/k)`.
+    pub fn average_degree(&self) -> Option<f64> {
+        (self.weight_total > 0.0).then(|| self.count as f64 / self.weight_total)
+    }
+}
+
 /// Plain mean estimator for uniform samples (MHRW).
 #[derive(Clone, Debug, Default)]
 pub struct UniformMeanEstimator {
@@ -241,6 +380,68 @@ mod tests {
         assert_eq!(est.count(), 3);
         // Σ f/k = 0/2 + 10/1 + 0/2 = 10; Σ 1/k = 0.5 + 1 + 0.5 = 2.
         assert!((est.mean().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_corrected_matches_plain_ratio_without_mutations() {
+        let samples = [(0u32, 10.0, 3), (1, 20.0, 2), (0, 10.0, 3), (2, 5.0, 1)];
+        let mut plain = RatioEstimator::new();
+        let mut delta = DeltaCorrectedEstimator::new();
+        for &(v, f, k) in &samples {
+            plain.push(f, k);
+            delta.push(NodeId(v), f, k);
+        }
+        assert_eq!(delta.count(), plain.count());
+        assert_eq!(delta.tracked_nodes(), 3);
+        assert!((delta.mean().unwrap() - plain.mean().unwrap()).abs() < 1e-15);
+        assert!((delta.average_degree().unwrap() - plain.average_degree().unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degree_delta_equals_recollecting_under_new_degrees() {
+        // Visit nodes, then mutate node 1's degree 2 -> 4; the corrected
+        // estimator must match a fresh estimator fed the same visit counts
+        // at the post-mutation degrees.
+        let mut delta = DeltaCorrectedEstimator::new();
+        delta.push(NodeId(0), 6.0, 3);
+        delta.push(NodeId(1), 8.0, 2);
+        delta.push(NodeId(1), 8.0, 2);
+        delta.apply_degree_delta(NodeId(1), 8.0, 4);
+
+        let mut fresh = RatioEstimator::new();
+        fresh.push(6.0, 3);
+        fresh.push(8.0, 4);
+        fresh.push(8.0, 4);
+        assert!((delta.mean().unwrap() - fresh.mean().unwrap()).abs() < 1e-12);
+        // Correcting an unvisited node is a no-op.
+        delta.apply_degree_delta(NodeId(9), 1.0, 7);
+        assert_eq!(delta.count(), 3);
+    }
+
+    #[test]
+    fn zero_degree_correction_retires_the_node() {
+        let mut delta = DeltaCorrectedEstimator::new();
+        delta.push(NodeId(0), 6.0, 3);
+        delta.push(NodeId(1), 8.0, 2);
+        delta.apply_degree_delta(NodeId(1), 8.0, 0);
+        assert_eq!(delta.count(), 1);
+        assert_eq!(delta.tracked_nodes(), 1);
+        let mut survivor = RatioEstimator::new();
+        survivor.push(6.0, 3);
+        assert!((delta.mean().unwrap() - survivor.mean().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_self_heals_on_stale_degree() {
+        // The driver "forgets" to report a mutation; the next visit of the
+        // node observes the new degree and heals the history.
+        let mut delta = DeltaCorrectedEstimator::new();
+        delta.push(NodeId(0), 4.0, 4); // degree was 4 at visit time
+        delta.push(NodeId(0), 5.0, 5); // now 5: past visit re-weighted too
+        let mut fresh = RatioEstimator::new();
+        fresh.push(5.0, 5);
+        fresh.push(5.0, 5);
+        assert!((delta.mean().unwrap() - fresh.mean().unwrap()).abs() < 1e-12);
     }
 
     #[test]

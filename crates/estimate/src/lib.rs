@@ -31,7 +31,7 @@ pub mod variance;
 
 pub use burnin::{suggest_burn_in, BurnInAdvice};
 pub use diagnostics::{WindowVerdict, WindowedSplitRhat};
-pub use estimators::{RatioEstimator, UniformMeanEstimator};
+pub use estimators::{DeltaCorrectedEstimator, RatioEstimator, UniformMeanEstimator};
 pub use metrics::{
     kl_divergence, l2_distance, relative_error, symmetric_kl, total_variation,
     EmpiricalDistribution,

@@ -22,6 +22,7 @@
 //! | [`ablation`] | §3.2 ablation — edge-keyed vs node-keyed circulation |
 //! | [`fig_service`] | Service extension — multi-tenant fair-share scheduling vs sequential at one shared budget |
 //! | [`fig_reactor`] | Reactor extension — fleet size vs throughput/memory on the poll-driven backend, with an event-granularity mixing probe |
+//! | [`fig_evolving`] | Evolving-graph extension — delta-corrected continuation vs restart-from-scratch on a mutating network |
 //!
 //! All runs are seeded and deterministic (including under parallelism: trial
 //! seeds are derived, not scheduler-dependent). The one exception is
@@ -43,6 +44,7 @@ pub mod fig6_steal;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_evolving;
 pub mod fig_reactor;
 pub mod fig_service;
 pub mod output;

@@ -8,7 +8,8 @@
 
 use std::collections::HashSet;
 
-use crate::{CsrGraph, GraphBuilder, Result};
+use crate::overlay::{AdjacencySnapshot, DeltaOverlay};
+use crate::{CsrGraph, GraphBuilder, NodeId, Result};
 
 /// How to cast a directed relation into an undirected edge set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +81,15 @@ impl DirectedEdgeList {
         builder.build()
     }
 
+    /// Compile into a [`DirectedCsr`]: sorted, duplicate-free out-neighbor
+    /// lists (self-arcs dropped — the substrate models simple graphs).
+    ///
+    /// # Errors
+    /// [`crate::GraphError::EmptyGraph`] when no nodes would result.
+    pub fn to_csr(&self) -> Result<DirectedCsr> {
+        DirectedCsr::from_arcs(self.arcs.iter().copied())
+    }
+
     /// Fraction of arcs that are reciprocated (both directions present).
     /// Useful when calibrating synthetic stand-ins for directed OSNs.
     pub fn reciprocity(&self) -> f64 {
@@ -92,6 +102,123 @@ impl DirectedEdgeList {
             .filter(|&&(u, v)| u != v && set.contains(&(v, u)))
             .count();
         reciprocated as f64 / set.len() as f64
+    }
+}
+
+/// An immutable directed graph in compressed-sparse-row form: per-node
+/// sorted out-neighbor lists, the asymmetric sibling of [`CsrGraph`].
+///
+/// Exists so the [`DeltaOverlay`] is not undirected-only: it implements
+/// [`AdjacencySnapshot`] with `SYMMETRIC = false`, so a mutation `u → v`
+/// patches only `u`'s out-list.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DirectedCsr {
+    /// `offsets[v]..offsets[v+1]` delimits the out-neighbors of node `v`.
+    offsets: Vec<u64>,
+    /// Concatenated, per-node-sorted out-neighbor lists.
+    out: Vec<NodeId>,
+}
+
+impl DirectedCsr {
+    /// Build from an arc stream: duplicates collapse, self-arcs drop.
+    ///
+    /// # Errors
+    /// [`crate::GraphError::EmptyGraph`] when no nodes would result.
+    pub fn from_arcs<I: IntoIterator<Item = (u32, u32)>>(arcs: I) -> Result<Self> {
+        let mut arcs: Vec<(u32, u32)> = arcs.into_iter().filter(|&(u, v)| u != v).collect();
+        arcs.sort_unstable();
+        arcs.dedup();
+        let n = arcs
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if n == 0 {
+            return Err(crate::GraphError::EmptyGraph);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut out = Vec::with_capacity(arcs.len());
+        let mut next = 0usize;
+        offsets.push(0u64);
+        for &(u, v) in &arcs {
+            while next < u as usize {
+                offsets.push(out.len() as u64);
+                next += 1;
+            }
+            out.push(NodeId(v));
+        }
+        while next < n {
+            offsets.push(out.len() as u64);
+            next += 1;
+        }
+        debug_assert_eq!(offsets.len(), n + 1);
+        Ok(DirectedCsr { offsets, out })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs.
+    pub fn arc_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The sorted out-neighbor slice of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.out[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Whether the arc `u → v` exists.
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+impl std::fmt::Debug for DirectedCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectedCsr")
+            .field("nodes", &self.node_count())
+            .field("arcs", &self.arc_count())
+            .finish()
+    }
+}
+
+impl AdjacencySnapshot for DirectedCsr {
+    const SYMMETRIC: bool = false;
+
+    fn node_count(&self) -> usize {
+        DirectedCsr::node_count(self)
+    }
+
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        self.out_neighbors(v)
+    }
+
+    fn rebuilt(&self, overlay: &DeltaOverlay) -> Result<Self> {
+        let n = DirectedCsr::node_count(self);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut out = Vec::new();
+        for v in 0..n as u32 {
+            out.extend_from_slice(overlay.neighbors(self, NodeId(v)));
+            offsets.push(out.len() as u64);
+        }
+        Ok(DirectedCsr { offsets, out })
     }
 }
 
@@ -158,5 +285,49 @@ mod tests {
     #[test]
     fn reciprocity_empty_is_zero() {
         assert_eq!(DirectedEdgeList::new().reciprocity(), 0.0);
+    }
+
+    #[test]
+    fn directed_csr_compiles_sorted_out_lists() {
+        // Duplicates collapse, self-arcs drop, node 3 exists only as a
+        // target and gets an empty out-list.
+        let el: DirectedEdgeList = vec![(1, 0), (1, 2), (1, 0), (2, 2), (0, 3)]
+            .into_iter()
+            .collect();
+        let g = el.to_csr().unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.arc_count(), 3);
+        assert_eq!(g.out_neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert!(g.has_arc(NodeId(0), NodeId(3)));
+        assert!(!g.has_arc(NodeId(3), NodeId(0)));
+        assert!(DirectedEdgeList::new().to_csr().is_err());
+    }
+
+    #[test]
+    fn overlay_on_directed_patches_source_only() {
+        use crate::overlay::{AdjacencySnapshot, DeltaOverlay, EdgeMutation};
+        let g: DirectedCsr = DirectedEdgeList::from_iter(vec![(0, 1), (1, 2), (2, 0)])
+            .to_csr()
+            .unwrap();
+        let mut overlay = DeltaOverlay::new();
+        assert!(overlay.apply(&g, EdgeMutation::insert(0.1, NodeId(0), NodeId(2))));
+        // Arc 0→2 appears in 0's out-list only; 2's list is untouched.
+        assert_eq!(overlay.neighbors(&g, NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert!(std::ptr::eq(
+            overlay.neighbors(&g, NodeId(2)),
+            g.out_neighbors(NodeId(2))
+        ));
+        assert!(overlay.apply(&g, EdgeMutation::delete(0.2, NodeId(1), NodeId(2))));
+        // The reverse arc was never present, so deleting it is a no-op.
+        assert!(!overlay.apply(&g, EdgeMutation::delete(0.3, NodeId(2), NodeId(1))));
+        let rebuilt = g.rebuilt(&overlay).unwrap();
+        for v in 0..g.node_count() as u32 {
+            assert_eq!(
+                overlay.neighbors(&g, NodeId(v)),
+                rebuilt.out_neighbors(NodeId(v))
+            );
+        }
+        assert_eq!(rebuilt.arc_count(), 3);
     }
 }

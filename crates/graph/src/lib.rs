@@ -9,7 +9,7 @@
 //! * [`CsrGraph`] — an immutable compressed-sparse-row adjacency structure
 //!   with `O(1)` degree lookup and contiguous neighbor slices.
 //! * [`GraphBuilder`] — deduplicating, self-loop-filtering construction from
-//!   arbitrary edge streams, plus [`DirectedEdgeList`](directed::DirectedEdgeList)
+//!   arbitrary edge streams, plus [`DirectedEdgeList`]
 //!   with the paper's mutual-edge directed→undirected conversion.
 //! * [`generators`] — synthetic topologies used in the paper's evaluation
 //!   (barbell, clustered cliques) and generators used to stand in for the
@@ -18,6 +18,12 @@
 //!   counts, connected components (Table 1 statistics).
 //! * [`attributes`] — typed per-node attribute columns (e.g. `reviews_count`)
 //!   used by GNRW grouping and aggregate estimation.
+//! * [`overlay`] — evolving graphs: the [`DeltaOverlay`] patch layer over
+//!   the immutable snapshot (timestamped insert/delete log, per-node patch
+//!   lists, zero-cost passthrough for untouched nodes) and the seeded
+//!   [`MutationSchedule`] replayed against a virtual clock. Routed
+//!   generically over [`CsrGraph`] and [`DirectedCsr`] via
+//!   [`AdjacencySnapshot`].
 //! * [`partition`] — flat stable partitions of index ranges by key, the
 //!   storage contract behind the GNRW group-plan precomputation.
 //! * [`io`] — plain-text edge-list reading/writing.
@@ -56,12 +62,17 @@ pub mod generators;
 mod ids;
 pub mod io;
 pub mod mix;
+pub mod overlay;
 pub mod partition;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use directed::{DirectedCsr, DirectedEdgeList, UndirectedCast};
 pub use error::GraphError;
 pub use ids::NodeId;
+pub use overlay::{
+    AdjacencySnapshot, DeltaOverlay, EdgeMutation, MutationOp, MutationSchedule, ScheduleSpec,
+};
 
 /// Convenience result alias for fallible graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -37,6 +37,7 @@ use std::sync::Arc;
 
 use osn_client::{BatchOsnClient, QueryStats, SimulatedBatchOsn};
 use osn_graph::attributes::AttributedGraph;
+use osn_graph::{EdgeMutation, NodeId};
 use osn_serde::Value;
 use osn_walks::orchestrator::OrchestratorReport;
 use osn_walks::{CoalescedWalkRun, ReactorWalkRun};
@@ -194,6 +195,13 @@ impl JobRun {
         }
     }
 
+    fn invalidate_nodes(&mut self, nodes: &[NodeId]) -> usize {
+        match self {
+            JobRun::Rounds(run) => run.invalidate_nodes(nodes),
+            JobRun::Reactor(run) => run.invalidate_nodes(nodes),
+        }
+    }
+
     fn snapshot(&self) -> Value {
         match self {
             JobRun::Rounds(run) => run.snapshot(),
@@ -333,6 +341,27 @@ impl SessionServer {
     /// Virtual seconds elapsed on the shared endpoint's clock.
     pub fn elapsed_secs(&self) -> f64 {
         self.endpoint.clock().elapsed_secs()
+    }
+
+    /// Apply edge mutations to the shared endpoint's delta overlay and
+    /// invalidate every live job's walkers: each effective mutation
+    /// evicts both endpoints from the dispatcher caches and drops the
+    /// touched nodes' circulation state, so every job's next visit
+    /// re-fetches — and re-charges — the post-mutation neighbor list.
+    /// Call between scheduling slices (the endpoint is quiescent there);
+    /// the mutation log rides the server snapshot, so a killed
+    /// mid-schedule server resumes over the identical mutated graph.
+    /// Returns the nodes whose neighbor lists actually changed.
+    pub fn apply_mutations(&mut self, ms: &[EdgeMutation]) -> Vec<NodeId> {
+        let touched = self.endpoint.apply_mutations(ms);
+        if !touched.is_empty() {
+            for job in &mut self.jobs {
+                if let Some(run) = &mut job.run {
+                    run.invalidate_nodes(&touched);
+                }
+            }
+        }
+        touched
     }
 
     /// Whether every job has settled (done or refused).

@@ -6,7 +6,10 @@
 use proptest::prelude::*;
 
 use osn_client::{BatchConfig, RateLimitConfig, SimulatedBatchOsn, SimulatedOsn};
-use osn_graph::{CsrGraph, GraphBuilder, NodeId};
+use osn_graph::{
+    CsrGraph, DeltaOverlay, EdgeMutation, GraphBuilder, MutationOp, MutationSchedule, NodeId,
+    ScheduleSpec,
+};
 use osn_serde::Value;
 use osn_service::traffic::{populate, TrafficConfig};
 use osn_service::{Algorithm, JobSpec, JobState, ServerConfig, SessionServer, SliceEngine};
@@ -299,8 +302,95 @@ fn reactor_engine_kill_mid_slice_resumes_bit_identically() {
     );
 }
 
+/// Seeded mutation batches for the overlay arm, keyed to the scheduling
+/// slice they fire after. Deletes that would drop a node to degree zero
+/// are filtered so no mid-walk job is ever stranded.
+fn mutation_batches(n: u32, seed: u64) -> Vec<(usize, Vec<EdgeMutation>)> {
+    let g = test_graph(n);
+    let spec = ScheduleSpec::new(30, 2.0, seed).with_delete_fraction(0.4);
+    let schedule = MutationSchedule::generate(&g, &spec);
+    let mut overlay = DeltaOverlay::new();
+    let (mut first, mut second) = (Vec::new(), Vec::new());
+    for &m in schedule.events() {
+        if m.op == MutationOp::Delete
+            && (overlay.degree(&g, m.u) <= 1 || overlay.degree(&g, m.v) <= 1)
+        {
+            continue;
+        }
+        if overlay.apply(&g, m) {
+            if m.at <= 1.0 {
+                first.push(m);
+            } else {
+                second.push(m);
+            }
+        }
+    }
+    vec![(3, first), (9, second)]
+}
+
+/// Drive up to `max` scheduling slices, applying each batch due at the
+/// global slice index it is keyed to. Returns the slice counter and
+/// whether the server still has work.
+fn drive(
+    server: &mut SessionServer,
+    batches: &[(usize, Vec<EdgeMutation>)],
+    start: usize,
+    max: usize,
+) -> (usize, bool) {
+    let mut slice = start;
+    while slice - start < max {
+        let more = server.step();
+        slice += 1;
+        for (at, batch) in batches {
+            if *at == slice {
+                server.apply_mutations(batch);
+            }
+        }
+        if !more {
+            return (slice, false);
+        }
+    }
+    (slice, true)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The overlay arm of kill/resume: the graph mutates under the server
+    /// at fixed slice boundaries (`SessionServer::apply_mutations` — the
+    /// endpoint's delta overlay plus invalidation of every live job's
+    /// walkers). Kill at an arbitrary slice — before, between, or after
+    /// the mutation batches — persist through text, resume over a
+    /// pristine endpoint (the mutation log rides the endpoint snapshot),
+    /// replay the schedule's remainder, and the final server state must
+    /// be byte-identical to the uninterrupted mutating run's.
+    #[test]
+    fn kill_mid_mutation_schedule_resumes_bit_identically(
+        k in 0usize..60,
+        seed in 0u64..30,
+    ) {
+        let batches = mutation_batches(400, seed ^ 0xE7);
+        let mut reference = soak_server(seed);
+        drive(&mut reference, &batches, 0, usize::MAX);
+        let reference_final = reference.snapshot().unwrap().to_pretty();
+
+        let mut killed = soak_server(seed);
+        let (s, more) = drive(&mut killed, &batches, 0, k);
+        let text = killed.snapshot().unwrap().to_pretty();
+        drop(killed);
+
+        let parsed = Value::parse(&text).map_err(|e| e.to_string())?;
+        let mut resumed = SessionServer::resume(
+            soak_endpoint(400, Some(900)),
+            ServerConfig::new().with_rounds_per_slice(6),
+            &parsed,
+        )
+        .map_err(|e| format!("resume failed: {e}"))?;
+        if more {
+            drive(&mut resumed, &batches, s, usize::MAX);
+        }
+        prop_assert_eq!(resumed.snapshot().unwrap().to_pretty(), reference_final);
+    }
 
     /// Kill the server after `k` scheduling slices, persist the snapshot
     /// through the text form, resume into a freshly constructed endpoint,

@@ -110,8 +110,11 @@ pub mod prelude {
         SharedOsn, SimulatedBatchOsn, SimulatedOsn, StripeStats,
     };
     pub use osn_datasets::{Dataset, Scale};
-    pub use osn_estimate::{RatioEstimator, UniformMeanEstimator};
-    pub use osn_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use osn_estimate::{DeltaCorrectedEstimator, RatioEstimator, UniformMeanEstimator};
+    pub use osn_graph::{
+        AdjacencySnapshot, CsrGraph, DeltaOverlay, DirectedCsr, EdgeMutation, GraphBuilder,
+        MutationOp, MutationSchedule, NodeId, ScheduleSpec,
+    };
     pub use osn_serde::Value;
     pub use osn_service::{
         Estimand, JobResult, JobSpec, JobState, ServerConfig, SessionServer, SliceEngine,

@@ -1,0 +1,394 @@
+//! Differential property tests for the evolving-graph delta overlay —
+//! the acceptance gate for [`osn_graph::DeltaOverlay`].
+//!
+//! The contract: a mutated [`SimulatedOsn`] (base CSR + overlay) must be
+//! **observationally identical** to a client over a freshly rebuilt CSR
+//! snapshot of the mutated graph. Pinned here as properties over
+//! arbitrary graphs and mutation batches:
+//!
+//! * **Reads** — neighbor lists and degrees through the overlay match the
+//!   rebuilt graph node for node (undirected and directed snapshots).
+//! * **Walks** — traces over the overlay client are bit-identical to
+//!   traces over the rebuilt client, for CNRW, NB-CNRW, and GNRW, across
+//!   all three execution backends: the serial step loop, the coalescing
+//!   dispatcher, and the poll-driven reactor (full-report equality,
+//!   accounting included).
+//! * **Mid-walk mutation** — applying a batch between slices and calling
+//!   `invalidate_nodes` keeps serial, coalesced, and reactor runs in
+//!   lockstep with each other (trace-for-trace), so no backend's cache
+//!   can serve a stale neighbor list.
+//! * **Coverage after invalidation** — Theorem 4's exactly-once
+//!   circulation guarantee restarts on the *post-mutation* neighborhood:
+//!   windows of draws after repeated transits of a hot edge are exact
+//!   permutations of the new neighbor set.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use osn_sampling::graph::generators::erdos_renyi;
+use osn_sampling::prelude::*;
+use osn_sampling::walks::OrchestratorReport;
+
+/// A connected-ish random graph with 5..60 nodes (same recipe as
+/// `tests/reactor_equivalence.rs`).
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (5usize..60, 0u64..1000).prop_map(|(n, seed)| {
+        let p = (2.0 * (n as f64).ln() / n as f64).min(0.9);
+        erdos_renyi(n, p, seed).expect("valid config")
+    })
+}
+
+/// A seeded, *effective* mutation batch over `g` that never strands a
+/// walker: deletes that would drop an endpoint to degree zero are
+/// filtered out, so every node that starts reachable stays steppable and
+/// the walks below can run unconditionally.
+fn safe_batch(g: &CsrGraph, events: usize, delete_fraction: f64, seed: u64) -> Vec<EdgeMutation> {
+    let spec = ScheduleSpec::new(events, 1.0, seed).with_delete_fraction(delete_fraction);
+    let schedule = MutationSchedule::generate(g, &spec);
+    let mut overlay = DeltaOverlay::new();
+    let mut batch = Vec::new();
+    for &m in schedule.events() {
+        if m.op == MutationOp::Delete
+            && (overlay.degree(g, m.u) <= 1 || overlay.degree(g, m.v) <= 1)
+        {
+            continue;
+        }
+        if overlay.apply(g, m) {
+            batch.push(m);
+        }
+    }
+    batch
+}
+
+/// An overlay client with `batch` applied, plus the reference client over
+/// the freshly rebuilt CSR of the same mutated graph.
+fn mutated_pair(g: &CsrGraph, batch: &[EdgeMutation]) -> (SimulatedOsn, SimulatedOsn) {
+    let mut overlay = SimulatedOsn::from_graph(g.clone());
+    overlay.apply_mutations(batch);
+    let rebuilt = SimulatedOsn::from_graph(overlay.rebuilt_graph());
+    (overlay, rebuilt)
+}
+
+/// Start nodes with nonzero degree in the mutated graph, so every walker
+/// in a fleet has somewhere to step.
+fn alive_starts(g: &CsrGraph) -> Vec<NodeId> {
+    g.nodes().filter(|&v| g.degree(v) > 0).collect()
+}
+
+/// The three history-aware walkers under differential test.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Cnrw,
+    NbCnrw,
+    Gnrw,
+}
+
+const KINDS: [Kind; 3] = [Kind::Cnrw, Kind::NbCnrw, Kind::Gnrw];
+
+fn make_fleet(
+    kind: Kind,
+    starts: Vec<NodeId>,
+) -> impl Fn(usize, HistoryBackend) -> Box<dyn RandomWalk + Send> {
+    move |i, backend| {
+        let start = starts[(i * 13) % starts.len()];
+        match kind {
+            Kind::Cnrw => Box::new(Cnrw::with_backend(start, backend)) as _,
+            Kind::NbCnrw => Box::new(NbCnrw::with_backend(start, backend)) as _,
+            Kind::Gnrw => Box::new(Gnrw::with_backend(
+                start,
+                Box::new(ByDegree::log2()),
+                backend,
+            )) as _,
+        }
+    }
+}
+
+/// Full-report equality (same shape as `tests/reactor_equivalence.rs`).
+fn assert_reports_identical(a: &OrchestratorReport, b: &OrchestratorReport) {
+    assert_eq!(a.trace.per_walker, b.trace.per_walker);
+    assert_eq!(a.stops, b.stops);
+    assert_eq!(a.trace.stats, b.trace.stats);
+    assert_eq!(a.interface, b.interface);
+    assert_eq!(a.refused_nodes, b.refused_nodes);
+    assert_eq!(a.abandoned_nodes, b.abandoned_nodes);
+    assert_eq!(
+        a.estimate.mean().map(f64::to_bits),
+        b.estimate.mean().map(f64::to_bits)
+    );
+}
+
+fn endpoint(inner: SimulatedOsn, batch_size: usize) -> SimulatedBatchOsn {
+    let config = BatchConfig::new(batch_size)
+        .with_in_flight(3)
+        .with_latency(0.01, 0.002)
+        .with_seed(5);
+    SimulatedBatchOsn::new(inner, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reads through the overlay are indistinguishable from the rebuilt
+    /// CSR — every node, neighbors and degree, on the undirected snapshot.
+    #[test]
+    fn overlay_reads_match_rebuilt_graph(
+        g in arb_graph(),
+        events in 1usize..80,
+        delete_pct in 0u8..10,
+        seed in 0u64..1000,
+    ) {
+        let batch = safe_batch(&g, events, delete_pct as f64 / 10.0, seed);
+        let (mut client, rebuilt) = mutated_pair(&g, &batch);
+        let csr = rebuilt.graph().clone();
+        for v in g.nodes() {
+            prop_assert_eq!(client.peek_degree(v), csr.degree(v));
+            prop_assert_eq!(
+                client.neighbors(v).unwrap(),
+                csr.neighbors(v),
+                "node {} neighbor list diverged", v.0
+            );
+        }
+    }
+
+    /// Serial step loops over the overlay are bit-identical to the same
+    /// walk over the rebuilt snapshot — CNRW, NB-CNRW, and GNRW, with
+    /// identical charged accounting.
+    #[test]
+    fn serial_walks_are_bit_identical_over_overlay(
+        g in arb_graph(),
+        events in 1usize..60,
+        delete_pct in 0u8..10,
+        seed in 0u64..1000,
+        steps in 1usize..300,
+    ) {
+        let batch = safe_batch(&g, events, delete_pct as f64 / 10.0, seed);
+        let (mut client, mut rebuilt) = mutated_pair(&g, &batch);
+        let starts = alive_starts(rebuilt.graph());
+        if starts.is_empty() {
+            return Ok(());
+        }
+        let start = starts[0];
+        for kind in KINDS {
+            let make = make_fleet(kind, vec![start]);
+            let mut a = make(0, HistoryBackend::Arena);
+            let mut b = make(0, HistoryBackend::Arena);
+            let mut rng_a = ChaCha12Rng::seed_from_u64(seed ^ 0xA11CE);
+            let mut rng_b = ChaCha12Rng::seed_from_u64(seed ^ 0xA11CE);
+            for step in 0..steps {
+                let va = a.step(&mut client, &mut rng_a).unwrap();
+                let vb = b.step(&mut rebuilt, &mut rng_b).unwrap();
+                prop_assert_eq!(va, vb, "{:?} diverged at step {}", kind, step);
+            }
+            prop_assert_eq!(client.stats().unique, rebuilt.stats().unique, "{:?}", kind);
+            client.reset();
+            rebuilt.reset();
+        }
+    }
+
+    /// Orchestrated coalesced and reactor runs over the overlay produce
+    /// the full report — traces, stops, interface accounting, estimate —
+    /// of the identical run over the rebuilt snapshot.
+    #[test]
+    fn orchestrated_backends_are_bit_identical_over_overlay(
+        g in arb_graph(),
+        events in 1usize..60,
+        delete_pct in 0u8..10,
+        seed in 0u64..1000,
+        k in 1usize..6,
+        steps in 1usize..100,
+        kind_ix in 0usize..3,
+    ) {
+        let batch = safe_batch(&g, events, delete_pct as f64 / 10.0, seed);
+        let (client, rebuilt) = mutated_pair(&g, &batch);
+        let starts = alive_starts(rebuilt.graph());
+        if starts.is_empty() {
+            return Ok(());
+        }
+        let kind = KINDS[kind_ix];
+        let orch = WalkOrchestrator::new(k, steps, seed);
+        let value = |v: NodeId| v.index() as f64;
+
+        let mut a = endpoint(client.clone(), 2);
+        let mut b = endpoint(rebuilt.clone(), 2);
+        let coal_a = orch.run_coalesced(&mut a, make_fleet(kind, starts.clone()), value, &Never);
+        let coal_b = orch.run_coalesced(&mut b, make_fleet(kind, starts.clone()), value, &Never);
+        assert_reports_identical(&coal_a, &coal_b);
+
+        let mut a = endpoint(client.clone(), k);
+        let mut b = endpoint(rebuilt.clone(), k);
+        let react_a = orch.run_reactor(&mut a, make_fleet(kind, starts.clone()), value, &Never);
+        let react_b = orch.run_reactor(&mut b, make_fleet(kind, starts.clone()), value, &Never);
+        assert_reports_identical(&react_a, &react_b);
+    }
+
+    /// Mid-walk mutation: apply the same batch to each backend's client at
+    /// the same slice boundary, `invalidate_nodes` the touched set, and
+    /// the three backends stay in lockstep — trace for trace, stop for
+    /// stop. No dispatcher or reactor cache may serve a stale list.
+    #[test]
+    fn midwalk_mutation_keeps_backends_in_lockstep(
+        g in arb_graph(),
+        events in 1usize..40,
+        delete_pct in 0u8..10,
+        seed in 0u64..1000,
+        k in 1usize..6,
+        steps in 4usize..80,
+        cut in 1usize..40,
+        kind_ix in 0usize..3,
+    ) {
+        let batch = safe_batch(&g, events, delete_pct as f64 / 10.0, seed);
+        let base = SimulatedOsn::from_graph(g.clone());
+        let starts = alive_starts(&g);
+        if starts.is_empty() {
+            return Ok(());
+        }
+        // Mid-walk deletes must also never strand a *mutated* walker:
+        // safe_batch keeps every endpoint's degree positive, which is
+        // exactly the invariant the walkers need.
+        let kind = KINDS[kind_ix];
+        let orch = WalkOrchestrator::new(k, steps, seed);
+        let value = |v: NodeId| v.index() as f64;
+        let cut = cut.min(steps.saturating_sub(1)).max(1);
+
+        // Serial.
+        let mut sc = base.clone();
+        let mut serial = orch.start_serial(make_fleet(kind, starts.clone()));
+        serial.run_rounds(&mut sc, &value, cut);
+        let touched = sc.apply_mutations(&batch);
+        serial.invalidate_nodes(&touched);
+        serial.run_rounds(&mut sc, &value, usize::MAX);
+        let serial_report = serial.into_report(sc.stats());
+
+        // Coalesced, lockstep shape (batch >= K): one round per event.
+        let mut cc = endpoint(base.clone(), k);
+        let mut coalesced = orch.start_coalesced(make_fleet(kind, starts.clone()));
+        coalesced.run_rounds(&mut cc, &value, cut);
+        let touched_c = cc.apply_mutations(&batch);
+        prop_assert_eq!(&touched, &touched_c);
+        coalesced.invalidate_nodes(&touched_c);
+        coalesced.run_rounds(&mut cc, &value, usize::MAX);
+        let coalesced_report = coalesced.into_report(&cc);
+
+        // Reactor, same lockstep shape: slices quiesce in-flight I/O, so
+        // `cut` events land on the same step boundary as `cut` rounds.
+        let mut rc = endpoint(base.clone(), k);
+        let mut reactor = orch.start_reactor(make_fleet(kind, starts.clone()));
+        reactor.run_events(&mut rc, &value, cut);
+        let touched_r = rc.apply_mutations(&batch);
+        prop_assert_eq!(&touched, &touched_r);
+        reactor.invalidate_nodes(&touched_r);
+        reactor.run_events(&mut rc, &value, usize::MAX);
+        let reactor_report = reactor.into_report(&rc);
+
+        prop_assert_eq!(&serial_report.trace.per_walker, &coalesced_report.trace.per_walker);
+        prop_assert_eq!(&serial_report.stops, &coalesced_report.stops);
+        prop_assert_eq!(&coalesced_report.trace.per_walker, &reactor_report.trace.per_walker);
+        prop_assert_eq!(&coalesced_report.stops, &reactor_report.stops);
+        prop_assert_eq!(
+            coalesced_report.estimate.mean().map(f64::to_bits),
+            reactor_report.estimate.mean().map(f64::to_bits)
+        );
+    }
+}
+
+/// Theorem 4's exactly-once coverage restarts on the **post-mutation**
+/// neighborhood after `invalidate_node`. The graph funnels every `0 → 1`
+/// transit through one hot edge (as in `tests/circulation_props.rs`);
+/// after mutating `N(1)` mid-walk and invalidating, windows of draws
+/// following subsequent transits must be exact permutations of the *new*
+/// `N(1)`.
+#[test]
+fn invalidation_restarts_coverage_on_the_new_neighborhood() {
+    let g = osn_sampling::graph::GraphBuilder::new()
+        .add_edge(0, 1)
+        .add_edge(1, 2)
+        .add_edge(1, 3)
+        .add_edge(1, 4)
+        .add_edge(2, 0)
+        .add_edge(3, 0)
+        .add_edge(4, 0)
+        .add_edge(5, 0)
+        .build()
+        .unwrap();
+    // Two mutation shapes: shrink N(1) by deleting {1,4}, grow it by
+    // inserting {1,5}. Both change deg(1), so a stale circulation would
+    // either repeat a neighbor or never draw the new one.
+    let cases: [(EdgeMutation, Vec<u32>); 2] = [
+        (
+            EdgeMutation::delete(0.5, NodeId(1), NodeId(4)),
+            vec![0, 2, 3],
+        ),
+        (
+            EdgeMutation::insert(0.5, NodeId(1), NodeId(5)),
+            vec![0, 2, 3, 4, 5],
+        ),
+    ];
+    for (mutation, want) in cases {
+        for seed in 0..12u64 {
+            let mut client = SimulatedOsn::from_graph(g.clone());
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut w = Cnrw::new(NodeId(0));
+            // Track (predecessor, position) so a draw from the (0,1)
+            // circulation is recognized even when the invalidation lands
+            // while the walker is already sitting on node 1.
+            let mut before = w.current();
+            let mut pos = w.current();
+            // Warm up: populate circulation state on the old neighborhood.
+            for _ in 0..400 {
+                let nxt = w.step(&mut client, &mut rng).unwrap();
+                before = pos;
+                pos = nxt;
+            }
+            let touched = client.apply_mutations(&[mutation]);
+            let mut dropped = 0;
+            for &v in &touched {
+                dropped += w.invalidate_node(v);
+            }
+            assert!(dropped > 0, "warm walk must have had state to drop");
+            // Every step taken from node 1 with predecessor 0 draws the
+            // next element of the (0,1) circulation cycle — record them
+            // all, starting from the very first post-invalidation draw.
+            let mut after = Vec::new();
+            while after.len() < 6 * want.len() {
+                let nxt = w.step(&mut client, &mut rng).unwrap();
+                if before == NodeId(0) && pos == NodeId(1) {
+                    after.push(nxt);
+                }
+                before = pos;
+                pos = nxt;
+            }
+            for win in after.chunks_exact(want.len()) {
+                let mut ids: Vec<u32> = win.iter().map(|n| n.0).collect();
+                ids.sort_unstable();
+                assert_eq!(
+                    ids, want,
+                    "window not a cover of the new N(1) (seed {seed}, {mutation:?})"
+                );
+            }
+        }
+    }
+}
+
+/// The overlay is representation-generic: a directed snapshot patches
+/// only the arc's source list, and the rebuilt `DirectedCsr` agrees with
+/// the overlay read path arc for arc.
+#[test]
+fn directed_overlay_matches_rebuilt_directed_csr() {
+    let base =
+        DirectedCsr::from_arcs([(0, 1), (1, 2), (2, 0), (2, 3), (3, 0), (0, 4), (4, 2)]).unwrap();
+    let mut overlay = DeltaOverlay::new();
+    assert!(overlay.apply(&base, EdgeMutation::insert(0.1, NodeId(3), NodeId(4))));
+    assert!(overlay.apply(&base, EdgeMutation::delete(0.2, NodeId(2), NodeId(0))));
+    // Directed semantics: deleting 2 -> 0 must not touch 0's out-list.
+    assert!(overlay.has_edge(&base, NodeId(0), NodeId(1)));
+    assert!(!overlay.has_edge(&base, NodeId(2), NodeId(0)));
+    let rebuilt = base.rebuilt(&overlay).unwrap();
+    for v in 0..base.node_count() as u32 {
+        assert_eq!(
+            overlay.neighbors(&base, NodeId(v)),
+            rebuilt.neighbor_slice(NodeId(v)),
+            "out-list of {v} diverged"
+        );
+    }
+}

@@ -129,6 +129,117 @@ proptest! {
     }
 }
 
+/// A seeded mutation schedule over `g`, split at the half-way timestamp
+/// into two *effective* batches (deletes that would strand a walker on a
+/// degree-zero node are filtered out).
+fn split_batches(g: &CsrGraph, events: usize, seed: u64) -> (Vec<EdgeMutation>, Vec<EdgeMutation>) {
+    let spec = ScheduleSpec::new(events, 2.0, seed).with_delete_fraction(0.4);
+    let schedule = MutationSchedule::generate(g, &spec);
+    let mut overlay = DeltaOverlay::new();
+    let (mut first, mut second) = (Vec::new(), Vec::new());
+    for &m in schedule.events() {
+        if m.op == MutationOp::Delete
+            && (overlay.degree(g, m.u) <= 1 || overlay.degree(g, m.v) <= 1)
+        {
+            continue;
+        }
+        if overlay.apply(g, m) {
+            if m.at <= 1.0 {
+                first.push(m);
+            } else {
+                second.push(m);
+            }
+        }
+    }
+    (first, second)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Kill-and-resume **mid mutation schedule**: a reactor fleet walks
+    /// while seeded batches mutate the endpoint's overlay between event
+    /// slices. Snapshotting after the first batch (run state and endpoint
+    /// state both through the serialized text form), resuming over a
+    /// pristine endpoint, and replaying the rest of the schedule yields
+    /// traces bit-identical to the uninterrupted run — the overlay log
+    /// rides the endpoint snapshot and the invalidated circulation state
+    /// rides the walker snapshots.
+    #[test]
+    fn reactor_resume_mid_mutation_schedule_is_bit_identical(
+        seed in 0u64..2000,
+        k in 1usize..5,
+        steps in 8usize..60,
+        e1 in 1usize..24,
+        e2 in 1usize..24,
+        events in 4usize..40,
+    ) {
+        let g = test_graph();
+        let (batch1, batch2) = split_batches(&g, events, seed ^ 0x5EED);
+        let make_endpoint = || {
+            SimulatedBatchOsn::new(
+                SimulatedOsn::from_graph(g.clone()),
+                BatchConfig::new(2).with_in_flight(3).with_latency(0.01, 0.002).with_seed(9),
+            )
+        };
+        let make = |i: usize, backend: HistoryBackend| {
+            Box::new(Cnrw::with_backend(NodeId(((i * 7) % 60) as u32), backend))
+                as Box<dyn RandomWalk + Send>
+        };
+        let value = |v: NodeId| v.index() as f64;
+        let orch = WalkOrchestrator::new(k, steps, seed);
+
+        // Uninterrupted reference: slice, mutate, slice, mutate, finish.
+        let mut client = make_endpoint();
+        let mut run = orch.start_reactor(make);
+        run.run_events(&mut client, &value, e1);
+        let touched = client.apply_mutations(&batch1);
+        run.invalidate_nodes(&touched);
+        run.run_events(&mut client, &value, e2);
+        let touched = client.apply_mutations(&batch2);
+        run.invalidate_nodes(&touched);
+        run.run_events(&mut client, &value, usize::MAX);
+        let full = run.into_report(&client);
+
+        // Killed after the first batch + e2 more events, persisted as text.
+        let mut client = make_endpoint();
+        let mut run = orch.start_reactor(make);
+        run.run_events(&mut client, &value, e1);
+        let touched = client.apply_mutations(&batch1);
+        run.invalidate_nodes(&touched);
+        run.run_events(&mut client, &value, e2);
+        let run_text = run.snapshot().to_pretty();
+        let client_text = client
+            .export_state()
+            .map_err(|e| format!("export: {e}"))?
+            .to_pretty();
+        drop(run);
+        drop(client);
+
+        // Resume over a pristine endpoint and replay the schedule's tail.
+        let mut client = make_endpoint();
+        client
+            .import_state(&Value::parse(&client_text).map_err(|e| e.to_string())?)
+            .map_err(|e| format!("import: {e}"))?;
+        prop_assert_eq!(client.inner().mutation_log(), batch1.as_slice());
+        let mut run = orch
+            .resume_reactor(&Value::parse(&run_text).map_err(|e| e.to_string())?, make)
+            .map_err(|e| format!("resume: {e}"))?;
+        let touched = client.apply_mutations(&batch2);
+        run.invalidate_nodes(&touched);
+        run.run_events(&mut client, &value, usize::MAX);
+        let resumed = run.into_report(&client);
+
+        prop_assert_eq!(&resumed.trace.per_walker, &full.trace.per_walker);
+        prop_assert_eq!(&resumed.stops, &full.stops);
+        prop_assert_eq!(resumed.trace.stats, full.trace.stats);
+        prop_assert_eq!(
+            resumed.estimate.mean().map(f64::to_bits),
+            full.estimate.mean().map(f64::to_bits)
+        );
+    }
+}
+
 #[test]
 fn snapshot_text_is_deterministic() {
     // Hash-map iteration order must never leak into the serialized form:
