@@ -1,0 +1,64 @@
+//! Microbenchmark: neighbor-read cost of the **compressed substrate**,
+//! relative to the raw CSR slice.
+//!
+//! Four read paths over the same 20k-node Google Plus stand-in:
+//!
+//! * `base` — `CsrGraph::neighbors`, the uncompressed floor (a bounds
+//!   check and a slice);
+//! * `compact_degree` — `CompactCsr::degree`, one offset lookup plus one
+//!   varint (no gap decoding): the O(1) header read walkers use to size
+//!   proposal distributions;
+//! * `compact_iter` — full `neighbors_iter` decode of every list, the
+//!   cold-path cost per touched node;
+//! * `compact_cached` — the same reads through a [`DecodeCache`], the
+//!   walker-facing path where revisits hit a decoded slice.
+//!
+//! The gap between `base` and `compact_cached` is the per-step price
+//! `fig_scale` measures end-to-end; `compact_iter` vs `compact_cached`
+//! shows what the cache buys on a revisit-heavy schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use osn_datasets::{gplus_like, Scale};
+use osn_graph::compact::{CompactCsr, DecodeCache};
+use osn_graph::NodeId;
+
+const SEED: u64 = 0x0C5A_5CA1;
+const CACHE_SLOTS: usize = 1024;
+
+fn neighbor_scans(c: &mut Criterion) {
+    let g = gplus_like(Scale::Default, SEED).network.graph;
+    let compact = CompactCsr::from_csr(&g);
+    let n = g.node_count();
+    let reads = 65_536usize;
+    let mut group = c.benchmark_group("compact_scan");
+    group.throughput(Throughput::Elements(reads as u64));
+    // Cheap LCG-ish node schedule, identical across variants; its orbit is
+    // much smaller than `n`, so the cached variant sees realistic revisits.
+    let schedule = |mut f: Box<dyn FnMut(NodeId) -> usize + '_>| {
+        let mut acc = 0usize;
+        let mut v = 1usize;
+        for _ in 0..reads {
+            v = (v.wrapping_mul(48271)) % n;
+            acc = acc.wrapping_add(f(NodeId(v as u32)));
+        }
+        acc
+    };
+    group.bench_function(BenchmarkId::new("neighbors", "base"), |b| {
+        b.iter(|| schedule(Box::new(|v| g.neighbors(v).len())))
+    });
+    group.bench_function(BenchmarkId::new("neighbors", "compact_degree"), |b| {
+        b.iter(|| schedule(Box::new(|v| compact.degree(v))))
+    });
+    group.bench_function(BenchmarkId::new("neighbors", "compact_iter"), |b| {
+        b.iter(|| schedule(Box::new(|v| compact.neighbors_iter(v).count())))
+    });
+    group.bench_function(BenchmarkId::new("neighbors", "compact_cached"), |b| {
+        let mut cache = DecodeCache::new(CACHE_SLOTS);
+        b.iter(|| schedule(Box::new(|v| cache.neighbors(&compact, v).len())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, neighbor_scans);
+criterion_main!(benches);

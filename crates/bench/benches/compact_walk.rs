@@ -1,0 +1,43 @@
+//! Microbenchmark: end-to-end CNRW throughput over the **compressed
+//! substrate** vs the plain CSR.
+//!
+//! Both plans walk the identical topology from the identical seed — the
+//! `runner` equivalence tests pin the traces bit-for-bit — so the entire
+//! gap is varint decoding behind the client's [`DecodeCache`]. This is
+//! the per-step price of running a 10⁸-edge stand-in in a footprint the
+//! plain CSR could never fit; `repro fig_scale` sweeps the same number
+//! across tier sizes, and `repro perf` records the compact cell to
+//! `BENCH_walkers.json`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use osn_bench::perf::bench_graphs;
+use osn_experiments::runner::TrialPlan;
+use osn_experiments::Algorithm;
+use osn_graph::compact::CompactCsr;
+
+fn compact_walk(c: &mut Criterion) {
+    let steps = 20_000usize;
+    let mut group = c.benchmark_group("compact_walk");
+    group.throughput(Throughput::Elements(steps as u64));
+    for (gname, network) in &bench_graphs() {
+        let plain = TrialPlan::steps(network.clone(), steps);
+        let compact = Arc::new(CompactCsr::from_csr(&network.graph));
+        let packed = TrialPlan::from_compact(compact).with_max_steps(steps);
+        for (label, plan) in [("plain", &plain), ("compact", &packed)] {
+            group.bench_with_input(BenchmarkId::new(label, gname), plan, |b, plan| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    plan.run(&Algorithm::Cnrw, seed).len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compact_walk);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] [--baseline PATH]
+//! repro [--quick|--full] [--web] [--max-secs N] [--out DIR] [--record PATH] [--baseline PATH]
 //!       [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|fig9|fig10|fig11|theorem3|ablation|
-//!        fig_service|fig_reactor|fig_evolving|perf|all]
+//!        fig_service|fig_reactor|fig_evolving|fig_scale|perf|all]
 //! ```
 //!
 //! Each experiment prints its markdown table to stdout and, with `--out`,
@@ -15,6 +15,10 @@
 //! (default 1800 with `--full`) has elapsed, remaining targets are skipped
 //! with a notice instead of running unbounded. Defaults are unchanged
 //! without the flag.
+//!
+//! `--web` extends `fig_scale` with the ~10⁸-edge compact-only tier
+//! (minutes of build time, gigabytes of temp disk for the streaming
+//! builder's spill runs).
 //!
 //! `perf` is the throughput-baseline target (not part of `all`): it
 //! measures walker steps/sec per (graph, algorithm, history backend);
@@ -29,12 +33,14 @@ use osn_bench::perf;
 use osn_datasets::Scale;
 use osn_experiments::{
     ablation, fig10, fig11, fig6, fig6_batch, fig6_parallel, fig6_steal, fig7, fig8, fig9,
-    fig_evolving, fig_reactor, fig_service, table1, theorem3, Deadline, ExperimentResult,
+    fig_evolving, fig_reactor, fig_scale, fig_service, table1, theorem3, Deadline,
+    ExperimentResult,
 };
 
 struct Options {
     quick: bool,
     full: bool,
+    web: bool,
     max_secs: Option<u64>,
     out: Option<PathBuf>,
     record: Option<PathBuf>,
@@ -69,6 +75,7 @@ impl Options {
 fn parse_args() -> Options {
     let mut quick = false;
     let mut full = false;
+    let mut web = false;
     let mut max_secs = None;
     let mut out = None;
     let mut record = None;
@@ -79,6 +86,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--quick" => quick = true,
             "--full" => full = true,
+            "--web" => web = true,
             "--max-secs" => {
                 max_secs = Some(
                     args.next()
@@ -104,9 +112,10 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick|--full] [--max-secs N] [--out DIR] [--record PATH] \
+                    "usage: repro [--quick|--full] [--web] [--max-secs N] [--out DIR] [--record PATH] \
                      [--baseline PATH] [table1|fig6|fig6par|fig6batch|fig6steal|fig7|fig8|\
-                     fig9|fig10|fig11|theorem3|ablation|fig_service|fig_reactor|fig_evolving|perf|all]..."
+                     fig9|fig10|fig11|theorem3|ablation|fig_service|fig_reactor|fig_evolving|\
+                     fig_scale|perf|all]..."
                 );
                 std::process::exit(0);
             }
@@ -134,6 +143,7 @@ fn parse_args() -> Options {
             "fig_service",
             "fig_reactor",
             "fig_evolving",
+            "fig_scale",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -153,6 +163,7 @@ fn parse_args() -> Options {
     Options {
         quick,
         full,
+        web,
         max_secs,
         out,
         record,
@@ -482,6 +493,22 @@ fn main() {
                     }
                 };
                 emit(&fig_evolving::run(&config), &opts.out);
+            }
+            "fig_scale" | "figscale" => {
+                let mut config = if opts.quick {
+                    fig_scale::FigScaleConfig::quick()
+                } else if opts.full {
+                    fig_scale::FigScaleConfig::full()
+                } else {
+                    fig_scale::FigScaleConfig::default()
+                };
+                // The per-tier guard inherits the run's wall-clock limit so
+                // an oversized tier cannot blow through the outer deadline.
+                config.max_secs = opts.max_secs.or(opts.full.then_some(1800));
+                if opts.web {
+                    config = config.with_web_tier();
+                }
+                emit(&fig_scale::run(&config), &opts.out);
             }
             "perf" => {
                 let result = run_perf(&opts);

@@ -165,6 +165,14 @@ pub fn measure(config: &PerfConfig) -> ExperimentResult {
                 ));
             }
         }
+        // The compact-substrate cell: CNRW over the delta-varint snapshot
+        // (bit-identical traces to the `/arena` twin above; the gap is
+        // decode overhead). Paired with `graph/CNRW/arena` the ratio is
+        // machine-independent, like the arena-over-legacy speedups.
+        let compact = Arc::new(osn_graph::compact::CompactCsr::from_csr(&network.graph));
+        let plan = TrialPlan::from_compact(compact).with_max_steps(config.steps);
+        let (xs, ys) = time_cell(&plan, &Algorithm::Cnrw, config.reps);
+        result = result.with_series(Series::new(format!("{gname}/CNRW/compact"), xs, ys));
     }
     result
 }
@@ -280,8 +288,8 @@ mod tests {
             reps: 1,
         });
         // 2 graphs x (1 SRW + 3 history walkers x 2 backends + 1 GNRW
-        // scratch reference) = 16 series.
-        assert_eq!(result.series.len(), 16);
+        // scratch reference + 1 CNRW compact-substrate cell) = 18 series.
+        assert_eq!(result.series.len(), 18);
         for s in &result.series {
             assert!(best(s) > 0.0, "{} recorded no throughput", s.label);
         }
@@ -291,6 +299,12 @@ mod tests {
                     .series_by_label(&format!("{g}/GNRW_By_Degree/scratch"))
                     .is_some(),
                 "missing {g} scratch reference series"
+            );
+            assert!(
+                result
+                    .series_by_label(&format!("{g}/CNRW/compact"))
+                    .is_some(),
+                "missing {g} compact-substrate series"
             );
         }
         // Round-trips through the JSON the baseline file uses.

@@ -69,6 +69,66 @@ pub struct BatchLimits {
     pub max_in_flight: usize,
 }
 
+/// AIMD (additive-increase / multiplicative-decrease) batch sizing.
+///
+/// Off by default. When configured via [`BatchConfig::with_adaptive`], the
+/// endpoint's *advertised* [`BatchLimits::max_batch_size`] becomes dynamic:
+/// it starts at the configured maximum, shrinks multiplicatively whenever a
+/// request shows congestion (a retry, a permanent drop, or a completion
+/// slower than [`Self::latency_target_secs`]), and creeps back up
+/// additively on every clean, fast completion. Callers that re-read
+/// `limits()` before each submission — as the orchestrator's coalescing
+/// pump does — pick up the new size automatically; the fixed
+/// [`BatchConfig::max_batch_size`] stays the hard ceiling and
+/// [`Self::min_batch`] the floor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveBatchConfig {
+    /// Smallest batch size congestion may shrink to (clamped to ≥ 1).
+    pub min_batch: usize,
+    /// Ids added to the advertised size per clean completion.
+    pub increase: usize,
+    /// Multiplicative shrink factor on congestion, clamped to `[0, 1)`.
+    pub backoff: f64,
+    /// Completions slower than this (in virtual seconds, measured from
+    /// submission to final delivery) count as congestion; `INFINITY`
+    /// disables latency-based backoff so only drops/retries shrink.
+    pub latency_target_secs: f64,
+}
+
+impl AdaptiveBatchConfig {
+    /// Halve on congestion, grow by one per clean completion, no
+    /// latency-based backoff.
+    pub fn new(min_batch: usize) -> Self {
+        AdaptiveBatchConfig {
+            min_batch: min_batch.max(1),
+            increase: 1,
+            backoff: 0.5,
+            latency_target_secs: f64::INFINITY,
+        }
+    }
+
+    /// Override the additive increment.
+    #[must_use]
+    pub fn with_increase(mut self, increase: usize) -> Self {
+        self.increase = increase.max(1);
+        self
+    }
+
+    /// Override the multiplicative backoff factor.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: f64) -> Self {
+        self.backoff = backoff.clamp(0.0, 0.99);
+        self
+    }
+
+    /// Treat completions slower than `secs` as congestion.
+    #[must_use]
+    pub fn with_latency_target(mut self, secs: f64) -> Self {
+        self.latency_target_secs = secs.max(0.0);
+        self
+    }
+}
+
 /// Configuration of a [`SimulatedBatchOsn`].
 #[derive(Clone, Debug)]
 pub struct BatchConfig {
@@ -99,6 +159,9 @@ pub struct BatchConfig {
     pub max_retries: u32,
     /// Seed of the latency-jitter stream.
     pub seed: u64,
+    /// AIMD batch sizing on observed per-batch latency and failures;
+    /// `None` (the default) keeps the advertised batch size fixed.
+    pub adaptive: Option<AdaptiveBatchConfig>,
 }
 
 impl BatchConfig {
@@ -116,6 +179,7 @@ impl BatchConfig {
             drop_node_every: None,
             max_retries: 2,
             seed: 0,
+            adaptive: None,
         }
     }
 
@@ -175,6 +239,13 @@ impl BatchConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable AIMD batch sizing (see [`AdaptiveBatchConfig`]).
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: AdaptiveBatchConfig) -> Self {
+        self.adaptive = Some(adaptive);
         self
     }
 
@@ -349,6 +420,9 @@ pub struct BatchStats {
 struct InFlight {
     ticket: TicketId,
     ids: Vec<NodeId>,
+    /// Virtual instant the request was first submitted — retries keep the
+    /// original, so adaptive sizing sees end-to-end latency.
+    submitted_at: f64,
     completes_at: f64,
     attempts: u32,
     fails: bool,
@@ -373,6 +447,9 @@ pub struct SimulatedBatchOsn {
     attempt_counter: u64,
     delivery_counter: u64,
     batch_stats: BatchStats,
+    /// Currently advertised batch size; `config.max_batch_size` and never
+    /// moved unless [`BatchConfig::adaptive`] is set.
+    effective_batch: usize,
 }
 
 impl SimulatedBatchOsn {
@@ -391,6 +468,7 @@ impl SimulatedBatchOsn {
             .map(|r| r.calls_per_window)
             .unwrap_or(u64::MAX);
         let spent = osn.stats().unique;
+        let effective_batch = config.max_batch_size.max(1);
         SimulatedBatchOsn {
             budget_limit: budget.unwrap_or(0),
             budget_remaining: budget.map(|b| b.saturating_sub(spent)),
@@ -404,6 +482,7 @@ impl SimulatedBatchOsn {
             attempt_counter: 0,
             delivery_counter: 0,
             batch_stats: BatchStats::default(),
+            effective_batch,
         }
     }
 
@@ -535,6 +614,7 @@ impl SimulatedBatchOsn {
             ("next_ticket", Value::Uint(self.next_ticket)),
             ("attempt_counter", Value::Uint(self.attempt_counter)),
             ("delivery_counter", Value::Uint(self.delivery_counter)),
+            ("effective_batch", Value::Uint(self.effective_batch as u64)),
             (
                 "batch_stats",
                 Value::obj([
@@ -610,6 +690,13 @@ impl SimulatedBatchOsn {
             dropped: bv.field("dropped")?.decode()?,
             node_drops: bv.field("node_drops")?.decode()?,
         };
+        // Absent in snapshots taken before adaptive sizing: restore the
+        // configured (fixed) size.
+        let mut effective_batch = self.config.max_batch_size.max(1);
+        if let Ok(v) = state.field("effective_batch") {
+            effective_batch =
+                (v.decode::<u64>()? as usize).clamp(1, self.config.max_batch_size.max(1));
+        }
         // Absent in snapshots taken before evolving-graph support: an empty
         // log restores a pristine overlay.
         let mut mutations = Vec::new();
@@ -639,6 +726,7 @@ impl SimulatedBatchOsn {
         self.attempt_counter = attempt_counter;
         self.delivery_counter = delivery_counter;
         self.batch_stats = batch_stats;
+        self.effective_batch = effective_batch;
         Ok(())
     }
 
@@ -661,9 +749,34 @@ impl SimulatedBatchOsn {
         self.tokens -= 1;
     }
 
+    /// The batch size currently advertised through `limits()` — moves only
+    /// under [`BatchConfig::adaptive`].
+    pub fn effective_batch(&self) -> usize {
+        self.effective_batch
+    }
+
+    /// Multiplicative decrease on congestion (drop, retry, slow delivery).
+    fn batch_backoff(&mut self) {
+        if let Some(a) = self.config.adaptive {
+            let shrunk = (self.effective_batch as f64 * a.backoff).floor() as usize;
+            self.effective_batch = shrunk.max(a.min_batch.max(1));
+        }
+    }
+
+    /// Additive increase on a clean, fast delivery, capped at the
+    /// configured hard maximum.
+    fn batch_increase(&mut self) {
+        if let Some(a) = self.config.adaptive {
+            self.effective_batch = self
+                .effective_batch
+                .saturating_add(a.increase)
+                .min(self.config.max_batch_size.max(1));
+        }
+    }
+
     /// Issue one attempt for the (re)queued request: consume a rate token,
     /// sample latency, and decide deterministically whether it drops.
-    fn launch(&mut self, ticket: TicketId, ids: Vec<NodeId>, attempts: u32) {
+    fn launch(&mut self, ticket: TicketId, ids: Vec<NodeId>, submitted_at: f64, attempts: u32) {
         self.charge_token();
         self.attempt_counter += 1;
         self.batch_stats.attempts += 1;
@@ -684,6 +797,7 @@ impl SimulatedBatchOsn {
         self.in_flight.push(InFlight {
             ticket,
             ids,
+            submitted_at,
             completes_at,
             attempts,
             fails,
@@ -713,7 +827,11 @@ impl SimulatedBatchOsn {
 
 impl BatchOsnClient for SimulatedBatchOsn {
     fn limits(&self) -> BatchLimits {
-        self.config.limits()
+        let mut limits = self.config.limits();
+        if self.config.adaptive.is_some() {
+            limits.max_batch_size = self.effective_batch;
+        }
+        limits
     }
 
     fn in_flight(&self) -> usize {
@@ -740,7 +858,8 @@ impl BatchOsnClient for SimulatedBatchOsn {
         self.next_ticket += 1;
         self.batch_stats.submitted += 1;
         self.batch_stats.submitted_ids += ids.len() as u64;
-        self.launch(ticket, ids.to_vec(), 1);
+        let now = self.clock.elapsed_secs();
+        self.launch(ticket, ids.to_vec(), now, 1);
         Ok(ticket)
     }
 
@@ -781,11 +900,14 @@ impl BatchOsnClient for SimulatedBatchOsn {
             if req.fails {
                 if req.attempts <= self.config.max_retries {
                     // Transparent bounded retry: fresh token, fresh latency.
+                    // A retry is a congestion signal for adaptive sizing.
                     self.batch_stats.retries += 1;
-                    self.launch(req.ticket, req.ids, req.attempts + 1);
+                    self.batch_backoff();
+                    self.launch(req.ticket, req.ids, req.submitted_at, req.attempts + 1);
                     continue;
                 }
                 self.batch_stats.dropped += 1;
+                self.batch_backoff();
                 return Some(BatchOutcome {
                     ticket: req.ticket,
                     attempts: req.attempts,
@@ -795,6 +917,18 @@ impl BatchOsnClient for SimulatedBatchOsn {
                         .map(|u| (u, Err(BatchNodeError::Dropped)))
                         .collect(),
                 });
+            }
+            // Delivered: end-to-end latency over target shrinks the
+            // advertised batch size; a clean, fast delivery grows it.
+            let latency = req.completes_at - req.submitted_at;
+            let slow = self
+                .config
+                .adaptive
+                .is_some_and(|a| latency > a.latency_target_secs);
+            if slow {
+                self.batch_backoff();
+            } else {
+                self.batch_increase();
             }
             let per_node = req
                 .ids
@@ -1187,6 +1321,111 @@ mod tests {
         let mut ok = SimulatedBatchOsn::new(star_osn(4), BatchConfig::new(2));
         ok.import_state(&snap).unwrap();
         assert_eq!(ok.stats(), c.stats());
+    }
+
+    #[test]
+    fn adaptive_shrinks_on_failure_and_tracks_limits() {
+        // Every 2nd attempt drops: each retried request halves the
+        // advertised batch; clean completions then grow it back by 1.
+        let config = BatchConfig::new(8)
+            .with_failure_every(2)
+            .with_max_retries(2)
+            .with_adaptive(AdaptiveBatchConfig::new(2));
+        let mut c = SimulatedBatchOsn::new(star_osn(10), config);
+        assert_eq!(c.limits().max_batch_size, 8, "starts at the hard maximum");
+        c.submit(&ids(1..3)).unwrap(); // attempt 1: ok → grow (capped at 8)
+        c.poll().unwrap();
+        assert_eq!(c.effective_batch(), 8);
+        c.submit(&ids(3..5)).unwrap(); // attempt 2 drops → 4; retry ok → 5
+        c.poll().unwrap();
+        assert_eq!(c.effective_batch(), 5);
+        assert_eq!(c.limits().max_batch_size, 5, "limits track the AIMD size");
+        // Oversized submissions are refused against the *current* size.
+        assert!(matches!(
+            c.submit(&ids(1..8)),
+            Err(SubmitError::TooLarge {
+                max_batch_size: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn adaptive_never_shrinks_below_floor() {
+        let config = BatchConfig::new(8)
+            .with_failure_every(1) // every attempt drops
+            .with_max_retries(0)
+            .with_adaptive(AdaptiveBatchConfig::new(3).with_backoff(0.5));
+        let mut c = SimulatedBatchOsn::new(star_osn(10), config);
+        for _ in 0..6 {
+            c.submit(&[NodeId(1)]).unwrap();
+            c.poll().unwrap();
+        }
+        assert_eq!(c.effective_batch(), 3, "clamped at min_batch");
+    }
+
+    #[test]
+    fn adaptive_latency_target_backs_off_slow_batches() {
+        // 0.2s per id with a 0.5s target: 3-id batches (0.6s) shrink the
+        // size, 1-id batches (0.2s) grow it.
+        let config = BatchConfig::new(4)
+            .with_per_id_latency(0.2)
+            .with_adaptive(AdaptiveBatchConfig::new(1).with_latency_target(0.5));
+        let mut c = SimulatedBatchOsn::new(star_osn(10), config);
+        c.submit(&ids(1..4)).unwrap();
+        c.poll().unwrap();
+        assert_eq!(c.effective_batch(), 2, "slow delivery halves 4 → 2");
+        c.submit(&[NodeId(1)]).unwrap();
+        c.poll().unwrap();
+        assert_eq!(c.effective_batch(), 3, "fast delivery grows 2 → 3");
+    }
+
+    #[test]
+    fn fixed_mode_is_unchanged_by_adaptive_machinery() {
+        // The equivalence pin: with `adaptive: None` (the default) an
+        // endpoint driven through a failing, latency-heavy workload behaves
+        // exactly as before — static limits, identical stats and clock.
+        let config = BatchConfig::new(3)
+            .with_latency(0.25, 0.1)
+            .with_per_id_latency(0.05)
+            .with_failure_every(3)
+            .with_max_retries(1)
+            .with_seed(5);
+        assert!(config.adaptive.is_none(), "off by default");
+        let drive = |mut c: SimulatedBatchOsn| {
+            for lo in 0..8u32 {
+                assert_eq!(c.limits(), config.limits(), "limits never move");
+                c.submit(&[NodeId(lo % 10), NodeId((lo + 1) % 10)]).unwrap();
+                c.poll().unwrap();
+            }
+            (
+                c.stats(),
+                c.batch_stats(),
+                c.clock().elapsed_secs().to_bits(),
+            )
+        };
+        let fixed = drive(SimulatedBatchOsn::new(star_osn(10), config.clone()));
+        let again = drive(SimulatedBatchOsn::new(star_osn(10), config.clone()));
+        assert_eq!(fixed, again);
+    }
+
+    #[test]
+    fn adaptive_state_survives_snapshot_round_trip() {
+        let config = BatchConfig::new(8)
+            .with_failure_every(2)
+            .with_max_retries(2)
+            .with_adaptive(AdaptiveBatchConfig::new(2));
+        let mut c = SimulatedBatchOsn::new(star_osn(10), config.clone());
+        c.submit(&ids(1..3)).unwrap();
+        c.poll().unwrap();
+        c.submit(&ids(3..5)).unwrap();
+        c.poll().unwrap();
+        let shrunk = c.effective_batch();
+        assert_ne!(shrunk, 8);
+        let snap = c.export_state().unwrap();
+        let mut fresh = SimulatedBatchOsn::new(star_osn(10), config);
+        fresh.import_state(&snap).unwrap();
+        assert_eq!(fresh.effective_batch(), shrunk);
     }
 
     #[test]

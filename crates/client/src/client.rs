@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use osn_graph::attributes::AttributedGraph;
-use osn_graph::{AdjacencySnapshot, CsrGraph, DeltaOverlay, EdgeMutation, NodeId};
+use osn_graph::compact::{CompactCsr, DecodeCache};
+use osn_graph::{AdjacencyRead, CsrGraph, DeltaOverlay, EdgeMutation, NodeId};
 
 use crate::budget::BudgetExhausted;
 use crate::stats::QueryStats;
@@ -80,12 +81,28 @@ pub trait OsnClient {
 #[derive(Clone, Debug)]
 pub struct SimulatedOsn {
     network: Arc<AttributedGraph>,
+    /// Compressed topology, when this client was built with
+    /// [`Self::from_compact`]. Adjacency then decodes from here (through
+    /// the scratch cache) and `network.graph` is an edgeless placeholder
+    /// that only carries the node count for accounting.
+    compact: Option<CompactTopology>,
     /// Live edge mutations over the immutable snapshot (empty until the
     /// driver applies a mutation schedule).
     overlay: DeltaOverlay,
     queried: Vec<bool>,
     stats: QueryStats,
 }
+
+/// A shared compressed snapshot plus this client's private decode cache.
+#[derive(Clone, Debug)]
+struct CompactTopology {
+    graph: Arc<CompactCsr>,
+    cache: DecodeCache,
+}
+
+/// Decode-cache slots per compact-backed client: covers a walker wave's hot
+/// set while costing well under a megabyte on typical degrees.
+const COMPACT_CACHE_SLOTS: usize = 1024;
 
 impl SimulatedOsn {
     /// Wrap an attributed graph snapshot.
@@ -98,6 +115,7 @@ impl SimulatedOsn {
         let n = network.graph.node_count();
         SimulatedOsn {
             network,
+            compact: None,
             overlay: DeltaOverlay::new(),
             queried: vec![false; n],
             stats: QueryStats::default(),
@@ -109,9 +127,43 @@ impl SimulatedOsn {
         Self::new(AttributedGraph::bare(graph))
     }
 
+    /// Wrap a shared **compressed** snapshot: neighbor queries decode
+    /// through a per-client scratch cache instead of borrowing CSR slices,
+    /// and answers (hence walks) are bit-identical to a plain client over
+    /// the decompressed graph. No attributes; [`Self::graph`] returns an
+    /// edgeless placeholder — use [`Self::compact_graph`] for topology.
+    pub fn from_compact(graph: Arc<CompactCsr>) -> Self {
+        let n = graph.node_count();
+        let placeholder = CsrGraph::edgeless(n).expect("compact snapshot is non-empty");
+        SimulatedOsn {
+            network: Arc::new(AttributedGraph::bare(placeholder)),
+            compact: Some(CompactTopology {
+                graph,
+                cache: DecodeCache::new(COMPACT_CACHE_SLOTS),
+            }),
+            overlay: DeltaOverlay::new(),
+            queried: vec![false; n],
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// The compressed snapshot backing this client, when built with
+    /// [`Self::from_compact`].
+    pub fn compact_graph(&self) -> Option<&Arc<CompactCsr>> {
+        self.compact.as_ref().map(|t| &t.graph)
+    }
+
+    /// Decode-cache `(hits, misses)` of a compact-backed client; `None`
+    /// for plain clients (their neighbor reads are zero-copy borrows).
+    pub fn decode_cache_stats(&self) -> Option<(u64, u64)> {
+        self.compact.as_ref().map(|t| t.cache.stats())
+    }
+
     /// The underlying **base** topology (ground-truth side of experiments; a
     /// real third party would not have this). Pre-mutation: when an overlay
     /// is live, [`Self::rebuilt_graph`] materializes the current topology.
+    /// For a compact-backed client this is an edgeless placeholder — use
+    /// [`Self::compact_graph`] instead.
     pub fn graph(&self) -> &CsrGraph {
         &self.network.graph
     }
@@ -122,7 +174,19 @@ impl SimulatedOsn {
     /// queried flags: their neighbor lists changed, so the next query is
     /// re-charged as a fresh unique query.
     pub fn apply_mutation(&mut self, m: EdgeMutation) -> bool {
-        let effective = self.overlay.apply(&self.network.graph, m);
+        let effective = match &mut self.compact {
+            Some(t) => {
+                let e = self.overlay.apply(t.graph.as_ref(), m);
+                if e {
+                    // Patched nodes are served from the overlay from now
+                    // on; dropping stale slices just frees the slots.
+                    t.cache.evict(m.u);
+                    t.cache.evict(m.v);
+                }
+                e
+            }
+            None => self.overlay.apply(&self.network.graph, m),
+        };
         if effective {
             self.uncache(m.u);
             self.uncache(m.v);
@@ -135,7 +199,16 @@ impl SimulatedOsn {
     /// deduplicated nodes whose neighbor lists changed — the list drivers
     /// feed to the walk backends' `invalidate_nodes`.
     pub fn apply_mutations(&mut self, ms: &[EdgeMutation]) -> Vec<NodeId> {
-        let touched = self.overlay.apply_batch(&self.network.graph, ms);
+        let touched = match &mut self.compact {
+            Some(t) => {
+                let touched = self.overlay.apply_batch(t.graph.as_ref(), ms);
+                for &v in &touched {
+                    t.cache.evict(v);
+                }
+                touched
+            }
+            None => self.overlay.apply_batch(&self.network.graph, ms),
+        };
         for &v in &touched {
             self.uncache(v);
         }
@@ -157,7 +230,10 @@ impl SimulatedOsn {
     /// When some logged mutation does not replay effectively over the base
     /// snapshot (a snapshot/graph mismatch). `self` is unchanged on error.
     pub(crate) fn restore_overlay(&mut self, log: &[EdgeMutation]) -> Result<(), String> {
-        let overlay = DeltaOverlay::from_log(&self.network.graph, log);
+        let overlay = match &self.compact {
+            Some(t) => DeltaOverlay::from_log(t.graph.as_ref(), log),
+            None => DeltaOverlay::from_log(&self.network.graph, log),
+        };
         if overlay.log().len() != log.len() {
             return Err(format!(
                 "mutation log does not replay over this snapshot: {} of {} effective",
@@ -185,10 +261,18 @@ impl SimulatedOsn {
     /// its estimates against, and what the differential tests walk to check
     /// overlay reads are exact.
     pub fn rebuilt_graph(&self) -> CsrGraph {
-        self.network
-            .graph
-            .rebuilt(&self.overlay)
-            .expect("mutations were validated when applied")
+        match &self.compact {
+            Some(t) => t
+                .graph
+                .rebuilt(&self.overlay)
+                .and_then(|g| g.to_csr())
+                .expect("mutations were validated when applied"),
+            None => self
+                .network
+                .graph
+                .rebuilt(&self.overlay)
+                .expect("mutations were validated when applied"),
+        }
     }
 
     /// The underlying attributes (ground-truth side of experiments).
@@ -242,19 +326,35 @@ impl SimulatedOsn {
     /// striped client reads topology lock-free from the shared `Arc`, so it
     /// cannot consult a per-handle overlay).
     pub(crate) fn into_parts(self) -> (Arc<AttributedGraph>, Vec<bool>, QueryStats) {
-        let network = if self.overlay.is_empty() {
-            self.network
-        } else {
-            let graph = self
-                .network
-                .graph
-                .rebuilt(&self.overlay)
-                .expect("mutations were validated when applied");
-            let attributes = self.network.attributes.clone();
-            Arc::new(
-                AttributedGraph::new(graph, attributes)
-                    .expect("mutations never change the node count"),
-            )
+        // A compact-backed client is materialized to a plain CSR here: the
+        // striped client's lock-free reads need borrowed neighbor slices,
+        // which the packed form cannot hand out.
+        let network = match &self.compact {
+            Some(t) => {
+                let graph = t
+                    .graph
+                    .rebuilt(&self.overlay)
+                    .and_then(|g| g.to_csr())
+                    .expect("mutations were validated when applied");
+                let attributes = self.network.attributes.clone();
+                Arc::new(
+                    AttributedGraph::new(graph, attributes)
+                        .expect("mutations never change the node count"),
+                )
+            }
+            None if self.overlay.is_empty() => self.network,
+            None => {
+                let graph = self
+                    .network
+                    .graph
+                    .rebuilt(&self.overlay)
+                    .expect("mutations were validated when applied");
+                let attributes = self.network.attributes.clone();
+                Arc::new(
+                    AttributedGraph::new(graph, attributes)
+                        .expect("mutations never change the node count"),
+                )
+            }
         };
         (network, self.queried, self.stats)
     }
@@ -270,6 +370,7 @@ impl SimulatedOsn {
         SimulatedOsn {
             network,
             overlay: DeltaOverlay::new(),
+            compact: None,
             queried,
             stats,
         }
@@ -281,11 +382,25 @@ impl OsnClient for SimulatedOsn {
         let seen = &mut self.queried[u.index()];
         self.stats.record(!*seen);
         *seen = true;
-        Ok(self.overlay.neighbors(&self.network.graph, u))
+        match &mut self.compact {
+            Some(t) => {
+                // Mutated nodes are served from the overlay's patch;
+                // everything else decodes through the slice cache.
+                if let Some(patch) = self.overlay.patched(u) {
+                    Ok(patch)
+                } else {
+                    Ok(t.cache.neighbors(&t.graph, u))
+                }
+            }
+            None => Ok(self.overlay.neighbors(&self.network.graph, u)),
+        }
     }
 
     fn peek_degree(&self, u: NodeId) -> usize {
-        self.overlay.degree(&self.network.graph, u)
+        match &self.compact {
+            Some(t) => self.overlay.degree(t.graph.as_ref(), u),
+            None => self.overlay.degree(&self.network.graph, u),
+        }
     }
 
     fn peek_attribute(&self, u: NodeId, name: &str) -> Option<f64> {
@@ -435,5 +550,72 @@ mod tests {
         r.neighbors(NodeId(0)).unwrap();
         assert_eq!(r.stats().unique, 1);
         assert_eq!(r.remaining_budget(), None);
+    }
+
+    fn compact_pair() -> (SimulatedOsn, SimulatedOsn) {
+        // A graph with hubs, a chain and varied degrees.
+        let g = GraphBuilder::new()
+            .with_nodes(8)
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .add_edge(0, 7)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(5, 6)
+            .build()
+            .unwrap();
+        let compact = Arc::new(CompactCsr::from_csr(&g));
+        (
+            SimulatedOsn::from_compact(compact),
+            SimulatedOsn::from_graph(g),
+        )
+    }
+
+    #[test]
+    fn compact_client_matches_plain() {
+        let (mut compact, mut plain) = compact_pair();
+        assert_eq!(compact.compact_graph().unwrap().node_count(), 8);
+        for u in 0..8u32 {
+            assert_eq!(compact.peek_degree(NodeId(u)), plain.peek_degree(NodeId(u)));
+            assert_eq!(
+                compact.neighbors(NodeId(u)).unwrap().to_vec(),
+                plain.neighbors(NodeId(u)).unwrap().to_vec(),
+                "node {u}"
+            );
+        }
+        assert_eq!(compact.stats(), plain.stats());
+        // Repeat reads hit both the budget cache and the decode cache.
+        compact.neighbors(NodeId(0)).unwrap();
+        let (hits, misses) = compact.decode_cache_stats().unwrap();
+        assert!(hits >= 1, "decode cache hits {hits} / misses {misses}");
+        assert!(plain.decode_cache_stats().is_none());
+    }
+
+    #[test]
+    fn compact_client_mutations_match_plain() {
+        let (mut compact, mut plain) = compact_pair();
+        let batch = [
+            EdgeMutation::delete(0.1, NodeId(0), NodeId(1)),
+            EdgeMutation::insert(0.2, NodeId(2), NodeId(6)),
+            EdgeMutation::delete(0.3, NodeId(4), NodeId(5)),
+        ];
+        assert_eq!(
+            compact.apply_mutations(&batch),
+            plain.apply_mutations(&batch)
+        );
+        for u in 0..8u32 {
+            assert_eq!(compact.peek_degree(NodeId(u)), plain.peek_degree(NodeId(u)));
+            assert_eq!(
+                compact.neighbors(NodeId(u)).unwrap().to_vec(),
+                plain.neighbors(NodeId(u)).unwrap().to_vec(),
+                "node {u} after mutations"
+            );
+        }
+        assert_eq!(compact.rebuilt_graph(), plain.rebuilt_graph());
+        // Ineffective mutations are ineffective on both backends.
+        assert!(!compact.apply_mutation(EdgeMutation::insert(0.4, NodeId(2), NodeId(6))));
+        assert!(!plain.apply_mutation(EdgeMutation::insert(0.4, NodeId(2), NodeId(6))));
     }
 }

@@ -45,8 +45,8 @@ pub mod shared;
 mod stats;
 
 pub use batch::{
-    BatchConfig, BatchLimits, BatchNodeError, BatchOsnClient, BatchOutcome, BatchStats,
-    SimulatedBatchOsn, SubmitError, TicketId,
+    AdaptiveBatchConfig, BatchConfig, BatchLimits, BatchNodeError, BatchOsnClient, BatchOutcome,
+    BatchStats, SimulatedBatchOsn, SubmitError, TicketId,
 };
 pub use budget::{BudgetExhausted, BudgetedClient};
 pub use client::{OsnClient, SimulatedOsn};

@@ -31,8 +31,8 @@ pub use attributes::{
     attach_community_attribute, degree_scaled_counts, zipf_like_counts, ATTRIBUTE_LEVELS,
 };
 pub use standins::{
-    barbell_graph, barbell_graph_sized, clustered_graph, facebook_like, gplus_like, yelp_like,
-    youtube_like,
+    barbell_graph, barbell_graph_sized, clustered_graph, facebook_like, gplus_like, web_like,
+    web_like_config, yelp_like, youtube_like,
 };
 
 use osn_graph::analysis::{summarize, GraphSummary};
@@ -49,6 +49,11 @@ pub enum Scale {
     /// Paper-sized where feasible (Yelp full size; Google Plus/Youtube are
     /// still scaled — see DESIGN.md's substitution table).
     Full,
+    /// Web scale: paper-sized Youtube (1.13M nodes) and the ~10⁸-edge
+    /// [`web_like`] stand-in. Graphs this large should be built/held
+    /// through `osn_graph::compact` — budget minutes of build time and
+    /// gigabytes of disk, not unit-test seconds.
+    Web,
 }
 
 /// A named dataset: topology + attributes + (optional) planted communities.

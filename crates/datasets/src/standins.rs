@@ -1,9 +1,10 @@
 //! The six dataset builders.
 
 use osn_graph::attributes::{AttributedGraph, NodeAttributes};
+use osn_graph::compact::CompactCsr;
 use osn_graph::generators::{
-    barbell, clustered_cliques, homophily_communities, powerlaw_configuration,
-    ClusteredCliquesConfig, HomophilyConfig,
+    barbell, clustered_cliques, homophily_communities, powerlaw_configuration, web_graph_compact,
+    ClusteredCliquesConfig, HomophilyConfig, WebGraphConfig,
 };
 
 use crate::attributes::degree_scaled_counts;
@@ -43,11 +44,15 @@ fn build_homophilous(
 /// Facebook ego-net stand-in: 775 nodes, average degree ≈ 36, clustering
 /// pushed high by triadic closure (paper snapshot: 0.47).
 ///
-/// At [`Scale::Test`] a 200-node miniature with the same shape is built.
+/// At [`Scale::Test`] a 200-node miniature with the same shape is built;
+/// [`Scale::Default`] is the paper's `1684.edges` ego-net (775 nodes);
+/// [`Scale::Full`] and up step to the shape of the whole SNAP
+/// `facebook_combined` union (4039 nodes, average degree ≈ 44).
 pub fn facebook_like(scale: Scale, seed: u64) -> Dataset {
     let (nodes, mean_degree) = match scale {
         Scale::Test => (200, 10.0),
-        Scale::Default | Scale::Full => (775, 22.0),
+        Scale::Default => (775, 22.0),
+        Scale::Full | Scale::Web => (4_039, 30.0),
     };
     build_homophilous(
         "facebook",
@@ -75,6 +80,9 @@ pub fn gplus_like(scale: Scale, seed: u64) -> Dataset {
         Scale::Test => (500, 12.0, 16),
         Scale::Default => (20_000, 16.0, 600),
         Scale::Full => (60_000, 20.0, 1500),
+        // Paper node count; degree still scaled (256 would dominate every
+        // other dataset's build time without changing sampler ordering).
+        Scale::Web => (240_000, 24.0, 4000),
     };
     build_homophilous(
         "gplus",
@@ -100,7 +108,8 @@ pub fn yelp_like(scale: Scale, seed: u64) -> Dataset {
     let (nodes, communities) = match scale {
         Scale::Test => (600, 10),
         Scale::Default => (30_000, 250),
-        Scale::Full => (119_839, 1000),
+        // Already paper-sized at Full; Web has nothing bigger to add.
+        Scale::Full | Scale::Web => (119_839, 1000),
     };
     build_homophilous(
         "yelp",
@@ -127,6 +136,8 @@ pub fn youtube_like(scale: Scale, seed: u64) -> Dataset {
         Scale::Test => 800,
         Scale::Default => 50_000,
         Scale::Full => 200_000,
+        // The paper's actual Youtube snapshot size (1,134,890 nodes).
+        Scale::Web => 1_134_890,
     };
     let graph = powerlaw_configuration(nodes, 2.2, 2, nodes / 20, seed)
         .expect("validated generator config");
@@ -150,6 +161,41 @@ pub fn youtube_like(scale: Scale, seed: u64) -> Dataset {
         network,
         communities: None,
     }
+}
+
+/// Generator configuration of the [`web_like`] stand-in at each tier.
+///
+/// The shape is gplus-flavored (contiguous communities, 90% intra-community
+/// edges, γ ≈ 3 degree tail) but the point is *scale*:
+///
+/// | tier | nodes | target edges |
+/// |---|---|---|
+/// | `Test` | 2,000 | ~16k |
+/// | `Default` | 100,000 | ~1.2M |
+/// | `Full` | 2,000,000 | ~20M |
+/// | `Web` | 4,000,000 | ~100M |
+///
+/// Realized edge counts land a few percent under target after duplicate
+/// collapse. Per-tier community counts keep the expected community size
+/// (and hence adjacency-gap locality) roughly constant.
+pub fn web_like_config(scale: Scale, seed: u64) -> WebGraphConfig {
+    let (nodes, avg_degree, communities) = match scale {
+        Scale::Test => (2_000, 16.0, 16),
+        Scale::Default => (100_000, 24.0, 64),
+        Scale::Full => (2_000_000, 20.0, 1_024),
+        Scale::Web => (4_000_000, 50.0, 2_048),
+    };
+    WebGraphConfig::new(nodes, avg_degree, seed)
+        .with_communities(communities)
+        .with_homophily(0.9)
+}
+
+/// Web-scale heavy-tailed stand-in, built straight into a [`CompactCsr`]
+/// (the uncompressed form of the upper tiers would not fit comfortably in
+/// memory — `Scale::Web` streams ~2×10⁸ arcs through the bounded-memory
+/// builder). Deterministic per seed at every tier.
+pub fn web_like(scale: Scale, seed: u64) -> CompactCsr {
+    web_graph_compact(&web_like_config(scale, seed)).expect("validated generator config")
 }
 
 /// The paper's clustering graph, exactly: cliques of 10, 30 and 50 chained
@@ -287,6 +333,33 @@ mod tests {
         let d = gplus_like(Scale::Test, 4);
         assert!(d.network.graph.average_degree() > 10.0);
         assert!(is_connected(&d.network.graph));
+    }
+
+    #[test]
+    fn facebook_full_is_no_longer_default_sized() {
+        let d = facebook_like(Scale::Full, 1);
+        assert_eq!(d.node_count(), 4_039);
+        assert!(is_connected(&d.network.graph));
+        let cc = average_clustering_coefficient(&d.network.graph);
+        assert!(cc > 0.25, "clustering {cc} too low for a Facebook stand-in");
+    }
+
+    #[test]
+    fn web_like_tiers_grow_and_compress() {
+        let g = web_like(Scale::Test, 5);
+        assert_eq!(g.node_count(), 2_000);
+        assert!(g.compression_ratio() >= 2.0, "{}", g.compression_ratio());
+        // Tier targets are strictly increasing.
+        let mut last = 0;
+        for scale in [Scale::Test, Scale::Default, Scale::Full, Scale::Web] {
+            let t = web_like_config(scale, 0).target_edges();
+            assert!(t > last, "{scale:?} target {t} not above {last}");
+            last = t;
+        }
+        assert!(
+            last >= 100_000_000,
+            "Web tier targets ~10^8 edges, got {last}"
+        );
     }
 
     #[test]

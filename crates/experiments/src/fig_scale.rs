@@ -1,0 +1,261 @@
+//! Scale figure: **compact vs plain substrate** — walker throughput and
+//! resident topology bytes as the stand-in grows toward web scale.
+//!
+//! The paper's crawls fit comfortably in an uncompressed CSR; the web-scale
+//! tiers (PR 10) do not. This experiment sweeps the streamed
+//! [`osn_graph::generators::web_graph`] stand-in over increasing sizes and,
+//! at each size, measures the two numbers that decide whether the
+//! compressed substrate is usable for sampling:
+//!
+//! * **CNRW steps/sec** over the plain [`osn_graph::CsrGraph`] versus the
+//!   same seed over the delta-varint
+//!   [`CompactCsr`](osn_graph::compact::CompactCsr) (per-node decode
+//!   through the client's slice cache). Traces are bit-identical — the
+//!   equivalence `runner` tests pin — so the throughput gap is pure decode
+//!   overhead.
+//! * **Resident topology MiB** of each representation, plus the
+//!   compression ratio (plain ÷ compact). The heavy-tailed,
+//!   community-local stand-in compresses ≥ 2× (pinned by this module's
+//!   test), matching real OSN id locality.
+//!
+//! Tiers whose plain CSR would not fit the measurement budget are run
+//! compact-only (the plain columns report `NaN`); the `--web` tier of the
+//! `repro` driver adds the ~10⁸-edge stand-in that exists *only* in
+//! compact form.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use osn_graph::attributes::AttributedGraph;
+use osn_graph::generators::{web_graph_compact, WebGraphConfig};
+
+use crate::algorithms::Algorithm;
+use crate::output::{ExperimentResult, Series};
+use crate::runner::{Deadline, TrialPlan};
+
+/// Configuration for the scale figure.
+#[derive(Clone, Debug)]
+pub struct FigScaleConfig {
+    /// Node counts to sweep (each tier's edge target is
+    /// `nodes × avg_degree / 2`).
+    pub nodes: Vec<usize>,
+    /// Average degree of every tier.
+    pub avg_degree: f64,
+    /// CNRW steps per throughput measurement.
+    pub steps: usize,
+    /// Experiment seed (graph stream and walk derive from it).
+    pub seed: u64,
+    /// Tiers above this node count skip the plain-CSR measurement and
+    /// report `NaN` in the plain columns (the compact columns still run).
+    pub plain_node_cap: usize,
+    /// Soft wall-clock guard: once exceeded, remaining tiers are skipped
+    /// with a note instead of running unbounded. `None` = unguarded.
+    pub max_secs: Option<u64>,
+}
+
+impl Default for FigScaleConfig {
+    fn default() -> Self {
+        FigScaleConfig {
+            nodes: vec![20_000, 100_000, 500_000],
+            avg_degree: 20.0,
+            steps: 200_000,
+            seed: 0x5CA1_E5EED,
+            plain_node_cap: 4_000_000,
+            max_secs: None,
+        }
+    }
+}
+
+impl FigScaleConfig {
+    /// Reduced profile for CI and quick runs.
+    pub fn quick() -> Self {
+        FigScaleConfig {
+            nodes: vec![2_000, 8_000],
+            steps: 20_000,
+            ..Default::default()
+        }
+    }
+
+    /// The `--full` profile: adds a ~2×10⁷-edge tier.
+    pub fn full() -> Self {
+        let mut config = FigScaleConfig::default();
+        config.nodes.push(2_000_000);
+        config
+    }
+
+    /// Append the ~10⁸-edge web tier (4M nodes at average degree 50),
+    /// which runs compact-only — its plain CSR is exactly the footprint
+    /// the compressed substrate exists to avoid.
+    #[must_use]
+    pub fn with_web_tier(mut self) -> Self {
+        self.nodes.push(4_000_000);
+        self
+    }
+
+    /// The generator shape of one tier: avg degree 50 for the 4M-node web
+    /// tier (hitting ~10⁸ edges), the configured degree elsewhere;
+    /// community count scales with size so locality stays realistic.
+    fn tier_config(&self, nodes: usize) -> WebGraphConfig {
+        let avg_degree = if nodes >= 4_000_000 {
+            50.0
+        } else {
+            self.avg_degree
+        };
+        let communities = (nodes / 2_000).clamp(8, 2_048);
+        WebGraphConfig::new(nodes, avg_degree, self.seed).with_communities(communities)
+    }
+}
+
+/// Measured numbers of one tier.
+struct TierRow {
+    edges: f64,
+    plain_steps_per_sec: f64,
+    compact_steps_per_sec: f64,
+    plain_mib: f64,
+    compact_mib: f64,
+    ratio: f64,
+}
+
+/// Time one CNRW trial of `steps` steps and return steps/sec.
+fn throughput(plan: &TrialPlan, steps: usize, seed: u64) -> f64 {
+    let plan = plan.clone().with_max_steps(steps);
+    let t0 = Instant::now();
+    let trace = plan.run(&Algorithm::Cnrw, seed);
+    trace.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Run one tier: build compact (streamed), optionally materialize plain,
+/// walk both.
+fn run_tier(config: &FigScaleConfig, nodes: usize) -> TierRow {
+    let tier = config.tier_config(nodes);
+    let compact = Arc::new(web_graph_compact(&tier).expect("valid tier config"));
+    let arcs = 2.0 * compact.edge_count() as f64;
+    // The uncompressed footprint `compression_ratio` is measured against:
+    // 8-byte offsets per node boundary, 4-byte neighbor entries.
+    let plain_bytes = 8.0 * (nodes as f64 + 1.0) + 4.0 * arcs;
+    let mib = 1024.0 * 1024.0;
+    let mut row = TierRow {
+        edges: compact.edge_count() as f64,
+        plain_steps_per_sec: f64::NAN,
+        compact_steps_per_sec: 0.0,
+        plain_mib: plain_bytes / mib,
+        compact_mib: compact.byte_len() as f64 / mib,
+        ratio: compact.compression_ratio(),
+    };
+    row.compact_steps_per_sec = throughput(
+        &TrialPlan::from_compact(Arc::clone(&compact)),
+        config.steps,
+        config.seed,
+    );
+    if nodes <= config.plain_node_cap {
+        let plain = compact.to_csr().expect("compact snapshots decompress");
+        let plan = TrialPlan::new(Arc::new(AttributedGraph::bare(plain)));
+        row.plain_steps_per_sec = throughput(&plan, config.steps, config.seed);
+    }
+    row
+}
+
+/// Run the scale figure (see module docs).
+pub fn run(config: &FigScaleConfig) -> ExperimentResult {
+    let deadline = match config.max_secs {
+        Some(secs) => Deadline::after_secs(secs),
+        None => Deadline::unlimited(),
+    };
+    let mut result = ExperimentResult::new(
+        "fig_scale",
+        "Web-scale substrate: compact vs plain CSR",
+        "Edges",
+        "steps/sec | resident MiB | ratio",
+    )
+    .with_note(format!(
+        "streamed web stand-in, avg degree {}, CNRW {} steps per measurement, seed {:#x}",
+        config.avg_degree, config.steps, config.seed
+    ))
+    .with_note(
+        "walks over the compact substrate are bit-identical per seed to the plain CSR; \
+         the throughput gap is pure varint-decode overhead"
+            .to_string(),
+    );
+    let mut rows = Vec::new();
+    for &nodes in &config.nodes {
+        if deadline.exceeded() {
+            result = result.with_note(format!(
+                "wall-clock guard ({}s) exceeded: skipped the {nodes}-node tier and beyond",
+                config.max_secs.unwrap_or(0)
+            ));
+            break;
+        }
+        if nodes > config.plain_node_cap {
+            result = result.with_note(format!(
+                "{nodes}-node tier ran compact-only (plain CSR past the {}-node cap)",
+                config.plain_node_cap
+            ));
+        }
+        rows.push(run_tier(config, nodes));
+    }
+    let xs: Vec<f64> = rows.iter().map(|r| r.edges).collect();
+    let col = |f: fn(&TierRow) -> f64| rows.iter().map(f).collect::<Vec<f64>>();
+    result
+        .with_series(Series::new(
+            "CNRW steps/s (plain)",
+            xs.clone(),
+            col(|r| r.plain_steps_per_sec),
+        ))
+        .with_series(Series::new(
+            "CNRW steps/s (compact)",
+            xs.clone(),
+            col(|r| r.compact_steps_per_sec),
+        ))
+        .with_series(Series::new(
+            "resident MiB (plain)",
+            xs.clone(),
+            col(|r| r.plain_mib),
+        ))
+        .with_series(Series::new(
+            "resident MiB (compact)",
+            xs.clone(),
+            col(|r| r.compact_mib),
+        ))
+        .with_series(Series::new("compression ratio", xs, col(|r| r.ratio)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_reports_all_columns() {
+        let r = run(&FigScaleConfig::quick());
+        assert_eq!(r.series.len(), 5);
+        for s in &r.series {
+            assert_eq!(s.len(), 2, "{}", s.label);
+        }
+        let ratio = r.series_by_label("compression ratio").unwrap();
+        for (&edges, &ratio) in ratio.x.iter().zip(&ratio.y) {
+            assert!(
+                ratio >= 2.0,
+                "heavy-tailed stand-in must compress ≥ 2× ({edges} edges: {ratio})"
+            );
+        }
+        for label in ["CNRW steps/s (plain)", "CNRW steps/s (compact)"] {
+            let s = r.series_by_label(label).unwrap();
+            assert!(s.y.iter().all(|&v| v > 0.0), "{label}: {:?}", s.y);
+        }
+        // Packed stays smaller than plain at every tier.
+        let plain = r.series_by_label("resident MiB (plain)").unwrap();
+        let compact = r.series_by_label("resident MiB (compact)").unwrap();
+        for (p, c) in plain.y.iter().zip(&compact.y) {
+            assert!(c < p);
+        }
+    }
+
+    #[test]
+    fn deadline_guard_skips_remaining_tiers() {
+        let mut config = FigScaleConfig::quick();
+        config.max_secs = Some(0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let r = run(&config);
+        assert!(r.series[0].is_empty() || r.series[0].len() < config.nodes.len());
+        assert!(r.notes.iter().any(|n| n.contains("wall-clock guard")));
+    }
+}

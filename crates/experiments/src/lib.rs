@@ -23,6 +23,7 @@
 //! | [`fig_service`] | Service extension — multi-tenant fair-share scheduling vs sequential at one shared budget |
 //! | [`fig_reactor`] | Reactor extension — fleet size vs throughput/memory on the poll-driven backend, with an event-granularity mixing probe |
 //! | [`fig_evolving`] | Evolving-graph extension — delta-corrected continuation vs restart-from-scratch on a mutating network |
+//! | [`fig_scale`] | Web-scale extension — walker throughput and resident bytes, compact vs plain substrate, as the stand-in grows |
 //!
 //! All runs are seeded and deterministic (including under parallelism: trial
 //! seeds are derived, not scheduler-dependent). The one exception is
@@ -46,6 +47,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fig_evolving;
 pub mod fig_reactor;
+pub mod fig_scale;
 pub mod fig_service;
 pub mod output;
 pub mod runner;

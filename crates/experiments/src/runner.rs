@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use osn_client::{BatchConfig, BudgetedClient, SimulatedBatchOsn, SimulatedOsn};
 use osn_graph::attributes::AttributedGraph;
+use osn_graph::compact::CompactCsr;
 use osn_graph::NodeId;
 use osn_walks::{
     CoalescingDispatcher, HistoryBackend, OrchestratorReport, RandomWalk, RestartPolicy,
@@ -65,6 +66,12 @@ pub struct TrialPlan {
     /// per-step partition). Set via [`Self::with_group_plan`]; non-GNRW
     /// algorithms ignore it.
     pub group_plan: Option<(Arc<osn_walks::GroupPlan>, osn_walks::PlanMode)>,
+    /// Compressed snapshot backing every trial's client instead of
+    /// [`Self::network`] (which becomes an edgeless placeholder carrying
+    /// only the node count). Set via [`Self::from_compact`]; walks decode
+    /// neighbor lists on demand and are bit-identical per seed to the same
+    /// plan over the decompressed [`osn_graph::CsrGraph`].
+    pub compact: Option<Arc<CompactCsr>>,
 }
 
 impl TrialPlan {
@@ -80,7 +87,20 @@ impl TrialPlan {
             batch: None,
             restarts: None,
             group_plan: None,
+            compact: None,
         }
+    }
+
+    /// A plan over a compressed snapshot: clients decode adjacency from
+    /// `graph` on demand instead of borrowing a materialized CSR, so
+    /// ~10⁸-edge graphs run in the packed footprint. [`Self::network`] is
+    /// an edgeless placeholder (correct node count, no topology); group
+    /// plans and attribute peeks need a plain-network plan.
+    pub fn from_compact(graph: Arc<CompactCsr>) -> Self {
+        let client = SimulatedOsn::from_compact(Arc::clone(&graph));
+        let mut plan = Self::new(client.network_shared());
+        plan.compact = Some(graph);
+        plan
     }
 
     /// Shorthand for a budget-limited plan; forwards to
@@ -173,6 +193,15 @@ impl TrialPlan {
         }
     }
 
+    /// One trial's client over the plan's snapshot: compact-backed when
+    /// [`Self::compact`] is set, a zero-copy shared CSR otherwise.
+    fn make_client(&self) -> SimulatedOsn {
+        match &self.compact {
+            Some(g) => SimulatedOsn::from_compact(Arc::clone(g)),
+            None => SimulatedOsn::new_shared(self.network.clone()),
+        }
+    }
+
     /// Uniformly random start node for the given trial seed.
     pub fn start_node(&self, seed: u64) -> NodeId {
         let n = self.network.graph.node_count() as u64;
@@ -205,13 +234,13 @@ impl TrialPlan {
         let session = WalkSession::new(config);
         match self.budget {
             Some(b) => {
-                let inner = SimulatedOsn::new_shared(self.network.clone());
+                let inner = self.make_client();
                 let n = self.network.graph.node_count();
                 let mut client = BudgetedClient::new(inner, b, n);
                 session.run(walker.as_mut(), &mut client)
             }
             None => {
-                let mut client = SimulatedOsn::new_shared(self.network.clone());
+                let mut client = self.make_client();
                 session.run(walker.as_mut(), &mut client)
             }
         }
@@ -228,11 +257,7 @@ impl TrialPlan {
         seed: u64,
     ) -> WalkTrace {
         use rand::SeedableRng;
-        let mut client = SimulatedBatchOsn::configured(
-            SimulatedOsn::new_shared(self.network.clone()),
-            batch,
-            self.budget,
-        );
+        let mut client = SimulatedBatchOsn::configured(self.make_client(), batch, self.budget);
         let mut walkers = vec![walker];
         let mut rngs = vec![rand_chacha::ChaCha12Rng::seed_from_u64(seed)];
         let report = CoalescingDispatcher::new(self.max_steps).run(
@@ -266,22 +291,19 @@ impl TrialPlan {
         let make = |_i: usize, backend: HistoryBackend| self.make_walker(algorithm, start, backend);
         match &self.batch {
             Some(batch) => {
-                let mut client = SimulatedBatchOsn::configured(
-                    SimulatedOsn::new_shared(self.network.clone()),
-                    batch.clone(),
-                    self.budget,
-                );
+                let mut client =
+                    SimulatedBatchOsn::configured(self.make_client(), batch.clone(), self.budget);
                 orchestrator.run_coalesced(&mut client, make, |_| 1.0, policy)
             }
             None => match self.budget {
                 Some(b) => {
-                    let inner = SimulatedOsn::new_shared(self.network.clone());
+                    let inner = self.make_client();
                     let n = self.network.graph.node_count();
                     let mut client = BudgetedClient::new(inner, b, n);
                     orchestrator.run_serial(&mut client, make, |_| 1.0, policy)
                 }
                 None => {
-                    let mut client = SimulatedOsn::new_shared(self.network.clone());
+                    let mut client = self.make_client();
                     orchestrator.run_serial(&mut client, make, |_| 1.0, policy)
                 }
             },
@@ -566,6 +588,33 @@ mod tests {
             .with_group_plan(plan, PlanMode::Alias)
             .run(&Algorithm::Cnrw, 8);
         assert_eq!(bare.nodes(), planned.nodes());
+    }
+
+    #[test]
+    fn compact_backed_trials_are_bit_identical_to_plain() {
+        use osn_graph::compact::CompactCsr;
+        let net = shared_net();
+        let compact = Arc::new(CompactCsr::from_csr(&net.graph));
+        for algorithm in [Algorithm::Srw, Algorithm::Cnrw, Algorithm::NbCnrw] {
+            let plain = TrialPlan::steps(net.clone(), 300).run(&algorithm, 21);
+            let packed = TrialPlan::from_compact(Arc::clone(&compact))
+                .with_max_steps(300)
+                .run(&algorithm, 21);
+            assert_eq!(plain.nodes(), packed.nodes(), "{algorithm:?}");
+            assert_eq!(plain.stop, packed.stop);
+            assert_eq!(plain.stats, packed.stats);
+        }
+        // The budgeted + batched legs route through the same client.
+        let plain = TrialPlan::budgeted(net.clone(), 40)
+            .with_batch(osn_client::BatchConfig::new(4).with_in_flight(2))
+            .run(&Algorithm::Cnrw, 23);
+        let mut packed_plan = TrialPlan::from_compact(compact)
+            .with_budget(40)
+            .with_batch(osn_client::BatchConfig::new(4).with_in_flight(2));
+        packed_plan.max_steps = TrialPlan::budgeted(net, 40).max_steps;
+        let packed = packed_plan.run(&Algorithm::Cnrw, 23);
+        assert_eq!(plain.nodes(), packed.nodes());
+        assert_eq!(plain.stats, packed.stats);
     }
 
     #[test]

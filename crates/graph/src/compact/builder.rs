@@ -1,0 +1,428 @@
+//! Bounded-memory streaming construction of [`CompactCsr`] snapshots.
+//!
+//! [`CompactBuilder`] ingests an arbitrary-order edge stream and produces
+//! the same bytes [`CompactCsr::from_csr`] would, without ever holding the
+//! uncompressed adjacency in memory. It is an external-sort pipeline:
+//!
+//! 1. **Stage.** Every accepted edge `{u, v}` becomes two arcs packed as
+//!    `u64` values `(src << 32) | dst` in a fixed-capacity chunk buffer.
+//! 2. **Spill.** A full chunk is sorted, deduplicated, and written raw to a
+//!    temp file (one `u64` LE per arc); the buffer is reused.
+//! 3. **Merge.** `finish` k-way merges the sorted runs (plus the resident
+//!    chunk) through a min-heap with global dedup, encoding each node's run
+//!    on the fly as consecutive same-source arcs stream past.
+//!
+//! Peak memory is `chunk_capacity × 8 B` for the stage buffer, one
+//! `BufReader` per spilled run, `8 B × (n + 1)` offsets, and the compressed
+//! output itself — independent of how the input was ordered and far below
+//! the `≈12 B/arc` a plain CSR build of a 10⁸-edge graph would need. The
+//! output is byte-identical for any chunk capacity and any input
+//! permutation.
+
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use super::{CompactCsr, Encoder};
+use crate::{GraphError, NodeId, Result};
+
+/// Default stage-buffer capacity in arcs (= 2× edges): 16 Mi arcs ≈ 128 MiB.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 16 << 20;
+
+/// Streaming, bounded-memory builder for [`CompactCsr`] (see module docs).
+///
+/// ```
+/// use osn_graph::compact::CompactBuilder;
+/// use osn_graph::NodeId;
+///
+/// let mut b = CompactBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.finish().unwrap();
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// ```
+pub struct CompactBuilder {
+    chunk: Vec<u64>,
+    chunk_capacity: usize,
+    runs: Vec<SpillRun>,
+    temp_dir: PathBuf,
+    min_nodes: usize,
+    max_node: Option<u32>,
+    staged_edges: u64,
+}
+
+impl Default for CompactBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompactBuilder {
+    /// Builder with the default chunk capacity and the system temp dir.
+    pub fn new() -> Self {
+        Self::with_chunk_capacity(DEFAULT_CHUNK_CAPACITY)
+    }
+
+    /// Builder staging at most `arcs` arcs (min 2) in memory before
+    /// spilling a sorted run to disk.
+    pub fn with_chunk_capacity(arcs: usize) -> Self {
+        CompactBuilder {
+            chunk: Vec::new(),
+            chunk_capacity: arcs.max(2),
+            runs: Vec::new(),
+            temp_dir: std::env::temp_dir(),
+            min_nodes: 0,
+            max_node: None,
+            staged_edges: 0,
+        }
+    }
+
+    /// Spill runs to `dir` instead of the system temp dir.
+    #[must_use]
+    pub fn with_temp_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.temp_dir = dir.into();
+        self
+    }
+
+    /// Ensure the built graph has at least `n` nodes, even if the trailing
+    /// ids never appear in an edge.
+    #[must_use]
+    pub fn with_min_nodes(mut self, n: usize) -> Self {
+        self.min_nodes = self.min_nodes.max(n);
+        self
+    }
+
+    /// Stage the undirected edge `{u, v}`. Self-loops are dropped and
+    /// duplicates collapse during the merge, mirroring
+    /// [`GraphBuilder`](crate::GraphBuilder).
+    ///
+    /// # Errors
+    /// Propagates I/O failures from spilling a full chunk.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        if u == v {
+            return Ok(());
+        }
+        if self.chunk.capacity() == 0 {
+            self.chunk.reserve_exact(self.chunk_capacity);
+        }
+        let hi = u.max(v);
+        self.max_node = Some(self.max_node.map_or(hi, |m| m.max(hi)));
+        self.staged_edges += 1;
+        self.chunk.push(pack(u, v));
+        self.chunk.push(pack(v, u));
+        if self.chunk.len() + 1 >= self.chunk_capacity {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Stage every edge from an iterator of `(u, v)` pairs.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from spilling.
+    pub fn add_edges<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) -> Result<()> {
+        for (u, v) in iter {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Raw (pre-dedup) edges staged so far.
+    pub fn staged_edges(&self) -> u64 {
+        self.staged_edges
+    }
+
+    /// Sorted runs spilled to disk so far.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        self.chunk.sort_unstable();
+        self.chunk.dedup();
+        let path = self.temp_dir.join(format!(
+            "osn-compact-spill-{}-{:p}-{}.run",
+            std::process::id(),
+            &self.runs,
+            self.runs.len()
+        ));
+        let mut w = BufWriter::new(File::create(&path)?);
+        for &arc in &self.chunk {
+            w.write_all(&arc.to_le_bytes())?;
+        }
+        w.flush()?;
+        drop(w);
+        let file = File::open(&path)?;
+        self.runs.push(SpillRun { file, path });
+        self.chunk.clear();
+        Ok(())
+    }
+
+    /// Merge all runs and assemble the snapshot. Validation is implicit:
+    /// the encoder only ever sees sorted deduplicated arcs.
+    ///
+    /// # Errors
+    /// [`GraphError::EmptyGraph`] when no nodes would result, otherwise
+    /// I/O failures from reading spilled runs.
+    pub fn finish(mut self) -> Result<CompactCsr> {
+        self.chunk.sort_unstable();
+        self.chunk.dedup();
+        let n = self
+            .max_node
+            .map_or(0, |m| m as usize + 1)
+            .max(self.min_nodes);
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+
+        let mut enc = Encoder::new(n);
+        let mut run = Vec::new();
+        let mut next_node = 0u32;
+
+        // The resident chunk merges as one more (already sorted) run.
+        if self.runs.is_empty() {
+            // Fast path: everything fit in memory.
+            let mut prev = None;
+            for &arc in &self.chunk {
+                if prev == Some(arc) {
+                    continue;
+                }
+                prev = Some(arc);
+                let (src, dst) = unpack(arc);
+                emit(&mut enc, &mut run, &mut next_node, src, dst);
+            }
+        } else {
+            let mut sources: Vec<ArcSource> = Vec::with_capacity(self.runs.len() + 1);
+            for spill in self.runs.drain(..) {
+                sources.push(ArcSource::from_spill(spill)?);
+            }
+            let chunk = std::mem::take(&mut self.chunk);
+            sources.push(ArcSource::from_memory(chunk));
+
+            let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+            for (i, s) in sources.iter_mut().enumerate() {
+                if let Some(arc) = s.next()? {
+                    heap.push(std::cmp::Reverse((arc, i)));
+                }
+            }
+            let mut prev = None;
+            while let Some(std::cmp::Reverse((arc, i))) = heap.pop() {
+                if let Some(next) = sources[i].next()? {
+                    heap.push(std::cmp::Reverse((next, i)));
+                }
+                if prev == Some(arc) {
+                    continue; // cross-run duplicate
+                }
+                prev = Some(arc);
+                let (src, dst) = unpack(arc);
+                emit(&mut enc, &mut run, &mut next_node, src, dst);
+            }
+        }
+
+        // Trailing runs: the last touched node, then empties out to n.
+        if !run.is_empty() {
+            enc.push_run(&run);
+            run.clear();
+            next_node += 1;
+        }
+        while (next_node as usize) < n {
+            enc.push_run(&[]);
+            next_node += 1;
+        }
+        enc.finish()
+    }
+}
+
+#[inline]
+fn pack(src: u32, dst: u32) -> u64 {
+    (u64::from(src) << 32) | u64::from(dst)
+}
+
+#[inline]
+fn unpack(arc: u64) -> (u32, u32) {
+    ((arc >> 32) as u32, arc as u32)
+}
+
+/// Route one sorted arc into the encoder, closing out prior nodes' runs.
+#[inline]
+fn emit(enc: &mut Encoder, run: &mut Vec<NodeId>, next_node: &mut u32, src: u32, dst: u32) {
+    if src != *next_node || run.is_empty() {
+        if !run.is_empty() {
+            enc.push_run(run);
+            run.clear();
+            *next_node += 1;
+        }
+        while *next_node < src {
+            enc.push_run(&[]);
+            *next_node += 1;
+        }
+    }
+    run.push(NodeId(dst));
+}
+
+/// A sorted run spilled to a temp file; the file is removed on drop.
+struct SpillRun {
+    file: File,
+    path: PathBuf,
+}
+
+impl Drop for SpillRun {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One merge input: a buffered spilled run or the resident chunk.
+enum ArcSource {
+    Disk {
+        reader: BufReader<File>,
+        /// Keeps the temp file alive (and cleaned up) through the merge.
+        _spill: SpillRun,
+    },
+    Memory {
+        arcs: Vec<u64>,
+        at: usize,
+    },
+}
+
+impl ArcSource {
+    fn from_spill(spill: SpillRun) -> Result<Self> {
+        let reader = BufReader::with_capacity(1 << 20, spill.file.try_clone()?);
+        Ok(ArcSource::Disk {
+            reader,
+            _spill: spill,
+        })
+    }
+
+    fn from_memory(arcs: Vec<u64>) -> Self {
+        ArcSource::Memory { arcs, at: 0 }
+    }
+
+    fn next(&mut self) -> Result<Option<u64>> {
+        match self {
+            ArcSource::Disk { reader, .. } => {
+                let mut buf = [0u8; 8];
+                match reader.read_exact(&mut buf) {
+                    Ok(()) => Ok(Some(u64::from_le_bytes(buf))),
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+                    Err(e) => Err(GraphError::Io(e)),
+                }
+            }
+            ArcSource::Memory { arcs, at } => {
+                if *at < arcs.len() {
+                    let v = arcs[*at];
+                    *at += 1;
+                    Ok(Some(v))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn edges(seed: u64, n: u32, count: usize) -> Vec<(u32, u32)> {
+        // Deterministic pseudo-random edge list with duplicates/self-loops.
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count as u64 {
+            let r = crate::mix::splitmix64_stream(seed, i);
+            out.push(((r % u64::from(n)) as u32, ((r >> 32) % u64::from(n)) as u32));
+        }
+        out
+    }
+
+    fn reference(edge_list: &[(u32, u32)], min_nodes: usize) -> crate::CsrGraph {
+        GraphBuilder::new()
+            .with_nodes(min_nodes)
+            .extend_edges(edge_list.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_graph_builder_without_spilling() {
+        let list = edges(7, 50, 400);
+        let mut b = CompactBuilder::new().with_min_nodes(55);
+        b.add_edges(list.iter().copied()).unwrap();
+        assert_eq!(b.spilled_runs(), 0);
+        let compact = b.finish().unwrap();
+        compact.validate().unwrap();
+        assert_eq!(compact.to_csr().unwrap(), reference(&list, 55));
+        assert_eq!(compact, CompactCsr::from_csr(&reference(&list, 55)));
+    }
+
+    #[test]
+    fn spilled_build_is_byte_identical_to_resident_build() {
+        let list = edges(11, 300, 5_000);
+        let resident = {
+            let mut b = CompactBuilder::new();
+            b.add_edges(list.iter().copied()).unwrap();
+            b.finish().unwrap()
+        };
+        // Tiny chunks force many spills; result must not change.
+        for cap in [64usize, 257, 1024] {
+            let mut b = CompactBuilder::with_chunk_capacity(cap);
+            b.add_edges(list.iter().copied()).unwrap();
+            assert!(b.spilled_runs() > 1, "cap {cap} must spill");
+            let spilled = b.finish().unwrap();
+            assert_eq!(
+                spilled.as_bytes(),
+                resident.as_bytes(),
+                "chunk capacity {cap} changed the output"
+            );
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut list = edges(13, 120, 2_000);
+        let a = {
+            let mut b = CompactBuilder::with_chunk_capacity(512);
+            b.add_edges(list.iter().copied()).unwrap();
+            b.finish().unwrap()
+        };
+        list.reverse();
+        let b = {
+            let mut bld = CompactBuilder::with_chunk_capacity(700);
+            bld.add_edges(list.iter().copied()).unwrap();
+            bld.finish().unwrap()
+        };
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        assert!(matches!(
+            CompactBuilder::new().finish(),
+            Err(GraphError::EmptyGraph)
+        ));
+        let g = CompactBuilder::new().with_min_nodes(4).finish().unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let dir = std::env::temp_dir().join(format!("osn-compact-spilldir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = CompactBuilder::with_chunk_capacity(64).with_temp_dir(&dir);
+        b.add_edges(edges(17, 40, 1_000)).unwrap();
+        assert!(b.spilled_runs() > 0);
+        let _ = b.finish().unwrap();
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "spill files must be removed after the merge"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,180 @@
+//! Read-only file mappings for [`CompactCsr`](super::CompactCsr).
+//!
+//! The on-disk layout is the in-memory layout, so "loading" a snapshot is
+//! one `mmap(2)` call: the kernel pages neighbor bytes in lazily as walks
+//! touch them, and cold regions of a web-scale graph never cost resident
+//! memory. This is the only unsafe code in the workspace; it is confined to
+//! this module and wraps exactly two libc calls (`mmap`/`munmap`) behind a
+//! bounds-checked, immutable byte-slice view. On non-Unix targets
+//! [`map_file`] falls back to reading the file into an owned buffer —
+//! functionally identical, just eagerly resident.
+
+use std::fs::File;
+use std::io::Read;
+
+use crate::Result;
+
+/// Bytes backing a loaded snapshot: an owned buffer or a kernel mapping.
+#[derive(Debug)]
+pub enum Bytes {
+    /// Heap-resident bytes (built in memory or read from a file).
+    Owned(Vec<u8>),
+    /// A lazily paged read-only file mapping (Unix only).
+    #[cfg(unix)]
+    Mapped(Mapping),
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Bytes::Owned(v) => v,
+            #[cfg(unix)]
+            Bytes::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+/// Map `file` read-only, paging lazily. Falls back to an owned read of the
+/// whole file on non-Unix targets (and for empty files, which `mmap(2)`
+/// rejects).
+pub fn map_file(file: &mut File) -> Result<Bytes> {
+    let len = file.metadata()?.len();
+    #[cfg(unix)]
+    {
+        if len > 0 {
+            return Mapping::new(file, len as usize).map(Bytes::Mapped);
+        }
+    }
+    let mut buf = Vec::with_capacity(len as usize);
+    file.read_to_end(&mut buf)?;
+    Ok(Bytes::Owned(buf))
+}
+
+#[cfg(unix)]
+pub use unix::Mapping;
+
+#[cfg(unix)]
+mod unix {
+    // `deny(unsafe_code)` is crate-global; the mmap FFI below is the single
+    // sanctioned exception (see the module docs for the safety story).
+    #![allow(unsafe_code)]
+
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+
+    use crate::{GraphError, Result};
+
+    mod ffi {
+        use std::ffi::{c_int, c_void};
+
+        pub const PROT_READ: c_int = 1;
+        pub const MAP_PRIVATE: c_int = 2;
+
+        extern "C" {
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: c_int,
+                flags: c_int,
+                fd: c_int,
+                offset: i64,
+            ) -> *mut c_void;
+            pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        }
+    }
+
+    /// A read-only, private mapping of one whole file.
+    #[derive(Debug)]
+    pub struct Mapping {
+        ptr: std::ptr::NonNull<u8>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ/MAP_PRIVATE — immutable shared
+    // reads, no interior mutability — so views may move across and be
+    // shared between threads.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Map `len` bytes of `file` from offset 0. `len` must be nonzero.
+        pub fn new(file: &File, len: usize) -> Result<Self> {
+            debug_assert!(len > 0, "mmap(2) rejects zero-length mappings");
+            // SAFETY: fd is a valid open file for the duration of the call;
+            // a NULL hint with PROT_READ|MAP_PRIVATE has no preconditions.
+            // MAP_FAILED (-1) is checked before the pointer is used.
+            let ptr = unsafe {
+                ffi::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    ffi::PROT_READ,
+                    ffi::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(GraphError::Io(std::io::Error::last_os_error()));
+            }
+            let ptr = std::ptr::NonNull::new(ptr.cast::<u8>())
+                .ok_or_else(|| GraphError::Format("mmap returned NULL".into()))?;
+            Ok(Mapping { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, unmapped only by Drop (which takes `&mut self`, so no
+            // slice borrowed from `&self` can outlive it).
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` are exactly what mmap returned; the
+            // mapping is released once, here.
+            unsafe {
+                ffi::munmap(self.ptr.as_ptr().cast(), self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("osn-graph-mmap-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let mut file = std::fs::File::open(&path).unwrap();
+        let bytes = map_file(&mut file).unwrap();
+        assert_eq!(&bytes[..], &payload[..]);
+        drop(bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let mut file = std::fs::File::open(&path).unwrap();
+        let bytes = map_file(&mut file).unwrap();
+        assert!(bytes.is_empty());
+        assert!(matches!(bytes, Bytes::Owned(_)));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,153 @@
+//! LEB128 variable-length integers — the byte-level codec under
+//! [`CompactCsr`](super::CompactCsr) neighbor runs.
+//!
+//! Little-endian base-128: each byte carries 7 payload bits, the high bit
+//! flags continuation. Values up to 127 take one byte, `u32::MAX` takes
+//! five, `u64::MAX` ten. Gaps between consecutive sorted neighbor ids are
+//! overwhelmingly small on community-local graphs, so most of a neighbor
+//! run encodes in one byte per arc.
+
+use crate::{GraphError, Result};
+
+/// Longest encoding of a `u64` (10 × 7 bits ≥ 64 bits).
+pub const MAX_LEN: usize = 10;
+
+/// Append the LEB128 encoding of `value` to `out`, returning the number of
+/// bytes written (1..=[`MAX_LEN`]).
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) -> usize {
+    let mut written = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        written += 1;
+        if value == 0 {
+            out.push(byte);
+            return written;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_u64`] would emit for `value`.
+#[inline]
+pub fn encoded_len(value: u64) -> usize {
+    // 1 byte per started 7-bit group; value 0 still takes one byte.
+    (64 - (value | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Decode one LEB128 value at `*pos`, advancing `*pos` past it.
+///
+/// # Errors
+/// [`GraphError::Format`] when the buffer ends mid-value or the encoding
+/// exceeds [`MAX_LEN`] bytes / overflows a `u64`.
+#[inline]
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or_else(|| {
+            GraphError::Format(format!("varint truncated at byte offset {}", *pos))
+        })?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift >= 63 && payload > 1 {
+            return Err(GraphError::Format(format!(
+                "varint overflows u64 at byte offset {}",
+                *pos - 1
+            )));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(GraphError::Format(format!(
+                "varint longer than {MAX_LEN} bytes at byte offset {}",
+                *pos - 1
+            )));
+        }
+    }
+}
+
+/// [`read_u64`] restricted to the `u32` id domain.
+///
+/// # Errors
+/// [`GraphError::Format`] on truncation/overflow or a value above
+/// `u32::MAX`.
+#[inline]
+pub fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+    let v = read_u64(bytes, pos)?;
+    u32::try_from(v)
+        .map_err(|_| GraphError::Format(format!("varint value {v} exceeds the u32 id domain")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: u64) -> usize {
+        let mut buf = Vec::new();
+        let len = write_u64(&mut buf, value);
+        assert_eq!(len, buf.len());
+        assert_eq!(len, encoded_len(value));
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), value);
+        assert_eq!(pos, len);
+        len
+    }
+
+    #[test]
+    fn round_trips_across_the_domain() {
+        assert_eq!(round_trip(0), 1);
+        assert_eq!(round_trip(1), 1);
+        assert_eq!(round_trip(127), 1);
+        assert_eq!(round_trip(128), 2);
+        assert_eq!(round_trip(16_383), 2);
+        assert_eq!(round_trip(16_384), 3);
+        assert_eq!(round_trip(u64::from(u32::MAX)), 5);
+        assert_eq!(round_trip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn max_u32_survives_the_id_decoder() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX));
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos).unwrap(), u32::MAX);
+        // One past the id domain is rejected.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX) + 1);
+        let mut pos = 0;
+        assert!(read_u32(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn truncated_and_oversized_encodings_error() {
+        // Continuation bit set with no following byte.
+        let mut pos = 0;
+        assert!(read_u64(&[0x80], &mut pos).is_err());
+        // Eleven continuation bytes: longer than any valid u64.
+        let mut pos = 0;
+        assert!(read_u64(&[0x80; 11], &mut pos).is_err());
+        // Ten bytes whose top group overflows 64 bits.
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x02);
+        let mut pos = 0;
+        assert!(read_u64(&overflow, &mut pos).is_err());
+    }
+
+    #[test]
+    fn multiple_values_decode_in_sequence() {
+        let mut buf = Vec::new();
+        for v in [0u64, 300, 7, u64::from(u32::MAX)] {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in [0u64, 300, 7, u64::from(u32::MAX)] {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

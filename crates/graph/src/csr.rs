@@ -54,6 +54,18 @@ impl CsrGraph {
         Ok(g)
     }
 
+    /// A graph of `n` nodes and no edges.
+    ///
+    /// The compact-backed simulated client uses this as a placeholder
+    /// topology: its node count (and hence budget/queried accounting) is
+    /// real while adjacency is served from a [`CompactCsr`](crate::compact::CompactCsr).
+    ///
+    /// # Errors
+    /// [`GraphError::EmptyGraph`] when `n == 0`.
+    pub fn edgeless(n: usize) -> Result<Self> {
+        Self::from_parts(vec![0u64; n + 1], Vec::new())
+    }
+
     #[cfg(debug_assertions)]
     fn check_invariants(&self) {
         for v in self.nodes() {

@@ -8,7 +8,7 @@
 
 use std::collections::HashSet;
 
-use crate::overlay::{AdjacencySnapshot, DeltaOverlay};
+use crate::overlay::{AdjacencyRead, AdjacencySnapshot, DeltaOverlay};
 use crate::{CsrGraph, GraphBuilder, NodeId, Result};
 
 /// How to cast a directed relation into an undirected edge set.
@@ -198,15 +198,23 @@ impl std::fmt::Debug for DirectedCsr {
     }
 }
 
-impl AdjacencySnapshot for DirectedCsr {
+impl AdjacencyRead for DirectedCsr {
     const SYMMETRIC: bool = false;
 
     fn node_count(&self) -> usize {
         DirectedCsr::node_count(self)
     }
 
-    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
-        self.out_neighbors(v)
+    fn read_degree(&self, v: NodeId) -> usize {
+        self.out_degree(v)
+    }
+
+    fn push_neighbors(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(self.out_neighbors(v));
+    }
+
+    fn contains_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.has_arc(u, v)
     }
 
     fn rebuilt(&self, overlay: &DeltaOverlay) -> Result<Self> {
@@ -219,6 +227,12 @@ impl AdjacencySnapshot for DirectedCsr {
             offsets.push(out.len() as u64);
         }
         Ok(DirectedCsr { offsets, out })
+    }
+}
+
+impl AdjacencySnapshot for DirectedCsr {
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        self.out_neighbors(v)
     }
 }
 
@@ -306,7 +320,7 @@ mod tests {
 
     #[test]
     fn overlay_on_directed_patches_source_only() {
-        use crate::overlay::{AdjacencySnapshot, DeltaOverlay, EdgeMutation};
+        use crate::overlay::{AdjacencyRead, DeltaOverlay, EdgeMutation};
         let g: DirectedCsr = DirectedEdgeList::from_iter(vec![(0, 1), (1, 2), (2, 0)])
             .to_csr()
             .unwrap();

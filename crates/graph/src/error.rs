@@ -46,6 +46,9 @@ pub enum GraphError {
         /// Human-readable cause.
         message: String,
     },
+    /// A serialized compact snapshot is malformed (bad magic, truncated
+    /// varint, zero gap, out-of-range id, checksum mismatch, …).
+    Format(String),
     /// An underlying I/O failure while reading or writing an edge list.
     Io(std::io::Error),
 }
@@ -80,6 +83,7 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "edge-list parse error at line {line}: {message}")
             }
+            GraphError::Format(msg) => write!(f, "malformed compact snapshot: {msg}"),
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

@@ -9,7 +9,11 @@
 //! * **stand-in models for real OSN snapshots**: [`erdos_renyi`],
 //!   [`watts_strogatz`], [`barabasi_albert`], [`powerlaw_configuration`] and
 //!   [`homophily_communities`], which `osn-datasets` calibrates to the
-//!   node/edge/clustering statistics of Table 1.
+//!   node/edge/clustering statistics of Table 1 — plus the streamed
+//!   [`web_graph`] family, which scales the heavy-tailed community shape to
+//!   ~10⁸ edges by generating each edge as a pure function of
+//!   `(seed, index)` and building straight into a
+//!   [`CompactCsr`](crate::compact::CompactCsr).
 //!
 //! Every generator takes an explicit seed and is fully deterministic; all of
 //! them guarantee a *connected* simple graph (random walks need one) unless
@@ -21,6 +25,7 @@ mod clustered;
 mod config_model;
 mod erdos_renyi;
 mod homophily;
+mod streamed;
 mod watts_strogatz;
 
 pub use barabasi_albert::barabasi_albert;
@@ -29,6 +34,10 @@ pub use clustered::{clustered_cliques, ClusteredCliquesConfig};
 pub use config_model::powerlaw_configuration;
 pub use erdos_renyi::erdos_renyi;
 pub use homophily::{homophily_communities, HomophilyConfig, DEGREE_LEVELS};
+pub use streamed::{
+    web_graph, web_graph_compact, web_graph_compact_with, web_graph_edges, WebEdgeStream,
+    WebGraphConfig,
+};
 pub use watts_strogatz::watts_strogatz;
 
 use rand::SeedableRng;

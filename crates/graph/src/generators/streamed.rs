@@ -1,0 +1,309 @@
+//! Streamed heavy-tailed OSN stand-in at web scale.
+//!
+//! The Table-1 stand-ins ([`powerlaw_configuration`](super::powerlaw_configuration),
+//! [`homophily_communities`](super::homophily_communities)) materialize a
+//! full edge list before building — fine at ≤10⁶ edges, hopeless at 10⁸.
+//! [`web_graph_edges`] instead yields each edge as a pure function of
+//! `(seed, edge index)` via `splitmix64`, so a 100M-edge stand-in streams
+//! straight into [`CompactBuilder`](crate::compact::CompactBuilder) in O(1)
+//! generator memory.
+//!
+//! The model is Chung–Lu-flavored with three OSN-shaped properties:
+//!
+//! * **Heavy-tailed degrees.** Endpoint ranks within a community are drawn
+//!   as `rank = L · u²` for uniform `u` (integer fixed-point square — no
+//!   floating-point `powf`, so the stream is bit-stable across platforms).
+//!   Pick mass at rank `x` falls as `x^(-1/2)`, giving a `γ ≈ 3`
+//!   Barabási–Albert-like degree tail with hubs at low in-community ranks.
+//! * **Community locality.** Nodes are laid out in `communities` contiguous
+//!   id blocks and a `homophily` fraction of edges stays intra-block, so
+//!   sorted adjacency gaps are small — exactly what the compact snapshot's
+//!   gap varints reward (measured ≥2× compression on the `Scale::Full`
+//!   tier).
+//! * **Connectivity.** A deterministic path backbone `(i, i+1)` underlies
+//!   the random edges; every node is reachable, as random walks require.
+//!
+//! Duplicate edges and self-loops produced by the random pairing collapse
+//! at build time, so realized edge counts land slightly under the target —
+//! call sites that care report realized counts, not targets.
+
+use crate::compact::{CompactBuilder, CompactCsr};
+use crate::mix::splitmix64_stream;
+use crate::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// Parameters of the streamed web-scale stand-in.
+#[derive(Clone, Copy, Debug)]
+pub struct WebGraphConfig {
+    /// Number of nodes (≥ 2).
+    pub nodes: usize,
+    /// Target average degree; realized degree lands slightly lower after
+    /// duplicate/self-loop collapse.
+    pub avg_degree: f64,
+    /// Number of contiguous community blocks (≥ 1, ≤ `nodes`).
+    pub communities: usize,
+    /// Fraction of random edges kept inside their source's community
+    /// (clamped to `[0, 1]`). Higher ⇒ smaller adjacency gaps ⇒ better
+    /// compression, like real OSN id locality.
+    pub homophily: f64,
+    /// Seed of the deterministic edge stream.
+    pub seed: u64,
+}
+
+impl WebGraphConfig {
+    /// A gplus-shaped default: 64 communities, 90% intra-community edges.
+    pub fn new(nodes: usize, avg_degree: f64, seed: u64) -> Self {
+        WebGraphConfig {
+            nodes,
+            avg_degree,
+            communities: 64,
+            homophily: 0.9,
+            seed,
+        }
+    }
+
+    /// Override the community count.
+    #[must_use]
+    pub fn with_communities(mut self, communities: usize) -> Self {
+        self.communities = communities;
+        self
+    }
+
+    /// Override the intra-community edge fraction.
+    #[must_use]
+    pub fn with_homophily(mut self, homophily: f64) -> Self {
+        self.homophily = homophily;
+        self
+    }
+
+    /// Total edges the stream yields (backbone + random; pre-collapse).
+    pub fn target_edges(&self) -> u64 {
+        let m = (self.nodes as f64 * self.avg_degree / 2.0) as u64;
+        let backbone = self.nodes.saturating_sub(1) as u64;
+        backbone + m.saturating_sub(backbone)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.nodes < 2 {
+            return Err(GraphError::InvalidGeneratorConfig(format!(
+                "web graph needs at least 2 nodes, got {}",
+                self.nodes
+            )));
+        }
+        if self.communities == 0 || self.communities > self.nodes {
+            return Err(GraphError::InvalidGeneratorConfig(format!(
+                "community count {} out of range for {} nodes",
+                self.communities, self.nodes
+            )));
+        }
+        if !self.avg_degree.is_finite() || self.avg_degree < 0.0 {
+            return Err(GraphError::InvalidGeneratorConfig(format!(
+                "average degree {} must be finite and non-negative",
+                self.avg_degree
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic edge stream (see module docs). O(1) memory; edge `i`
+/// depends only on `(config.seed, i)`.
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] on a degenerate configuration.
+pub fn web_graph_edges(config: &WebGraphConfig) -> Result<WebEdgeStream> {
+    config.validate()?;
+    let block = (config.nodes / config.communities).max(1);
+    Ok(WebEdgeStream {
+        nodes: config.nodes as u64,
+        communities: config.communities as u64,
+        block: block as u64,
+        // Saturating f64→u64 cast: homophily ≥ 1.0 means "always intra".
+        intra_threshold: (config.homophily.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64,
+        seed: config.seed,
+        next: 0,
+        total: config.target_edges(),
+    })
+}
+
+/// Iterator yielding the streamed edge list; see [`web_graph_edges`].
+#[derive(Clone, Debug)]
+pub struct WebEdgeStream {
+    nodes: u64,
+    communities: u64,
+    block: u64,
+    intra_threshold: u64,
+    seed: u64,
+    next: u64,
+    total: u64,
+}
+
+impl WebEdgeStream {
+    /// Heavy-tailed rank in `0..len`: `rank = len · u²` for fixed-point
+    /// uniform `u`, all in integer arithmetic.
+    #[inline]
+    fn zipfish(r: u64, len: u64) -> u64 {
+        let u2 = ((u128::from(r) * u128::from(r)) >> 64) as u64;
+        ((u128::from(len) * u128::from(u2)) >> 64) as u64
+    }
+
+    /// A node inside community `k` with heavy-tailed in-block rank.
+    #[inline]
+    fn pick_in_community(&self, k: u64, r: u64) -> u64 {
+        let start = k * self.block;
+        // The last community absorbs the remainder block.
+        let len = if k == self.communities - 1 {
+            self.nodes - start
+        } else {
+            self.block
+        };
+        start + Self::zipfish(r, len)
+    }
+}
+
+impl Iterator for WebEdgeStream {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.next >= self.total {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        // Path backbone first: guarantees connectivity.
+        if i < self.nodes - 1 {
+            return Some((i as u32, (i + 1) as u32));
+        }
+        // Three independent draws per random edge.
+        let r0 = splitmix64_stream(self.seed, i * 3);
+        let r1 = splitmix64_stream(self.seed, i * 3 + 1);
+        let r2 = splitmix64_stream(self.seed, i * 3 + 2);
+        let src_community = r0 % self.communities;
+        let src = self.pick_in_community(src_community, r1);
+        let dst_community = if r0 >> 32 <= self.intra_threshold >> 32 {
+            src_community
+        } else {
+            // Any *other* community (uniform), keeping some global mixing.
+            let other = (r0 >> 16) % (self.communities.max(2) - 1);
+            (src_community + 1 + other) % self.communities
+        };
+        let dst = self.pick_in_community(dst_community, r2);
+        Some((src as u32, dst as u32))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.total - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for WebEdgeStream {}
+
+/// Materialize the stand-in as a plain [`CsrGraph`] — for the tiers that
+/// still fit uncompressed.
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] on a degenerate configuration.
+pub fn web_graph(config: &WebGraphConfig) -> Result<CsrGraph> {
+    let stream = web_graph_edges(config)?;
+    GraphBuilder::with_capacity(stream.len())
+        .with_nodes(config.nodes)
+        .extend_edges(stream)
+        .build()
+}
+
+/// Stream the stand-in directly into a [`CompactCsr`] in bounded memory —
+/// the only way to build the ~10⁸-edge tiers.
+///
+/// # Errors
+/// [`GraphError::InvalidGeneratorConfig`] on a degenerate configuration;
+/// I/O errors from builder spills.
+pub fn web_graph_compact(config: &WebGraphConfig) -> Result<CompactCsr> {
+    web_graph_compact_with(config, CompactBuilder::new())
+}
+
+/// [`web_graph_compact`] with a caller-tuned builder (chunk capacity, spill
+/// directory) — the soak harness uses this to pin memory bounds.
+///
+/// # Errors
+/// Same as [`web_graph_compact`].
+pub fn web_graph_compact_with(
+    config: &WebGraphConfig,
+    mut builder: CompactBuilder,
+) -> Result<CompactCsr> {
+    let stream = web_graph_edges(config)?;
+    builder = builder.with_min_nodes(config.nodes);
+    builder.add_edges(stream)?;
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::components::is_connected;
+    use crate::compact::CompactCsr;
+
+    fn small() -> WebGraphConfig {
+        WebGraphConfig::new(2_000, 16.0, 42).with_communities(16)
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_sized() {
+        let a: Vec<_> = web_graph_edges(&small()).unwrap().collect();
+        let b: Vec<_> = web_graph_edges(&small()).unwrap().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, small().target_edges());
+        // A different seed yields a different stream.
+        let c: Vec<_> = web_graph_edges(&WebGraphConfig { seed: 7, ..small() })
+            .unwrap()
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plain_and_compact_builds_agree() {
+        let cfg = small();
+        let plain = web_graph(&cfg).unwrap();
+        let compact =
+            web_graph_compact_with(&cfg, CompactBuilder::with_chunk_capacity(4096)).unwrap();
+        assert_eq!(compact, CompactCsr::from_csr(&plain));
+        assert_eq!(compact.to_csr().unwrap(), plain);
+    }
+
+    #[test]
+    fn shape_is_osn_like() {
+        let g = web_graph(&small()).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(g.node_count(), 2_000);
+        // Dedup shrinks the target but not catastrophically.
+        let realized = g.average_degree();
+        assert!(realized > 8.0 && realized <= 16.0, "avg degree {realized}");
+        // Heavy tail: the max degree dwarfs the average.
+        assert!(
+            g.max_degree() as f64 > 4.0 * realized,
+            "max {} vs avg {realized}",
+            g.max_degree()
+        );
+        // Locality pays: the compact form compresses ≥ 2×.
+        let c = CompactCsr::from_csr(&g);
+        assert!(c.compression_ratio() >= 2.0, "{}", c.compression_ratio());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(web_graph(&WebGraphConfig::new(1, 4.0, 0)).is_err());
+        assert!(web_graph(&WebGraphConfig::new(10, -1.0, 0)).is_err());
+        assert!(web_graph(&WebGraphConfig::new(10, f64::NAN, 0)).is_err());
+        assert!(web_graph(&WebGraphConfig::new(10, 4.0, 0).with_communities(0)).is_err());
+        assert!(web_graph(&WebGraphConfig::new(10, 4.0, 0).with_communities(11)).is_err());
+    }
+
+    #[test]
+    fn homophily_extremes() {
+        let intra = web_graph(&small().with_homophily(1.0)).unwrap();
+        let mixed = web_graph(&small().with_homophily(0.0)).unwrap();
+        // Full homophily compresses better than full mixing.
+        let ri = CompactCsr::from_csr(&intra).compression_ratio();
+        let rm = CompactCsr::from_csr(&mixed).compression_ratio();
+        assert!(ri > rm, "intra {ri} vs mixed {rm}");
+    }
+}

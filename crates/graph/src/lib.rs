@@ -18,12 +18,17 @@
 //!   counts, connected components (Table 1 statistics).
 //! * [`attributes`] — typed per-node attribute columns (e.g. `reviews_count`)
 //!   used by GNRW grouping and aggregate estimation.
+//! * [`compact`] — the web-scale substrate: [`CompactCsr`], a delta-encoded
+//!   varint compression of the adjacency with an mmap-friendly flat on-disk
+//!   layout, a bounded-memory streaming builder
+//!   ([`CompactBuilder`]), and a decoded-slice scratch cache
+//!   ([`DecodeCache`]) for hot nodes.
 //! * [`overlay`] — evolving graphs: the [`DeltaOverlay`] patch layer over
 //!   the immutable snapshot (timestamped insert/delete log, per-node patch
 //!   lists, zero-cost passthrough for untouched nodes) and the seeded
 //!   [`MutationSchedule`] replayed against a virtual clock. Routed
-//!   generically over [`CsrGraph`] and [`DirectedCsr`] via
-//!   [`AdjacencySnapshot`].
+//!   generically over [`CsrGraph`], [`DirectedCsr`], and [`CompactCsr`]
+//!   via [`AdjacencyRead`] / [`AdjacencySnapshot`].
 //! * [`partition`] — flat stable partitions of index ranges by key, the
 //!   storage contract behind the GNRW group-plan precomputation.
 //! * [`io`] — plain-text edge-list reading/writing.
@@ -48,12 +53,15 @@
 //! assert_eq!(g.degree(NodeId(0)), 2);
 //! ```
 
-#![forbid(unsafe_code)]
+// `compact::mmap` wraps two libc calls behind a safe view; everything else
+// in the crate stays statically unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod attributes;
 mod builder;
+pub mod compact;
 mod csr;
 pub mod directed;
 mod error;
@@ -66,12 +74,14 @@ pub mod overlay;
 pub mod partition;
 
 pub use builder::GraphBuilder;
+pub use compact::{CompactBuilder, CompactCsr, DecodeCache};
 pub use csr::CsrGraph;
 pub use directed::{DirectedCsr, DirectedEdgeList, UndirectedCast};
 pub use error::GraphError;
 pub use ids::NodeId;
 pub use overlay::{
-    AdjacencySnapshot, DeltaOverlay, EdgeMutation, MutationOp, MutationSchedule, ScheduleSpec,
+    AdjacencyRead, AdjacencySnapshot, DeltaOverlay, EdgeMutation, MutationOp, MutationSchedule,
+    ScheduleSpec,
 };
 
 /// Convenience result alias for fallible graph operations.

@@ -16,11 +16,15 @@
 //!   plan replayed against a virtual clock (`due(now)` drains every event
 //!   with `at <= now`), with an explicit cursor so snapshot/resume can
 //!   continue a half-played schedule bit-identically.
-//! * [`AdjacencySnapshot`] — the small trait that routes the overlay
-//!   generically over the undirected [`CsrGraph`] *and* the directed
-//!   [`DirectedCsr`](crate::directed::DirectedCsr): a mutation on a
-//!   symmetric snapshot patches both endpoints, on an asymmetric one only
-//!   the source's out-list.
+//! * [`AdjacencyRead`] / [`AdjacencySnapshot`] — the trait pair that routes
+//!   the overlay generically over the undirected [`CsrGraph`], the directed
+//!   [`DirectedCsr`](crate::directed::DirectedCsr), and the compressed
+//!   [`CompactCsr`](crate::compact::CompactCsr): a mutation on a symmetric
+//!   snapshot patches both endpoints, on an asymmetric one only the
+//!   source's out-list. Slice-backed bases implement both traits and get
+//!   the zero-copy [`DeltaOverlay::neighbors`] read path; compressed bases
+//!   implement only [`AdjacencyRead`] and combine
+//!   [`DeltaOverlay::patched`] with their own decode cache.
 //!
 //! The conceptual template is incremental view maintenance (DBSP Z-sets /
 //! Gupta–Mumick): downstream state — circulation histories in `osn-walks`,
@@ -82,13 +86,18 @@ impl EdgeMutation {
     }
 }
 
-/// A static adjacency snapshot the [`DeltaOverlay`] can layer on.
+/// A static adjacency the [`DeltaOverlay`] can layer on, whether or not its
+/// neighbor lists exist in memory as plain slices.
 ///
 /// The overlay itself is representation-agnostic: it needs the node count,
-/// a sorted neighbor slice per node, and one bit of semantics — whether the
-/// relation is symmetric (an undirected edge patches both endpoints) or not
-/// (a directed arc patches only its source's out-list).
-pub trait AdjacencySnapshot {
+/// per-node degrees and (decoded) neighbor lists, and one bit of semantics —
+/// whether the relation is symmetric (an undirected edge patches both
+/// endpoints) or not (a directed arc patches only its source's out-list).
+/// Uncompressed snapshots additionally implement [`AdjacencySnapshot`],
+/// which upgrades neighbor access to borrowed slices; compressed ones
+/// ([`CompactCsr`](crate::compact::CompactCsr)) stop at this trait and serve
+/// reads through a decode iterator / scratch cache instead.
+pub trait AdjacencyRead {
     /// Whether `u ∈ N(v) ⇔ v ∈ N(u)` (undirected). Drives how a mutation
     /// `{u, v}` is patched: both endpoints when `true`, only `u` otherwise.
     const SYMMETRIC: bool;
@@ -96,9 +105,19 @@ pub trait AdjacencySnapshot {
     /// Number of nodes (ids `0..n`).
     fn node_count(&self) -> usize;
 
-    /// The sorted, duplicate-free adjacency slice of `v` (out-neighbors for
-    /// a directed snapshot).
-    fn neighbor_slice(&self, v: NodeId) -> &[NodeId];
+    /// Degree of `v` (out-degree for a directed snapshot).
+    fn read_degree(&self, v: NodeId) -> usize;
+
+    /// Append the sorted, duplicate-free adjacency of `v` to `out`
+    /// (out-neighbors for a directed snapshot).
+    fn push_neighbors(&self, v: NodeId, out: &mut Vec<NodeId>);
+
+    /// Whether the arc `u → v` exists in the base (ignoring any overlay).
+    fn contains_arc(&self, u: NodeId, v: NodeId) -> bool {
+        let mut scratch = Vec::with_capacity(self.read_degree(u));
+        self.push_neighbors(u, &mut scratch);
+        scratch.binary_search(&v).is_ok()
+    }
 
     /// Materialize a fresh snapshot of the mutated graph: the overlay's
     /// view, compiled back into this representation. The differential test
@@ -114,15 +133,33 @@ pub trait AdjacencySnapshot {
         Self: Sized;
 }
 
-impl AdjacencySnapshot for CsrGraph {
+/// An [`AdjacencyRead`] whose neighbor lists are resident plain slices,
+/// borrowable at zero cost. The overlay's hot read path
+/// ([`DeltaOverlay::neighbors`]) requires this; compressed representations
+/// route through [`DeltaOverlay::patched`] + their own decode cache.
+pub trait AdjacencySnapshot: AdjacencyRead {
+    /// The sorted, duplicate-free adjacency slice of `v` (out-neighbors for
+    /// a directed snapshot).
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId];
+}
+
+impl AdjacencyRead for CsrGraph {
     const SYMMETRIC: bool = true;
 
     fn node_count(&self) -> usize {
         CsrGraph::node_count(self)
     }
 
-    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
-        self.neighbors(v)
+    fn read_degree(&self, v: NodeId) -> usize {
+        self.degree(v)
+    }
+
+    fn push_neighbors(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(self.neighbors(v));
+    }
+
+    fn contains_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.has_edge(u, v)
     }
 
     fn rebuilt(&self, overlay: &DeltaOverlay) -> Result<Self> {
@@ -135,6 +172,12 @@ impl AdjacencySnapshot for CsrGraph {
             offsets.push(neighbors.len() as u64);
         }
         CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+impl AdjacencySnapshot for CsrGraph {
+    fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        self.neighbors(v)
     }
 }
 
@@ -172,7 +215,7 @@ impl DeltaOverlay {
     /// Replay a previously recorded log against `base` — the restore side
     /// of snapshot/resume. The result is identical to the overlay that
     /// produced the log.
-    pub fn from_log<G: AdjacencySnapshot>(base: &G, log: &[EdgeMutation]) -> Self {
+    pub fn from_log<G: AdjacencyRead>(base: &G, log: &[EdgeMutation]) -> Self {
         let mut overlay = Self::new();
         for &m in log {
             overlay.apply(base, m);
@@ -219,6 +262,10 @@ impl DeltaOverlay {
     /// The adjacency of `v` at the overlay's current virtual time: the
     /// patch list when `v` was touched, the base slice otherwise. Sorted
     /// and duplicate-free in both cases.
+    ///
+    /// Requires a slice-backed base; over a compressed base use
+    /// [`patched`](Self::patched) and fall back to the base's own decode
+    /// path (see `osn-client`'s compact topology).
     pub fn neighbors<'a, G: AdjacencySnapshot>(&'a self, base: &'a G, v: NodeId) -> &'a [NodeId] {
         match self.patches.get(&v.0) {
             Some(patch) => patch,
@@ -226,21 +273,33 @@ impl DeltaOverlay {
         }
     }
 
+    /// The patch list of `v`, if this overlay touched it. `None` means the
+    /// base adjacency is current — the representation-agnostic read path.
+    pub fn patched(&self, v: NodeId) -> Option<&[NodeId]> {
+        self.patches.get(&v.0).map(Vec::as_slice)
+    }
+
     /// Degree of `v` under the overlay.
-    pub fn degree<G: AdjacencySnapshot>(&self, base: &G, v: NodeId) -> usize {
-        self.neighbors(base, v).len()
+    pub fn degree<G: AdjacencyRead>(&self, base: &G, v: NodeId) -> usize {
+        match self.patches.get(&v.0) {
+            Some(patch) => patch.len(),
+            None => base.read_degree(v),
+        }
     }
 
     /// Whether the edge (arc) `u → v` exists under the overlay.
-    pub fn has_edge<G: AdjacencySnapshot>(&self, base: &G, u: NodeId, v: NodeId) -> bool {
-        self.neighbors(base, u).binary_search(&v).is_ok()
+    pub fn has_edge<G: AdjacencyRead>(&self, base: &G, u: NodeId, v: NodeId) -> bool {
+        match self.patches.get(&u.0) {
+            Some(patch) => patch.binary_search(&v).is_ok(),
+            None => base.contains_arc(u, v),
+        }
     }
 
     /// Apply one mutation. Returns `true` when the topology actually
     /// changed (the edge was absent for an insert / present for a delete
     /// and the endpoints are in range and distinct); ineffective mutations
     /// change nothing and are kept out of the log.
-    pub fn apply<G: AdjacencySnapshot>(&mut self, base: &G, m: EdgeMutation) -> bool {
+    pub fn apply<G: AdjacencyRead>(&mut self, base: &G, m: EdgeMutation) -> bool {
         let n = base.node_count();
         if m.u == m.v || m.u.index() >= n || m.v.index() >= n {
             return false;
@@ -264,7 +323,7 @@ impl DeltaOverlay {
     /// Apply a batch in order; returns the sorted, deduplicated set of
     /// nodes whose adjacency actually changed — exactly the set whose
     /// walker circulation state must be invalidated.
-    pub fn apply_batch<G: AdjacencySnapshot>(
+    pub fn apply_batch<G: AdjacencyRead>(
         &mut self,
         base: &G,
         batch: &[EdgeMutation],
@@ -284,11 +343,12 @@ impl DeltaOverlay {
     }
 
     /// (Re)materialize `from`'s patch list and edit `to` into/out of it.
-    fn patch<G: AdjacencySnapshot>(&mut self, base: &G, from: NodeId, to: NodeId, op: MutationOp) {
-        let patch = self
-            .patches
-            .entry(from.0)
-            .or_insert_with(|| base.neighbor_slice(from).to_vec());
+    fn patch<G: AdjacencyRead>(&mut self, base: &G, from: NodeId, to: NodeId, op: MutationOp) {
+        let patch = self.patches.entry(from.0).or_insert_with(|| {
+            let mut list = Vec::with_capacity(base.read_degree(from) + 1);
+            base.push_neighbors(from, &mut list);
+            list
+        });
         match (op, patch.binary_search(&to)) {
             (MutationOp::Insert, Err(i)) => patch.insert(i, to),
             (MutationOp::Delete, Ok(i)) => {

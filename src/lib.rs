@@ -112,8 +112,9 @@ pub mod prelude {
     pub use osn_datasets::{Dataset, Scale};
     pub use osn_estimate::{DeltaCorrectedEstimator, RatioEstimator, UniformMeanEstimator};
     pub use osn_graph::{
-        AdjacencySnapshot, CsrGraph, DeltaOverlay, DirectedCsr, EdgeMutation, GraphBuilder,
-        MutationOp, MutationSchedule, NodeId, ScheduleSpec,
+        AdjacencyRead, AdjacencySnapshot, CompactBuilder, CompactCsr, CsrGraph, DecodeCache,
+        DeltaOverlay, DirectedCsr, EdgeMutation, GraphBuilder, MutationOp, MutationSchedule,
+        NodeId, ScheduleSpec,
     };
     pub use osn_serde::Value;
     pub use osn_service::{
